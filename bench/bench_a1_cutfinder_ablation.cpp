@@ -1,0 +1,76 @@
+// A1 — ablation: which cut-finder strategies realize the existential step
+// of Prune?  We disable portfolio members one at a time and compare the
+// quality (ratio found) and cost (wall time) of the violating sets.
+#include "bench_common.hpp"
+
+#include "expansion/cut_finder.hpp"
+#include "expansion/exact.hpp"
+#include "faults/fault_model.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+
+  bench::print_header("A1", "ablation — cut-finder portfolio (exhaustive / spectral / balls)");
+
+  Table table({"graph", "n", "threshold", "config", "found", "ratio", "|S|", "ms"});
+
+  struct Case {
+    std::string name;
+    Graph graph;
+    double threshold;
+  };
+  std::vector<Case> cases;
+  {
+    const Mesh m = Mesh::cube(20, 2);
+    cases.push_back({"mesh 20x20 (faulty)", m.graph(), 0.25});
+  }
+  cases.push_back({"rand 4-reg n=128", random_regular(128, 4, seed), 0.7});
+  cases.push_back({"path P_18 (exact range)", Graph{}, 0.34});
+  cases.back().graph = Mesh({18}).graph();  // 1-D mesh; threshold 0.34 > 1/9
+
+  struct Config {
+    std::string name;
+    bool exact, spectral, balls;
+  };
+  const Config configs[] = {
+      {"full portfolio", true, true, true},
+      {"no exhaustive", false, true, true},
+      {"spectral only", false, true, false},
+      {"balls only", false, false, true},
+  };
+
+  for (const Case& c : cases) {
+    const VertexSet alive = random_node_faults(c.graph, 0.1, seed + c.graph.num_vertices());
+    for (const Config& config : configs) {
+      CutFinderOptions opts;
+      opts.use_exact = config.exact;
+      opts.use_spectral = config.spectral;
+      opts.use_balls = config.balls;
+      opts.seed = seed;
+      Timer timer;
+      const auto hit =
+          find_violating_set(c.graph, alive, ExpansionKind::Node, c.threshold, opts);
+      const double ms = timer.millis();
+      table.row()
+          .cell(c.name)
+          .cell(std::size_t{c.graph.num_vertices()})
+          .cell(c.threshold, 3)
+          .cell(config.name)
+          .cell(bench::yesno(hit.has_value()))
+          .cell(hit ? hit->expansion : -1.0, 4)
+          .cell(hit ? std::size_t{hit->side.count()} : std::size_t{0})
+          .cell(ms, 3);
+    }
+  }
+  bench::print_table(
+      table,
+      "reading: the full portfolio should find violations whenever any single strategy does;\n"
+      "spectral sweeps dominate on meshes, exhaustive mode is definitive on tiny pieces, and\n"
+      "ball cuts are the cheap fallback.  This justifies the portfolio as the constructive\n"
+      "substitute for the paper's existential 'while ∃ S_i' (DESIGN.md §1).");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every E*/A* binary regenerates one experiment from EXPERIMENTS.md: it
+// prints a header naming the paper claim, then a markdown table whose
+// rows include the paper's predicted quantity next to the measured one.
+// All binaries run with no arguments (CI mode: small sizes, seconds of
+// runtime) and accept --scale=N / --trials=N / --samples=N to grow the
+// workloads.  Setting the environment variable FNE_CSV_DIR additionally
+// dumps every printed table as CSV into that directory for plotting.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fne::bench {
+
+namespace detail {
+inline std::string& current_experiment() {
+  static std::string id = "experiment";
+  return id;
+}
+inline int& table_counter() {
+  static int counter = 0;
+  return counter;
+}
+}  // namespace detail
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  detail::current_experiment() = id;
+  detail::table_counter() = 0;
+  std::cout << "\n=== " << id << " — " << claim << " ===\n\n";
+}
+
+inline void print_table(const Table& table, const std::string& note = "") {
+  table.print(std::cout);
+  if (!note.empty()) std::cout << "\n" << note << "\n";
+  std::cout.flush();
+  if (const char* dir = std::getenv("FNE_CSV_DIR"); dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/" + detail::current_experiment() + "_t" +
+                             std::to_string(detail::table_counter()++) + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      table.write_csv(out);
+      std::cout << "(csv written to " << path << ")\n";
+    }
+  }
+}
+
+inline const char* yesno(bool b) { return b ? "yes" : "NO"; }
+
+}  // namespace fne::bench

@@ -1,0 +1,116 @@
+// E1 — Theorem 2.1: with f adversarial node faults and k·f/α <= n/4,
+// Prune(1 - 1/k) returns H with |H| >= n - k·f/α and node expansion
+// >= (1 - 1/k)·α.
+//
+// We run the attack portfolio at the maximum admissible budget on
+// expander-like families, execute Prune, replay-verify its trace, and
+// compare |H| against the theorem's bound.
+#include "bench_common.hpp"
+
+#include "expansion/bracket.hpp"
+#include "faults/adversary.hpp"
+#include "prune/prune.hpp"
+#include "prune/verify.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+struct Family {
+  std::string name;
+  Graph graph;
+};
+
+void run(const Family& family, double k, std::uint64_t seed, Table& table) {
+  const Graph& g = family.graph;
+  const vid n = g.num_vertices();
+
+  BracketOptions bopts;
+  bopts.exact_limit = 16;
+  bopts.seed = seed;
+  const ExpansionBracket bracket = expansion_bracket(g, ExpansionKind::Node, bopts);
+  // α must be a value the graph *actually has*: the constructive upper
+  // bound (a real cut) is the honest choice — using a larger α would make
+  // the theorem's precondition easier but its conclusion unverifiable.
+  const double alpha = bracket.upper;
+  const vid f_max = static_cast<vid>(alpha * n / (4.0 * k));
+  const vid f = std::max<vid>(1, f_max / 2);  // half the admissible budget
+
+  struct NamedAttack {
+    std::string name;
+    AttackResult attack;
+  };
+  std::vector<NamedAttack> attacks;
+  attacks.push_back({"random", random_attack(g, f, seed)});
+  attacks.push_back({"high-degree", high_degree_attack(g, f)});
+  CutFinderOptions copts;
+  copts.exact_limit = 14;
+  copts.seed = seed;
+  attacks.push_back({"sweep-cut", sweep_cut_attack(g, f, copts)});
+
+  for (const auto& [attack_name, attack] : attacks) {
+    const VertexSet alive = VertexSet::full(n) - attack.faults;
+    PruneOptions popts;
+    popts.finder.seed = seed + 1;
+    const double eps = 1.0 - 1.0 / k;
+    const PruneResult result = prune(g, alive, alpha, eps, popts);
+    const Theorem21Check check =
+        check_theorem21_size(n, alpha, attack.budget_used, k, result.survivors.count());
+    const TraceVerification trace =
+        verify_prune_trace(g, alive, result, ExpansionKind::Node, alpha * eps);
+
+    // Expansion of H: bracket it (upper side is a real cut of H, so
+    // "upper >= threshold" is the meaningful check).
+    std::string h_expansion = "-";
+    if (result.survivors.count() >= 2) {
+      BracketOptions hopts = bopts;
+      hopts.seed = seed + 2;
+      const ExpansionBracket hb =
+          expansion_bracket(g, result.survivors, ExpansionKind::Node, hopts);
+      h_expansion = std::to_string(hb.upper).substr(0, 6);
+    }
+    table.row()
+        .cell(family.name)
+        .cell(std::size_t{n})
+        .cell(alpha, 3)
+        .cell(k, 2)
+        .cell(std::size_t{attack.budget_used})
+        .cell(attack_name)
+        .cell(std::size_t{result.survivors.count()})
+        .cell(check.size_bound, 4)
+        .cell(bench::yesno(check.size_ok && check.precondition_ok))
+        .cell(alpha * eps, 3)
+        .cell(h_expansion)
+        .cell(bench::yesno(trace.valid));
+  }
+}
+
+}  // namespace
+}  // namespace fne
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const auto scale = static_cast<vid>(cli.get_int("scale", 1));
+
+  bench::print_header("E1",
+                      "Theorem 2.1 — Prune keeps |H| >= n - k·f/α with expansion (1-1/k)·α "
+                      "under any adversarial fault set with k·f/α <= n/4");
+
+  Table table({"family", "n", "alpha", "k", "f", "attack", "|H|", "bound n-kf/a", "size ok",
+               "thr (1-1/k)a", "exp(H) upper", "trace ok"});
+  std::vector<Family> families;
+  families.push_back({"rand-4-reg", random_regular(256 * scale, 4, seed)});
+  families.push_back({"rand-6-reg", random_regular(256 * scale, 6, seed + 1)});
+  families.push_back({"hypercube-8", hypercube(8)});
+  for (const Family& family : families) {
+    for (double k : {2.0, 4.0}) run(family, k, seed, table);
+  }
+  bench::print_table(
+      table,
+      "paper prediction: 'size ok' and 'trace ok' = yes everywhere, and exp(H) upper >= thr\n"
+      "(exp(H) is the constructive upper bound of H's expansion bracket; thr = (1-1/k)·α).");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E6 — Theorem 3.6 + Lemma 3.7: the d-dimensional mesh has span 2.
+//
+// Three measurements:
+//  (a) exact span of small meshes (exhaustive compact sets + exact Steiner);
+//  (b) the constructive virtual-edge tree on sampled compact sets of larger
+//      meshes: ratio <= 2 always (this is the theorem's own construction);
+//  (c) Lemma 3.7 connectivity of (B, Ev) on every sampled set.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "span/compact_sets.hpp"
+#include "span/mesh_span.hpp"
+#include "span/span.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const int samples = static_cast<int>(cli.get_int("samples", 40));
+
+  bench::print_header("E6", "Theorem 3.6 — the d-dimensional mesh has span 2 "
+                            "(Lemma 3.7: virtual boundary graphs are connected)");
+
+  // (a) exact span of small meshes.
+  Table exact_table({"mesh", "n", "compact sets", "exact span", "paper bound", "ok"});
+  struct SmallCase {
+    std::string name;
+    Mesh mesh;
+  };
+  const SmallCase small_cases[] = {
+      {"1D path-8", Mesh({8})},        {"2D 3x3", Mesh({3, 3})},
+      {"2D 4x4", Mesh({4, 4})},        {"2D 3x5", Mesh({3, 5})},
+      {"3D 2x2x2", Mesh::cube(2, 3)},  {"3D 3x3x2", Mesh({3, 3, 2})},
+  };
+  for (const SmallCase& c : small_cases) {
+    const SpanResult r = exact_span(c.mesh.graph());
+    exact_table.row()
+        .cell(c.name)
+        .cell(std::size_t{c.mesh.num_vertices()})
+        .cell(r.sets_examined)
+        .cell(r.span, 4)
+        .cell(2.0, 2)
+        .cell(bench::yesno(r.span <= 2.0 + 1e-9));
+  }
+  bench::print_table(exact_table,
+                     "paper prediction: exact span <= 2 for every d >= 2 mesh "
+                     "(1D meshes have span 1: compact sets are prefixes).");
+
+  // (b)+(c) constructive tree + Lemma 3.7 on larger meshes.
+  Table big_table({"mesh", "n", "sampled sets", "lemma 3.7 ok", "max tree ratio",
+                   "paper bound", "max |B|"});
+  struct BigCase {
+    std::string name;
+    Mesh mesh;
+  };
+  const BigCase big_cases[] = {
+      {"2D 16x16", Mesh::cube(16, 2)},
+      {"3D 6x6x6", Mesh::cube(6, 3)},
+      {"4D 4x4x4x4", Mesh::cube(4, 4)},
+  };
+  Rng rng(seed);
+  for (const BigCase& c : big_cases) {
+    const vid n = c.mesh.num_vertices();
+    int produced = 0;
+    int lemma_ok = 0;
+    double max_ratio = 0.0;
+    vid max_boundary = 0;
+    for (int s = 0; s < samples; ++s) {
+      const vid target = 2 + static_cast<vid>(rng.uniform(n / 3));
+      const VertexSet u = sample_compact_set(c.mesh.graph(), target, rng.next());
+      if (u.empty()) continue;
+      ++produced;
+      if (virtual_boundary_connected(c.mesh, u)) ++lemma_ok;
+      const ConstructiveSpanTree tree = mesh_boundary_span_tree(c.mesh, u);
+      max_ratio = std::max(max_ratio, tree.ratio);
+      max_boundary = std::max(max_boundary, tree.boundary_size);
+    }
+    big_table.row()
+        .cell(c.name)
+        .cell(std::size_t{n})
+        .cell(static_cast<long long>(produced))
+        .cell(std::to_string(lemma_ok) + "/" + std::to_string(produced))
+        .cell(max_ratio, 4)
+        .cell(2.0, 2)
+        .cell(std::size_t{max_boundary});
+  }
+  bench::print_table(big_table,
+                     "paper prediction: Lemma 3.7 holds for every compact set (connected count =\n"
+                     "sample count) and the constructive tree never exceeds 2|B| - 1 nodes\n"
+                     "(max tree ratio < 2).");
+  return 0;
+}

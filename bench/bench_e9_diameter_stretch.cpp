@@ -1,0 +1,75 @@
+// E9 — §4 discussion: the pruned component of a faulty mesh keeps
+// distances within O(log n) stretch (via the expansion-diameter relation
+// diam = O(α^{-1} log n) of Leighton–Rao), generalizing the 2-D results
+// of Raghavan / Kaklamanis et al. / Mathies to higher dimensions.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "analysis/distance.hpp"
+#include "faults/fault_model.hpp"
+#include "prune/prune2.hpp"
+#include "topology/mesh.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const auto pairs = static_cast<vid>(cli.get_int("pairs", 120));
+
+  bench::print_header("E9", "§4 — pruned faulty meshes keep O(log n) distance stretch "
+                            "and diameter O(α^{-1} log n)");
+
+  Table table({"mesh", "n", "fault p", "|H|/n", "mean stretch", "max stretch", "log n",
+               "diam(H) sampled", "fault-free diam", "alpha^-1 log n"});
+
+  struct Case {
+    std::string name;
+    Mesh mesh;
+    double alpha_e;
+  };
+  const Case cases[] = {
+      {"2D 24x24", Mesh::cube(24, 2), 24.0 / 288.0},
+      {"2D 32x32", Mesh::cube(32, 2), 32.0 / 512.0},
+      {"3D 8x8x8", Mesh::cube(8, 3), 64.0 / 256.0},
+  };
+
+  for (const Case& c : cases) {
+    const Graph& g = c.mesh.graph();
+    const vid n = g.num_vertices();
+    const VertexSet all = VertexSet::full(n);
+    const double delta = g.max_degree();
+    const double eps = 1.0 / (2.0 * delta);
+
+    for (double p : {0.02, 0.05, 0.10}) {
+      const VertexSet alive = random_node_faults(g, p, seed + static_cast<vid>(p * 1000) + n);
+      Prune2Options opts;
+      opts.finder.seed = seed;
+      const PruneResult pruned = prune2(g, alive, c.alpha_e, eps, opts);
+      if (pruned.survivors.count() < 2) continue;
+
+      const StretchResult stretch =
+          distance_stretch(g, all, pruned.survivors, pairs, seed + 7);
+      const DistanceSample dist = sample_distances(g, pruned.survivors, 16, seed + 9);
+      const DistanceSample ref = sample_distances(g, all, 16, seed + 9);
+
+      table.row()
+          .cell(c.name)
+          .cell(std::size_t{n})
+          .cell(p, 3)
+          .cell(static_cast<double>(pruned.survivors.count()) / n, 3)
+          .cell(stretch.stretch.count() > 0 ? stretch.stretch.mean() : 0.0, 3)
+          .cell(stretch.max_stretch, 3)
+          .cell(std::log2(static_cast<double>(n)), 3)
+          .cell(std::size_t{dist.max_distance})
+          .cell(std::size_t{ref.max_distance})
+          .cell(std::log2(static_cast<double>(n)) / c.alpha_e, 4);
+    }
+  }
+  bench::print_table(
+      table,
+      "paper prediction (§4): mean/max stretch stay O(log n) — in practice close to 1 for\n"
+      "these p — and the pruned diameter stays below α_e^{-1}·log n across dimensions,\n"
+      "matching Raghavan/Kaklamanis/Mathies in 2D and generalizing to d > 2.");
+  return 0;
+}

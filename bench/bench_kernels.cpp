@@ -1,0 +1,127 @@
+// Microbenchmarks of the library's core kernels (google-benchmark).
+//
+// These do not reproduce paper claims — they track the cost of the
+// primitives every experiment is built from, so regressions in the
+// substrate are caught independently of the experiment tables.
+#include <benchmark/benchmark.h>
+
+#include "core/traversal.hpp"
+#include "expansion/exact.hpp"
+#include "expansion/sweep.hpp"
+#include "faults/fault_model.hpp"
+#include "percolation/percolation.hpp"
+#include "prune/prune2.hpp"
+#include "span/steiner.hpp"
+#include "spectral/fiedler.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const vid side = static_cast<vid>(state.range(0));
+  for (auto _ : state) {
+    const Mesh m = Mesh::cube(side, 2);
+    benchmark::DoNotOptimize(m.graph().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_GraphConstruction)->Arg(16)->Arg(64);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  for (auto _ : state) {
+    const Components comps = connected_components(m.graph(), alive);
+    benchmark::DoNotOptimize(comps.sizes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_vertices());
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(32)->Arg(64);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet all = VertexSet::full(m.num_vertices());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(m.graph(), all, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_vertices());
+}
+BENCHMARK(BM_BfsDistances)->Arg(32)->Arg(64);
+
+void BM_ExactExpansionScan(benchmark::State& state) {
+  const Graph g = random_regular(static_cast<vid>(state.range(0)), 4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_expansion(g, ExpansionKind::Edge).expansion);
+  }
+}
+BENCHMARK(BM_ExactExpansionScan)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerVector(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet all = VertexSet::full(m.num_vertices());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fiedler_vector(m.graph(), all).lambda2);
+  }
+}
+BENCHMARK(BM_FiedlerVector)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerSweep(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet all = VertexSet::full(m.num_vertices());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fiedler_sweep(m.graph(), all, ExpansionKind::Edge).expansion);
+  }
+}
+BENCHMARK(BM_FiedlerSweep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_PercolationTrials(benchmark::State& state) {
+  const Mesh m = Mesh::cube(32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        percolate(m.graph(), PercolationKind::Bond, 0.5, static_cast<int>(state.range(0)), 3)
+            .gamma.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PercolationTrials)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SteinerApprox(benchmark::State& state) {
+  const Mesh m = Mesh::cube(16, 2);
+  std::vector<vid> terminals;
+  for (vid i = 0; i < static_cast<vid>(state.range(0)); ++i) {
+    terminals.push_back((i * 37 + 11) % m.num_vertices());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(steiner_approx(m.graph(), terminals).tree_nodes);
+  }
+}
+BENCHMARK(BM_SteinerApprox)->Arg(4)->Arg(12);
+
+void BM_SteinerExact(benchmark::State& state) {
+  const Mesh m = Mesh::cube(8, 2);
+  std::vector<vid> terminals;
+  for (vid i = 0; i < static_cast<vid>(state.range(0)); ++i) {
+    terminals.push_back((i * 17 + 3) % m.num_vertices());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(steiner_exact(m.graph(), terminals).tree_nodes);
+  }
+}
+BENCHMARK(BM_SteinerExact)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Prune2EndToEnd(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.05, 13);
+  const double alpha_e = 2.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prune2(m.graph(), alive, alpha_e, 0.125).survivors.count());
+  }
+}
+BENCHMARK(BM_Prune2EndToEnd)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fne
+
+BENCHMARK_MAIN();

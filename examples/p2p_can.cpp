@@ -1,0 +1,86 @@
+// CAN overlay under churn (paper §4): "CAN can tolerate a fault
+// probability which is inversely polynomial in its dimension without
+// losing too much in its expansion properties."
+//
+// We build CAN overlays of increasing dimension, churn peers out at
+// random, run Prune2, and report how much of the overlay (and its
+// expansion) survives per dimension.
+//
+//   ./p2p_can [--peers=256] [--seed=42]
+#include <iostream>
+
+#include "expansion/bracket.hpp"
+#include "faults/churn.hpp"
+#include "faults/fault_model.hpp"
+#include "prune/prune2.hpp"
+#include "topology/can_overlay.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const auto peers = static_cast<vid>(cli.get_int("peers", 256));
+  const std::uint64_t seed = cli.get_seed();
+
+  std::cout << "CAN overlay churn experiment (" << peers << " peers)\n\n";
+  Table table({"dims", "avg degree", "alpha_e [lo,up]", "churn p", "|H|/n",
+               "alpha_e(H) [lo,up]", "retention up/up"});
+
+  for (vid dims : {2U, 3U, 4U}) {
+    const CanOverlay overlay = can_overlay(peers, dims, seed + dims);
+    const Graph& g = overlay.graph;
+    BracketOptions bopts;
+    bopts.exact_limit = 14;
+    const ExpansionBracket before = expansion_bracket(g, ExpansionKind::Edge, bopts);
+
+    for (double p : {0.05, 0.15}) {
+      const VertexSet alive = random_node_faults(g, p, seed + dims * 100);
+      const double eps = 1.0 / (2.0 * g.max_degree());
+      const PruneResult pruned = prune2(g, alive, before.upper, eps);
+      std::string after_str = "-";
+      double retention = 0.0;
+      if (pruned.survivors.count() >= 2) {
+        const ExpansionBracket after =
+            expansion_bracket(g, pruned.survivors, ExpansionKind::Edge, bopts);
+        after_str = "[" + std::to_string(after.lower).substr(0, 5) + "," +
+                    std::to_string(after.upper).substr(0, 5) + "]";
+        retention = before.upper > 0 ? after.upper / before.upper : 0.0;
+      }
+      table.row()
+          .cell(std::size_t{dims})
+          .cell(g.average_degree(), 3)
+          .cell("[" + std::to_string(before.lower).substr(0, 5) + "," +
+                std::to_string(before.upper).substr(0, 5) + "]")
+          .cell(p, 2)
+          .cell(static_cast<double>(pruned.survivors.count()) / g.num_vertices(), 3)
+          .cell(after_str)
+          .cell(retention, 3);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nhigher dimension -> denser overlay -> better tolerance of the same churn\n"
+               "rate (paper §4: admissible fault probability is inversely polynomial in d).\n";
+
+  // Ongoing churn (leave + rejoin) rather than a one-shot failure wave:
+  // the overlay must keep a giant component throughout.
+  std::cout << "\nongoing churn (p_leave = 0.02/step, p_join = 0.18/step, 80 steps)\n\n";
+  Table churn_table({"dims", "mean alive fraction", "min gamma over time", "final gamma"});
+  for (vid dims : {2U, 3U, 4U}) {
+    const CanOverlay overlay = can_overlay(peers, dims, seed + dims);
+    ChurnOptions copts;
+    copts.steps = 80;
+    copts.seed = seed + 17;
+    const ChurnTrace trace = simulate_churn(overlay.graph, copts);
+    churn_table.row()
+        .cell(std::size_t{dims})
+        .cell(trace.mean_alive_fraction(overlay.graph.num_vertices()), 3)
+        .cell(trace.min_gamma(), 3)
+        .cell(trace.steps.back().gamma, 3);
+  }
+  churn_table.print(std::cout);
+  std::cout << "\nsteady-state churn keeps ~90% of peers alive; min gamma shows the overlay\n"
+               "never fragments — and improves with dimension, as the span/expansion theory\n"
+               "predicts.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "analysis/agreement.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+AgreementResult iterated_majority_agreement(const Graph& g, const VertexSet& alive,
+                                            const VertexSet& byzantine,
+                                            const AgreementOptions& options) {
+  FNE_REQUIRE(byzantine.is_subset_of(alive), "Byzantine nodes must be alive");
+  FNE_REQUIRE(options.initial_ones_fraction >= 0.0 && options.initial_ones_fraction <= 1.0,
+              "initial fraction out of range");
+  Rng rng(options.seed);
+  const vid n = g.num_vertices();
+
+  // Initial honest opinions; the majority bit is 1 iff fraction > 0.5.
+  std::vector<std::uint8_t> bit(n, 0);
+  AgreementResult result;
+  vid ones = 0;
+  alive.for_each([&](vid v) {
+    if (byzantine.test(v)) return;
+    ++result.honest_total;
+    if (rng.bernoulli(options.initial_ones_fraction)) {
+      bit[v] = 1;
+      ++ones;
+    }
+  });
+  if (result.honest_total == 0) return result;
+  const std::uint8_t majority = 2 * ones >= result.honest_total ? 1 : 0;
+  const std::uint8_t minority = 1 - majority;
+
+  // Byzantine nodes permanently report the minority bit.
+  byzantine.for_each([&](vid v) { bit[v] = minority; });
+
+  std::vector<std::uint8_t> next = bit;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    alive.for_each([&](vid v) {
+      if (byzantine.test(v)) return;  // Byzantine: never updates
+      int votes_one = bit[v] ? 1 : -1;
+      for (vid w : g.neighbors(v)) {
+        if (!alive.test(w)) continue;
+        votes_one += bit[w] ? 1 : -1;
+      }
+      const std::uint8_t decision = votes_one > 0 ? 1 : (votes_one < 0 ? 0 : bit[v]);
+      if (decision != bit[v]) changed = true;
+      next[v] = decision;
+    });
+    alive.for_each([&](vid v) {
+      if (!byzantine.test(v)) bit[v] = next[v];
+    });
+    result.rounds = round + 1;
+    if (!changed) {
+      result.stabilized = true;
+      break;
+    }
+  }
+
+  alive.for_each([&](vid v) {
+    if (!byzantine.test(v) && bit[v] == majority) ++result.agreeing_honest;
+  });
+  result.agreement_fraction =
+      static_cast<double>(result.agreeing_honest) / static_cast<double>(result.honest_total);
+  return result;
+}
+
+}  // namespace fne

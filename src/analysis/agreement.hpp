@@ -1,0 +1,46 @@
+// Almost-everywhere agreement on faulty networks (paper §1.3: "as long
+// as the original network still has a large connected component of
+// almost the same expansion, one can still achieve almost everywhere
+// agreement" — Dwork–Peleg–Pippenger–Upfal, Upfal, Ben-Or–Ron).
+//
+// Protocol simulated here: synchronous iterated neighborhood majority.
+// Every honest node starts with a bit; each round it adopts the majority
+// of its (alive) closed neighborhood.  Byzantine nodes always report the
+// global minority bit (the strongest static misinformation strategy for
+// this dynamic).  On good expanders the honest majority bit floods the
+// network and all but O(|Byzantine|) honest nodes agree; on poorly
+// expanding graphs misinformation can hold territory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct AgreementResult {
+  int rounds = 0;               ///< rounds until stable (or max_rounds)
+  bool stabilized = false;
+  vid agreeing_honest = 0;      ///< honest nodes holding the initial majority bit
+  vid honest_total = 0;
+  double agreement_fraction = 0.0;  ///< agreeing / honest_total
+};
+
+struct AgreementOptions {
+  int max_rounds = 200;
+  /// Fraction of honest nodes initially holding bit 1; the protocol
+  /// should converge to the initial majority.
+  double initial_ones_fraction = 0.7;
+  std::uint64_t seed = 7;
+};
+
+/// Run iterated majority on the alive subgraph with the given Byzantine
+/// set (a subset of alive).  Returns how much of the honest population
+/// ends on the initial-majority bit.
+[[nodiscard]] AgreementResult iterated_majority_agreement(const Graph& g, const VertexSet& alive,
+                                                          const VertexSet& byzantine,
+                                                          const AgreementOptions& options = {});
+
+}  // namespace fne

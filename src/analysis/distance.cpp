@@ -1,0 +1,70 @@
+#include "analysis/distance.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+std::uint32_t exact_diameter(const Graph& g, const VertexSet& alive) {
+  const std::vector<vid> verts = alive.to_vector();
+  if (verts.size() < 2) return 0;
+  std::uint32_t diameter = 0;
+  for (vid v : verts) {
+    const auto dist = bfs_distances(g, alive, v);
+    for (vid w : verts) {
+      FNE_REQUIRE(dist[w] != kUnreached, "exact_diameter requires a connected subgraph");
+      diameter = std::max(diameter, dist[w]);
+    }
+  }
+  return diameter;
+}
+
+DistanceSample sample_distances(const Graph& g, const VertexSet& alive, vid sources,
+                                std::uint64_t seed) {
+  DistanceSample result;
+  const std::vector<vid> verts = alive.to_vector();
+  if (verts.size() < 2) return result;
+  Rng rng(seed);
+  const vid count = std::min<vid>(sources, static_cast<vid>(verts.size()));
+  const auto picks = rng.sample_without_replacement(static_cast<vid>(verts.size()), count);
+  for (vid i : picks) {
+    const auto dist = bfs_distances(g, alive, verts[i]);
+    for (vid w : verts) {
+      if (dist[w] == kUnreached || w == verts[i]) continue;
+      result.max_distance = std::max(result.max_distance, dist[w]);
+      result.distances.add(static_cast<double>(dist[w]));
+    }
+  }
+  return result;
+}
+
+StretchResult distance_stretch(const Graph& g, const VertexSet& reference, const VertexSet& pruned,
+                               vid pair_samples, std::uint64_t seed) {
+  StretchResult result;
+  const VertexSet common = reference & pruned;
+  const std::vector<vid> verts = common.to_vector();
+  if (verts.size() < 2) return result;
+  Rng rng(seed);
+  for (vid s = 0; s < pair_samples; ++s) {
+    const vid a = verts[rng.uniform(verts.size())];
+    const auto ref_dist = bfs_distances(g, reference, a);
+    const auto pr_dist = bfs_distances(g, pruned, a);
+    const vid b = verts[rng.uniform(verts.size())];
+    if (a == b) continue;
+    if (ref_dist[b] == kUnreached) continue;  // not comparable
+    ++result.pairs;
+    if (pr_dist[b] == kUnreached) {
+      ++result.disconnected_pairs;
+      continue;
+    }
+    const double ratio = static_cast<double>(pr_dist[b]) / static_cast<double>(ref_dist[b]);
+    result.stretch.add(ratio);
+    result.max_stretch = std::max(result.max_stretch, ratio);
+  }
+  return result;
+}
+
+}  // namespace fne

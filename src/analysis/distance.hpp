@@ -1,0 +1,38 @@
+// Distance/diameter analysis (paper §4: expansion α implies diameter
+// O(α⁻¹ log n), and pruned meshes keep O(log n)-stretch paths).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "util/stats.hpp"
+
+namespace fne {
+
+/// Exact diameter of the alive subgraph (BFS from every alive vertex).
+/// Returns 0 for < 2 vertices; requires the subgraph to be connected.
+[[nodiscard]] std::uint32_t exact_diameter(const Graph& g, const VertexSet& alive);
+
+/// Diameter lower bound + average distance from `sources` sampled BFS
+/// runs (cheap for large graphs).
+struct DistanceSample {
+  std::uint32_t max_distance = 0;   ///< diameter lower bound
+  RunningStats distances;           ///< all pairwise distances seen
+};
+[[nodiscard]] DistanceSample sample_distances(const Graph& g, const VertexSet& alive, vid sources,
+                                              std::uint64_t seed);
+
+/// Stretch of the pruned graph: ratio of distances in (g, pruned) vs
+/// (g, reference) over sampled vertex pairs alive in both.
+struct StretchResult {
+  RunningStats stretch;             ///< per-pair ratio
+  double max_stretch = 0.0;
+  vid pairs = 0;
+  vid disconnected_pairs = 0;       ///< pairs separated by the pruning
+};
+[[nodiscard]] StretchResult distance_stretch(const Graph& g, const VertexSet& reference,
+                                             const VertexSet& pruned, vid pair_samples,
+                                             std::uint64_t seed);
+
+}  // namespace fne

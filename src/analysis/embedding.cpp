@@ -1,0 +1,113 @@
+#include "analysis/embedding.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+SelfEmbedding embed_into_survivors(const Graph& g, const VertexSet& alive) {
+  FNE_REQUIRE(is_connected(g, alive), "host (alive subgraph) must be connected");
+  const vid n = g.num_vertices();
+  SelfEmbedding embedding;
+  embedding.host_of.assign(n, kInvalidVertex);
+
+  // Multi-source BFS from all alive vertices over the FULL graph: each
+  // dead guest vertex adopts the nearest alive vertex as its image.
+  // (Distances run through dead vertices — this is a guest-side
+  // assignment, not a host path.)
+  std::deque<vid> queue;
+  alive.for_each([&](vid v) {
+    embedding.host_of[v] = v;
+    queue.push_back(v);
+  });
+  FNE_REQUIRE(!queue.empty(), "no alive vertices to embed into");
+  while (!queue.empty()) {
+    const vid u = queue.front();
+    queue.pop_front();
+    for (vid w : g.neighbors(u)) {
+      if (embedding.host_of[w] == kInvalidVertex) {
+        embedding.host_of[w] = embedding.host_of[u];
+        queue.push_back(w);
+      }
+    }
+  }
+  // Guests in unreachable dead pockets (possible if the graph itself is
+  // disconnected) map to an arbitrary alive vertex.
+  const vid fallback = alive.first();
+  for (vid v = 0; v < n; ++v) {
+    if (embedding.host_of[v] == kInvalidVertex) embedding.host_of[v] = fallback;
+  }
+
+  // Load.
+  std::vector<vid> load(n, 0);
+  for (vid v = 0; v < n; ++v) ++load[embedding.host_of[v]];
+  embedding.quality.load = *std::max_element(load.begin(), load.end());
+
+  // Route every guest edge along a shortest alive path between images;
+  // accumulate per-host-edge congestion and the dilation statistics.
+  std::vector<std::size_t> edge_use(g.num_edges(), 0);
+  std::vector<std::uint32_t> dist;
+  std::vector<vid> parent(n, kInvalidVertex);
+  double total_dilation = 0.0;
+  std::size_t routed = 0;
+
+  // Group guest edges by source image to reuse one BFS per source.
+  std::vector<std::vector<vid>> targets_of(n);
+  for (const Edge& e : g.edges()) {
+    const vid a = embedding.host_of[e.u];
+    const vid b = embedding.host_of[e.v];
+    if (a == b) {
+      ++routed;  // zero-length path
+      continue;
+    }
+    targets_of[a].push_back(b);
+  }
+  for (vid source = 0; source < n; ++source) {
+    if (targets_of[source].empty()) continue;
+    // BFS with parents over the alive subgraph.
+    dist.assign(n, kUnreached);
+    std::fill(parent.begin(), parent.end(), kInvalidVertex);
+    std::deque<vid> bfs{source};
+    dist[source] = 0;
+    while (!bfs.empty()) {
+      const vid u = bfs.front();
+      bfs.pop_front();
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid w = nbrs[i];
+        if (!alive.test(w) || dist[w] != kUnreached) continue;
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        bfs.push_back(w);
+      }
+      (void)eids;
+    }
+    for (vid target : targets_of[source]) {
+      FNE_REQUIRE(dist[target] != kUnreached, "host images must be mutually reachable");
+      embedding.quality.dilation = std::max(embedding.quality.dilation, dist[target]);
+      total_dilation += dist[target];
+      ++routed;
+      // Walk the path back, charging each host edge.
+      vid cur = target;
+      while (cur != source) {
+        const vid prev = parent[cur];
+        // Find the undirected edge id between prev and cur.
+        const auto nbrs = g.neighbors(prev);
+        const auto eids = g.incident_edges(prev);
+        const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), cur);
+        ++edge_use[eids[static_cast<std::size_t>(it - nbrs.begin())]];
+        cur = prev;
+      }
+    }
+  }
+  embedding.quality.congestion =
+      edge_use.empty() ? 0 : *std::max_element(edge_use.begin(), edge_use.end());
+  embedding.quality.average_dilation =
+      routed > 0 ? total_dilation / static_cast<double>(routed) : 0.0;
+  return embedding;
+}
+
+}  // namespace fne

@@ -1,0 +1,49 @@
+// Static embeddings of a fault-free guest network into the surviving part
+// of a faulty host (paper §1.2).
+//
+// An embedding maps guest vertices to alive host vertices and guest edges
+// to alive host paths.  Its quality is measured by
+//   load       — max guest vertices on one host vertex,
+//   congestion — max guest paths through one host edge,
+//   dilation   — longest guest-edge path;
+// Leighton–Maggs–Rao: the host emulates any guest step with slowdown
+// O(load + congestion + dilation).
+//
+// The embedding built here is the natural static one for same-topology
+// emulation (guest = the fault-free graph, host = its pruned faulty
+// self): each guest vertex goes to the nearest alive host vertex
+// (multi-source BFS), each guest edge routes along a shortest alive path
+// between the images.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/traversal.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct EmbeddingQuality {
+  vid load = 0;
+  std::size_t congestion = 0;
+  std::uint32_t dilation = 0;
+  double average_dilation = 0.0;
+  /// Leighton–Maggs–Rao slowdown proxy: load + congestion + dilation.
+  [[nodiscard]] std::size_t slowdown() const noexcept {
+    return static_cast<std::size_t>(load) + congestion + dilation;
+  }
+};
+
+struct SelfEmbedding {
+  std::vector<vid> host_of;  ///< per guest vertex: its alive host image
+  EmbeddingQuality quality;
+};
+
+/// Embed the fault-free graph g into its alive subgraph, which must be
+/// nonempty and connected.  Guest vertices already alive map to
+/// themselves; dead guest vertices map to a nearest alive vertex.
+[[nodiscard]] SelfEmbedding embed_into_survivors(const Graph& g, const VertexSet& alive);
+
+}  // namespace fne

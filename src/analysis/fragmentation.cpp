@@ -1,0 +1,22 @@
+#include "analysis/fragmentation.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+
+namespace fne {
+
+FragmentationProfile fragmentation_profile(const Graph& g, const VertexSet& alive) {
+  FragmentationProfile profile;
+  const Components comps = connected_components(g, alive);
+  profile.num_components = comps.count();
+  profile.sizes_desc = comps.sizes;
+  std::sort(profile.sizes_desc.begin(), profile.sizes_desc.end(), std::greater<>());
+  profile.largest = profile.sizes_desc.empty() ? 0 : profile.sizes_desc.front();
+  profile.gamma = g.num_vertices() == 0
+                      ? 0.0
+                      : static_cast<double>(profile.largest) / static_cast<double>(g.num_vertices());
+  return profile;
+}
+
+}  // namespace fne

@@ -1,0 +1,21 @@
+// Fragmentation profiles: how a fault set shatters a graph
+// (Theorems 2.3, 2.5, 3.1 all claim "breaks into sublinear components").
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct FragmentationProfile {
+  vid largest = 0;                 ///< largest component size
+  double gamma = 0.0;              ///< largest / n (original n)
+  std::size_t num_components = 0;
+  std::vector<vid> sizes_desc;     ///< all component sizes, descending
+};
+
+[[nodiscard]] FragmentationProfile fragmentation_profile(const Graph& g, const VertexSet& alive);
+
+}  // namespace fne

@@ -1,0 +1,71 @@
+#include "analysis/load_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+DiffusionResult diffuse_load(const Graph& g, const VertexSet& alive,
+                             const std::vector<double>& initial,
+                             const DiffusionOptions& options) {
+  FNE_REQUIRE(initial.size() == g.num_vertices(), "initial load size mismatch");
+  FNE_REQUIRE(is_connected(g, alive), "diffusion needs a connected alive subgraph");
+  const std::vector<vid> verts = alive.to_vector();
+  FNE_REQUIRE(verts.size() >= 1, "no alive vertices");
+
+  vid max_deg = 0;
+  double total = 0.0;
+  for (vid v : verts) {
+    vid d = 0;
+    for (vid w : g.neighbors(v)) {
+      if (alive.test(w)) ++d;
+    }
+    max_deg = std::max(max_deg, d);
+    total += initial[v];
+  }
+  const double mean = total / static_cast<double>(verts.size());
+  const double rate = 1.0 / (2.0 * std::max<vid>(1, max_deg));
+
+  DiffusionResult result;
+  result.load = initial;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (!alive.test(v)) result.load[v] = 0.0;
+  }
+
+  std::vector<double> next = result.load;
+  const double target = options.tolerance * std::max(std::fabs(mean), 1e-12);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    double imbalance = 0.0;
+    for (vid v : verts) imbalance = std::max(imbalance, std::fabs(result.load[v] - mean));
+    result.final_imbalance = imbalance;
+    if (imbalance <= target) {
+      result.rounds = round;
+      result.converged = true;
+      return result;
+    }
+    for (vid v : verts) {
+      double delta = 0.0;
+      for (vid w : g.neighbors(v)) {
+        if (alive.test(w)) delta += result.load[w] - result.load[v];
+      }
+      next[v] = result.load[v] + rate * delta;
+    }
+    for (vid v : verts) result.load[v] = next[v];
+  }
+  result.rounds = options.max_rounds;
+  result.converged = false;
+  return result;
+}
+
+DiffusionResult diffuse_point_load(const Graph& g, const VertexSet& alive, vid source,
+                                   double total_load, const DiffusionOptions& options) {
+  FNE_REQUIRE(alive.test(source), "point-load source must be alive");
+  std::vector<double> initial(g.num_vertices(), 0.0);
+  initial[source] = total_load;
+  return diffuse_load(g, alive, initial, options);
+}
+
+}  // namespace fne

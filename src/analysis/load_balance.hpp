@@ -1,0 +1,44 @@
+// Diffusion load balancing on (faulty) networks — the paper's §1.3
+// motivation: "if the expansion basically stays the same, the ability of
+// a network to balance ... load basically stays the same" [Ghosh et al.,
+// Anshelevich–Kempe–Kleinberg].
+//
+// First-order diffusion: each step every vertex sends (x_u - x_w)/(2Δ)
+// along every alive edge (Δ = max alive degree).  The scheme converges
+// geometrically with rate 1 - λ₂(L)/(2Δ); measuring rounds-to-balance on
+// the pruned component H therefore probes exactly the quantity the
+// paper's expansion guarantee is supposed to preserve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct DiffusionResult {
+  int rounds = 0;               ///< rounds until imbalance <= tolerance (or max_rounds)
+  double final_imbalance = 0.0; ///< max |x_v - mean| at the end
+  bool converged = false;
+  std::vector<double> load;     ///< final load per original vertex (0 for dead)
+};
+
+struct DiffusionOptions {
+  double tolerance = 0.01;  ///< stop when max deviation from mean <= tolerance * mean
+  int max_rounds = 100000;
+};
+
+/// Run diffusion from an initial load (size = universe; entries at dead
+/// vertices are ignored).  The alive subgraph must be connected.
+[[nodiscard]] DiffusionResult diffuse_load(const Graph& g, const VertexSet& alive,
+                                           const std::vector<double>& initial,
+                                           const DiffusionOptions& options = {});
+
+/// Convenience: all load starts on a single (alive) vertex.
+[[nodiscard]] DiffusionResult diffuse_point_load(const Graph& g, const VertexSet& alive,
+                                                 vid source, double total_load = 1.0,
+                                                 const DiffusionOptions& options = {});
+
+}  // namespace fne

@@ -1,0 +1,77 @@
+#include "analysis/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+RoutingResult route_random_permutation(const Graph& g, const VertexSet& alive,
+                                       std::uint64_t seed) {
+  FNE_REQUIRE(is_connected(g, alive), "routing needs a connected alive subgraph");
+  const std::vector<vid> verts = alive.to_vector();
+  FNE_REQUIRE(verts.size() >= 2, "need >= 2 alive vertices to route");
+
+  Rng rng(seed);
+  std::vector<vid> destination = verts;
+  rng.shuffle(std::span<vid>(destination));
+
+  // Group demands by source to reuse one BFS per distinct source.
+  RoutingResult result;
+  std::vector<std::size_t> edge_load(g.num_edges(), 0);
+  std::vector<std::uint32_t> dist;
+  std::vector<vid> parent(g.num_vertices(), kInvalidVertex);
+  std::vector<eid> parent_edge(g.num_vertices(), kInvalidEdge);
+  double total_len = 0.0;
+
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const vid source = verts[i];
+    const vid target = destination[i];
+    if (source == target) continue;
+    // BFS with parent edges from source.
+    dist.assign(g.num_vertices(), kUnreached);
+    std::deque<vid> queue{source};
+    dist[source] = 0;
+    while (!queue.empty()) {
+      const vid u = queue.front();
+      queue.pop_front();
+      if (u == target) break;  // early exit: parents up to target are set
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t a = 0; a < nbrs.size(); ++a) {
+        const vid w = nbrs[a];
+        if (!alive.test(w) || dist[w] != kUnreached) continue;
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        parent_edge[w] = eids[a];
+        queue.push_back(w);
+      }
+    }
+    FNE_REQUIRE(dist[target] != kUnreached, "connected subgraph must route every pair");
+    result.max_path_length = std::max(result.max_path_length, dist[target]);
+    total_len += dist[target];
+    ++result.routed_pairs;
+    for (vid cur = target; cur != source; cur = parent[cur]) {
+      ++edge_load[parent_edge[cur]];
+    }
+  }
+
+  std::size_t used_edges = 0;
+  std::size_t total_load = 0;
+  for (std::size_t load : edge_load) {
+    if (load == 0) continue;
+    ++used_edges;
+    total_load += load;
+    result.max_edge_load = std::max(result.max_edge_load, load);
+  }
+  result.average_edge_load =
+      used_edges > 0 ? static_cast<double>(total_load) / static_cast<double>(used_edges) : 0.0;
+  result.average_path_length =
+      result.routed_pairs > 0 ? total_len / result.routed_pairs : 0.0;
+  return result;
+}
+
+}  // namespace fne

@@ -1,0 +1,33 @@
+// Shortest-path permutation routing (paper §1.3: "the ability of a
+// network to route information is preserved because it is closely
+// related to its expansion" [Scheideler]).
+//
+// Workload: a random permutation π of the alive vertices; every v sends
+// one unit to π(v) along a BFS shortest path.  The reported congestion
+// (max load on any edge) is the classic proxy for routing capacity; on a
+// network of edge expansion α_e a random permutation needs max-edge-load
+// Ω(1/α_e) on average, so preserved expansion ⇔ preserved congestion.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "util/stats.hpp"
+
+namespace fne {
+
+struct RoutingResult {
+  std::size_t max_edge_load = 0;     ///< congestion
+  double average_edge_load = 0.0;    ///< over used edges
+  std::uint32_t max_path_length = 0; ///< dilation of the demand set
+  double average_path_length = 0.0;
+  vid routed_pairs = 0;
+};
+
+/// Route a random permutation of the alive vertices along BFS shortest
+/// paths.  The alive subgraph must be connected.
+[[nodiscard]] RoutingResult route_random_permutation(const Graph& g, const VertexSet& alive,
+                                                     std::uint64_t seed);
+
+}  // namespace fne

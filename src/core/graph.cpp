@@ -1,0 +1,88 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Graph Graph::from_edges(vid n, std::vector<Edge> edges) {
+  Graph g;
+  g.n_ = n;
+  // Normalize, validate, sort, dedupe.
+  for (auto& e : edges) {
+    FNE_REQUIRE(e.u < n && e.v < n, "edge endpoint outside [0, n)");
+    FNE_REQUIRE(e.u != e.v, "self loops are not supported");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.u < b.u || (a.u == b.u && a.v < b.v); });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.edges_ = std::move(edges);
+
+  const auto m = g.edges_.size();
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adj_.resize(2 * m);
+  g.arc_edge_.resize(2 * m);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (eid e = 0; e < m; ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.adj_[cursor[u]] = v;
+    g.arc_edge_[cursor[u]++] = e;
+    g.adj_[cursor[v]] = u;
+    g.arc_edge_[cursor[v]++] = e;
+  }
+  // Per-vertex adjacency is already sorted because edges_ were sorted by
+  // (u, v) and arcs were appended in that order for the u side; the v side
+  // needs a per-vertex sort keyed by neighbor.
+  for (vid v = 0; v < n; ++v) {
+    const std::size_t lo = g.offsets_[v];
+    const std::size_t hi = g.offsets_[v + 1];
+    // Sort (neighbor, edge-id) pairs by neighbor.
+    std::vector<std::pair<vid, eid>> tmp;
+    tmp.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) tmp.emplace_back(g.adj_[i], g.arc_edge_[i]);
+    std::sort(tmp.begin(), tmp.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adj_[i] = tmp[i - lo].first;
+      g.arc_edge_[i] = tmp[i - lo].second;
+    }
+  }
+  return g;
+}
+
+vid Graph::max_degree() const noexcept {
+  vid d = 0;
+  for (vid v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+vid Graph::min_degree() const noexcept {
+  if (n_ == 0) return 0;
+  vid d = degree(0);
+  for (vid v = 1; v < n_; ++v) d = std::min(d, degree(v));
+  return d;
+}
+
+bool Graph::is_regular() const noexcept { return n_ == 0 || max_degree() == min_degree(); }
+
+bool Graph::has_edge(vid u, vid v) const noexcept {
+  if (u >= n_ || v >= n_) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " m=" << edges_.size() << " deg=[" << min_degree() << "," << max_degree()
+     << "]";
+  return os.str();
+}
+
+}  // namespace fne

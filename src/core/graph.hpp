@@ -1,0 +1,69 @@
+// Immutable undirected graph in CSR form.
+//
+// Design notes (see DESIGN.md §4):
+//  * The graph is immutable after construction.  Fault injection and
+//    pruning never modify it — they carry a VertexSet "alive" mask and a
+//    parallel edge-alive mask (for bond percolation).
+//  * Each directed arc in the CSR adjacency stores the id of its
+//    undirected edge so bond percolation can test edge liveness in O(1).
+//  * Self loops are rejected; duplicate edges are merged.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list over vertices [0, n).  Duplicates are merged,
+  /// self loops rejected.
+  [[nodiscard]] static Graph from_edges(vid n, std::vector<Edge> edges);
+
+  [[nodiscard]] vid num_vertices() const noexcept { return n_; }
+  [[nodiscard]] eid num_edges() const noexcept { return static_cast<eid>(edges_.size()); }
+
+  /// Neighbors of v, sorted ascending.
+  [[nodiscard]] std::span<const vid> neighbors(vid v) const noexcept {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+  /// Undirected edge ids aligned with neighbors(v).
+  [[nodiscard]] std::span<const eid> incident_edges(vid v) const noexcept {
+    return {arc_edge_.data() + offsets_[v], arc_edge_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] vid degree(vid v) const noexcept {
+    return static_cast<vid>(offsets_[v + 1] - offsets_[v]);
+  }
+  [[nodiscard]] vid max_degree() const noexcept;
+  [[nodiscard]] vid min_degree() const noexcept;
+  [[nodiscard]] double average_degree() const noexcept {
+    return n_ == 0 ? 0.0 : 2.0 * static_cast<double>(edges_.size()) / static_cast<double>(n_);
+  }
+  [[nodiscard]] bool is_regular() const noexcept;
+
+  /// O(log deg) membership test.
+  [[nodiscard]] bool has_edge(vid u, vid v) const noexcept;
+
+  /// All undirected edges, each once, with u < v.
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  [[nodiscard]] const Edge& edge(eid e) const noexcept { return edges_[e]; }
+
+  /// Human-readable one-line summary ("n=64 m=128 deg=[4,4]").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  vid n_ = 0;
+  std::vector<std::size_t> offsets_;  // n+1
+  std::vector<vid> adj_;              // 2m, sorted per vertex
+  std::vector<eid> arc_edge_;         // 2m, undirected edge id per arc
+  std::vector<Edge> edges_;           // m, u < v
+};
+
+}  // namespace fne

@@ -1,0 +1,58 @@
+#include "core/io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+void write_dot(std::ostream& os, const Graph& g, const VertexSet* alive,
+               const VertexSet* highlight) {
+  if (alive != nullptr) {
+    FNE_REQUIRE(alive->universe_size() == g.num_vertices(), "alive mask size mismatch");
+  }
+  if (highlight != nullptr) {
+    FNE_REQUIRE(highlight->universe_size() == g.num_vertices(), "highlight set size mismatch");
+  }
+  os << "graph fne {\n  node [shape=circle fontsize=10];\n";
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    const bool dead = alive != nullptr && !alive->test(v);
+    const bool hot = highlight != nullptr && highlight->test(v);
+    if (dead) {
+      os << " [style=dashed color=grey fontcolor=grey]";
+    } else if (hot) {
+      os << " [style=filled fillcolor=lightblue]";
+    }
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v;
+    if (alive != nullptr && (!alive->test(e.u) || !alive->test(e.v))) {
+      os << " [style=dashed color=grey]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  FNE_REQUIRE(static_cast<bool>(is >> n >> m), "edge list: missing header");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    vid u = 0, v = 0;
+    FNE_REQUIRE(static_cast<bool>(is >> u >> v), "edge list: truncated");
+    edges.push_back({u, v});
+  }
+  return Graph::from_edges(static_cast<vid>(n), std::move(edges));
+}
+
+}  // namespace fne

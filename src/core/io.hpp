@@ -1,0 +1,23 @@
+// Simple textual graph I/O for examples and debugging.
+//
+// Edge-list format: first line "n m", then m lines "u v".
+// Graphviz export renders fault/prune states: dead vertices dashed grey,
+// an optional highlight set (e.g. a culled region or cut witness) filled.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+void write_edge_list(std::ostream& os, const Graph& g);
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Graphviz "graph { ... }" output.  `alive` (optional) greys out dead
+/// vertices and their edges; `highlight` (optional) fills its members.
+void write_dot(std::ostream& os, const Graph& g, const VertexSet* alive = nullptr,
+               const VertexSet* highlight = nullptr);
+
+}  // namespace fne

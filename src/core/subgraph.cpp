@@ -1,0 +1,42 @@
+#include "core/subgraph.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+VertexSet InducedSubgraph::lift(const VertexSet& sub_set) const {
+  FNE_REQUIRE(sub_set.universe_size() == graph.num_vertices(), "lift: universe mismatch");
+  VertexSet out(static_cast<vid>(to_sub.size()));
+  sub_set.for_each([&](vid v) { out.set(to_original[v]); });
+  return out;
+}
+
+VertexSet InducedSubgraph::restrict(const VertexSet& original_set) const {
+  FNE_REQUIRE(original_set.universe_size() == static_cast<vid>(to_sub.size()),
+              "restrict: universe mismatch");
+  VertexSet out(graph.num_vertices());
+  original_set.for_each([&](vid v) {
+    if (to_sub[v] != kInvalidVertex) out.set(to_sub[v]);
+  });
+  return out;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const VertexSet& keep) {
+  FNE_REQUIRE(keep.universe_size() == g.num_vertices(), "mask/graph size mismatch");
+  InducedSubgraph result;
+  result.to_sub.assign(g.num_vertices(), kInvalidVertex);
+  result.to_original = keep.to_vector();
+  for (vid i = 0; i < result.to_original.size(); ++i) {
+    result.to_sub[result.to_original[i]] = i;
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    if (keep.test(e.u) && keep.test(e.v)) {
+      edges.push_back({result.to_sub[e.u], result.to_sub[e.v]});
+    }
+  }
+  result.graph = Graph::from_edges(static_cast<vid>(result.to_original.size()), std::move(edges));
+  return result;
+}
+
+}  // namespace fne

@@ -1,0 +1,27 @@
+// Induced-subgraph extraction with vertex-id mappings.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// A standalone induced subgraph together with the mapping between its
+/// compact vertex ids and the original graph's ids.
+struct InducedSubgraph {
+  Graph graph;                     ///< the induced subgraph, vertices relabeled [0, k)
+  std::vector<vid> to_original;    ///< subgraph id -> original id
+  std::vector<vid> to_sub;         ///< original id -> subgraph id (kInvalidVertex if absent)
+
+  /// Map a vertex set over the subgraph universe back to the original.
+  [[nodiscard]] VertexSet lift(const VertexSet& sub_set) const;
+  /// Map a vertex set over the original universe down (members outside the
+  /// subgraph are dropped).
+  [[nodiscard]] VertexSet restrict(const VertexSet& original_set) const;
+};
+
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, const VertexSet& keep);
+
+}  // namespace fne

@@ -1,0 +1,177 @@
+#include "core/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, const VertexSet& alive, vid source,
+                                         const EdgeMask* edge_alive) {
+  FNE_REQUIRE(alive.universe_size() == g.num_vertices(), "mask/graph size mismatch");
+  FNE_REQUIRE(source < g.num_vertices() && alive.test(source), "BFS source must be alive");
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::deque<vid> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const vid u = queue.front();
+    queue.pop_front();
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid w = nbrs[i];
+      if (!alive.test(w) || dist[w] != kUnreached) continue;
+      if (edge_alive != nullptr && !edge_alive->test(eids[i])) continue;
+      dist[w] = dist[u] + 1;
+      queue.push_back(w);
+    }
+  }
+  return dist;
+}
+
+vid Components::largest_size() const noexcept {
+  vid best = 0;
+  for (vid s : sizes) best = std::max(best, s);
+  return best;
+}
+
+std::uint32_t Components::largest_label() const noexcept {
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] > sizes[best]) best = i;
+  }
+  return best;
+}
+
+Components connected_components(const Graph& g, const VertexSet& alive,
+                                const EdgeMask* edge_alive) {
+  FNE_REQUIRE(alive.universe_size() == g.num_vertices(), "mask/graph size mismatch");
+  Components comps;
+  comps.label.assign(g.num_vertices(), kUnreached);
+  std::vector<vid> stack;
+  alive.for_each([&](vid start) {
+    if (comps.label[start] != kUnreached) return;
+    const auto id = static_cast<std::uint32_t>(comps.sizes.size());
+    comps.sizes.push_back(0);
+    comps.label[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const vid u = stack.back();
+      stack.pop_back();
+      ++comps.sizes[id];
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid w = nbrs[i];
+        if (!alive.test(w) || comps.label[w] != kUnreached) continue;
+        if (edge_alive != nullptr && !edge_alive->test(eids[i])) continue;
+        comps.label[w] = id;
+        stack.push_back(w);
+      }
+    }
+  });
+  return comps;
+}
+
+VertexSet largest_component(const Graph& g, const VertexSet& alive, const EdgeMask* edge_alive) {
+  const Components comps = connected_components(g, alive, edge_alive);
+  VertexSet out(g.num_vertices());
+  if (comps.sizes.empty()) return out;
+  const std::uint32_t want = comps.largest_label();
+  alive.for_each([&](vid v) {
+    if (comps.label[v] == want) out.set(v);
+  });
+  return out;
+}
+
+double gamma_largest_fraction(const Graph& g, const VertexSet& alive, const EdgeMask* edge_alive) {
+  if (g.num_vertices() == 0) return 0.0;
+  const Components comps = connected_components(g, alive, edge_alive);
+  return static_cast<double>(comps.largest_size()) / static_cast<double>(g.num_vertices());
+}
+
+bool is_connected(const Graph& g, const VertexSet& alive, const EdgeMask* edge_alive) {
+  const vid total = alive.count();
+  if (total == 0) return false;
+  const Components comps = connected_components(g, alive, edge_alive);
+  return comps.count() == 1;
+}
+
+bool is_connected_subset(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  FNE_REQUIRE(s.is_subset_of(alive) || (s & alive) == s, "S must be a subset of alive");
+  const vid total = s.count();
+  if (total == 0) return false;
+  // BFS restricted to s.
+  std::vector<vid> stack{s.first()};
+  VertexSet seen(g.num_vertices());
+  seen.set(s.first());
+  vid reached = 1;
+  while (!stack.empty()) {
+    const vid u = stack.back();
+    stack.pop_back();
+    for (vid w : g.neighbors(u)) {
+      if (s.test(w) && !seen.test(w)) {
+        seen.set(w);
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == total;
+}
+
+VertexSet node_boundary(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  VertexSet boundary(g.num_vertices());
+  s.for_each([&](vid u) {
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !s.test(w)) boundary.set(w);
+    }
+  });
+  return boundary;
+}
+
+vid node_boundary_size(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  return node_boundary(g, alive, s).count();
+}
+
+std::size_t edge_boundary_size(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  std::size_t cut = 0;
+  s.for_each([&](vid u) {
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !s.test(w)) ++cut;
+    }
+  });
+  return cut;
+}
+
+bool is_compact_in_component(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  if (s.empty() || !is_connected_subset(g, alive, s)) return false;
+  // BFS out S's component.
+  VertexSet comp(g.num_vertices());
+  std::vector<vid> stack{s.first()};
+  comp.set(s.first());
+  while (!stack.empty()) {
+    const vid u = stack.back();
+    stack.pop_back();
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !comp.test(w)) {
+        comp.set(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  const VertexSet rest = comp - s;
+  return rest.empty() || is_connected_subset(g, alive, rest);
+}
+
+bool is_compact(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  const vid inside = s.count();
+  if (inside == 0) return false;
+  const VertexSet rest = (alive - s);
+  if (rest.empty()) return false;
+  return is_connected_subset(g, alive, s) && is_connected_subset(g, alive, rest);
+}
+
+}  // namespace fne

@@ -1,0 +1,94 @@
+// BFS/DFS and connected-component machinery over masked graphs.
+//
+// Every function takes (graph, alive): algorithms see only vertices in the
+// alive mask.  An optional edge-alive mask supports bond percolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// An edge liveness mask (index = undirected edge id).  All-true = no
+/// edge faults.
+class EdgeMask {
+ public:
+  EdgeMask() = default;
+  explicit EdgeMask(eid m, bool value = true) : bits_((m + 63) / 64, value ? ~0ULL : 0ULL), m_(m) {
+    if (value && (m & 63) != 0 && !bits_.empty()) bits_.back() = (1ULL << (m & 63)) - 1;
+  }
+  [[nodiscard]] bool test(eid e) const noexcept { return (bits_[e >> 6] >> (e & 63)) & 1ULL; }
+  void set(eid e) noexcept { bits_[e >> 6] |= 1ULL << (e & 63); }
+  void reset(eid e) noexcept { bits_[e >> 6] &= ~(1ULL << (e & 63)); }
+  [[nodiscard]] eid size() const noexcept { return m_; }
+  [[nodiscard]] eid count() const noexcept {
+    std::uint64_t t = 0;
+    for (auto w : bits_) t += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    return static_cast<eid>(t);
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  eid m_ = 0;
+};
+
+/// BFS distances from source within the alive mask; kUnreached for
+/// unreachable or dead vertices.
+inline constexpr std::uint32_t kUnreached = 0xffffffffU;
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, const VertexSet& alive,
+                                                       vid source,
+                                                       const EdgeMask* edge_alive = nullptr);
+
+/// Connected component labels over the alive subgraph.
+struct Components {
+  std::vector<std::uint32_t> label;  ///< per vertex; kUnreached for dead vertices
+  std::vector<vid> sizes;            ///< per component
+  [[nodiscard]] std::size_t count() const noexcept { return sizes.size(); }
+  [[nodiscard]] vid largest_size() const noexcept;
+  [[nodiscard]] std::uint32_t largest_label() const noexcept;
+};
+[[nodiscard]] Components connected_components(const Graph& g, const VertexSet& alive,
+                                              const EdgeMask* edge_alive = nullptr);
+
+/// Vertices of the largest connected component of the alive subgraph.
+[[nodiscard]] VertexSet largest_component(const Graph& g, const VertexSet& alive,
+                                          const EdgeMask* edge_alive = nullptr);
+
+/// γ(G): fraction of the *original* n vertices lying in the largest alive
+/// component (the paper's γ, §1.1).
+[[nodiscard]] double gamma_largest_fraction(const Graph& g, const VertexSet& alive,
+                                            const EdgeMask* edge_alive = nullptr);
+
+/// Is the alive subgraph connected (and nonempty)?
+[[nodiscard]] bool is_connected(const Graph& g, const VertexSet& alive,
+                                const EdgeMask* edge_alive = nullptr);
+
+/// Is S (a subset of alive) connected in the alive subgraph?
+[[nodiscard]] bool is_connected_subset(const Graph& g, const VertexSet& alive, const VertexSet& s);
+
+/// Node boundary Γ(S) within the alive subgraph: alive vertices outside S
+/// adjacent to S.  S must be a subset of alive.
+[[nodiscard]] VertexSet node_boundary(const Graph& g, const VertexSet& alive, const VertexSet& s);
+[[nodiscard]] vid node_boundary_size(const Graph& g, const VertexSet& alive, const VertexSet& s);
+
+/// Edge boundary |(S, alive \ S)| within the alive subgraph.
+[[nodiscard]] std::size_t edge_boundary_size(const Graph& g, const VertexSet& alive,
+                                             const VertexSet& s);
+
+/// A compact set (paper §1.4): S and its complement are both connected
+/// within the alive subgraph.  S must be nonempty and proper.
+[[nodiscard]] bool is_compact(const Graph& g, const VertexSet& alive, const VertexSet& s);
+
+/// Component-relative compactness: S is connected and the rest of S's own
+/// connected component is empty or connected.  Coincides with is_compact
+/// when the alive subgraph is connected; this is the right generalization
+/// for faulty (possibly disconnected) graphs, where Lemma 3.3 is applied
+/// inside S's component.
+[[nodiscard]] bool is_compact_in_component(const Graph& g, const VertexSet& alive,
+                                           const VertexSet& s);
+
+}  // namespace fne

@@ -1,0 +1,25 @@
+// Fundamental id types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fne {
+
+/// Vertex id.  32 bits: all graphs in this reproduction fit well below 2^32.
+using vid = std::uint32_t;
+/// Undirected edge id (index into Graph::edges()).
+using eid = std::uint32_t;
+
+inline constexpr vid kInvalidVertex = std::numeric_limits<vid>::max();
+inline constexpr eid kInvalidEdge = std::numeric_limits<eid>::max();
+
+/// An undirected edge between two vertices (stored with u <= v after
+/// normalization inside Graph).
+struct Edge {
+  vid u = 0;
+  vid v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace fne

@@ -1,0 +1,52 @@
+// Disjoint-set union with path halving and union by size.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace fne {
+
+class UnionFind {
+ public:
+  explicit UnionFind(vid n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0U);
+  }
+
+  [[nodiscard]] vid find(vid x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two elements were in different components.
+  bool unite(vid a, vid b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) {
+      const vid t = a;
+      a = b;
+      b = t;
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(vid a, vid b) noexcept { return find(a) == find(b); }
+  [[nodiscard]] vid component_size(vid x) noexcept { return size_[find(x)]; }
+  [[nodiscard]] vid num_components() const noexcept { return components_; }
+
+ private:
+  std::vector<vid> parent_;
+  std::vector<vid> size_;
+  vid components_;
+};
+
+}  // namespace fne

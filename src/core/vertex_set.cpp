@@ -1,0 +1,101 @@
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+VertexSet VertexSet::full(vid universe) {
+  VertexSet s(universe);
+  if (universe == 0) return s;
+  for (auto& w : s.words_) w = ~std::uint64_t{0};
+  // Mask off bits beyond the universe in the final word.
+  const vid tail = universe & 63;
+  if (tail != 0) s.words_.back() = (std::uint64_t{1} << tail) - 1;
+  return s;
+}
+
+VertexSet VertexSet::of(vid universe, const std::vector<vid>& members) {
+  VertexSet s(universe);
+  for (vid v : members) {
+    FNE_REQUIRE(v < universe, "member outside universe");
+    s.set(v);
+  }
+  return s;
+}
+
+vid VertexSet::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::uint64_t>(__builtin_popcountll(w));
+  return static_cast<vid>(total);
+}
+
+std::vector<vid> VertexSet::to_vector() const {
+  std::vector<vid> out;
+  out.reserve(count());
+  for_each([&](vid v) { out.push_back(v); });
+  return out;
+}
+
+vid VertexSet::first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<vid>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w])));
+    }
+  }
+  return kInvalidVertex;
+}
+
+vid VertexSet::next_after(vid v) const noexcept {
+  std::size_t w = (v + 1) >> 6;
+  if (w >= words_.size()) return kInvalidVertex;
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << ((v + 1) & 63));
+  while (true) {
+    if (bits != 0) {
+      return static_cast<vid>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
+    }
+    if (++w >= words_.size()) return kInvalidVertex;
+    bits = words_[w];
+  }
+}
+
+VertexSet& VertexSet::operator|=(const VertexSet& o) {
+  check_same_universe(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+VertexSet& VertexSet::operator&=(const VertexSet& o) {
+  check_same_universe(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+VertexSet& VertexSet::operator-=(const VertexSet& o) {
+  check_same_universe(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+VertexSet& VertexSet::operator^=(const VertexSet& o) {
+  check_same_universe(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+VertexSet VertexSet::complement() const { return full(n_) -= *this; }
+
+bool VertexSet::intersects(const VertexSet& o) const noexcept {
+  const std::size_t m = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool VertexSet::is_subset_of(const VertexSet& o) const noexcept {
+  if (n_ != o.n_) return false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fne

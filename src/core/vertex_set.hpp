@@ -1,0 +1,87 @@
+// VertexSet: a fixed-universe dynamic bitset over vertex ids.
+//
+// This is the workhorse of the whole library: fault masks, alive masks
+// during pruning, culled sets, compact sets — all are VertexSets.  The
+// representation is packed 64-bit words with popcount-based counting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+class VertexSet {
+ public:
+  VertexSet() = default;
+  /// An empty set over a universe of n vertices.
+  explicit VertexSet(vid universe) : n_(universe), words_((universe + 63) / 64, 0) {}
+
+  /// The full set {0, ..., n-1}.
+  [[nodiscard]] static VertexSet full(vid universe);
+  /// A set from an explicit list of members.
+  [[nodiscard]] static VertexSet of(vid universe, const std::vector<vid>& members);
+
+  [[nodiscard]] vid universe_size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  [[nodiscard]] bool test(vid v) const noexcept {
+    return (words_[v >> 6] >> (v & 63)) & 1ULL;
+  }
+  void set(vid v) noexcept { words_[v >> 6] |= 1ULL << (v & 63); }
+  void reset(vid v) noexcept { words_[v >> 6] &= ~(1ULL << (v & 63)); }
+  void flip(vid v) noexcept { words_[v >> 6] ^= 1ULL << (v & 63); }
+  void clear() noexcept { words_.assign(words_.size(), 0); }
+
+  /// Number of members (popcount over all words).
+  [[nodiscard]] vid count() const noexcept;
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<vid> to_vector() const;
+
+  /// Lowest member, or kInvalidVertex if empty.
+  [[nodiscard]] vid first() const noexcept;
+  /// Lowest member strictly greater than v, or kInvalidVertex.
+  [[nodiscard]] vid next_after(vid v) const noexcept;
+
+  // Set algebra (operands must share a universe).
+  VertexSet& operator|=(const VertexSet& o);
+  VertexSet& operator&=(const VertexSet& o);
+  VertexSet& operator-=(const VertexSet& o);  ///< set difference
+  VertexSet& operator^=(const VertexSet& o);
+  [[nodiscard]] friend VertexSet operator|(VertexSet a, const VertexSet& b) { return a |= b; }
+  [[nodiscard]] friend VertexSet operator&(VertexSet a, const VertexSet& b) { return a &= b; }
+  [[nodiscard]] friend VertexSet operator-(VertexSet a, const VertexSet& b) { return a -= b; }
+  [[nodiscard]] friend VertexSet operator^(VertexSet a, const VertexSet& b) { return a ^= b; }
+
+  /// Complement within the universe.
+  [[nodiscard]] VertexSet complement() const;
+
+  [[nodiscard]] bool intersects(const VertexSet& o) const noexcept;
+  [[nodiscard]] bool is_subset_of(const VertexSet& o) const noexcept;
+  friend bool operator==(const VertexSet&, const VertexSet&) = default;
+
+  /// Apply f(v) to every member in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<vid>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  void check_same_universe(const VertexSet& o) const {
+    FNE_REQUIRE(n_ == o.n_, "VertexSet operands must share a universe");
+  }
+  vid n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fne

@@ -1,0 +1,62 @@
+#include "expansion/bfs_ball.hpp"
+
+#include <deque>
+
+#include "expansion/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+namespace {
+
+/// BFS visitation order restricted to the alive mask, starting at source.
+std::vector<vid> bfs_order(const Graph& g, const VertexSet& alive, vid source) {
+  std::vector<vid> order;
+  order.reserve(alive.count());
+  VertexSet seen(g.num_vertices());
+  std::deque<vid> queue{source};
+  seen.set(source);
+  while (!queue.empty()) {
+    const vid u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !seen.test(w)) {
+        seen.set(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  // Unreached alive vertices (disconnected subgraph) go last; every prefix
+  // containing a full component yields cut 0 and is found by the sweep.
+  alive.for_each([&](vid v) {
+    if (!seen.test(v)) order.push_back(v);
+  });
+  return order;
+}
+
+}  // namespace
+
+CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                         vid max_sources, std::uint64_t seed) {
+  const std::vector<vid> candidates = alive.to_vector();
+  Rng rng(seed);
+  std::vector<vid> sources;
+  if (candidates.size() <= max_sources) {
+    sources = candidates;
+  } else {
+    const auto picks = rng.sample_without_replacement(static_cast<vid>(candidates.size()),
+                                                      max_sources);
+    sources.reserve(picks.size());
+    for (vid i : picks) sources.push_back(candidates[i]);
+  }
+
+  CutWitness best;
+  for (vid s : sources) {
+    const CutWitness w = sweep_cut(g, alive, bfs_order(g, alive, s), kind);
+    if (w.expansion < best.expansion) best = w;
+  }
+  return best;
+}
+
+}  // namespace fne

@@ -1,0 +1,20 @@
+// BFS-order sweep cuts ("ball cuts").
+//
+// Sweeping the BFS visitation order from a source evaluates every ball
+// around it (plus partially-filled layers).  On meshes these discover the
+// corner/halfspace cuts that achieve the true expansion; they complement
+// the Fiedler sweep on graphs whose λ₂ eigenspace is degenerate.
+#pragma once
+
+#include <cstdint>
+
+#include "expansion/types.hpp"
+
+namespace fne {
+
+/// Best BFS-sweep cut over up to `max_sources` alive sources (sampled
+/// deterministically from `seed`; all alive vertices if fewer).
+[[nodiscard]] CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                                       vid max_sources, std::uint64_t seed);
+
+}  // namespace fne

@@ -1,0 +1,94 @@
+#include "expansion/bracket.hpp"
+
+#include <algorithm>
+
+#include "core/subgraph.hpp"
+#include "core/traversal.hpp"
+#include "expansion/bfs_ball.hpp"
+#include "expansion/exact.hpp"
+#include "expansion/local_search.hpp"
+#include "expansion/sweep.hpp"
+#include "spectral/cheeger.hpp"
+#include "spectral/fiedler.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+ExpansionBracket expansion_bracket(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                                   const BracketOptions& options) {
+  const vid k = alive.count();
+  FNE_REQUIRE(k >= 2, "expansion bracket needs >= 2 vertices");
+  ExpansionBracket bracket;
+
+  // Disconnected: expansion is exactly 0, witnessed by the pieces other
+  // than the largest component (size <= half is guaranteed for at least
+  // one component choice).
+  const Components comps = connected_components(g, alive);
+  if (comps.count() > 1) {
+    bracket.lower = 0.0;
+    bracket.upper = 0.0;
+    bracket.exact = true;
+    CutWitness witness;
+    // Pick the smallest component: always <= half of the alive set.
+    std::uint32_t best_label = 0;
+    for (std::uint32_t c = 1; c < comps.sizes.size(); ++c) {
+      if (comps.sizes[c] < comps.sizes[best_label]) best_label = c;
+    }
+    witness.side = VertexSet(g.num_vertices());
+    alive.for_each([&](vid v) {
+      if (comps.label[v] == best_label) witness.side.set(v);
+    });
+    witness.expansion = 0.0;
+    witness.boundary = 0;
+    bracket.witness = witness;
+    return bracket;
+  }
+
+  if (k <= options.exact_limit && k <= kExactExpansionLimit) {
+    const CutWitness witness = exact_expansion(g, alive, kind);
+    bracket.lower = witness.expansion;
+    bracket.upper = witness.expansion;
+    bracket.witness = witness;
+    bracket.exact = true;
+    return bracket;
+  }
+
+  // Lower bound: Cheeger from λ₂ of the induced Laplacian.
+  const FiedlerResult fiedler = fiedler_vector(g, alive, options.seed);
+  vid max_deg = 0;
+  alive.for_each([&](vid v) {
+    vid d = 0;
+    for (vid w : g.neighbors(v)) {
+      if (alive.test(w)) ++d;
+    }
+    max_deg = std::max(max_deg, d);
+  });
+  const CheegerBounds cheeger = cheeger_lower_bounds(std::max(0.0, fiedler.lambda2), max_deg);
+  bracket.lower =
+      kind == ExpansionKind::Edge ? cheeger.edge_expansion_lower : cheeger.node_expansion_lower;
+  if (!fiedler.converged) bracket.lower = 0.0;  // can't certify an unconverged λ₂
+
+  // Upper bound: best constructive cut (Fiedler sweep + BFS-ball sweeps),
+  // refined by local search.
+  std::vector<vid> order = alive.to_vector();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vid a, vid b) { return fiedler.vector[a] < fiedler.vector[b]; });
+  CutWitness best = sweep_cut(g, alive, order, kind);
+  const CutWitness ball = best_ball_cut(g, alive, kind, options.ball_sources, options.seed);
+  if (ball.expansion < best.expansion) best = ball;
+  best = refine_cut(g, alive, std::move(best), kind, options.refine_passes);
+
+  bracket.upper = best.expansion;
+  bracket.witness = best;
+  // Numerical guard: a converged λ₂ bound can exceed the heuristic cut by
+  // rounding; clamp so lower <= upper always holds.
+  bracket.lower = std::min(bracket.lower, bracket.upper);
+  return bracket;
+}
+
+ExpansionBracket expansion_bracket(const Graph& g, ExpansionKind kind,
+                                   const BracketOptions& options) {
+  return expansion_bracket(g, VertexSet::full(g.num_vertices()), kind, options);
+}
+
+}  // namespace fne

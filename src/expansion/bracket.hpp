@@ -1,0 +1,30 @@
+// Certified expansion brackets: [provable lower bound, constructive upper
+// bound].  See DESIGN.md §4 ("certified brackets instead of point
+// estimates") — the paper's own remark that no constant-factor expansion
+// approximation is known is why every large-graph quantity in this
+// library is a bracket.
+#pragma once
+
+#include <cstdint>
+
+#include "expansion/types.hpp"
+
+namespace fne {
+
+struct BracketOptions {
+  vid exact_limit = 22;      ///< use exhaustive enumeration up to this size
+  vid ball_sources = 16;     ///< BFS-sweep sources
+  int refine_passes = 8;     ///< local-search passes on the best witness
+  std::uint64_t seed = 7;
+};
+
+/// Bracket the expansion of the subgraph induced by `alive`.
+/// Disconnected subgraphs get an exact 0 bracket with a witness component.
+[[nodiscard]] ExpansionBracket expansion_bracket(const Graph& g, const VertexSet& alive,
+                                                 ExpansionKind kind,
+                                                 const BracketOptions& options = {});
+
+[[nodiscard]] ExpansionBracket expansion_bracket(const Graph& g, ExpansionKind kind,
+                                                 const BracketOptions& options = {});
+
+}  // namespace fne

@@ -1,0 +1,124 @@
+// Incremental cut bookkeeping shared by sweep cuts and local search.
+//
+// Tracks, for an evolving set S inside the alive subgraph:
+//   * cut            = |(S, alive \ S)|
+//   * out_boundary   = |Γ(S)|            (alive vertices outside S adjacent to S)
+//   * in_boundary    = |Γ(alive \ S)|    (vertices of S adjacent to the outside)
+// Each flip costs O(deg).
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "expansion/types.hpp"
+
+namespace fne {
+
+class CutState {
+ public:
+  CutState(const Graph& g, const VertexSet& alive)
+      : graph_(&g),
+        alive_(&alive),
+        in_s_(g.num_vertices(), 0),
+        cnt_in_(g.num_vertices(), 0),
+        deg_alive_(g.num_vertices(), 0) {
+    alive.for_each([&](vid v) {
+      ++total_;
+      vid d = 0;
+      for (vid w : g.neighbors(v)) {
+        if (alive.test(w)) ++d;
+      }
+      deg_alive_[v] = d;
+    });
+  }
+
+  [[nodiscard]] vid total_alive() const noexcept { return total_; }
+  [[nodiscard]] vid size() const noexcept { return size_; }
+  [[nodiscard]] long long cut() const noexcept { return cut_; }
+  [[nodiscard]] long long out_boundary() const noexcept { return out_boundary_; }
+  [[nodiscard]] long long in_boundary() const noexcept { return in_boundary_; }
+  [[nodiscard]] bool contains(vid v) const noexcept { return in_s_[v] != 0; }
+
+  /// Toggle membership of alive vertex v.
+  void flip(vid v) {
+    if (in_s_[v]) {
+      remove(v);
+    } else {
+      add(v);
+    }
+  }
+
+  void add(vid v) {
+    in_s_[v] = 1;
+    ++size_;
+    if (cnt_in_[v] > 0) --out_boundary_;
+    if (cnt_in_[v] < deg_alive_[v]) ++in_boundary_;
+    for (vid w : graph_->neighbors(v)) {
+      if (!alive_->test(w)) continue;
+      if (in_s_[w]) {
+        --cut_;
+        ++cnt_in_[w];
+        if (cnt_in_[w] == deg_alive_[w]) --in_boundary_;  // w fully inside now
+      } else {
+        ++cut_;
+        if (cnt_in_[w] == 0) ++out_boundary_;
+        ++cnt_in_[w];
+      }
+    }
+  }
+
+  void remove(vid v) {
+    in_s_[v] = 0;
+    --size_;
+    for (vid w : graph_->neighbors(v)) {
+      if (!alive_->test(w)) continue;
+      if (in_s_[w]) {
+        ++cut_;
+        if (cnt_in_[w] == deg_alive_[w]) ++in_boundary_;  // w regains an outside neighbor
+        --cnt_in_[w];
+      } else {
+        --cut_;
+        --cnt_in_[w];
+        if (cnt_in_[w] == 0) --out_boundary_;
+      }
+    }
+    if (cnt_in_[v] > 0) ++out_boundary_;
+    if (cnt_in_[v] < deg_alive_[v]) --in_boundary_;
+  }
+
+  /// Expansion of the current S under `kind`; +inf when S is an invalid
+  /// candidate (empty, full, or > half for node expansion).
+  [[nodiscard]] double ratio(ExpansionKind kind) const noexcept {
+    if (size_ == 0 || size_ == total_) return std::numeric_limits<double>::infinity();
+    if (kind == ExpansionKind::Node) {
+      if (2 * size_ > total_) return std::numeric_limits<double>::infinity();
+      return static_cast<double>(out_boundary_) / static_cast<double>(size_);
+    }
+    const vid denom = size_ < total_ - size_ ? size_ : total_ - size_;
+    return static_cast<double>(cut_) / static_cast<double>(denom);
+  }
+
+  /// Expansion of the *complement* side (alive \ S) under node kind.
+  [[nodiscard]] double complement_node_ratio() const noexcept {
+    const vid rest = total_ - size_;
+    if (rest == 0 || rest == total_ || 2 * rest > total_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(in_boundary_) / static_cast<double>(rest);
+  }
+
+ private:
+  const Graph* graph_;
+  const VertexSet* alive_;
+  std::vector<std::uint8_t> in_s_;
+  std::vector<vid> cnt_in_;
+  std::vector<vid> deg_alive_;
+  vid total_ = 0;
+  vid size_ = 0;
+  long long cut_ = 0;
+  long long out_boundary_ = 0;
+  long long in_boundary_ = 0;
+};
+
+}  // namespace fne

@@ -1,0 +1,170 @@
+#include "expansion/exact.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "core/subgraph.hpp"
+#include "util/require.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+namespace {
+
+/// State of one Gray-code strand: incremental subset counters over a
+/// <=30-vertex graph whose adjacency is stored as bitmasks.
+struct ScanState {
+  const std::vector<std::uint32_t>* adj = nullptr;
+  std::uint32_t in_s = 0;         // membership bitmask
+  int size = 0;                   // |S|
+  std::array<int, 32> cnt{};      // cnt[v] = #neighbors of v in S
+  long long cut = 0;              // |(S, V\S)|
+  int boundary = 0;               // |{v not in S : cnt[v] > 0}|
+
+  void flip(int v) {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    const bool entering = (in_s & bit) == 0;
+    if (entering) {
+      // v joins S.  Its boundary status (as an outside vertex) disappears.
+      if (cnt[static_cast<std::size_t>(v)] > 0) --boundary;
+      std::uint32_t nb = (*adj)[static_cast<std::size_t>(v)];
+      while (nb != 0) {
+        const int w = __builtin_ctz(nb);
+        nb &= nb - 1;
+        const bool w_in = (in_s >> w) & 1U;
+        if (w_in) {
+          --cut;  // edge (v, w) becomes internal
+        } else {
+          ++cut;  // edge (v, w) becomes crossing
+          if (cnt[static_cast<std::size_t>(w)] == 0) ++boundary;
+        }
+        ++cnt[static_cast<std::size_t>(w)];
+      }
+      in_s |= bit;
+      ++size;
+    } else {
+      in_s &= ~bit;
+      --size;
+      std::uint32_t nb = (*adj)[static_cast<std::size_t>(v)];
+      while (nb != 0) {
+        const int w = __builtin_ctz(nb);
+        nb &= nb - 1;
+        --cnt[static_cast<std::size_t>(w)];
+        const bool w_in = (in_s >> w) & 1U;
+        if (w_in) {
+          ++cut;  // edge (v, w) becomes crossing again
+        } else {
+          --cut;
+          if (cnt[static_cast<std::size_t>(w)] == 0) --boundary;
+        }
+      }
+      if (cnt[static_cast<std::size_t>(v)] > 0) ++boundary;  // v is outside and adjacent to S
+    }
+  }
+
+  void init(std::uint32_t mask, int n) {
+    in_s = 0;
+    size = 0;
+    cnt.fill(0);
+    cut = 0;
+    boundary = 0;
+    for (int v = 0; v < n; ++v) {
+      if ((mask >> v) & 1U) flip(v);
+    }
+  }
+};
+
+struct Best {
+  double ratio = std::numeric_limits<double>::infinity();
+  std::uint32_t mask = 0;
+  long long boundary = 0;
+};
+
+void consider(const ScanState& st, int n, ExpansionKind kind, Best& best) {
+  if (st.size == 0 || st.size == n) return;
+  if (kind == ExpansionKind::Node) {
+    if (2 * st.size > n) return;  // α minimizes over |U| <= n/2 only
+    const double r = static_cast<double>(st.boundary) / static_cast<double>(st.size);
+    if (r < best.ratio) {
+      best.ratio = r;
+      best.mask = st.in_s;
+      best.boundary = st.boundary;
+    }
+  } else {
+    const int denom = st.size < n - st.size ? st.size : n - st.size;
+    const double r = static_cast<double>(st.cut) / static_cast<double>(denom);
+    if (r < best.ratio) {
+      best.ratio = r;
+      best.mask = st.in_s;
+      best.boundary = st.cut;
+    }
+  }
+}
+
+}  // namespace
+
+CutWitness exact_expansion(const Graph& g, const VertexSet& alive, ExpansionKind kind) {
+  const vid k = alive.count();
+  FNE_REQUIRE(k >= 2, "expansion needs >= 2 vertices");
+  FNE_REQUIRE(k <= kExactExpansionLimit, "exact expansion limited to small graphs");
+  const InducedSubgraph sub = induced_subgraph(g, alive);
+  const int n = static_cast<int>(k);
+
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : sub.graph.edges()) {
+    adj[e.u] |= std::uint32_t{1} << e.v;
+    adj[e.v] |= std::uint32_t{1} << e.u;
+  }
+
+  // Pin the top `t` bits per strand; Gray-enumerate the rest.
+  const int t = n >= 18 ? 3 : 0;
+  const int low = n - t;
+  const std::uint32_t strands = std::uint32_t{1} << t;
+  const std::uint64_t steps = std::uint64_t{1} << low;
+
+  std::vector<Best> bests(strands);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+#endif
+  for (std::uint32_t c = 0; c < strands; ++c) {
+    ScanState st;
+    st.adj = &adj;
+    st.init(c << low, n);
+    Best& best = bests[c];
+    consider(st, n, kind, best);
+    for (std::uint64_t i = 1; i < steps; ++i) {
+      st.flip(__builtin_ctzll(i));
+      consider(st, n, kind, best);
+    }
+  }
+
+  Best overall;
+  for (const Best& b : bests) {
+    if (b.ratio < overall.ratio) overall = b;
+  }
+
+  // Lift the winning mask back to original ids; report the smaller side.
+  std::uint32_t mask = overall.mask;
+  const int sz = __builtin_popcount(mask);
+  if (kind == ExpansionKind::Edge && 2 * sz > n) {
+    mask = ~mask & ((n == 32 ? 0U : (std::uint32_t{1} << n)) - 1U);
+  }
+  CutWitness witness;
+  witness.expansion = overall.ratio;
+  witness.boundary = static_cast<std::size_t>(overall.boundary);
+  VertexSet side(sub.graph.num_vertices());
+  for (int v = 0; v < n; ++v) {
+    if ((mask >> v) & 1U) side.set(static_cast<vid>(v));
+  }
+  witness.side = sub.lift(side);
+  return witness;
+}
+
+CutWitness exact_expansion(const Graph& g, ExpansionKind kind) {
+  return exact_expansion(g, VertexSet::full(g.num_vertices()), kind);
+}
+
+}  // namespace fne

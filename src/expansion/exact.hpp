@@ -1,0 +1,28 @@
+// Exact expansion by exhaustive subset enumeration.
+//
+// A binary-reflected Gray code walks all 2^n subsets flipping one vertex
+// per step; boundary-node and cut-edge counts are maintained incrementally
+// in O(deg) per step, so the whole scan is O(2^n · d̄).  The scan is
+// parallelized by pinning the top bits per OpenMP task.  Practical up to
+// n ≈ 26; guarded by FNE_REQUIRE beyond 30.
+#pragma once
+
+#include "core/vertex_set.hpp"
+#include "expansion/types.hpp"
+
+namespace fne {
+
+/// Maximum universe the exact scan accepts.
+inline constexpr vid kExactExpansionLimit = 30;
+
+/// Exact minimum expansion of the subgraph induced by `alive`.
+/// Requires alive.count() >= 2.  Returns the optimal witness (smaller side,
+/// lifted back to original vertex ids).  A disconnected subgraph yields
+/// expansion 0 with a component as witness.
+[[nodiscard]] CutWitness exact_expansion(const Graph& g, const VertexSet& alive,
+                                         ExpansionKind kind);
+
+/// Convenience overload over the whole graph.
+[[nodiscard]] CutWitness exact_expansion(const Graph& g, ExpansionKind kind);
+
+}  // namespace fne

@@ -1,0 +1,213 @@
+#include "expansion/flow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/subgraph.hpp"
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Unit-capacity Dinic on an explicit directed residual graph.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t n) : adj_(n), level_(n), iter_(n) {}
+
+  void add_arc(vid u, vid v, int cap) {
+    adj_[u].push_back({v, cap, adj_[v].size()});
+    adj_[v].push_back({u, 0, adj_[u].size() - 1});
+  }
+  void add_undirected(vid u, vid v) {
+    // An undirected unit edge: arcs both ways, each its own capacity.
+    adj_[u].push_back({v, 1, adj_[v].size()});
+    adj_[v].push_back({u, 1, adj_[u].size() - 1});
+  }
+
+  std::size_t max_flow(vid s, vid t, std::size_t cutoff = ~std::size_t{0}) {
+    std::size_t flow = 0;
+    while (flow < cutoff && bfs(s, t)) {
+      std::fill(iter_.begin(), iter_.end(), 0U);
+      while (flow < cutoff) {
+        const int pushed = dfs(s, t, 1);
+        if (pushed == 0) break;
+        flow += static_cast<std::size_t>(pushed);
+      }
+    }
+    return flow;
+  }
+
+  /// Vertices reachable from s in the residual graph (call after
+  /// max_flow; the min cut consists of the saturated arcs leaving it).
+  [[nodiscard]] std::vector<bool> residual_reachable(vid s) const {
+    std::vector<bool> seen(adj_.size(), false);
+    std::deque<vid> queue{s};
+    seen[s] = true;
+    while (!queue.empty()) {
+      const vid u = queue.front();
+      queue.pop_front();
+      for (const Arc& a : adj_[u]) {
+        if (a.cap > 0 && !seen[a.to]) {
+          seen[a.to] = true;
+          queue.push_back(a.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Arc {
+    vid to;
+    int cap;
+    std::size_t rev;
+  };
+
+  bool bfs(vid s, vid t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<vid> queue{s};
+    level_[s] = 0;
+    while (!queue.empty()) {
+      const vid u = queue.front();
+      queue.pop_front();
+      for (const Arc& a : adj_[u]) {
+        if (a.cap > 0 && level_[a.to] < 0) {
+          level_[a.to] = level_[u] + 1;
+          queue.push_back(a.to);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  int dfs(vid u, vid t, int limit) {
+    if (u == t) return limit;
+    for (std::size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+      Arc& a = adj_[u][i];
+      if (a.cap <= 0 || level_[a.to] != level_[u] + 1) continue;
+      const int pushed = dfs(a.to, t, std::min(limit, a.cap));
+      if (pushed > 0) {
+        a.cap -= pushed;
+        adj_[a.to][a.rev].cap += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+constexpr vid kFlowSizeLimit = 1u << 14;
+
+}  // namespace
+
+std::size_t max_edge_disjoint_paths(const Graph& g, const VertexSet& alive, vid s, vid t) {
+  FNE_REQUIRE(alive.test(s) && alive.test(t) && s != t, "endpoints must be distinct and alive");
+  FNE_REQUIRE(alive.count() <= kFlowSizeLimit, "flow oracle limited to small graphs");
+  const InducedSubgraph sub = induced_subgraph(g, alive);
+  Dinic dinic(sub.graph.num_vertices());
+  for (const Edge& e : sub.graph.edges()) dinic.add_undirected(e.u, e.v);
+  return dinic.max_flow(sub.to_sub[s], sub.to_sub[t]);
+}
+
+std::size_t max_vertex_disjoint_paths(const Graph& g, const VertexSet& alive, vid s, vid t) {
+  FNE_REQUIRE(alive.test(s) && alive.test(t) && s != t, "endpoints must be distinct and alive");
+  FNE_REQUIRE(alive.count() <= kFlowSizeLimit, "flow oracle limited to small graphs");
+  const InducedSubgraph sub = induced_subgraph(g, alive);
+  const vid n = sub.graph.num_vertices();
+  // Vertex splitting: v -> (v_in = v, v_out = v + n), capacity 1 inside
+  // except for the terminals (unbounded so all paths can start/end).
+  Dinic dinic(2 * static_cast<std::size_t>(n));
+  const vid ss = sub.to_sub[s];
+  const vid tt = sub.to_sub[t];
+  for (vid v = 0; v < n; ++v) {
+    dinic.add_arc(v, v + n, (v == ss || v == tt) ? static_cast<int>(n) : 1);
+  }
+  for (const Edge& e : sub.graph.edges()) {
+    dinic.add_arc(e.u + n, e.v, 1);
+    dinic.add_arc(e.v + n, e.u, 1);
+  }
+  return dinic.max_flow(ss, tt + n);
+}
+
+VertexSet min_vertex_separator(const Graph& g, const VertexSet& alive, vid s, vid t) {
+  FNE_REQUIRE(alive.test(s) && alive.test(t) && s != t, "endpoints must be distinct and alive");
+  FNE_REQUIRE(!g.has_edge(s, t), "adjacent endpoints have no vertex separator");
+  FNE_REQUIRE(alive.count() <= kFlowSizeLimit, "flow oracle limited to small graphs");
+  const InducedSubgraph sub = induced_subgraph(g, alive);
+  const vid n = sub.graph.num_vertices();
+  Dinic dinic(2 * static_cast<std::size_t>(n));
+  const vid ss = sub.to_sub[s];
+  const vid tt = sub.to_sub[t];
+  for (vid v = 0; v < n; ++v) {
+    dinic.add_arc(v, v + n, (v == ss || v == tt) ? static_cast<int>(n) : 1);
+  }
+  for (const Edge& e : sub.graph.edges()) {
+    dinic.add_arc(e.u + n, e.v, 1);
+    dinic.add_arc(e.v + n, e.u, 1);
+  }
+  (void)dinic.max_flow(ss, tt + n);
+  const std::vector<bool> reach = dinic.residual_reachable(ss);
+  // Saturated split arcs v_in -> v_out with v_in reachable, v_out not,
+  // form the minimum vertex cut.
+  VertexSet separator(g.num_vertices());
+  for (vid v = 0; v < n; ++v) {
+    if (v == ss || v == tt) continue;
+    if (reach[v] && !reach[v + static_cast<std::size_t>(n)]) {
+      separator.set(sub.to_original[v]);
+    }
+  }
+  return separator;
+}
+
+std::size_t edge_connectivity(const Graph& g, const VertexSet& alive) {
+  const std::vector<vid> verts = alive.to_vector();
+  FNE_REQUIRE(verts.size() >= 2, "edge connectivity needs >= 2 vertices");
+  if (!is_connected(g, alive)) return 0;
+  const vid s = verts.front();
+  std::size_t best = ~std::size_t{0};
+  for (std::size_t i = 1; i < verts.size(); ++i) {
+    best = std::min(best, max_edge_disjoint_paths(g, alive, s, verts[i]));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+std::size_t vertex_connectivity(const Graph& g, const VertexSet& alive) {
+  const std::vector<vid> verts = alive.to_vector();
+  FNE_REQUIRE(verts.size() >= 2, "vertex connectivity needs >= 2 vertices");
+  if (!is_connected(g, alive)) return 0;
+  const vid s = verts.front();
+
+  auto adjacent = [&](vid a, vid b) { return g.has_edge(a, b); };
+  std::size_t best = verts.size() - 1;  // complete graph default
+  bool found_pair = false;
+  // Any minimum cut either separates s from a non-neighbor...
+  for (vid t : verts) {
+    if (t == s || adjacent(s, t)) continue;
+    found_pair = true;
+    best = std::min(best, max_vertex_disjoint_paths(g, alive, s, t));
+  }
+  // ...or contains s, in which case two of s's neighbors lie on opposite
+  // sides (and are non-adjacent).
+  std::vector<vid> nbrs;
+  for (vid w : g.neighbors(s)) {
+    if (alive.test(w)) nbrs.push_back(w);
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (adjacent(nbrs[i], nbrs[j])) continue;
+      found_pair = true;
+      best = std::min(best, max_vertex_disjoint_paths(g, alive, nbrs[i], nbrs[j]));
+    }
+  }
+  if (!found_pair) return verts.size() - 1;  // no non-adjacent pair: complete
+  return best;
+}
+
+}  // namespace fne

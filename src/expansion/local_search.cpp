@@ -1,0 +1,48 @@
+#include "expansion/local_search.hpp"
+
+#include "expansion/cut_state.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+CutWitness refine_cut(const Graph& g, const VertexSet& alive, CutWitness witness,
+                      ExpansionKind kind, int max_passes) {
+  if (witness.side.universe_size() != g.num_vertices() || witness.side.empty()) return witness;
+  CutState state(g, alive);
+  witness.side.for_each([&](vid v) { state.add(v); });
+
+  double current = state.ratio(kind);
+  const std::vector<vid> verts = alive.to_vector();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (vid v : verts) {
+      state.flip(v);
+      const double r = state.ratio(kind);
+      if (r < current) {
+        current = r;
+        improved = true;
+      } else {
+        state.flip(v);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+
+  if (current < witness.expansion) {
+    VertexSet side(g.num_vertices());
+    for (vid v : verts) {
+      if (state.contains(v)) side.set(v);
+    }
+    witness.expansion = current;
+    witness.boundary = static_cast<std::size_t>(
+        kind == ExpansionKind::Node ? state.out_boundary() : state.cut());
+    // Report the smaller side for edge expansion.
+    if (kind == ExpansionKind::Edge && 2 * side.count() > state.total_alive()) {
+      side = alive - side;
+    }
+    witness.side = side;
+  }
+  return witness;
+}
+
+}  // namespace fne

@@ -1,0 +1,14 @@
+// First-improvement local refinement of a cut witness
+// (Fiduccia–Mattheyses-style single-vertex moves).
+#pragma once
+
+#include "expansion/types.hpp"
+
+namespace fne {
+
+/// Improve `witness` by single-vertex moves until a local minimum (or
+/// `max_passes` full passes).  Never returns a worse witness.
+[[nodiscard]] CutWitness refine_cut(const Graph& g, const VertexSet& alive, CutWitness witness,
+                                    ExpansionKind kind, int max_passes = 8);
+
+}  // namespace fne

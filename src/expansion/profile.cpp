@@ -1,0 +1,164 @@
+#include "expansion/profile.hpp"
+
+#include <array>
+#include <limits>
+
+#include "core/subgraph.hpp"
+#include "expansion/exact.hpp"
+#include "util/require.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+double IsoperimetricProfile::node_expansion() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 1; s < node_boundary.size(); ++s) {
+    best = std::min(best, static_cast<double>(node_boundary[s]) / static_cast<double>(s));
+  }
+  return best;
+}
+
+double IsoperimetricProfile::edge_expansion(vid n) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 1; s < edge_boundary.size(); ++s) {
+    const std::size_t denom = std::min<std::size_t>(s, n - s);
+    best = std::min(best, static_cast<double>(edge_boundary[s]) / static_cast<double>(denom));
+  }
+  return best;
+}
+
+namespace {
+
+/// One Gray-code strand accumulating per-size minima (same incremental
+/// counters as expansion/exact.cpp, kept separate because this scan
+/// collects a vector of results rather than one minimum).
+struct ProfileScan {
+  const std::vector<std::uint32_t>* adj = nullptr;
+  std::uint32_t in_s = 0;
+  int size = 0;
+  std::array<int, 32> cnt{};
+  long long cut = 0;
+  int boundary = 0;
+  std::vector<std::size_t> min_node;
+  std::vector<std::size_t> min_edge;
+
+  void flip(int v) {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    const bool entering = (in_s & bit) == 0;
+    if (entering) {
+      if (cnt[static_cast<std::size_t>(v)] > 0) --boundary;
+      std::uint32_t nb = (*adj)[static_cast<std::size_t>(v)];
+      while (nb != 0) {
+        const int w = __builtin_ctz(nb);
+        nb &= nb - 1;
+        if ((in_s >> w) & 1U) {
+          --cut;
+        } else {
+          ++cut;
+          if (cnt[static_cast<std::size_t>(w)] == 0) ++boundary;
+        }
+        ++cnt[static_cast<std::size_t>(w)];
+      }
+      in_s |= bit;
+      ++size;
+    } else {
+      in_s &= ~bit;
+      --size;
+      std::uint32_t nb = (*adj)[static_cast<std::size_t>(v)];
+      while (nb != 0) {
+        const int w = __builtin_ctz(nb);
+        nb &= nb - 1;
+        --cnt[static_cast<std::size_t>(w)];
+        if ((in_s >> w) & 1U) {
+          ++cut;
+        } else {
+          --cut;
+          if (cnt[static_cast<std::size_t>(w)] == 0) --boundary;
+        }
+      }
+      if (cnt[static_cast<std::size_t>(v)] > 0) ++boundary;
+    }
+  }
+
+  void record(int n) {
+    if (size >= 1 && 2 * size <= n) {
+      auto& slot = min_node[static_cast<std::size_t>(size)];
+      slot = std::min(slot, static_cast<std::size_t>(boundary));
+    }
+    if (size >= 1 && size < n) {
+      auto& slot = min_edge[static_cast<std::size_t>(size)];
+      slot = std::min(slot, static_cast<std::size_t>(cut));
+    }
+  }
+};
+
+}  // namespace
+
+IsoperimetricProfile isoperimetric_profile(const Graph& g, const VertexSet& alive) {
+  const vid k = alive.count();
+  FNE_REQUIRE(k >= 2, "profile needs >= 2 vertices");
+  FNE_REQUIRE(k <= kExactExpansionLimit, "exact profile limited to small graphs");
+  const InducedSubgraph sub = induced_subgraph(g, alive);
+  const int n = static_cast<int>(k);
+
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : sub.graph.edges()) {
+    adj[e.u] |= std::uint32_t{1} << e.v;
+    adj[e.v] |= std::uint32_t{1} << e.u;
+  }
+
+  const int t = n >= 18 ? 3 : 0;
+  const int low = n - t;
+  const std::uint32_t strands = std::uint32_t{1} << t;
+  const std::uint64_t steps = std::uint64_t{1} << low;
+  const std::size_t node_slots = static_cast<std::size_t>(n) / 2 + 1;
+  const std::size_t edge_slots = static_cast<std::size_t>(n);
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+  std::vector<ProfileScan> scans(strands);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+#endif
+  for (std::uint32_t c = 0; c < strands; ++c) {
+    ProfileScan& scan = scans[c];
+    scan.adj = &adj;
+    scan.min_node.assign(node_slots, kInf);
+    scan.min_edge.assign(edge_slots, kInf);
+    // Start at the strand's base subset (top bits = c).
+    std::uint32_t base = c << low;
+    while (base != 0) {
+      const int v = __builtin_ctz(base);
+      base &= base - 1;
+      scan.flip(v);
+    }
+    scan.record(n);
+    for (std::uint64_t i = 1; i < steps; ++i) {
+      scan.flip(__builtin_ctzll(i));
+      scan.record(n);
+    }
+  }
+
+  IsoperimetricProfile profile;
+  profile.node_boundary.assign(node_slots, kInf);
+  profile.edge_boundary.assign(edge_slots, kInf);
+  for (const ProfileScan& scan : scans) {
+    for (std::size_t s = 0; s < node_slots; ++s) {
+      profile.node_boundary[s] = std::min(profile.node_boundary[s], scan.min_node[s]);
+    }
+    for (std::size_t s = 0; s < edge_slots; ++s) {
+      profile.edge_boundary[s] = std::min(profile.edge_boundary[s], scan.min_edge[s]);
+    }
+  }
+  profile.node_boundary[0] = 0;
+  profile.edge_boundary[0] = 0;
+  return profile;
+}
+
+IsoperimetricProfile isoperimetric_profile(const Graph& g) {
+  return isoperimetric_profile(g, VertexSet::full(g.num_vertices()));
+}
+
+}  // namespace fne

@@ -1,0 +1,39 @@
+// Exact isoperimetric profiles.
+//
+// The expansion α is the minimum over one normalization of the
+// isoperimetric profile b(s) = min_{|S| = s} boundary(S).  The profile
+// itself is strictly more informative — Theorem 2.5's "uniform
+// expansion" hypothesis is a statement about its growth — and for several
+// classical graphs it is known exactly (Harper: subcubes/Hamming balls
+// are optimal in the hypercube), which the unit tests pin.
+//
+// Computed by the same Gray-code subset scan as exact_expansion, in one
+// pass for both boundary types; exact for n <= kExactExpansionLimit.
+#pragma once
+
+#include <vector>
+
+#include "core/vertex_set.hpp"
+#include "expansion/types.hpp"
+
+namespace fne {
+
+struct IsoperimetricProfile {
+  /// min node boundary per subset size: node_boundary[s] for s in [1, n/2].
+  std::vector<std::size_t> node_boundary;
+  /// min edge boundary per subset size: edge_boundary[s] for s in [1, n-1].
+  std::vector<std::size_t> edge_boundary;
+
+  /// α derived from the profile: min over s <= n/2 of node_boundary[s]/s.
+  [[nodiscard]] double node_expansion() const;
+  /// α_e derived from the profile.
+  [[nodiscard]] double edge_expansion(vid n) const;
+};
+
+/// Exact profile of the subgraph induced by `alive` (>= 2 vertices,
+/// <= kExactExpansionLimit).
+[[nodiscard]] IsoperimetricProfile isoperimetric_profile(const Graph& g, const VertexSet& alive);
+
+[[nodiscard]] IsoperimetricProfile isoperimetric_profile(const Graph& g);
+
+}  // namespace fne

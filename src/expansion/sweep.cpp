@@ -1,0 +1,69 @@
+#include "expansion/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "expansion/cut_state.hpp"
+#include "spectral/fiedler.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+CutWitness sweep_cut(const Graph& g, const VertexSet& alive, const std::vector<vid>& order,
+                     ExpansionKind kind) {
+  FNE_REQUIRE(order.size() == alive.count(), "order must enumerate the alive set");
+  CutState state(g, alive);
+  const vid k = state.total_alive();
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_prefix = 0;
+  bool best_is_suffix = false;
+  long long best_boundary = 0;
+
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    state.add(order[i]);
+    const double r = state.ratio(kind);
+    if (r < best) {
+      best = r;
+      best_prefix = i + 1;
+      best_is_suffix = false;
+      best_boundary = kind == ExpansionKind::Node ? state.out_boundary() : state.cut();
+    }
+    if (kind == ExpansionKind::Node) {
+      // When the prefix is the *large* side the candidate set is the suffix.
+      const double rc = state.complement_node_ratio();
+      if (rc < best) {
+        best = rc;
+        best_prefix = i + 1;
+        best_is_suffix = true;
+        best_boundary = state.in_boundary();
+      }
+    }
+  }
+
+  CutWitness witness;
+  witness.expansion = best;
+  witness.boundary = static_cast<std::size_t>(best_boundary);
+  witness.side = VertexSet(g.num_vertices());
+  if (best_is_suffix) {
+    for (std::size_t i = best_prefix; i < order.size(); ++i) witness.side.set(order[i]);
+  } else {
+    for (std::size_t i = 0; i < best_prefix; ++i) witness.side.set(order[i]);
+  }
+  // For edge expansion report the smaller side.
+  if (kind == ExpansionKind::Edge && 2 * witness.side.count() > k) {
+    witness.side = alive - witness.side;
+  }
+  return witness;
+}
+
+CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                         std::uint64_t seed) {
+  const FiedlerResult fiedler = fiedler_vector(g, alive, seed);
+  std::vector<vid> order = alive.to_vector();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vid a, vid b) { return fiedler.vector[a] < fiedler.vector[b]; });
+  return sweep_cut(g, alive, order, kind);
+}
+
+}  // namespace fne

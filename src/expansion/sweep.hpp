@@ -1,0 +1,22 @@
+// Sweep cuts: evaluate every prefix of a vertex ordering as a candidate
+// low-expansion set.  With the Fiedler ordering this is the classic
+// constructive half of Cheeger's inequality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expansion/types.hpp"
+
+namespace fne {
+
+/// Best cut over all prefixes (and, for node expansion, suffixes) of
+/// `order`, which must list alive vertices exactly once.
+[[nodiscard]] CutWitness sweep_cut(const Graph& g, const VertexSet& alive,
+                                   const std::vector<vid>& order, ExpansionKind kind);
+
+/// Sweep over the Fiedler-vector ordering of the alive subgraph.
+[[nodiscard]] CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                                       std::uint64_t seed = 7);
+
+}  // namespace fne

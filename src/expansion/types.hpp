@@ -1,0 +1,33 @@
+// Shared types for the expansion layer.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// Which of the paper's two expansion notions is being measured.
+/// Node (§1.3):  α(U)  = |Γ(U)| / |U|,  minimized over |U| <= n/2.
+/// Edge (§1.3):  αe(U) = |(U, V\U)| / min{|U|, |V\U|}.
+enum class ExpansionKind { Node, Edge };
+
+/// A cut witness: the set achieving some expansion value.
+struct CutWitness {
+  VertexSet side;       ///< the smaller side U (universe = original graph)
+  double expansion = std::numeric_limits<double>::infinity();
+  std::size_t boundary = 0;  ///< |Γ(U)| or |(U, V\U)| depending on kind
+};
+
+/// Certified two-sided estimate: lower <= α <= upper, with the witness
+/// achieving `upper`.
+struct ExpansionBracket {
+  double lower = 0.0;
+  double upper = std::numeric_limits<double>::infinity();
+  std::optional<CutWitness> witness;
+  bool exact = false;  ///< lower == upper from exhaustive enumeration
+};
+
+}  // namespace fne

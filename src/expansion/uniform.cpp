@@ -1,0 +1,75 @@
+#include "expansion/uniform.hpp"
+
+#include "core/subgraph.hpp"
+#include "expansion/bracket.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+VertexSet random_connected_set(const Graph& g, const VertexSet& alive, vid size,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  VertexSet result(g.num_vertices());
+  const std::vector<vid> pool = alive.to_vector();
+  if (pool.empty() || size == 0) return result;
+  const vid start = pool[rng.uniform(pool.size())];
+
+  std::vector<vid> frontier;
+  result.set(start);
+  vid grown = 1;
+  for (vid w : g.neighbors(start)) {
+    if (alive.test(w)) frontier.push_back(w);
+  }
+  while (grown < size && !frontier.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(rng.uniform(frontier.size()));
+    const vid v = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    if (result.test(v)) continue;
+    result.set(v);
+    ++grown;
+    for (vid w : g.neighbors(v)) {
+      if (alive.test(w) && !result.test(w)) frontier.push_back(w);
+    }
+  }
+  if (grown < size) result.clear();  // component exhausted before reaching the size
+  return result;
+}
+
+std::vector<UniformProbeRecord> probe_uniform_expansion(const Graph& g, ExpansionKind kind,
+                                                        const std::vector<vid>& sizes,
+                                                        int samples, std::uint64_t seed) {
+  FNE_REQUIRE(samples >= 1, "need at least one sample per size");
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  Rng rng(seed);
+  std::vector<UniformProbeRecord> records;
+  for (vid m : sizes) {
+    FNE_REQUIRE(m >= 2 && m <= g.num_vertices(), "probe size out of range");
+    UniformProbeRecord rec;
+    rec.subgraph_size = m;
+    double worst_upper = 0.0;
+    double worst_lower = 0.0;
+    bool all_exact = true;
+    for (int s = 0; s < samples; ++s) {
+      const VertexSet sub = random_connected_set(g, all, m, rng.next());
+      if (sub.empty()) continue;
+      const ExpansionBracket b = expansion_bracket(g, sub, kind);
+      // "Uniform expansion" is an upper-bound property (every subgraph has
+      // expansion O(α(m))), so the table keeps the *largest* observed
+      // bracket across samples.
+      if (b.upper > worst_upper) {
+        worst_upper = b.upper;
+        worst_lower = b.lower;
+      }
+      all_exact = all_exact && b.exact;
+    }
+    rec.expansion_lower = worst_lower;
+    rec.expansion_upper = worst_upper;
+    rec.exact = all_exact;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace fne

@@ -1,0 +1,35 @@
+// Uniform-expansion probing (paper §2, Theorem 2.5 hypothesis).
+//
+// A graph G of size n has uniform expansion α(·) when G itself has
+// expansion α(n) and every size-m subgraph has expansion O(α(m)).  This
+// probe samples random connected subgraphs at requested sizes and brackets
+// their expansion, producing the evidence table behind E3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expansion/types.hpp"
+
+namespace fne {
+
+struct UniformProbeRecord {
+  vid subgraph_size = 0;
+  double expansion_lower = 0.0;
+  double expansion_upper = 0.0;
+  bool exact = false;
+};
+
+/// Sample `samples` random connected subgraphs of each size in `sizes`
+/// (BFS growth from random seeds) and bracket each one's expansion.
+[[nodiscard]] std::vector<UniformProbeRecord> probe_uniform_expansion(
+    const Graph& g, ExpansionKind kind, const std::vector<vid>& sizes, int samples,
+    std::uint64_t seed);
+
+/// Random connected vertex set of exactly `size` grown from a random seed
+/// vertex by randomized BFS (frontier picked uniformly).  Returns an empty
+/// set when the component containing the seed is too small.
+[[nodiscard]] VertexSet random_connected_set(const Graph& g, const VertexSet& alive, vid size,
+                                             std::uint64_t seed);
+
+}  // namespace fne

@@ -1,0 +1,157 @@
+#include "faults/adversary.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/traversal.hpp"
+#include "expansion/bracket.hpp"
+#include "expansion/flow.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+AttackResult chain_center_attack(const ChainExpander& h) {
+  AttackResult result;
+  result.faults = h.center_set();
+  result.budget_used = result.faults.count();
+  result.rounds.push_back(result.budget_used);
+  return result;
+}
+
+namespace {
+
+/// Largest connected component of the alive subgraph, as a VertexSet.
+VertexSet largest_piece(const Graph& g, const VertexSet& alive) {
+  return largest_component(g, alive);
+}
+
+}  // namespace
+
+AttackResult bisection_attack(const Graph& g, const BisectionOptions& options) {
+  FNE_REQUIRE(options.epsilon > 0.0 && options.epsilon <= 1.0, "epsilon in (0, 1]");
+  const vid n = g.num_vertices();
+  const auto stop_size = static_cast<vid>(options.epsilon * static_cast<double>(n));
+
+  AttackResult result;
+  result.faults = VertexSet(n);
+  VertexSet alive = VertexSet::full(n);
+
+  for (vid round = 0; round < options.max_rounds; ++round) {
+    const VertexSet piece = largest_piece(g, alive);
+    if (piece.count() < std::max<vid>(stop_size, 4)) break;
+
+    // Minimum-expansion cut of the piece (constructive upper-bound witness).
+    BracketOptions bopts;
+    bopts.exact_limit = options.cut_options.exact_limit;
+    bopts.ball_sources = options.cut_options.ball_sources;
+    bopts.refine_passes = options.cut_options.refine_passes;
+    bopts.seed = options.cut_options.seed + round;
+    const ExpansionBracket bracket = expansion_bracket(g, piece, ExpansionKind::Node, bopts);
+    if (!bracket.witness.has_value() || bracket.witness->side.empty()) break;
+
+    const VertexSet boundary = node_boundary(g, piece, bracket.witness->side);
+    if (boundary.empty()) {
+      // Piece already splits for free (shouldn't happen for a connected
+      // piece); avoid an infinite loop.
+      break;
+    }
+    result.faults |= boundary;
+    alive -= boundary;
+    result.rounds.push_back(boundary.count());
+  }
+  result.budget_used = result.faults.count();
+  return result;
+}
+
+AttackResult sweep_cut_attack(const Graph& g, vid budget, const CutFinderOptions& options) {
+  const vid n = g.num_vertices();
+  AttackResult result;
+  result.faults = VertexSet(n);
+  VertexSet alive = VertexSet::full(n);
+  vid remaining = budget;
+
+  for (int round = 0; remaining > 0 && round < 1000; ++round) {
+    const VertexSet piece = largest_piece(g, alive);
+    if (piece.count() < 4) break;
+    BracketOptions bopts;
+    bopts.exact_limit = options.exact_limit;
+    bopts.ball_sources = options.ball_sources;
+    bopts.refine_passes = options.refine_passes;
+    bopts.seed = options.seed + static_cast<std::uint64_t>(round);
+    const ExpansionBracket bracket = expansion_bracket(g, piece, ExpansionKind::Node, bopts);
+    if (!bracket.witness.has_value() || bracket.witness->side.empty()) break;
+    const VertexSet boundary = node_boundary(g, piece, bracket.witness->side);
+    if (boundary.empty() || boundary.count() > remaining) break;
+    result.faults |= boundary;
+    alive -= boundary;
+    remaining -= boundary.count();
+    result.rounds.push_back(boundary.count());
+  }
+  result.budget_used = result.faults.count();
+  return result;
+}
+
+AttackResult high_degree_attack(const Graph& g, vid budget) {
+  FNE_REQUIRE(budget <= g.num_vertices(), "budget exceeds graph size");
+  std::vector<vid> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vid a, vid b) { return g.degree(a) > g.degree(b); });
+  AttackResult result;
+  result.faults = VertexSet(g.num_vertices());
+  for (vid i = 0; i < budget; ++i) result.faults.set(order[i]);
+  result.budget_used = budget;
+  result.rounds.push_back(budget);
+  return result;
+}
+
+AttackResult separator_attack(const Graph& g, vid budget, std::uint64_t seed) {
+  const vid n = g.num_vertices();
+  AttackResult result;
+  result.faults = VertexSet(n);
+  VertexSet alive = VertexSet::full(n);
+  vid remaining = budget;
+  Rng rng(seed);
+
+  for (int round = 0; remaining > 0 && round < 1000; ++round) {
+    const VertexSet piece = largest_component(g, alive);
+    if (piece.count() < 4) break;
+    // Diametral-ish pair: BFS from a random vertex, take the farthest,
+    // BFS again (the classic double-sweep heuristic).
+    const std::vector<vid> verts = piece.to_vector();
+    const vid start = verts[rng.uniform(verts.size())];
+    auto farthest = [&](vid from) {
+      const auto dist = bfs_distances(g, piece, from);
+      vid best = from;
+      for (vid v : verts) {
+        if (dist[v] != kUnreached && dist[v] > dist[best]) best = v;
+      }
+      return best;
+    };
+    const vid s = farthest(start);
+    const vid t = farthest(s);
+    if (s == t || g.has_edge(s, t)) break;
+    const VertexSet separator = min_vertex_separator(g, piece, s, t);
+    if (separator.empty() || separator.count() > remaining) break;
+    result.faults |= separator;
+    alive -= separator;
+    remaining -= separator.count();
+    result.rounds.push_back(separator.count());
+  }
+  result.budget_used = result.faults.count();
+  return result;
+}
+
+AttackResult random_attack(const Graph& g, vid budget, std::uint64_t seed) {
+  FNE_REQUIRE(budget <= g.num_vertices(), "budget exceeds graph size");
+  Rng rng(seed);
+  AttackResult result;
+  result.faults = VertexSet(g.num_vertices());
+  for (vid v : rng.sample_without_replacement(g.num_vertices(), budget)) result.faults.set(v);
+  result.budget_used = budget;
+  result.rounds.push_back(budget);
+  return result;
+}
+
+}  // namespace fne

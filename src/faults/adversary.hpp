@@ -1,0 +1,69 @@
+// Adversarial fault strategies (paper §2).
+//
+// The two lower-bound theorems specify their adversaries exactly, and we
+// implement those verbatim:
+//   * chain_center_attack — Theorem 2.3: remove the central vertex of
+//     every chain of H(G, k);
+//   * bisection_attack    — Theorem 2.5: repeatedly remove the node
+//     boundary of the minimum-expansion side of the largest surviving
+//     piece until every piece is smaller than ε·n.
+// The remaining strategies (sweep-cut, greedy boundary, random) form the
+// attack portfolio used to stress Theorem 2.1 empirically from the other
+// side: Prune must survive whatever they do, as long as the fault budget
+// respects k·f/α <= n/4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "expansion/cut_finder.hpp"
+#include "topology/chain_expander.hpp"
+
+namespace fne {
+
+/// Result of an attack: the fault set chosen by the adversary.
+struct AttackResult {
+  VertexSet faults;          ///< removed vertices
+  vid budget_used = 0;       ///< |faults|
+  std::vector<vid> rounds;   ///< faults spent per round (strategy dependent)
+};
+
+/// Theorem 2.3 adversary: fail every chain center of H(G, k).
+[[nodiscard]] AttackResult chain_center_attack(const ChainExpander& h);
+
+struct BisectionOptions {
+  double epsilon = 0.05;       ///< stop when all pieces < epsilon * n
+  vid max_rounds = 10000;
+  CutFinderOptions cut_options{};
+};
+
+/// Theorem 2.5 adversary (proof procedure of the charging argument):
+/// while some surviving piece has size >= epsilon*n, take the largest
+/// piece, find its minimum-expansion cut (portfolio), and fail the node
+/// boundary Γ(U) of the smaller side.
+[[nodiscard]] AttackResult bisection_attack(const Graph& g, const BisectionOptions& options = {});
+
+/// One-shot sweep-cut attack with a fault budget: finds the lowest
+/// node-expansion set U of the (fault-free) graph whose boundary fits the
+/// budget and fails Γ(U); repeats on the largest remaining piece while
+/// budget remains.
+[[nodiscard]] AttackResult sweep_cut_attack(const Graph& g, vid budget,
+                                            const CutFinderOptions& options = {});
+
+/// Greedy high-degree attack: fail the `budget` highest-degree vertices
+/// (classic hub attack baseline).
+[[nodiscard]] AttackResult high_degree_attack(const Graph& g, vid budget);
+
+/// Random fault baseline with the same budget, for calibration.
+[[nodiscard]] AttackResult random_attack(const Graph& g, vid budget, std::uint64_t seed);
+
+/// Menger separator attack: repeatedly pick a BFS-diametral pair (s, t)
+/// of the largest surviving piece and fail an exact minimum s-t vertex
+/// separator (computed by max flow), while the budget allows.  This is
+/// the strongest "surgical" adversary in the portfolio: every round
+/// disconnects provably optimally for its chosen pair.
+[[nodiscard]] AttackResult separator_attack(const Graph& g, vid budget, std::uint64_t seed = 7);
+
+}  // namespace fne

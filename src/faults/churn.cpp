@@ -1,0 +1,50 @@
+#include "faults/churn.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+double ChurnTrace::min_gamma() const {
+  double best = 1.0;
+  for (const ChurnStep& s : steps) best = std::min(best, s.gamma);
+  return best;
+}
+
+double ChurnTrace::mean_alive_fraction(vid n) const {
+  if (steps.empty() || n == 0) return 0.0;
+  double total = 0.0;
+  for (const ChurnStep& s : steps) total += static_cast<double>(s.alive_count);
+  return total / (static_cast<double>(steps.size()) * static_cast<double>(n));
+}
+
+ChurnTrace simulate_churn(const Graph& g, const ChurnOptions& options) {
+  FNE_REQUIRE(options.p_leave >= 0.0 && options.p_leave <= 1.0, "p_leave out of range");
+  FNE_REQUIRE(options.p_join >= 0.0 && options.p_join <= 1.0, "p_join out of range");
+  FNE_REQUIRE(options.steps >= 1, "need at least one step");
+  Rng rng(options.seed);
+
+  ChurnTrace trace;
+  VertexSet alive = VertexSet::full(g.num_vertices());
+  trace.steps.reserve(static_cast<std::size_t>(options.steps));
+  for (int t = 0; t < options.steps; ++t) {
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (alive.test(v)) {
+        if (rng.bernoulli(options.p_leave)) alive.reset(v);
+      } else if (rng.bernoulli(options.p_join)) {
+        alive.set(v);
+      }
+    }
+    ChurnStep step;
+    step.alive_count = alive.count();
+    step.gamma = gamma_largest_fraction(g, alive);
+    trace.steps.push_back(step);
+  }
+  trace.final_alive = alive;
+  return trace;
+}
+
+}  // namespace fne

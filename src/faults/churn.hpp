@@ -1,0 +1,42 @@
+// Churn processes (paper §1: "in peer-to-peer networks, users may leave
+// without notice").
+//
+// A discrete-time leave/rejoin process over a fixed topology: at each
+// step every alive node leaves with probability p_leave and every dead
+// node rejoins with probability p_join.  The stationary alive fraction
+// is p_join / (p_join + p_leave); the interesting observable is the time
+// series of γ and of the largest component's expansion, which the CAN
+// example and bench S2 track.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct ChurnStep {
+  vid alive_count = 0;
+  double gamma = 0.0;  ///< largest component / n
+};
+
+struct ChurnOptions {
+  double p_leave = 0.02;
+  double p_join = 0.18;
+  int steps = 100;
+  std::uint64_t seed = 7;
+};
+
+struct ChurnTrace {
+  std::vector<ChurnStep> steps;
+  VertexSet final_alive;
+  [[nodiscard]] double min_gamma() const;
+  [[nodiscard]] double mean_alive_fraction(vid n) const;
+};
+
+/// Run the churn process starting from all-alive.
+[[nodiscard]] ChurnTrace simulate_churn(const Graph& g, const ChurnOptions& options = {});
+
+}  // namespace fne

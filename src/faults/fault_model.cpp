@@ -1,0 +1,36 @@
+#include "faults/fault_model.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+VertexSet random_node_faults(const Graph& g, double fault_probability, std::uint64_t seed) {
+  FNE_REQUIRE(fault_probability >= 0.0 && fault_probability <= 1.0, "probability out of range");
+  Rng rng(seed);
+  VertexSet alive = VertexSet::full(g.num_vertices());
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (rng.bernoulli(fault_probability)) alive.reset(v);
+  }
+  return alive;
+}
+
+EdgeMask random_edge_faults(const Graph& g, double fault_probability, std::uint64_t seed) {
+  FNE_REQUIRE(fault_probability >= 0.0 && fault_probability <= 1.0, "probability out of range");
+  Rng rng(seed);
+  EdgeMask alive(g.num_edges(), true);
+  for (eid e = 0; e < g.num_edges(); ++e) {
+    if (rng.bernoulli(fault_probability)) alive.reset(e);
+  }
+  return alive;
+}
+
+VertexSet random_exact_node_faults(const Graph& g, vid faults, std::uint64_t seed) {
+  FNE_REQUIRE(faults <= g.num_vertices(), "more faults than vertices");
+  Rng rng(seed);
+  VertexSet alive = VertexSet::full(g.num_vertices());
+  for (vid v : rng.sample_without_replacement(g.num_vertices(), faults)) alive.reset(v);
+  return alive;
+}
+
+}  // namespace fne

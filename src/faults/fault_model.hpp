@@ -1,0 +1,28 @@
+// Random fault models (paper §3: "each node in the network can
+// independently become faulty with a given probability p").
+//
+// Conventions: node faults produce an *alive* VertexSet (survivors); edge
+// faults produce an alive EdgeMask.  p is always the FAULT probability —
+// the survival probability used by §1.1's percolation literature is 1 - p.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/traversal.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// Each node fails independently with probability p; returns survivors.
+[[nodiscard]] VertexSet random_node_faults(const Graph& g, double fault_probability,
+                                           std::uint64_t seed);
+
+/// Each edge fails independently with probability p; returns surviving edges.
+[[nodiscard]] EdgeMask random_edge_faults(const Graph& g, double fault_probability,
+                                          std::uint64_t seed);
+
+/// Exactly f distinct random node faults; returns survivors.
+[[nodiscard]] VertexSet random_exact_node_faults(const Graph& g, vid faults, std::uint64_t seed);
+
+}  // namespace fne

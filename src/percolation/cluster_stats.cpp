@@ -1,0 +1,70 @@
+#include "percolation/cluster_stats.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+#include "faults/fault_model.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+ClusterStats cluster_statistics(const Graph& g, PercolationKind kind,
+                                double survival_probability, int trials, std::uint64_t seed) {
+  FNE_REQUIRE(survival_probability >= 0.0 && survival_probability <= 1.0,
+              "probability out of range");
+  FNE_REQUIRE(trials >= 1, "need at least one trial");
+  const double fault_p = 1.0 - survival_probability;
+  const Rng root(seed);
+  const double n = static_cast<double>(g.num_vertices());
+
+  struct TrialResult {
+    double gamma = 0.0;
+    double second = 0.0;
+    double chi = 0.0;
+  };
+  std::vector<TrialResult> results(static_cast<std::size_t>(trials));
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
+    Components comps;
+    if (kind == PercolationKind::Site) {
+      const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
+      comps = connected_components(g, alive);
+    } else {
+      const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
+      comps = connected_components(g, VertexSet::full(g.num_vertices()), &edges);
+    }
+    TrialResult& r = results[static_cast<std::size_t>(t)];
+    if (comps.sizes.empty()) continue;
+    std::vector<vid> sizes = comps.sizes;
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    r.gamma = static_cast<double>(sizes[0]) / n;
+    r.second = sizes.size() > 1 ? static_cast<double>(sizes[1]) / n : 0.0;
+    double s1 = 0.0, s2 = 0.0;
+    for (std::size_t i = 1; i < sizes.size(); ++i) {  // exclude the largest
+      const double s = static_cast<double>(sizes[i]);
+      s1 += s;
+      s2 += s * s;
+    }
+    r.chi = s1 > 0.0 ? s2 / s1 : 0.0;
+  }
+
+  ClusterStats stats;
+  stats.trials = trials;
+  for (const TrialResult& r : results) {
+    stats.gamma.add(r.gamma);
+    stats.second_fraction.add(r.second);
+    stats.susceptibility.add(r.chi);
+  }
+  return stats;
+}
+
+}  // namespace fne

@@ -1,0 +1,27 @@
+// Cluster statistics beyond γ: mean finite-cluster size (the percolation
+// susceptibility χ) and the second-largest cluster, both of which peak at
+// the critical point and sharpen finite-size threshold estimates (§1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "percolation/percolation.hpp"
+#include "util/stats.hpp"
+
+namespace fne {
+
+struct ClusterStats {
+  RunningStats gamma;            ///< largest cluster / n (as in percolate())
+  RunningStats second_fraction;  ///< second-largest cluster / n
+  /// Susceptibility χ = E[s²]/E[s] over clusters EXCLUDING the largest
+  /// (the standard finite-size observable; diverges at p*).
+  RunningStats susceptibility;
+  int trials = 0;
+};
+
+[[nodiscard]] ClusterStats cluster_statistics(const Graph& g, PercolationKind kind,
+                                              double survival_probability, int trials,
+                                              std::uint64_t seed);
+
+}  // namespace fne

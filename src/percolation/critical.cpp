@@ -1,0 +1,33 @@
+#include "percolation/critical.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+CriticalResult estimate_critical_probability(const Graph& g, PercolationKind kind,
+                                             const CriticalOptions& options) {
+  FNE_REQUIRE(options.gamma_target > 0.0 && options.gamma_target < 1.0,
+              "gamma target must be in (0, 1)");
+  CriticalResult result;
+  double lo = 0.0;
+  double hi = 1.0;
+  double gamma_mid = 0.0;
+  for (int step = 0; step < options.bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    const PercolationResult probe =
+        percolate(g, kind, mid, options.trials_per_probe,
+                  options.seed + static_cast<std::uint64_t>(step) * 7919ULL);
+    ++result.probes;
+    gamma_mid = probe.gamma.mean();
+    if (gamma_mid >= options.gamma_target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.p_star = 0.5 * (lo + hi);
+  result.gamma_at_p_star = gamma_mid;
+  return result;
+}
+
+}  // namespace fne

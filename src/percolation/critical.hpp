@@ -1,0 +1,31 @@
+// Critical-probability estimation (paper §1.1's p*).
+//
+// p* is bracketed by bisection on the survival probability: mean γ(G(p))
+// is monotone in p, and we search for the point where it crosses a target
+// fraction.  The finite-size estimate converges to the true threshold as
+// n grows (the benches report the trend across sizes).
+#pragma once
+
+#include <cstdint>
+
+#include "percolation/percolation.hpp"
+
+namespace fne {
+
+struct CriticalOptions {
+  double gamma_target = 0.10;  ///< "linear-sized" cutoff fraction
+  int trials_per_probe = 24;
+  int bisection_steps = 12;
+  std::uint64_t seed = 7;
+};
+
+struct CriticalResult {
+  double p_star = 0.0;        ///< estimated critical survival probability
+  double gamma_at_p_star = 0.0;
+  int probes = 0;
+};
+
+[[nodiscard]] CriticalResult estimate_critical_probability(const Graph& g, PercolationKind kind,
+                                                           const CriticalOptions& options = {});
+
+}  // namespace fne

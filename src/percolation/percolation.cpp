@@ -1,0 +1,49 @@
+#include "percolation/percolation.hpp"
+
+#include "core/traversal.hpp"
+#include "faults/fault_model.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+PercolationResult percolate(const Graph& g, PercolationKind kind, double survival_probability,
+                            int trials, std::uint64_t seed) {
+  FNE_REQUIRE(survival_probability >= 0.0 && survival_probability <= 1.0,
+              "probability out of range");
+  FNE_REQUIRE(trials >= 1, "need at least one trial");
+  const double fault_p = 1.0 - survival_probability;
+  const Rng root(seed);
+
+  PercolationResult result;
+  result.survival_probability = survival_probability;
+  result.trials = trials;
+
+  // Per-trial γ values land in a pre-sized buffer indexed by trial, and
+  // the accumulator folds them in trial order afterwards: results are
+  // bit-identical for any thread count or schedule.
+  std::vector<double> gammas(static_cast<std::size_t>(trials), 0.0);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 4)
+#endif
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
+    double gamma = 0.0;
+    if (kind == PercolationKind::Site) {
+      const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
+      gamma = gamma_largest_fraction(g, alive);
+    } else {
+      const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
+      gamma = gamma_largest_fraction(g, VertexSet::full(g.num_vertices()), &edges);
+    }
+    gammas[static_cast<std::size_t>(t)] = gamma;
+  }
+  for (double gamma : gammas) result.gamma.add(gamma);
+  return result;
+}
+
+}  // namespace fne

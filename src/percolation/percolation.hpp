@@ -1,0 +1,36 @@
+// Monte-Carlo percolation (paper §1.1).
+//
+// Conventions follow the percolation literature the paper cites: `p` here
+// is the SURVIVAL probability (G(p) keeps each element alive with
+// probability p), i.e. the complement of the fault probability used by
+// the fault models.  γ(G(p)) is the fraction of the original n vertices
+// in the largest surviving component.
+//
+// Trials are embarrassingly parallel: each gets an Rng forked by trial
+// index, so results are independent of the OpenMP schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "util/stats.hpp"
+
+namespace fne {
+
+enum class PercolationKind {
+  Site,  ///< vertices survive with probability p
+  Bond,  ///< edges survive with probability p
+};
+
+struct PercolationResult {
+  RunningStats gamma;             ///< largest-component fraction per trial
+  double survival_probability = 0.0;
+  int trials = 0;
+};
+
+/// Estimate γ(G(p)) over `trials` independent trials.
+[[nodiscard]] PercolationResult percolate(const Graph& g, PercolationKind kind,
+                                          double survival_probability, int trials,
+                                          std::uint64_t seed);
+
+}  // namespace fne

@@ -1,0 +1,93 @@
+#include "prune/compact.hpp"
+
+#include <limits>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Connected component of the alive subgraph containing (connected) S.
+VertexSet component_of(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  const vid start = s.first();
+  VertexSet comp(g.num_vertices());
+  std::vector<vid> stack{start};
+  comp.set(start);
+  while (!stack.empty()) {
+    const vid u = stack.back();
+    stack.pop_back();
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !comp.test(w)) {
+        comp.set(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return comp;
+}
+
+double edge_ratio(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  return static_cast<double>(edge_boundary_size(g, alive, s)) /
+         static_cast<double>(s.count());
+}
+
+}  // namespace
+
+VertexSet compactify(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  const vid n_alive = alive.count();
+  FNE_REQUIRE(!s.empty(), "compactify: S must be nonempty");
+  FNE_REQUIRE(2 * s.count() <= n_alive, "compactify: |S| must be <= |alive|/2");
+  FNE_REQUIRE(is_connected_subset(g, alive, s), "compactify: S must be connected");
+
+  // Lemma 3.3 assumes the surrounding graph is connected; a faulty graph
+  // may not be, so we apply the lemma inside S's own component.  Cut
+  // sizes are unaffected: no edges leave the component.
+  const VertexSet comp = component_of(g, alive, s);
+  const vid n_comp = comp.count();
+  const VertexSet rest = comp - s;
+  if (rest.empty()) return s;  // S is an entire component
+  if (is_connected_subset(g, alive, rest)) return s;
+
+  // C(S): maximal connected components of comp \ S.
+  const Components comps = connected_components(g, rest);
+
+  // Case 1: a component C with |C| >= |comp|/2 → K = comp \ C.
+  for (std::uint32_t c = 0; c < comps.sizes.size(); ++c) {
+    if (2 * comps.sizes[c] >= n_comp) {
+      VertexSet k = comp;
+      rest.for_each([&](vid v) {
+        if (comps.label[v] == c) k.reset(v);
+      });
+      return k;
+    }
+  }
+
+  // Case 2: all components are < |comp|/2; Lemma 3.3 shows one of them
+  // has edge expansion <= S's (the counting argument needs |S| <= |comp|/2,
+  // which the cut finder guarantees whenever comp == alive).  Take the
+  // minimizer, falling back to S itself if the sampler handed us an
+  // oversized S for which the minimizer is worse.
+  double best_ratio = std::numeric_limits<double>::infinity();
+  std::uint32_t best_label = 0;
+  for (std::uint32_t c = 0; c < comps.sizes.size(); ++c) {
+    VertexSet piece(g.num_vertices());
+    rest.for_each([&](vid v) {
+      if (comps.label[v] == c) piece.set(v);
+    });
+    const double ratio = edge_ratio(g, alive, piece);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_label = c;
+    }
+  }
+  if (best_ratio > edge_ratio(g, alive, s)) return s;
+  VertexSet k(g.num_vertices());
+  rest.for_each([&](vid v) {
+    if (comps.label[v] == best_label) k.set(v);
+  });
+  return k;
+}
+
+}  // namespace fne

@@ -1,0 +1,22 @@
+// Lemma 3.3 compactification.
+//
+// Given a connected S with |S| < |alive|/2, produce a *compact* set
+// K(S) (both K and its complement connected in the alive subgraph) whose
+// edge expansion does not exceed S's:
+//   * complement connected             → K = S;
+//   * some component C of alive\S has |C| >= |alive|/2
+//                                      → K = alive \ C (case 1);
+//   * otherwise some component C of alive\S has edge expansion <= S's
+//                                      → K = that component (case 2).
+#pragma once
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// Compute K(S) per Lemma 3.3.  Requires: S nonempty, connected within
+/// `alive`, and |S| <= |alive|/2.
+[[nodiscard]] VertexSet compactify(const Graph& g, const VertexSet& alive, const VertexSet& s);
+
+}  // namespace fne

@@ -1,0 +1,51 @@
+#include "prune/upfal.hpp"
+
+#include <deque>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+UpfalResult upfal_prune(const Graph& g, const VertexSet& alive, double keep_fraction) {
+  FNE_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0, "keep fraction in (0, 1]");
+  UpfalResult result;
+  VertexSet current = alive;
+
+  // Worklist algorithm: alive degree per vertex, queue of violators.
+  std::vector<vid> alive_deg(g.num_vertices(), 0);
+  current.for_each([&](vid v) {
+    vid d = 0;
+    for (vid w : g.neighbors(v)) {
+      if (current.test(w)) ++d;
+    }
+    alive_deg[v] = d;
+  });
+  auto violates = [&](vid v) {
+    return static_cast<double>(alive_deg[v]) <
+           keep_fraction * static_cast<double>(g.degree(v));
+  };
+  std::deque<vid> queue;
+  current.for_each([&](vid v) {
+    if (violates(v)) queue.push_back(v);
+  });
+
+  while (!queue.empty()) {
+    const vid v = queue.front();
+    queue.pop_front();
+    if (!current.test(v) || !violates(v)) continue;
+    current.reset(v);
+    ++result.total_culled;
+    ++result.iterations;
+    for (vid w : g.neighbors(v)) {
+      if (!current.test(w)) continue;
+      --alive_deg[w];
+      if (violates(w)) queue.push_back(w);
+    }
+  }
+
+  result.survivors = current.empty() ? current : largest_component(g, current);
+  return result;
+}
+
+}  // namespace fne

@@ -1,0 +1,30 @@
+// Upfal's degree-based pruning (paper §1.1: "Upfal uses a pruning
+// technique ... the important difference worth noting is that Upfal's
+// pruning does not guarantee a large component of good expansion").
+//
+// The rule: repeatedly discard every vertex that has lost more than a
+// (1 - keep_fraction) share of its original neighbors, then keep the
+// largest component.  It is polynomial-time and guarantees a component
+// of size n - O(f) on bounded-degree expanders — but, as the paper
+// stresses, NOT a component of good expansion.  It serves as the
+// baseline our Prune ablation (A4) compares against.
+#pragma once
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct UpfalResult {
+  VertexSet survivors;  ///< largest component after iterated degree culling
+  int iterations = 0;
+  vid total_culled = 0;  ///< vertices dropped by the degree rule (pre component step)
+};
+
+/// Iterated degree pruning: drop alive vertices whose alive degree falls
+/// below keep_fraction * original degree, to a fixed point; then keep the
+/// largest surviving component.  keep_fraction in (0, 1].
+[[nodiscard]] UpfalResult upfal_prune(const Graph& g, const VertexSet& alive,
+                                      double keep_fraction = 0.5);
+
+}  // namespace fne

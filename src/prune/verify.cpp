@@ -1,0 +1,74 @@
+#include "prune/verify.hpp"
+
+#include <sstream>
+
+#include "core/traversal.hpp"
+
+namespace fne {
+
+TraceVerification verify_prune_trace(const Graph& g, const VertexSet& initial_alive,
+                                     const PruneResult& result, ExpansionKind kind,
+                                     double threshold, bool require_compact) {
+  TraceVerification out;
+  VertexSet alive = initial_alive;
+  for (std::size_t i = 0; i < result.culled.size(); ++i) {
+    const CulledRecord& rec = result.culled[i];
+    const vid alive_count = alive.count();
+    auto fail = [&](const std::string& why) {
+      out.valid = false;
+      out.failed_record = static_cast<int>(i);
+      out.reason = why;
+    };
+    if (!rec.set.is_subset_of(alive)) {
+      fail("culled set not a subset of the surviving graph");
+      return out;
+    }
+    const vid size = rec.set.count();
+    if (size == 0 || 2 * size > alive_count) {
+      fail("culled set empty or larger than half the surviving graph");
+      return out;
+    }
+    std::size_t boundary = 0;
+    if (kind == ExpansionKind::Node) {
+      boundary = node_boundary_size(g, alive, rec.set);
+    } else {
+      boundary = edge_boundary_size(g, alive, rec.set);
+      if (!is_connected_subset(g, alive, rec.set)) {
+        fail("Prune2 culled set is not connected");
+        return out;
+      }
+      if (require_compact && !is_compact_in_component(g, alive, rec.set)) {
+        fail("Prune2 culled set is not compact within its component");
+        return out;
+      }
+    }
+    if (static_cast<double>(boundary) > threshold * static_cast<double>(size) + 1e-9) {
+      std::ostringstream os;
+      os << "culling condition violated: boundary " << boundary << " > " << threshold << " * "
+         << size;
+      fail(os.str());
+      return out;
+    }
+    alive -= rec.set;
+  }
+  if (!(alive == result.survivors)) {
+    out.valid = false;
+    out.failed_record = static_cast<int>(result.culled.size());
+    out.reason = "survivor set does not match the replayed trace";
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+Theorem21Check check_theorem21_size(vid n, double alpha, vid faults, double k,
+                                    vid survivor_count) {
+  Theorem21Check check;
+  const double culled_allowance = k * static_cast<double>(faults) / alpha;
+  check.size_bound = static_cast<double>(n) - culled_allowance;
+  check.precondition_ok = culled_allowance <= static_cast<double>(n) / 4.0;
+  check.size_ok = static_cast<double>(survivor_count) >= check.size_bound - 1e-9;
+  return check;
+}
+
+}  // namespace fne

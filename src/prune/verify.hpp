@@ -1,0 +1,41 @@
+// Replay verification of Prune/Prune2 runs and Theorem 2.1 / 3.4
+// postcondition checks.
+//
+// The guarantees of both theorems hold for ANY sequence of sets that
+// satisfied the culling condition when removed — not just the ones our
+// portfolio found.  Replaying the trace therefore turns a heuristic run
+// into a certified one: if every record passes, the run is a valid
+// execution of the paper's algorithm.
+#pragma once
+
+#include <string>
+
+#include "prune/prune.hpp"
+
+namespace fne {
+
+struct TraceVerification {
+  bool valid = false;
+  int failed_record = -1;   ///< index of the first invalid record, -1 if none
+  std::string reason;
+};
+
+/// Replay a Prune trace: every culled S_i must have had |S_i| <= |G_i|/2
+/// and boundary(S_i) <= threshold · |S_i| at cull time, and the final
+/// survivor set must match.  `kind` selects node (Prune) or edge (Prune2)
+/// boundaries; Prune2 records must additionally be connected and compact
+/// unless `require_compact` is false (ablation A2).
+[[nodiscard]] TraceVerification verify_prune_trace(const Graph& g, const VertexSet& initial_alive,
+                                                   const PruneResult& result, ExpansionKind kind,
+                                                   double threshold, bool require_compact = false);
+
+/// Theorem 2.1 size bound: |H| >= n - k·f/α (valid when k·f/α <= n/4).
+struct Theorem21Check {
+  double size_bound = 0.0;  ///< n - k·f/α
+  bool size_ok = false;
+  bool precondition_ok = false;  ///< k·f/α <= n/4
+};
+[[nodiscard]] Theorem21Check check_theorem21_size(vid n, double alpha, vid faults, double k,
+                                                  vid survivor_count);
+
+}  // namespace fne

@@ -1,0 +1,145 @@
+#include "span/compact_sets.hpp"
+
+#include "core/traversal.hpp"
+#include "expansion/uniform.hpp"
+#include "prune/compact.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Bitmask connectivity over a <=24-vertex graph with adjacency bitmasks.
+bool mask_connected(std::uint32_t mask, const std::vector<std::uint32_t>& adj) {
+  if (mask == 0) return false;
+  std::uint32_t reached = mask & (~mask + 1);  // lowest set bit
+  std::uint32_t frontier = reached;
+  while (frontier != 0) {
+    std::uint32_t next = 0;
+    std::uint32_t bits = frontier;
+    while (bits != 0) {
+      const int v = __builtin_ctz(bits);
+      bits &= bits - 1;
+      next |= adj[static_cast<std::size_t>(v)];
+    }
+    next &= mask & ~reached;
+    reached |= next;
+    frontier = next;
+  }
+  return reached == mask;
+}
+
+std::vector<std::uint32_t> adjacency_masks(const Graph& g) {
+  std::vector<std::uint32_t> adj(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    adj[e.u] |= std::uint32_t{1} << e.v;
+    adj[e.v] |= std::uint32_t{1} << e.u;
+  }
+  return adj;
+}
+
+}  // namespace
+
+void enumerate_compact_sets(const Graph& g, const std::function<void(const VertexSet&)>& visit) {
+  const vid n = g.num_vertices();
+  FNE_REQUIRE(n >= 2 && n <= kCompactEnumLimit, "compact enumeration limited to small graphs");
+  FNE_REQUIRE(is_connected(g, VertexSet::full(n)), "compact enumeration expects a connected graph");
+  const auto adj = adjacency_masks(g);
+  const std::uint32_t full = n == 32 ? ~0U : (std::uint32_t{1} << n) - 1U;
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    if (!mask_connected(mask, adj)) continue;
+    if (!mask_connected(full & ~mask, adj)) continue;
+    VertexSet s(n);
+    std::uint32_t bits = mask;
+    while (bits != 0) {
+      const int v = __builtin_ctz(bits);
+      bits &= bits - 1;
+      s.set(static_cast<vid>(v));
+    }
+    visit(s);
+  }
+}
+
+std::uint64_t count_compact_sets(const Graph& g) {
+  std::uint64_t count = 0;
+  enumerate_compact_sets(g, [&](const VertexSet&) { ++count; });
+  return count;
+}
+
+VertexSet sample_compact_set(const Graph& g, vid target_size, std::uint64_t seed) {
+  FNE_REQUIRE(target_size >= 1 && 2 * target_size <= g.num_vertices(),
+              "target size must be in [1, n/2]");
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    VertexSet s = random_connected_set(g, all, target_size, rng.next());
+    if (s.empty()) continue;
+    if (is_compact(g, all, s)) return s;
+    // Repair with Lemma 3.3: the compactification of a connected set is
+    // compact and no larger than n/2 unless it flips to case 1 (which
+    // also stays <= n/2).
+    s = compactify(g, all, s);
+    if (!s.empty() && is_compact(g, all, s)) return s;
+  }
+  return VertexSet(g.num_vertices());
+}
+
+namespace {
+
+struct MarkedCounter {
+  const std::vector<std::uint32_t>* adj = nullptr;
+  std::uint32_t marked = 0;
+  vid want_marked = 0;
+  vid max_size = 0;
+  std::uint64_t count = 0;
+
+  /// ESU-style enumeration of connected induced subgraphs whose minimum
+  /// vertex is `anchor`: each subgraph visited exactly once.
+  void extend(std::uint32_t sub, std::uint32_t extension, std::uint32_t forbidden, int anchor) {
+    const auto size = static_cast<vid>(__builtin_popcount(sub));
+    const auto marked_in =
+        static_cast<vid>(__builtin_popcount(sub & marked));
+    if (marked_in == want_marked) ++count;
+    if (size >= max_size || marked_in > want_marked) return;
+    std::uint32_t ext = extension;
+    std::uint32_t used = 0;
+    while (ext != 0) {
+      const int v = __builtin_ctz(ext);
+      ext &= ext - 1;
+      const std::uint32_t vbit = std::uint32_t{1} << v;
+      used |= vbit;
+      // New extension: v's neighbors above the anchor, not already in the
+      // subgraph, not forbidden, not already pending.
+      const std::uint32_t above = ~((std::uint32_t{1} << (anchor + 1)) - 1U);
+      const std::uint32_t fresh =
+          (*adj)[static_cast<std::size_t>(v)] & above & ~sub & ~forbidden & ~extension & ~used;
+      extend(sub | vbit, (ext | fresh), forbidden | used, anchor);
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t count_connected_subgraphs_with_marked(const Graph& g, const VertexSet& marked,
+                                                    vid r, vid max_total_size) {
+  const vid n = g.num_vertices();
+  FNE_REQUIRE(n <= kCompactEnumLimit, "subgraph counting limited to small graphs");
+  const auto adj = adjacency_masks(g);
+  std::uint32_t marked_mask = 0;
+  marked.for_each([&](vid v) { marked_mask |= std::uint32_t{1} << v; });
+
+  MarkedCounter counter;
+  counter.adj = &adj;
+  counter.marked = marked_mask;
+  counter.want_marked = r;
+  counter.max_size = max_total_size;
+  for (vid a = 0; a < n; ++a) {
+    const std::uint32_t abit = std::uint32_t{1} << a;
+    const std::uint32_t above = ~((std::uint32_t{1} << (a + 1)) - 1U);
+    counter.extend(abit, adj[a] & above, 0, static_cast<int>(a));
+  }
+  return counter.count;
+}
+
+}  // namespace fne

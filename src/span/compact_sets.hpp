@@ -1,0 +1,40 @@
+// Compact sets (paper §1.4): U is compact iff U and V\U are both
+// connected.  The span maximizes over all compact sets, so we need both
+// exhaustive enumeration (small graphs — exact span) and random sampling
+// (large graphs — span lower-bound estimates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// Maximum universe exhaustive compact-set enumeration accepts.
+inline constexpr vid kCompactEnumLimit = 24;
+
+/// Invoke `visit` for every compact set of the graph (both orientations:
+/// U and V\U are each visited, as the span definition ranges over all
+/// compact sets).  Requires g connected and 2 <= n <= kCompactEnumLimit.
+void enumerate_compact_sets(const Graph& g, const std::function<void(const VertexSet&)>& visit);
+
+/// Count of compact sets (exhaustive).
+[[nodiscard]] std::uint64_t count_compact_sets(const Graph& g);
+
+/// Sample a random compact set with `target_size` <= n/2: grow a random
+/// connected set, then repair complement-connectivity via Lemma 3.3
+/// compactification.  Returns an empty set on failure (rare).
+[[nodiscard]] VertexSet sample_compact_set(const Graph& g, vid target_size, std::uint64_t seed);
+
+/// Count connected induced subgraphs containing exactly r marked vertices
+/// (Claim 3.2 validation, E10).  Exhaustive over connected subgraphs;
+/// requires small graphs.  `marked` flags the "vertices from G" of the
+/// chain construction.
+[[nodiscard]] std::uint64_t count_connected_subgraphs_with_marked(const Graph& g,
+                                                                  const VertexSet& marked,
+                                                                  vid r, vid max_total_size);
+
+}  // namespace fne

@@ -1,0 +1,152 @@
+#include "span/mesh_span.hpp"
+
+#include <deque>
+#include <functional>
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+
+/// All mesh vertices within Chebyshev distance 1 of u that differ from u
+/// in at most 2 dimensions (the virtual-edge neighborhood of Thm 3.6).
+void for_each_virtual_neighbor(const Mesh& mesh, vid u, const std::function<void(vid)>& fn) {
+  const vid d = mesh.dims();
+  const auto coords = mesh.coords_of(u);
+  const auto& sides = mesh.sides();
+
+  // Offsets in one dimension: -1, +1 (respecting mesh/torus boundary).
+  auto shifted = [&](vid dim, int delta) -> std::int64_t {
+    const auto side = static_cast<std::int64_t>(sides[dim]);
+    std::int64_t c = static_cast<std::int64_t>(coords[dim]) + delta;
+    if (mesh.wraps()) {
+      if (side <= 2) {
+        // A wrap around a side of <= 2 revisits the same or the adjacent
+        // coordinate; plain clamp semantics apply.
+        if (c < 0 || c >= side) return -1;
+        return c;
+      }
+      return (c + side) % side;
+    }
+    if (c < 0 || c >= side) return -1;
+    return c;
+  };
+
+  auto make_id = [&](vid dim_a, std::int64_t ca, vid dim_b, std::int64_t cb) -> vid {
+    std::vector<vid> c = coords;
+    c[dim_a] = static_cast<vid>(ca);
+    if (dim_b != kInvalidVertex) c[dim_b] = static_cast<vid>(cb);
+    return mesh.id_of(c);
+  };
+
+  // One differing dimension.
+  for (vid a = 0; a < d; ++a) {
+    for (int da : {-1, +1}) {
+      const std::int64_t ca = shifted(a, da);
+      if (ca < 0 || ca == static_cast<std::int64_t>(coords[a])) continue;
+      fn(make_id(a, ca, kInvalidVertex, 0));
+    }
+  }
+  // Two differing dimensions.
+  for (vid a = 0; a < d; ++a) {
+    for (vid b = a + 1; b < d; ++b) {
+      for (int da : {-1, +1}) {
+        for (int db : {-1, +1}) {
+          const std::int64_t ca = shifted(a, da);
+          const std::int64_t cb = shifted(b, db);
+          if (ca < 0 || cb < 0) continue;
+          if (ca == static_cast<std::int64_t>(coords[a]) ||
+              cb == static_cast<std::int64_t>(coords[b])) {
+            continue;
+          }
+          fn(make_id(a, ca, b, cb));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VirtualBoundaryGraph virtual_boundary_graph(const Mesh& mesh, const VertexSet& s) {
+  const Graph& g = mesh.graph();
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  const VertexSet boundary = node_boundary(g, all, s);
+  FNE_REQUIRE(!boundary.empty(), "S has an empty boundary");
+
+  VirtualBoundaryGraph result;
+  result.to_mesh = boundary.to_vector();
+  std::vector<vid> to_sub(g.num_vertices(), kInvalidVertex);
+  for (vid i = 0; i < result.to_mesh.size(); ++i) to_sub[result.to_mesh[i]] = i;
+
+  std::vector<Edge> edges;
+  for (vid i = 0; i < result.to_mesh.size(); ++i) {
+    const vid u = result.to_mesh[i];
+    for_each_virtual_neighbor(mesh, u, [&](vid w) {
+      if (boundary.test(w) && to_sub[w] > i && to_sub[w] != kInvalidVertex) {
+        edges.push_back({i, to_sub[w]});
+      }
+    });
+  }
+  result.graph = Graph::from_edges(static_cast<vid>(result.to_mesh.size()), std::move(edges));
+  return result;
+}
+
+bool virtual_boundary_connected(const Mesh& mesh, const VertexSet& s) {
+  const VirtualBoundaryGraph vb = virtual_boundary_graph(mesh, s);
+  return is_connected(vb.graph, VertexSet::full(vb.graph.num_vertices()));
+}
+
+ConstructiveSpanTree mesh_boundary_span_tree(const Mesh& mesh, const VertexSet& s) {
+  const VirtualBoundaryGraph vb = virtual_boundary_graph(mesh, s);
+  const vid b = vb.graph.num_vertices();
+  FNE_REQUIRE(is_connected(vb.graph, VertexSet::full(b)),
+              "virtual boundary graph disconnected (S not compact?)");
+
+  ConstructiveSpanTree tree;
+  tree.boundary_size = b;
+  tree.nodes = VertexSet(mesh.graph().num_vertices());
+  tree.nodes.set(vb.to_mesh[0]);
+  tree.tree_edges = 0;
+
+  // BFS spanning tree of (B, Ev); realize each virtual edge in the mesh.
+  std::vector<bool> seen(b, false);
+  std::deque<vid> queue{0};
+  seen[0] = true;
+  while (!queue.empty()) {
+    const vid i = queue.front();
+    queue.pop_front();
+    for (vid j : vb.graph.neighbors(i)) {
+      if (seen[j]) continue;
+      seen[j] = true;
+      queue.push_back(j);
+      const vid u = vb.to_mesh[i];
+      const vid v = vb.to_mesh[j];
+      tree.nodes.set(u);
+      tree.nodes.set(v);
+      if (mesh.hamming_dims(u, v) == 1) {
+        tree.tree_edges += 1;  // a real mesh edge
+      } else {
+        // Diagonal virtual edge: route through the midpoint that takes
+        // u's first differing coordinate to v's value.
+        auto cu = mesh.coords_of(u);
+        const auto cv = mesh.coords_of(v);
+        for (vid dim = 0; dim < mesh.dims(); ++dim) {
+          if (cu[dim] != cv[dim]) {
+            cu[dim] = cv[dim];
+            break;
+          }
+        }
+        tree.nodes.set(mesh.id_of(cu));
+        tree.tree_edges += 2;
+      }
+    }
+  }
+  tree.tree_nodes = tree.nodes.count();
+  tree.ratio = static_cast<double>(tree.tree_nodes) / static_cast<double>(b);
+  return tree;
+}
+
+}  // namespace fne

@@ -1,0 +1,69 @@
+#include "span/span.hpp"
+
+#include <algorithm>
+
+#include "core/traversal.hpp"
+#include "span/compact_sets.hpp"
+#include "span/steiner.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+SpanResult exact_span(const Graph& g) {
+  SpanResult result;
+  result.exact = true;
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  enumerate_compact_sets(g, [&](const VertexSet& u) {
+    ++result.sets_examined;
+    const VertexSet boundary = node_boundary(g, all, u);
+    const vid b = boundary.count();
+    if (b == 0) return;  // cannot happen for connected g, proper compact u
+    // Dispatch keeps the scan safe if a boundary exceeds the DW budget
+    // (result.exact reflects whether every tree was exact).
+    const SteinerResult tree = steiner_tree(g, boundary.to_vector());
+    result.exact = result.exact && tree.exact;
+    const double ratio = static_cast<double>(tree.tree_nodes) / static_cast<double>(b);
+    if (ratio > result.span) {
+      result.span = ratio;
+      result.worst_set = u;
+      result.worst_boundary = b;
+      result.worst_tree_nodes = tree.tree_nodes;
+    }
+  });
+  return result;
+}
+
+SpanResult estimate_span(const Graph& g, const SpanEstimateOptions& options) {
+  FNE_REQUIRE(options.samples_per_size >= 1, "need at least one sample per size");
+  const vid n = g.num_vertices();
+  const VertexSet all = VertexSet::full(n);
+  Rng rng(options.seed);
+
+  SpanResult result;
+  result.exact = true;  // cleared as soon as one approximate tree is used
+  for (double frac : options.size_fractions) {
+    const auto target = static_cast<vid>(frac * static_cast<double>(n));
+    if (target < 1 || 2 * target > n) continue;
+    for (int s = 0; s < options.samples_per_size; ++s) {
+      const VertexSet u = sample_compact_set(g, target, rng.next());
+      if (u.empty()) continue;
+      ++result.sets_examined;
+      const VertexSet boundary = node_boundary(g, all, u);
+      const vid b = boundary.count();
+      if (b == 0) continue;
+      const SteinerResult tree = steiner_tree(g, boundary.to_vector());
+      result.exact = result.exact && tree.exact;
+      const double ratio = static_cast<double>(tree.tree_nodes) / static_cast<double>(b);
+      if (ratio > result.span) {
+        result.span = ratio;
+        result.worst_set = u;
+        result.worst_boundary = b;
+        result.worst_tree_nodes = tree.tree_nodes;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fne

@@ -1,0 +1,13 @@
+#include "spectral/cheeger.hpp"
+
+namespace fne {
+
+CheegerBounds cheeger_lower_bounds(double lambda2, vid max_degree) {
+  CheegerBounds b;
+  b.lambda2 = lambda2;
+  b.edge_expansion_lower = lambda2 / 2.0;
+  b.node_expansion_lower = max_degree > 0 ? lambda2 / (2.0 * static_cast<double>(max_degree)) : 0.0;
+  return b;
+}
+
+}  // namespace fne

@@ -1,0 +1,24 @@
+// Cheeger-style spectral bounds tying λ₂ of the combinatorial Laplacian to
+// the paper's expansion quantities.
+//
+// With edge expansion α_e = min_{|U| <= n/2} |(U, V\U)| / |U| and node
+// expansion α = min |Γ(U)| / |U|:
+//   * α_e >= λ₂ / 2            (cut(U) = xᵀLx lower bound)
+//   * α   >= λ₂ / (2δ)         (each boundary node absorbs <= δ cut edges)
+// These are certified *lower* bounds; constructive sweep cuts provide the
+// matching upper bounds (expansion/sweep.hpp).
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+struct CheegerBounds {
+  double lambda2 = 0.0;
+  double edge_expansion_lower = 0.0;
+  double node_expansion_lower = 0.0;
+};
+
+[[nodiscard]] CheegerBounds cheeger_lower_bounds(double lambda2, vid max_degree);
+
+}  // namespace fne

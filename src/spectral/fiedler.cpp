@@ -1,0 +1,37 @@
+#include "spectral/fiedler.hpp"
+
+#include "core/traversal.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/operator.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive, std::uint64_t seed) {
+  FNE_REQUIRE(alive.count() >= 2, "Fiedler vector needs >= 2 alive vertices");
+  MaskedLaplacian lap(g, alive);
+  const std::size_t k = lap.dim();
+
+  LanczosOptions opts;
+  opts.num_eigenpairs = 1;
+  opts.seed = seed;
+  opts.max_iterations = 400;
+  opts.tolerance = 1e-8;
+
+  const std::vector<std::vector<double>> deflation{std::vector<double>(k, 1.0)};
+  const auto res = lanczos_smallest(
+      [&lap](const std::vector<double>& x, std::vector<double>& y) { lap.apply(x, y); }, k,
+      deflation, opts);
+
+  FiedlerResult out;
+  out.converged = res.converged && !res.values.empty();
+  out.vector.assign(g.num_vertices(), 0.0);
+  if (!res.values.empty()) {
+    out.lambda2 = res.values[0];
+    const auto& verts = lap.vertices();
+    for (std::size_t i = 0; i < verts.size(); ++i) out.vector[verts[i]] = res.vectors[0][i];
+  }
+  return out;
+}
+
+}  // namespace fne

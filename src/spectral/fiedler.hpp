@@ -1,0 +1,23 @@
+// Algebraic connectivity λ₂ and the Fiedler vector of a masked graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct FiedlerResult {
+  double lambda2 = 0.0;            ///< second-smallest Laplacian eigenvalue
+  std::vector<double> vector;      ///< per original vertex id; 0 for dead vertices
+  bool converged = false;
+};
+
+/// λ₂ and Fiedler vector of the subgraph induced by `alive`, which must be
+/// connected and have >= 2 vertices.  The all-ones kernel is deflated.
+[[nodiscard]] FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive,
+                                           std::uint64_t seed = 7);
+
+}  // namespace fne

@@ -1,0 +1,81 @@
+#include "spectral/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+void jacobi_eigen(std::vector<double> a, std::size_t n, std::vector<double>& values,
+                  std::vector<double>* vectors) {
+  FNE_REQUIRE(n >= 1 && a.size() == n * n, "matrix size mismatch");
+  FNE_REQUIRE(n <= 2048, "Jacobi eigensolver is for small matrices (n <= 2048)");
+
+  std::vector<double> v;
+  if (vectors != nullptr) {
+    v.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+  }
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > 1e-12; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        if (vectors != nullptr) {
+          for (std::size_t k = 0; k < n; ++k) {
+            const double vkp = v[k * n + p];
+            const double vkq = v[k * n + q];
+            v[k * n + p] = c * vkp - s * vkq;
+            v[k * n + q] = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x * n + x] < a[y * n + y]; });
+  values.resize(n);
+  for (std::size_t j = 0; j < n; ++j) values[j] = a[order[j] * n + order[j]];
+  if (vectors != nullptr) {
+    vectors->assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) (*vectors)[i * n + j] = v[i * n + order[j]];
+    }
+  }
+}
+
+}  // namespace fne

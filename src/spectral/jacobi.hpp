@@ -1,0 +1,18 @@
+// Dense symmetric eigensolver by cyclic Jacobi rotations.
+//
+// O(n^3)-per-sweep and meant for small matrices only; it serves as the
+// ground-truth oracle in spectral unit tests and for exact spectra of
+// small graphs.
+#pragma once
+
+#include <vector>
+
+namespace fne {
+
+/// Eigen-decomposition of the symmetric n×n row-major matrix `a`.
+/// Eigenvalues come back ascending; if `vectors` is non-null, column j of
+/// the row-major matrix holds the j-th eigenvector.
+void jacobi_eigen(std::vector<double> a, std::size_t n, std::vector<double>& values,
+                  std::vector<double>* vectors);
+
+}  // namespace fne

@@ -1,0 +1,130 @@
+#include "spectral/lanczos.hpp"
+
+#include <cmath>
+
+#include "spectral/tridiag.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void project_out(const std::vector<std::vector<double>>& basis, std::vector<double>& x) {
+  for (const auto& b : basis) {
+    const double c = dot(b, x);
+    if (c != 0.0) axpy(-c, b, x);
+  }
+}
+
+}  // namespace
+
+LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
+                               const std::vector<std::vector<double>>& deflation,
+                               const LanczosOptions& options) {
+  FNE_REQUIRE(n >= 1, "empty operator");
+  FNE_REQUIRE(options.num_eigenpairs >= 1, "need at least one eigenpair");
+  LanczosResult result;
+
+  // Normalize deflation vectors.
+  std::vector<std::vector<double>> defl = deflation;
+  for (auto& b : defl) {
+    const double nb = norm(b);
+    FNE_REQUIRE(nb > 0.0, "zero deflation vector");
+    for (auto& x : b) x /= nb;
+  }
+  const std::size_t usable =
+      n > defl.size() ? n - defl.size() : 0;  // dimension of the deflated space
+  if (usable == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const int max_iter =
+      static_cast<int>(std::min<std::size_t>(usable, static_cast<std::size_t>(options.max_iterations)));
+
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> basis;  // Lanczos vectors q_1..q_j
+  std::vector<double> alpha;
+  std::vector<double> beta;
+
+  std::vector<double> q(n);
+  for (auto& x : q) x = rng.uniform01() - 0.5;
+  project_out(defl, q);
+  {
+    const double nq = norm(q);
+    FNE_REQUIRE(nq > 0.0, "degenerate start vector");
+    for (auto& x : q) x /= nq;
+  }
+  basis.push_back(q);
+
+  std::vector<double> w(n);
+  for (int j = 0; j < max_iter; ++j) {
+    op(basis.back(), w);
+    const double a = dot(basis.back(), w);
+    alpha.push_back(a);
+    // w -= a*q_j + b_{j-1}*q_{j-1}; then full reorthogonalization.
+    axpy(-a, basis.back(), w);
+    if (j > 0) axpy(-beta.back(), basis[basis.size() - 2], w);
+    project_out(defl, w);
+    for (int pass = 0; pass < 2; ++pass) project_out(basis, w);
+
+    const double b = norm(w);
+    // Convergence check every few steps (or on breakdown).
+    const bool last = (j + 1 == max_iter) || b < 1e-13;
+    if (last || (j + 1) % 10 == 0) {
+      std::vector<double> values;
+      std::vector<double> z;
+      tridiag_eigen(alpha, beta, values, &z);
+      const std::size_t k = alpha.size();
+      const int want = std::min<int>(options.num_eigenpairs, static_cast<int>(k));
+      bool all_converged = true;
+      for (int e = 0; e < want; ++e) {
+        const double resid = std::fabs(b * z[(k - 1) * k + static_cast<std::size_t>(e)]);
+        if (resid > options.tolerance) {
+          all_converged = false;
+          break;
+        }
+      }
+      if (all_converged || last) {
+        result.iterations = j + 1;
+        result.converged = all_converged || b < 1e-13;
+        result.values.assign(values.begin(), values.begin() + want);
+        result.vectors.assign(static_cast<std::size_t>(want), std::vector<double>(n, 0.0));
+        for (int e = 0; e < want; ++e) {
+          auto& vec = result.vectors[static_cast<std::size_t>(e)];
+          for (std::size_t i = 0; i < k; ++i) {
+            axpy(z[i * k + static_cast<std::size_t>(e)], basis[i], vec);
+          }
+          const double nv = norm(vec);
+          if (nv > 0.0) {
+            for (auto& x : vec) x /= nv;
+          }
+        }
+        return result;
+      }
+    }
+    if (b < 1e-13) break;  // invariant subspace exhausted
+    beta.push_back(b);
+    for (auto& x : w) x /= b;
+    basis.push_back(w);
+  }
+
+  // max_iter loop exited without returning (shouldn't happen); mark failure.
+  result.converged = false;
+  return result;
+}
+
+}  // namespace fne

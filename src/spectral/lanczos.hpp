@@ -1,0 +1,37 @@
+// Lanczos iteration with full reorthogonalization for the smallest
+// eigenpairs of an implicit symmetric operator.
+//
+// Full reorthogonalization is O(iter^2 · n) but rock solid; iteration
+// counts stay modest (<= 300) for the graph sizes this library handles.
+// Deflation vectors (e.g. the all-ones kernel of a connected Laplacian)
+// are projected out of every Krylov vector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fne {
+
+struct LanczosResult {
+  std::vector<double> values;               ///< converged Ritz values, ascending
+  std::vector<std::vector<double>> vectors; ///< matching Ritz vectors (unit norm)
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct LanczosOptions {
+  int num_eigenpairs = 1;      ///< how many smallest pairs to extract
+  int max_iterations = 300;
+  double tolerance = 1e-9;     ///< residual bound |beta * y_last|
+  std::uint64_t seed = 7;
+};
+
+using LinearOperator = std::function<void(const std::vector<double>&, std::vector<double>&)>;
+
+/// Smallest eigenpairs of `op` (dimension n) orthogonal to `deflation`.
+[[nodiscard]] LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
+                                             const std::vector<std::vector<double>>& deflation,
+                                             const LanczosOptions& options = {});
+
+}  // namespace fne

@@ -1,0 +1,51 @@
+// Implicit symmetric linear operators over masked graphs.
+//
+// The spectral layer never materializes matrices: Lanczos only needs
+// y = Op(x).  MaskedLaplacian applies the combinatorial Laplacian
+// L = D - A of the subgraph induced by an alive mask, over compact
+// indices [0, k).
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+class MaskedLaplacian {
+ public:
+  MaskedLaplacian(const Graph& g, const VertexSet& alive)
+      : graph_(&g), to_sub_(g.num_vertices(), kInvalidVertex), verts_(alive.to_vector()) {
+    FNE_REQUIRE(alive.universe_size() == g.num_vertices(), "mask/graph size mismatch");
+    for (vid i = 0; i < verts_.size(); ++i) to_sub_[verts_[i]] = i;
+  }
+
+  [[nodiscard]] std::size_t dim() const noexcept { return verts_.size(); }
+  [[nodiscard]] const std::vector<vid>& vertices() const noexcept { return verts_; }
+
+  /// y = (D - A) x over the induced subgraph.
+  void apply(const std::vector<double>& x, std::vector<double>& y) const {
+    FNE_REQUIRE(x.size() == dim() && y.size() == dim(), "operator dimension mismatch");
+    for (std::size_t i = 0; i < verts_.size(); ++i) {
+      const vid v = verts_[i];
+      double acc = 0.0;
+      double deg = 0.0;
+      for (vid w : graph_->neighbors(v)) {
+        const vid j = to_sub_[w];
+        if (j == kInvalidVertex) continue;  // dead neighbor
+        deg += 1.0;
+        acc += x[j];
+      }
+      y[i] = deg * x[i] - acc;
+    }
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<vid> to_sub_;
+  std::vector<vid> verts_;
+};
+
+}  // namespace fne

@@ -1,0 +1,94 @@
+#include "spectral/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+double hypot2(double a, double b) { return std::sqrt(a * a + b * b); }
+}  // namespace
+
+void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
+                   std::vector<double>& values, std::vector<double>* vectors) {
+  const std::size_t n = diag.size();
+  FNE_REQUIRE(n >= 1, "empty tridiagonal system");
+  FNE_REQUIRE(off.size() + 1 == n, "off-diagonal must have size n-1");
+
+  std::vector<double>& d = diag;
+  std::vector<double> e(n, 0.0);
+  std::copy(off.begin(), off.end(), e.begin());  // e[0..n-2] used, e[n-1] = 0
+
+  std::vector<double> z;  // row-major eigenvector accumulator
+  if (vectors != nullptr) {
+    z.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) z[i * n + i] = 1.0;
+  }
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m = l;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        FNE_REQUIRE(++iter <= 50, "tridiagonal QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (vectors != nullptr) {
+            for (std::size_t k = 0; k < n; ++k) {
+              f = z[k * n + i + 1];
+              z[k * n + i + 1] = s * z[k * n + i] + c * f;
+              z[k * n + i] = c * z[k * n + i] - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, permuting eigenvectors along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+  values.resize(n);
+  for (std::size_t j = 0; j < n; ++j) values[j] = d[order[j]];
+  if (vectors != nullptr) {
+    vectors->assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) (*vectors)[i * n + j] = z[i * n + order[j]];
+    }
+  }
+}
+
+}  // namespace fne

@@ -1,0 +1,17 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts,
+// EISPACK tql2 lineage).  Used to post-process the Lanczos recurrence.
+#pragma once
+
+#include <vector>
+
+namespace fne {
+
+/// Eigen-decomposition of the symmetric tridiagonal matrix with diagonal
+/// `diag` (size k) and off-diagonal `off` (size k-1; off[i] couples i and
+/// i+1).  On return, eigenvalues are ascending in `values` and, if
+/// `vectors` is non-null, column j of the k×k row-major matrix holds the
+/// j-th eigenvector: (*vectors)[i * k + j].
+void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
+                   std::vector<double>& values, std::vector<double>* vectors);
+
+}  // namespace fne

@@ -1,0 +1,30 @@
+#include "topology/butterfly.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Butterfly butterfly(vid dims, bool wrapped) {
+  FNE_REQUIRE(dims >= 1 && dims <= 22, "butterfly dimension must be in [1, 22]");
+  Butterfly bf;
+  bf.dims = dims;
+  bf.rows = vid{1} << dims;
+  bf.levels = wrapped ? dims : dims + 1;
+  const vid n = bf.levels * bf.rows;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (vid level = 0; level < bf.levels; ++level) {
+    const bool last = (level + 1 == bf.levels);
+    if (last && !wrapped) break;
+    const vid next = wrapped ? (level + 1) % bf.levels : level + 1;
+    for (vid row = 0; row < bf.rows; ++row) {
+      const vid a = bf.id_of(level, row);
+      edges.push_back({a, bf.id_of(next, row)});
+      edges.push_back({a, bf.id_of(next, row ^ (vid{1} << level))});
+    }
+  }
+  bf.graph = Graph::from_edges(n, std::move(edges));
+  return bf;
+}
+
+}  // namespace fne

@@ -1,0 +1,28 @@
+// Butterfly networks (paper §1.1: Karlin–Nelson–Tamaki bound
+// 0.337 < p* < 0.436; §4 span conjecture).
+//
+// The d-dimensional (unwrapped) butterfly BF(d) has (d+1)·2^d vertices
+// (level, row) with level ∈ [0, d], row ∈ [0, 2^d); (l, r) is adjacent to
+// (l+1, r) (straight edge) and (l+1, r ⊕ 2^l) (cross edge).
+// The wrapped butterfly identifies level d with level 0, giving d·2^d
+// vertices of uniform degree 4.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+struct Butterfly {
+  Graph graph;
+  vid dims = 0;    ///< d
+  vid levels = 0;  ///< d+1 unwrapped, d wrapped
+  vid rows = 0;    ///< 2^d
+
+  [[nodiscard]] vid id_of(vid level, vid row) const noexcept { return level * rows + row; }
+  [[nodiscard]] vid level_of(vid v) const noexcept { return v / rows; }
+  [[nodiscard]] vid row_of(vid v) const noexcept { return v % rows; }
+};
+
+[[nodiscard]] Butterfly butterfly(vid dims, bool wrapped = false);
+
+}  // namespace fne

@@ -1,0 +1,109 @@
+#include "topology/can_overlay.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Do half-open integer intervals [a, a+la) and [b, b+lb) overlap on a
+/// torus of circumference span?
+bool torus_overlap(std::uint32_t a, std::uint32_t la, std::uint32_t b, std::uint32_t lb,
+                   std::uint32_t span) {
+  if (la == span || lb == span) return true;
+  // Unwrap: intervals never cross the origin because all bounds are
+  // aligned power-of-two splits of [0, span); so plain interval logic works.
+  return a < b + lb && b < a + la;
+}
+
+/// Do the zones abut along dimension d on the torus (share a (d-1)-face)?
+bool torus_abut(std::uint32_t a, std::uint32_t la, std::uint32_t b, std::uint32_t lb,
+                std::uint32_t span) {
+  const std::uint32_t a_end = (a + la) % span;
+  const std::uint32_t b_end = (b + lb) % span;
+  return a_end == b || b_end == a;
+}
+
+}  // namespace
+
+CanOverlay can_overlay(vid peers, vid dims, std::uint64_t seed, vid max_depth) {
+  FNE_REQUIRE(peers >= 1, "need at least one peer");
+  FNE_REQUIRE(dims >= 1 && dims <= 10, "CAN dimensions in [1, 10]");
+  FNE_REQUIRE(max_depth >= 1 && max_depth <= 30, "max_depth in [1, 30]");
+  const std::uint32_t span = std::uint32_t{1} << max_depth;
+
+  CanOverlay overlay;
+  overlay.dims = dims;
+  overlay.zones.push_back(
+      {std::vector<std::uint32_t>(dims, 0), std::vector<std::uint32_t>(dims, span), 0});
+
+  Rng rng(seed);
+  while (overlay.zones.size() < peers) {
+    // A joining peer hashes to a uniform point; find the owning zone.
+    std::vector<std::uint32_t> point(dims);
+    for (vid d = 0; d < dims; ++d) point[d] = static_cast<std::uint32_t>(rng.uniform(span));
+    std::size_t owner = overlay.zones.size();
+    for (std::size_t z = 0; z < overlay.zones.size(); ++z) {
+      const CanZone& zone = overlay.zones[z];
+      bool inside = true;
+      for (vid d = 0; d < dims && inside; ++d) {
+        inside = point[d] >= zone.lo[d] && point[d] < zone.lo[d] + zone.size[d];
+      }
+      if (inside) {
+        owner = z;
+        break;
+      }
+    }
+    FNE_REQUIRE(owner < overlay.zones.size(), "join point not covered by any zone");
+
+    CanZone& zone = overlay.zones[owner];
+    // Find a splittable dimension starting from the zone's cursor.
+    vid d = zone.next_split_dim;
+    vid tried = 0;
+    while (tried < dims && zone.size[d] <= 1) {
+      d = (d + 1) % dims;
+      ++tried;
+    }
+    if (zone.size[d] <= 1) {
+      // Zone at max resolution: retry with another point (extremely rare
+      // unless peers ~ span^dims).
+      continue;
+    }
+    CanZone fresh = zone;
+    const std::uint32_t half = zone.size[d] / 2;
+    zone.size[d] = half;
+    fresh.lo[d] = zone.lo[d] + half;
+    fresh.size[d] = half;
+    zone.next_split_dim = (d + 1) % dims;
+    fresh.next_split_dim = (d + 1) % dims;
+    overlay.zones.push_back(std::move(fresh));
+  }
+
+  // Zone adjacency: abut in exactly one dimension, overlap in all others.
+  std::vector<Edge> edges;
+  const vid n = static_cast<vid>(overlay.zones.size());
+  for (vid a = 0; a < n; ++a) {
+    for (vid b = a + 1; b < n; ++b) {
+      const CanZone& za = overlay.zones[a];
+      const CanZone& zb = overlay.zones[b];
+      int abutting = 0;
+      bool neighbor = true;
+      for (vid d = 0; d < dims && neighbor; ++d) {
+        if (torus_overlap(za.lo[d], za.size[d], zb.lo[d], zb.size[d], span)) {
+          continue;
+        }
+        if (torus_abut(za.lo[d], za.size[d], zb.lo[d], zb.size[d], span)) {
+          ++abutting;
+        } else {
+          neighbor = false;
+        }
+      }
+      if (neighbor && abutting == 1) edges.push_back({a, b});
+    }
+  }
+  overlay.graph = Graph::from_edges(n, std::move(edges));
+  return overlay;
+}
+
+}  // namespace fne

@@ -1,0 +1,38 @@
+// A CAN-style content-addressable-network overlay (paper §4: "CAN ...
+// behaves like a d-dimensional mesh in its steady state").
+//
+// The d-dimensional unit torus is partitioned into axis-aligned zones by
+// successive random joins, exactly as in Ratnasamy et al. (SIGCOMM 2001):
+// a joining peer picks a uniform random point and splits the zone that
+// owns it in half along the dimension that zone last split cycles to.
+// Two zones are neighbors when they abut along one dimension (modulo
+// wrap) and their projections overlap in every other dimension.
+//
+// Coordinates are integers at resolution 2^max_depth per dimension so the
+// construction is exact (no floating-point zone bounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+struct CanZone {
+  std::vector<std::uint32_t> lo;    ///< per-dimension lower corner
+  std::vector<std::uint32_t> size;  ///< per-dimension extent (power of two)
+  vid next_split_dim = 0;
+};
+
+struct CanOverlay {
+  Graph graph;  ///< zone adjacency graph (one vertex per peer/zone)
+  std::vector<CanZone> zones;
+  vid dims = 0;
+};
+
+/// Build an overlay with `peers` zones on a d-dimensional torus.
+[[nodiscard]] CanOverlay can_overlay(vid peers, vid dims, std::uint64_t seed,
+                                     vid max_depth = 20);
+
+}  // namespace fne

@@ -1,0 +1,44 @@
+#include "topology/chain_expander.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+VertexSet ChainExpander::center_set() const {
+  VertexSet centers(graph.num_vertices());
+  for (vid c : chain_center) centers.set(c);
+  return centers;
+}
+
+ChainExpander chain_replace(const Graph& base, vid k) {
+  FNE_REQUIRE(k >= 2 && k % 2 == 0, "chain length k must be even and >= 2");
+  ChainExpander h;
+  h.base_n = base.num_vertices();
+  h.chain_len = k;
+  const eid m = base.num_edges();
+  const std::size_t total = static_cast<std::size_t>(h.base_n) + static_cast<std::size_t>(m) * k;
+  FNE_REQUIRE(total < (std::size_t{1} << 31), "chain expander too large");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m) * (k + 1));
+  h.chain_center.reserve(m);
+  h.chain_vertices.reserve(m);
+  vid next_id = h.base_n;
+  for (eid e = 0; e < m; ++e) {
+    const Edge be = base.edge(e);
+    std::vector<vid> chain(k);
+    for (vid i = 0; i < k; ++i) chain[i] = next_id++;
+    edges.push_back({be.u, chain.front()});
+    for (vid i = 0; i + 1 < k; ++i) edges.push_back({chain[i], chain[i + 1]});
+    edges.push_back({chain.back(), be.v});
+    // Central vertex: position k/2 (0-indexed), i.e. the (k/2+1)-th node.
+    // Removing it splits the chain into halves of k/2 and k/2 - 1 interior
+    // vertices attached to u and v respectively.
+    h.chain_center.push_back(chain[k / 2]);
+    h.chain_vertices.push_back(std::move(chain));
+  }
+  h.graph = Graph::from_edges(static_cast<vid>(total), std::move(edges));
+  return h;
+}
+
+}  // namespace fne

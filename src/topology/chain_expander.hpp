@@ -1,0 +1,41 @@
+// The chain-replacement construction of Theorem 2.3 / Claim 2.4 / Theorem 3.1.
+//
+// Given a base graph G (intended: a constant-degree expander) and an even
+// chain length k, H(G, k) replaces every edge {u, v} of G by a path
+//     u - c_1 - c_2 - ... - c_k - v
+// of k fresh interior "chain" vertices.  The paper proves:
+//   * Claim 2.4:   H has node expansion Θ(1/k);
+//   * Theorem 2.3: removing the k/2-th (central) vertex of every chain —
+//     delta/2 · n = Θ(α · N) adversarial faults, N = |H| — shatters H into
+//     sublinear components;
+//   * Theorem 3.1: random faults with probability Θ(1/k) shatter H too.
+//
+// The struct records which vertices are originals, which are chain
+// interiors, and the center of every chain so the Theorem 2.3 adversary
+// can be implemented verbatim.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct ChainExpander {
+  Graph graph;                    ///< H(G, k)
+  vid base_n = 0;                 ///< |V(G)|; vertices [0, base_n) are the originals
+  vid chain_len = 0;              ///< k
+  std::vector<vid> chain_center;  ///< per base edge: id of the central chain vertex
+  std::vector<std::vector<vid>> chain_vertices;  ///< per base edge: the k interior ids in order
+
+  [[nodiscard]] bool is_original(vid v) const noexcept { return v < base_n; }
+  /// The set of all chain centers (the Theorem 2.3 fault set).
+  [[nodiscard]] VertexSet center_set() const;
+};
+
+/// Build H(G, k).  k must be even and >= 2 (paper: "chain of k nodes,
+/// where k is even").
+[[nodiscard]] ChainExpander chain_replace(const Graph& base, vid k);
+
+}  // namespace fne

@@ -1,0 +1,52 @@
+#include "topology/classic.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Graph path_graph(vid n) {
+  FNE_REQUIRE(n >= 1, "path needs >= 1 vertex");
+  std::vector<Edge> edges;
+  for (vid v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle_graph(vid n) {
+  FNE_REQUIRE(n >= 3, "cycle needs >= 3 vertices");
+  std::vector<Edge> edges;
+  for (vid v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  edges.push_back({n - 1, 0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete_graph(vid n) {
+  FNE_REQUIRE(n >= 1 && n <= 4096, "complete graph limited to n <= 4096");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph star_graph(vid n) {
+  FNE_REQUIRE(n >= 2, "star needs >= 2 vertices");
+  std::vector<Edge> edges;
+  for (vid v = 1; v < n; ++v) edges.push_back({0, v});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph barbell_graph(vid half) {
+  FNE_REQUIRE(half >= 2, "barbell halves need >= 2 vertices");
+  std::vector<Edge> edges;
+  for (vid u = 0; u < half; ++u) {
+    for (vid v = u + 1; v < half; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({half + u, half + v});
+    }
+  }
+  edges.push_back({0, half});
+  return Graph::from_edges(2 * half, std::move(edges));
+}
+
+}  // namespace fne

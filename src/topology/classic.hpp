@@ -1,0 +1,18 @@
+// Elementary graph families used as test fixtures and percolation
+// baselines (paper §1.1: complete graph p* = 1/(n-1)).
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+[[nodiscard]] Graph path_graph(vid n);
+[[nodiscard]] Graph cycle_graph(vid n);
+[[nodiscard]] Graph complete_graph(vid n);
+[[nodiscard]] Graph star_graph(vid n);  ///< vertex 0 is the hub
+
+/// Two cliques of size n/2 joined by a single edge: the paper's §1.3
+/// "just a single line connects one half to the other" pathology.
+[[nodiscard]] Graph barbell_graph(vid half);
+
+}  // namespace fne

@@ -1,0 +1,21 @@
+#include "topology/debruijn.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Graph debruijn(vid dims) {
+  FNE_REQUIRE(dims >= 2 && dims <= 26, "de Bruijn dimension must be in [2, 26]");
+  const vid n = vid{1} << dims;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (vid v = 0; v < n; ++v) {
+    const vid s0 = (v << 1) & (n - 1);
+    const vid s1 = s0 | 1;
+    if (v != s0) edges.push_back({v, s0});
+    if (v != s1) edges.push_back({v, s1});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace fne

@@ -1,0 +1,12 @@
+// The binary de Bruijn network DB(d) on 2^d vertices (paper §4 span
+// conjecture): x is adjacent to its shuffles (2x mod 2^d) and
+// (2x + 1 mod 2^d).  We build the undirected simple version.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+[[nodiscard]] Graph debruijn(vid dims);
+
+}  // namespace fne

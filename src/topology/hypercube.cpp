@@ -1,0 +1,21 @@
+#include "topology/hypercube.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Graph hypercube(vid dims) {
+  FNE_REQUIRE(dims >= 1 && dims <= 26, "hypercube dimension must be in [1, 26]");
+  const vid n = vid{1} << dims;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dims / 2);
+  for (vid v = 0; v < n; ++v) {
+    for (vid d = 0; d < dims; ++d) {
+      const vid w = v ^ (vid{1} << d);
+      if (v < w) edges.push_back({v, w});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace fne

@@ -1,0 +1,11 @@
+// The d-dimensional hypercube Q_d: 2^d vertices, edges between ids at
+// Hamming distance 1 (paper §1.1: p* = 1/d, Ajtai–Komlós–Szemerédi).
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+[[nodiscard]] Graph hypercube(vid dims);
+
+}  // namespace fne

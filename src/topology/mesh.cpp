@@ -1,0 +1,83 @@
+#include "topology/mesh.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Mesh::Mesh(std::vector<vid> sides, bool wrap) : sides_(std::move(sides)), wrap_(wrap) {
+  FNE_REQUIRE(!sides_.empty(), "mesh needs at least one dimension");
+  std::size_t n = 1;
+  for (vid s : sides_) {
+    FNE_REQUIRE(s >= 1, "mesh side must be >= 1");
+    n *= s;
+    FNE_REQUIRE(n < (std::size_t{1} << 31), "mesh too large for 32-bit ids");
+  }
+  strides_.resize(sides_.size());
+  std::size_t stride = 1;
+  for (std::size_t d = sides_.size(); d-- > 0;) {
+    strides_[d] = static_cast<vid>(stride);
+    stride *= sides_[d];
+  }
+  std::vector<Edge> edges;
+  edges.reserve(n * sides_.size());
+  for (vid v = 0; v < static_cast<vid>(n); ++v) {
+    for (vid d = 0; d < dims(); ++d) {
+      const vid c = coord(v, d);
+      if (c + 1 < sides_[d]) {
+        edges.push_back({v, v + strides_[d]});
+      } else if (wrap_ && sides_[d] > 2) {
+        // wrap edge back to coordinate 0 (sides <= 2 would duplicate)
+        edges.push_back({v, v - (sides_[d] - 1) * strides_[d]});
+      }
+    }
+  }
+  graph_ = Graph::from_edges(static_cast<vid>(n), std::move(edges));
+}
+
+Mesh Mesh::cube(vid side, vid dims, bool wrap) {
+  return Mesh(std::vector<vid>(dims, side), wrap);
+}
+
+vid Mesh::id_of(const std::vector<vid>& coords) const {
+  FNE_REQUIRE(coords.size() == sides_.size(), "coordinate dimensionality mismatch");
+  vid v = 0;
+  for (std::size_t d = 0; d < sides_.size(); ++d) {
+    FNE_REQUIRE(coords[d] < sides_[d], "coordinate out of range");
+    v += coords[d] * strides_[d];
+  }
+  return v;
+}
+
+std::vector<vid> Mesh::coords_of(vid v) const {
+  std::vector<vid> coords(sides_.size());
+  for (std::size_t d = 0; d < sides_.size(); ++d) {
+    coords[d] = (v / strides_[d]) % sides_[d];
+  }
+  return coords;
+}
+
+vid Mesh::coord(vid v, vid dim) const { return (v / strides_[dim]) % sides_[dim]; }
+
+vid Mesh::chebyshev_distance(vid a, vid b) const {
+  vid best = 0;
+  for (vid d = 0; d < dims(); ++d) {
+    const vid ca = coord(a, d);
+    const vid cb = coord(b, d);
+    vid delta = ca > cb ? ca - cb : cb - ca;
+    if (wrap_) delta = std::min(delta, sides_[d] - delta);
+    best = std::max(best, delta);
+  }
+  return best;
+}
+
+vid Mesh::hamming_dims(vid a, vid b) const {
+  vid differing = 0;
+  for (vid d = 0; d < dims(); ++d) {
+    if (coord(a, d) != coord(b, d)) ++differing;
+  }
+  return differing;
+}
+
+}  // namespace fne

@@ -1,0 +1,48 @@
+// d-dimensional meshes and tori (paper §3.3, §4).
+//
+// A Mesh keeps its side-length vector so coordinate <-> id conversion and
+// geometric constructions (the virtual-edge span tree of Theorem 3.6) can
+// be expressed in coordinates.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+class Mesh {
+ public:
+  /// sides[i] = number of vertices along dimension i (all >= 1).
+  /// wrap = torus (periodic boundary) instead of mesh.
+  explicit Mesh(std::vector<vid> sides, bool wrap = false);
+
+  /// The square d-dimensional mesh with side s: s^d vertices.
+  [[nodiscard]] static Mesh cube(vid side, vid dims, bool wrap = false);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const std::vector<vid>& sides() const noexcept { return sides_; }
+  [[nodiscard]] vid dims() const noexcept { return static_cast<vid>(sides_.size()); }
+  [[nodiscard]] bool wraps() const noexcept { return wrap_; }
+  [[nodiscard]] vid num_vertices() const noexcept { return graph_.num_vertices(); }
+
+  /// Row-major id of a coordinate vector.
+  [[nodiscard]] vid id_of(const std::vector<vid>& coords) const;
+  /// Coordinates of a vertex id.
+  [[nodiscard]] std::vector<vid> coords_of(vid v) const;
+  /// Coordinate along one dimension without materializing the full vector.
+  [[nodiscard]] vid coord(vid v, vid dim) const;
+
+  /// Chebyshev (L-infinity) distance between two vertices, respecting wrap.
+  [[nodiscard]] vid chebyshev_distance(vid a, vid b) const;
+  /// Number of coordinates in which a and b differ.
+  [[nodiscard]] vid hamming_dims(vid a, vid b) const;
+
+ private:
+  std::vector<vid> sides_;
+  std::vector<vid> strides_;
+  bool wrap_ = false;
+  Graph graph_;
+};
+
+}  // namespace fne

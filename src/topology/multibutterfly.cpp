@@ -1,0 +1,81 @@
+#include "topology/multibutterfly.hpp"
+
+#include "core/traversal.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+VertexSet Multibutterfly::inputs() const {
+  VertexSet s(graph.num_vertices());
+  for (vid r = 0; r < rows; ++r) s.set(id_of(0, r));
+  return s;
+}
+
+VertexSet Multibutterfly::outputs() const {
+  VertexSet s(graph.num_vertices());
+  for (vid r = 0; r < rows; ++r) s.set(id_of(dims, r));
+  return s;
+}
+
+Multibutterfly multibutterfly(vid dims, vid splitter_degree, std::uint64_t seed) {
+  FNE_REQUIRE(dims >= 1 && dims <= 16, "multibutterfly dims in [1, 16]");
+  FNE_REQUIRE(splitter_degree >= 1, "splitter degree must be >= 1");
+  Multibutterfly mb;
+  mb.dims = dims;
+  mb.rows = vid{1} << dims;
+  mb.levels = dims + 1;
+  mb.splitter_degree = splitter_degree;
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  // Level l: blocks of size rows / 2^l share the top l row bits.  A node
+  // (l, r) connects into the two half-blocks at level l+1 distinguished
+  // by bit (dims - 1 - l) — the same bit the plain butterfly routes on.
+  for (vid l = 0; l < dims; ++l) {
+    const vid block_size = mb.rows >> l;
+    const vid half = block_size / 2;
+    const vid routing_bit = dims - 1 - l;
+    const vid d = std::min(splitter_degree, half);
+    for (vid block_start = 0; block_start < mb.rows; block_start += block_size) {
+      for (vid offset = 0; offset < block_size; ++offset) {
+        const vid r = block_start + offset;
+        for (int direction = 0; direction < 2; ++direction) {
+          // Rows of the target half-block: same block, routing bit fixed.
+          const auto picks = rng.sample_without_replacement(half, d);
+          for (vid p : picks) {
+            // Enumerate the half-block: rows in [block_start, +block_size)
+            // whose routing bit equals `direction`.  Row index p within
+            // the half maps to an offset with the routing bit forced.
+            const vid low_mask = (vid{1} << routing_bit) - 1;
+            const vid low = p & low_mask;
+            const vid high = (p & ~low_mask) << 1;
+            const vid target_offset =
+                high | (static_cast<vid>(direction) << routing_bit) | low;
+            edges.push_back({mb.id_of(l, r), mb.id_of(l + 1, block_start + target_offset)});
+          }
+        }
+      }
+    }
+  }
+  mb.graph = Graph::from_edges(mb.levels * mb.rows, std::move(edges));
+  return mb;
+}
+
+IoConnectivity io_connectivity(const Graph& g, const VertexSet& alive, const VertexSet& inputs,
+                               const VertexSet& outputs) {
+  IoConnectivity result;
+  const Components comps = connected_components(g, alive);
+  if (comps.count() == 0) return result;
+  const std::uint32_t big = comps.largest_label();
+  result.largest_component = comps.sizes[big];
+  inputs.for_each([&](vid v) {
+    if (alive.test(v) && comps.label[v] == big) ++result.inputs_connected;
+  });
+  outputs.for_each([&](vid v) {
+    if (alive.test(v) && comps.label[v] == big) ++result.outputs_connected;
+  });
+  return result;
+}
+
+}  // namespace fne

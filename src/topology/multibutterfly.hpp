@@ -1,0 +1,52 @@
+// Multibutterfly networks (paper §1.1: Leighton–Maggs — "no matter how
+// an adversary chooses f nodes to fail, there will be a connected
+// component left in the multibutterfly with at least n - O(f) inputs and
+// n - O(f) outputs").
+//
+// Structure: log2(n)+1 levels of n nodes.  At level l the rows split
+// into 2^l blocks; within a block, each node connects to `splitter_degree`
+// random distinct nodes of the "up" half-block at level l+1 (next-row-bit
+// 0) and the same number in the "down" half-block (bit 1).  The random
+// splitters are expanders whp, which is exactly what gives the network
+// its adversarial fault tolerance; the plain butterfly is the degenerate
+// splitter_degree = 1 case with deterministic matchings.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+struct Multibutterfly {
+  Graph graph;
+  vid dims = 0;             ///< log2(rows)
+  vid levels = 0;           ///< dims + 1
+  vid rows = 0;             ///< n = 2^dims inputs/outputs
+  vid splitter_degree = 0;  ///< d random edges into each half-block
+
+  [[nodiscard]] vid id_of(vid level, vid row) const noexcept { return level * rows + row; }
+  [[nodiscard]] vid level_of(vid v) const noexcept { return v / rows; }
+  [[nodiscard]] vid row_of(vid v) const noexcept { return v % rows; }
+  /// Level-0 nodes.
+  [[nodiscard]] VertexSet inputs() const;
+  /// Level-`dims` nodes.
+  [[nodiscard]] VertexSet outputs() const;
+};
+
+/// Build a multibutterfly with 2^dims rows and the given splitter degree
+/// (>= 2 for the expander property; degree is capped by half-block size).
+[[nodiscard]] Multibutterfly multibutterfly(vid dims, vid splitter_degree, std::uint64_t seed);
+
+/// Input/output connectivity census (the §1.1 metric): how many inputs
+/// and outputs lie in the largest surviving component.
+struct IoConnectivity {
+  vid inputs_connected = 0;
+  vid outputs_connected = 0;
+  vid largest_component = 0;
+};
+[[nodiscard]] IoConnectivity io_connectivity(const Graph& g, const VertexSet& alive,
+                                             const VertexSet& inputs, const VertexSet& outputs);
+
+}  // namespace fne

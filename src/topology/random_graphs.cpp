@@ -1,0 +1,124 @@
+#include "topology/random_graphs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+
+Graph erdos_renyi(vid n, double p, std::uint64_t seed) {
+  FNE_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  if (p >= 1.0) {
+    for (vid u = 0; u < n; ++u) {
+      for (vid v = u + 1; v < n; ++v) edges.push_back({u, v});
+    }
+    return Graph::from_edges(n, std::move(edges));
+  }
+  if (p <= 0.0) return Graph::from_edges(n, {});
+  // Geometric skipping (Batagelj–Brandes): O(n + m) instead of O(n^2).
+  const double log1mp = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = 1.0 - rng.uniform01();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) edges.push_back({static_cast<vid>(w), static_cast<vid>(v)});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_regular(vid n, vid d, std::uint64_t seed) {
+  FNE_REQUIRE(d >= 1 && d < n, "degree must satisfy 1 <= d < n");
+  FNE_REQUIRE((static_cast<std::uint64_t>(n) * d) % 2 == 0, "n*d must be even");
+  Rng rng(seed);
+  const std::size_t stubs_count = static_cast<std::size_t>(n) * d;
+  std::vector<vid> stubs(stubs_count);
+  for (std::size_t i = 0; i < stubs_count; ++i) stubs[i] = static_cast<vid>(i / d);
+
+  // Pairing model with double-edge-swap repair: a plain retry loop has
+  // success probability ~exp(-(d-1)/2 - (d-1)^2/4) per attempt, hopeless
+  // already for d = 6; instead we pair once and repair the (few) self
+  // loops and duplicates by uniformly chosen edge swaps, which preserves
+  // the degree sequence and mixes towards the uniform simple graph.
+  rng.shuffle(std::span<vid>(stubs));
+  const std::size_t m = stubs_count / 2;
+  std::vector<Edge> edges(m);
+  for (std::size_t i = 0; i < m; ++i) edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
+
+  auto key = [](vid u, vid v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * m);
+  // First pass: register simple edges; collect conflicting slots (self
+  // loops and duplicate occurrences, which are never registered in seen).
+  std::vector<std::size_t> bad;
+  std::vector<char> pending(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (edges[i].u == edges[i].v || !seen.insert(key(edges[i].u, edges[i].v)).second) {
+      bad.push_back(i);
+      pending[i] = 1;
+    }
+  }
+  const std::size_t max_repair = 200 * m + 10000;
+  std::size_t steps = 0;
+  while (!bad.empty()) {
+    FNE_REQUIRE(++steps <= max_repair, "edge-swap repair did not converge (d too large?)");
+    const std::size_t i = bad.back();
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(m));
+    // The partner must be a registered good edge (never another pending
+    // slot: its key bookkeeping would be corrupted by the swap).
+    if (i == j || pending[j]) continue;
+    Edge& a = edges[i];
+    Edge& b = edges[j];
+    const std::uint64_t bkey = key(b.u, b.v);
+    // Proposed swap: (a.u, a.v), (b.u, b.v) -> (a.u, b.v), (b.u, a.v).
+    const Edge na{a.u, b.v};
+    const Edge nb{b.u, a.v};
+    if (na.u == na.v || nb.u == nb.v) continue;
+    const std::uint64_t ka = key(na.u, na.v);
+    const std::uint64_t kb = key(nb.u, nb.v);
+    if (ka == kb || seen.count(ka) != 0 || seen.count(kb) != 0) continue;
+    seen.erase(bkey);
+    seen.insert(ka);
+    seen.insert(kb);
+    a = na;
+    b = nb;
+    pending[i] = 0;
+    bad.pop_back();
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_with_edges(vid n, eid m, std::uint64_t seed) {
+  const std::uint64_t max_m = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  FNE_REQUIRE(m <= max_m, "more edges requested than pairs available");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    vid u = static_cast<vid>(rng.uniform(n));
+    vid v = static_cast<vid>(rng.uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.push_back({u, v});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace fne

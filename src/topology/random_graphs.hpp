@@ -1,0 +1,25 @@
+// Random graph families.
+//
+// random_regular implements the permutation/pairing model and retries
+// until the multigraph is simple; for d << sqrt(n) this succeeds in O(1)
+// expected attempts and the result is an expander with high probability
+// (the paper's Theorems 2.3/3.1 start from exactly such a family).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] Graph erdos_renyi(vid n, double p, std::uint64_t seed);
+
+/// Random d-regular simple graph (n*d must be even, d < n).
+[[nodiscard]] Graph random_regular(vid n, vid d, std::uint64_t seed);
+
+/// Random graph with exactly m distinct edges (the "d·n/2 edges" family
+/// from §1.1 with m = d·n/2, for which p* = 1/d).
+[[nodiscard]] Graph random_with_edges(vid n, eid m, std::uint64_t seed);
+
+}  // namespace fne

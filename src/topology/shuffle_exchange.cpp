@@ -1,0 +1,20 @@
+#include "topology/shuffle_exchange.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+Graph shuffle_exchange(vid dims) {
+  FNE_REQUIRE(dims >= 2 && dims <= 26, "shuffle-exchange dimension must be in [2, 26]");
+  const vid n = vid{1} << dims;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (vid v = 0; v < n; ++v) {
+    edges.push_back({v, v ^ 1});  // exchange
+    const vid shuffled = ((v << 1) | (v >> (dims - 1))) & (n - 1);
+    if (v != shuffled) edges.push_back({v, shuffled});  // shuffle
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace fne

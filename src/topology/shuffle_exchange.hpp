@@ -1,0 +1,12 @@
+// The shuffle-exchange network SE(d) on 2^d vertices (paper §4 span
+// conjecture): x is adjacent to x ⊕ 1 (exchange) and to its cyclic left
+// shift (shuffle).  Undirected simple version.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+[[nodiscard]] Graph shuffle_exchange(vid dims);
+
+}  // namespace fne

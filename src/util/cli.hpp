@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports --key=value and --flag forms.  Unknown keys are kept so that
+// google-benchmark's own flags can pass through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fne {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::uint64_t get_seed(std::uint64_t fallback = 42) const {
+    return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fne

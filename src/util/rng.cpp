@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace fne {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: multiply-shift with rejection only in the biased sliver.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k) {
+  FNE_REQUIRE(k <= n, "cannot sample more elements than the population size");
+  // Selection sampling for sparse k; partial Fisher–Yates otherwise.
+  if (static_cast<std::uint64_t>(k) * 8 < n) {
+    // Floyd's algorithm: O(k) expected, no O(n) allocation.
+    std::vector<std::uint32_t> result;
+    result.reserve(k);
+    // A tiny open-addressing set over the chosen values.
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(k);
+    for (std::uint32_t j = n - k; j < n; ++j) {
+      auto t = static_cast<std::uint32_t>(uniform(j + 1));
+      bool dup = false;
+      for (std::uint32_t c : chosen) {
+        if (c == t) {
+          dup = true;
+          break;
+        }
+      }
+      const std::uint32_t pick = dup ? j : t;
+      chosen.push_back(pick);
+      result.push_back(pick);
+    }
+    return result;
+  }
+  std::vector<std::uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0U);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(uniform(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace fne

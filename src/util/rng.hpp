@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in fne flows through Rng (xoshiro256**) seeded through
+// splitmix64.  Monte-Carlo layers derive one independent stream per trial
+// with Rng::fork(trial_index), so results are bit-identical regardless of
+// the number of OpenMP threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+/// splitmix64 step: the canonical 64-bit mixer, used for seeding and for
+/// deriving independent streams.  Passes BigCrush when used as a PRNG.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Small, fast, high quality; state is four
+/// 64-bit words fully determined by the seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  /// Derive an independent generator for sub-stream `index` (e.g. one
+  /// Monte-Carlo trial).  Streams for distinct indices are decorrelated
+  /// by passing (seed, index) through splitmix64 twice.
+  [[nodiscard]] Rng fork(std::uint64_t index) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL + index);
+    std::uint64_t s = splitmix64(sm);
+    (void)splitmix64(sm);
+    return Rng(s ^ splitmix64(sm));
+  }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound).  Uses Lemire's nearly-divisionless
+  /// unbiased method.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    FNE_REQUIRE(lo <= hi, "empty integer range");
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct values from [0, n) (order unspecified).
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                                      std::uint32_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fne

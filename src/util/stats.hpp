@@ -1,0 +1,56 @@
+// Streaming statistics for Monte-Carlo experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fne {
+
+/// Welford's online mean/variance accumulator.  Numerically stable; merging
+/// two accumulators (for OpenMP reductions) is supported via merge().
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Chan et al. parallel merge of two Welford accumulators.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;       ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double stderr_mean() const noexcept;    ///< stddev / sqrt(n)
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a copy of the data (nth_element; does not modify the input).
+[[nodiscard]] double median(std::vector<double> values);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation on sorted data.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace fne

@@ -1,0 +1,22 @@
+// Wall-clock timing for experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace fne {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() noexcept { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fne

@@ -1,0 +1,100 @@
+// Shared parameterized graph-family fixtures for the property suites.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/graph.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/classic.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/multibutterfly.hpp"
+#include "topology/random_graphs.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace fne::testing {
+
+enum class Family {
+  Path,
+  Cycle,
+  Complete,
+  Star,
+  Barbell,
+  Mesh2D,
+  Mesh3D,
+  Torus2D,
+  Hypercube,
+  Butterfly,
+  DeBruijn,
+  ShuffleExchange,
+  RandomRegular4,
+  ErdosRenyi,
+  Multibutterfly,
+};
+
+struct GraphCase {
+  Family family;
+  vid size_param;      // side / dimension / n, depending on family
+  std::uint64_t seed;
+
+  [[nodiscard]] Graph make() const {
+    switch (family) {
+      case Family::Path:
+        return path_graph(size_param);
+      case Family::Cycle:
+        return cycle_graph(size_param);
+      case Family::Complete:
+        return complete_graph(size_param);
+      case Family::Star:
+        return star_graph(size_param);
+      case Family::Barbell:
+        return barbell_graph(size_param);
+      case Family::Mesh2D:
+        return Mesh::cube(size_param, 2).graph();
+      case Family::Mesh3D:
+        return Mesh::cube(size_param, 3).graph();
+      case Family::Torus2D:
+        return Mesh::cube(size_param, 2, /*wrap=*/true).graph();
+      case Family::Hypercube:
+        return hypercube(size_param);
+      case Family::Butterfly:
+        return butterfly(size_param).graph;
+      case Family::DeBruijn:
+        return debruijn(size_param);
+      case Family::ShuffleExchange:
+        return shuffle_exchange(size_param);
+      case Family::RandomRegular4:
+        return random_regular(size_param, 4, seed);
+      case Family::ErdosRenyi:
+        return erdos_renyi(size_param, 0.35, seed);
+      case Family::Multibutterfly:
+        return multibutterfly(size_param, 2, seed).graph;
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::string label() const {
+    static const char* names[] = {"path",      "cycle",     "complete", "star",
+                                  "barbell",   "mesh2d",    "mesh3d",   "torus2d",
+                                  "hypercube", "butterfly", "debruijn", "shuffleexch",
+                                  "randreg4",  "erdosrenyi", "multibutterfly"};
+    return std::string(names[static_cast<int>(family)]) + "_" + std::to_string(size_param) +
+           "_s" + std::to_string(seed);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const GraphCase& c) {
+    return os << c.label();
+  }
+};
+
+/// gtest name generator (labels must be alphanumeric + underscore).
+struct GraphCaseName {
+  template <typename ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return info.param.label();
+  }
+};
+
+}  // namespace fne::testing

@@ -1,0 +1,86 @@
+#include "analysis/agreement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Agreement, UnanimousStartStaysUnanimous) {
+  const Graph g = cycle_graph(16);
+  AgreementOptions opts;
+  opts.initial_ones_fraction = 1.0;
+  const AgreementResult r =
+      iterated_majority_agreement(g, VertexSet::full(16), VertexSet(16), opts);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_DOUBLE_EQ(r.agreement_fraction, 1.0);
+  EXPECT_EQ(r.honest_total, 16U);
+}
+
+TEST(Agreement, ExpanderConvergesToMajorityWithoutByzantine) {
+  const Graph g = random_regular(128, 6, 3);
+  AgreementOptions opts;
+  opts.initial_ones_fraction = 0.75;
+  const AgreementResult r =
+      iterated_majority_agreement(g, VertexSet::full(128), VertexSet(128), opts);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_GT(r.agreement_fraction, 0.95);
+}
+
+TEST(Agreement, FewByzantineNodesOnExpanderOnlySwayNeighborhoods) {
+  const Graph g = random_regular(128, 6, 5);
+  Rng rng(9);
+  VertexSet byz(128);
+  for (vid v : rng.sample_without_replacement(128, 6)) byz.set(v);
+  AgreementOptions opts;
+  opts.initial_ones_fraction = 0.8;
+  const AgreementResult r =
+      iterated_majority_agreement(g, VertexSet::full(128), byz, opts);
+  // Almost-everywhere agreement: all but O(|byz| * δ) honest nodes agree.
+  EXPECT_GT(r.agreement_fraction, 0.7);
+  EXPECT_EQ(r.honest_total, 122U);
+}
+
+TEST(Agreement, HonestTotalExcludesByzantine) {
+  const Graph g = cycle_graph(10);
+  VertexSet byz(10);
+  byz.set(0);
+  byz.set(5);
+  const AgreementResult r =
+      iterated_majority_agreement(g, VertexSet::full(10), byz);
+  EXPECT_EQ(r.honest_total, 8U);
+}
+
+TEST(Agreement, RespectsAliveMask) {
+  const Graph g = Mesh({6, 6}).graph();
+  VertexSet alive = VertexSet::full(36);
+  for (vid v = 0; v < 6; ++v) alive.reset(v);  // kill one row
+  const AgreementResult r = iterated_majority_agreement(g, alive, VertexSet(36));
+  EXPECT_EQ(r.honest_total, 30U);
+}
+
+TEST(Agreement, ByzantineMustBeAlive) {
+  const Graph g = cycle_graph(8);
+  VertexSet alive = VertexSet::full(8);
+  alive.reset(0);
+  VertexSet byz(8);
+  byz.set(0);
+  EXPECT_THROW((void)iterated_majority_agreement(g, alive, byz), PreconditionError);
+}
+
+TEST(Agreement, DeterministicUnderSeed) {
+  const Graph g = random_regular(64, 4, 7);
+  const AgreementResult a =
+      iterated_majority_agreement(g, VertexSet::full(64), VertexSet(64));
+  const AgreementResult b =
+      iterated_majority_agreement(g, VertexSet::full(64), VertexSet(64));
+  EXPECT_EQ(a.agreeing_honest, b.agreeing_honest);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace fne

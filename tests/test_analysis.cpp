@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "analysis/distance.hpp"
+#include "analysis/fragmentation.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Distance, ExactDiameterKnownGraphs) {
+  EXPECT_EQ(exact_diameter(path_graph(7), VertexSet::full(7)), 6U);
+  EXPECT_EQ(exact_diameter(cycle_graph(8), VertexSet::full(8)), 4U);
+  EXPECT_EQ(exact_diameter(hypercube(5), VertexSet::full(32)), 5U);
+  const Mesh m({4, 5});
+  EXPECT_EQ(exact_diameter(m.graph(), VertexSet::full(20)), 7U);
+}
+
+TEST(Distance, DiameterRespectsMask) {
+  const Graph g = cycle_graph(10);
+  VertexSet alive = VertexSet::full(10);
+  alive.reset(0);  // becomes a 9-path
+  EXPECT_EQ(exact_diameter(g, alive), 8U);
+}
+
+TEST(Distance, ExactDiameterRequiresConnectivity) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)exact_diameter(g, VertexSet::full(4)), PreconditionError);
+}
+
+TEST(Distance, SampledBoundsExact) {
+  const Mesh m({6, 6});
+  const VertexSet all = VertexSet::full(36);
+  const DistanceSample s = sample_distances(m.graph(), all, 36, 3);
+  EXPECT_EQ(s.max_distance, exact_diameter(m.graph(), all));
+  EXPECT_GT(s.distances.mean(), 0.0);
+}
+
+TEST(Distance, StretchIdentityWhenMasksEqual) {
+  const Mesh m({5, 5});
+  const VertexSet all = VertexSet::full(25);
+  const StretchResult r = distance_stretch(m.graph(), all, all, 50, 7);
+  EXPECT_GT(r.pairs, 0U);
+  EXPECT_DOUBLE_EQ(r.max_stretch, 1.0);
+  EXPECT_EQ(r.disconnected_pairs, 0U);
+}
+
+TEST(Distance, StretchDetectsDetours) {
+  // Cycle with one vertex removed: antipodal pairs take the long way.
+  const Graph g = cycle_graph(12);
+  VertexSet pruned = VertexSet::full(12);
+  pruned.reset(0);
+  const StretchResult r = distance_stretch(g, VertexSet::full(12), pruned, 200, 9);
+  EXPECT_GT(r.max_stretch, 1.0);
+}
+
+TEST(Distance, StretchCountsDisconnections) {
+  const Graph g = path_graph(10);
+  VertexSet pruned = VertexSet::full(10);
+  pruned.reset(5);
+  const StretchResult r = distance_stretch(g, VertexSet::full(10), pruned, 200, 11);
+  EXPECT_GT(r.disconnected_pairs, 0U);
+}
+
+TEST(Fragmentation, IntactGraph) {
+  const Graph g = cycle_graph(12);
+  const FragmentationProfile f = fragmentation_profile(g, VertexSet::full(12));
+  EXPECT_EQ(f.largest, 12U);
+  EXPECT_DOUBLE_EQ(f.gamma, 1.0);
+  EXPECT_EQ(f.num_components, 1U);
+}
+
+TEST(Fragmentation, SizesSortedDescending) {
+  const Graph g = path_graph(10);
+  VertexSet alive = VertexSet::full(10);
+  alive.reset(2);
+  alive.reset(7);  // pieces: {0,1}, {3..6}, {8,9}
+  const FragmentationProfile f = fragmentation_profile(g, alive);
+  EXPECT_EQ(f.num_components, 3U);
+  EXPECT_EQ(f.sizes_desc, (std::vector<vid>{4, 2, 2}));
+  EXPECT_DOUBLE_EQ(f.gamma, 0.4);
+}
+
+TEST(Fragmentation, EmptyAliveSet) {
+  const Graph g = path_graph(5);
+  const FragmentationProfile f = fragmentation_profile(g, VertexSet(5));
+  EXPECT_EQ(f.largest, 0U);
+  EXPECT_EQ(f.num_components, 0U);
+  EXPECT_DOUBLE_EQ(f.gamma, 0.0);
+}
+
+}  // namespace
+}  // namespace fne

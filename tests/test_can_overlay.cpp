@@ -1,0 +1,64 @@
+#include "topology/can_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+
+namespace fne {
+namespace {
+
+TEST(CanOverlay, ZonesPartitionTheTorus) {
+  const CanOverlay overlay = can_overlay(64, 2, 5);
+  EXPECT_EQ(overlay.zones.size(), 64U);
+  // Total volume of all zones equals the torus volume.
+  unsigned long long volume = 0;
+  for (const CanZone& z : overlay.zones) {
+    unsigned long long zv = 1;
+    for (vid d = 0; d < overlay.dims; ++d) zv *= z.size[d];
+    volume += zv;
+  }
+  const unsigned long long span = 1ULL << 20;
+  EXPECT_EQ(volume, span * span);
+}
+
+TEST(CanOverlay, GraphIsConnected) {
+  for (vid d : {2U, 3U}) {
+    const CanOverlay overlay = can_overlay(50, d, 17);
+    EXPECT_TRUE(is_connected(overlay.graph, VertexSet::full(overlay.graph.num_vertices())))
+        << "d=" << d;
+  }
+}
+
+TEST(CanOverlay, SinglePeerOwnsEverything) {
+  const CanOverlay overlay = can_overlay(1, 2, 1);
+  EXPECT_EQ(overlay.zones.size(), 1U);
+  EXPECT_EQ(overlay.graph.num_edges(), 0U);
+}
+
+TEST(CanOverlay, DeterministicUnderSeed) {
+  const CanOverlay a = can_overlay(30, 2, 42);
+  const CanOverlay b = can_overlay(30, 2, 42);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(CanOverlay, DegreesGrowWithDimension) {
+  // In steady state CAN behaves like a d-dimensional torus: average
+  // degree should be around 2d (not a strict bound; sanity-check range).
+  const CanOverlay o2 = can_overlay(256, 2, 3);
+  const double avg2 = o2.graph.average_degree();
+  EXPECT_GT(avg2, 2.5);
+  EXPECT_LT(avg2, 9.0);
+}
+
+TEST(CanOverlay, ZoneSizesArePowersOfTwo) {
+  const CanOverlay overlay = can_overlay(40, 3, 9);
+  for (const CanZone& z : overlay.zones) {
+    for (vid d = 0; d < overlay.dims; ++d) {
+      EXPECT_EQ(z.size[d] & (z.size[d] - 1), 0U);  // power of two
+      EXPECT_EQ(z.lo[d] % z.size[d], 0U);          // aligned
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,89 @@
+#include "topology/chain_expander.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragmentation.hpp"
+#include "core/traversal.hpp"
+#include "topology/classic.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+TEST(ChainExpander, VertexAndEdgeCounts) {
+  const Graph base = cycle_graph(5);
+  const ChainExpander h = chain_replace(base, 4);
+  // n + m*k vertices; each base edge becomes k+1 edges.
+  EXPECT_EQ(h.graph.num_vertices(), 5U + 5U * 4U);
+  EXPECT_EQ(h.graph.num_edges(), 5U * 5U);
+  EXPECT_EQ(h.base_n, 5U);
+  EXPECT_EQ(h.chain_len, 4U);
+}
+
+TEST(ChainExpander, OddOrTinyChainRejected) {
+  const Graph base = cycle_graph(4);
+  EXPECT_THROW((void)chain_replace(base, 3), PreconditionError);
+  EXPECT_THROW((void)chain_replace(base, 0), PreconditionError);
+}
+
+TEST(ChainExpander, PreservesConnectivity) {
+  const Graph base = random_regular(16, 4, 11);
+  const ChainExpander h = chain_replace(base, 2);
+  EXPECT_TRUE(is_connected(h.graph, VertexSet::full(h.graph.num_vertices())));
+}
+
+TEST(ChainExpander, OriginalVerticesKeepBaseDegree) {
+  const Graph base = random_regular(12, 4, 3);
+  const ChainExpander h = chain_replace(base, 2);
+  for (vid v = 0; v < h.base_n; ++v) {
+    EXPECT_EQ(h.graph.degree(v), base.degree(v));
+    EXPECT_TRUE(h.is_original(v));
+  }
+  for (vid v = h.base_n; v < h.graph.num_vertices(); ++v) {
+    EXPECT_EQ(h.graph.degree(v), 2U);  // chain interiors
+    EXPECT_FALSE(h.is_original(v));
+  }
+}
+
+TEST(ChainExpander, ChainsConnectTheRightEndpoints) {
+  const Graph base = path_graph(3);  // edges 0-1, 1-2
+  const ChainExpander h = chain_replace(base, 2);
+  ASSERT_EQ(h.chain_vertices.size(), 2U);
+  for (eid e = 0; e < 2; ++e) {
+    const auto& chain = h.chain_vertices[e];
+    ASSERT_EQ(chain.size(), 2U);
+    EXPECT_TRUE(h.graph.has_edge(base.edge(e).u, chain.front()));
+    EXPECT_TRUE(h.graph.has_edge(chain.back(), base.edge(e).v));
+    EXPECT_TRUE(h.graph.has_edge(chain[0], chain[1]));
+  }
+}
+
+TEST(ChainExpander, CenterIsMiddleOfChain) {
+  const Graph base = path_graph(2);
+  const ChainExpander h = chain_replace(base, 6);
+  ASSERT_EQ(h.chain_center.size(), 1U);
+  EXPECT_EQ(h.chain_center[0], h.chain_vertices[0][3]);  // position k/2
+}
+
+TEST(ChainExpander, CenterSetHasOnePerBaseEdge) {
+  const Graph base = random_regular(10, 4, 7);
+  const ChainExpander h = chain_replace(base, 4);
+  EXPECT_EQ(h.center_set().count(), base.num_edges());
+}
+
+TEST(ChainExpander, RemovingCentersShattersGraph) {
+  // Theorem 2.3's punchline: removing every chain center leaves components
+  // of size at most 1 + delta * k/2 + slack — sublinear in |H|.
+  const Graph base = random_regular(32, 4, 13);
+  const vid k = 8;
+  const ChainExpander h = chain_replace(base, k);
+  const VertexSet alive = VertexSet::full(h.graph.num_vertices()) - h.center_set();
+  const FragmentationProfile frag = fragmentation_profile(h.graph, alive);
+  // Each surviving component hangs off one base vertex: its size is at
+  // most 1 + delta * (k - 1).
+  EXPECT_LE(frag.largest, 1U + 4U * (k - 1));
+  EXPECT_LT(frag.gamma, 0.1);
+}
+
+}  // namespace
+}  // namespace fne

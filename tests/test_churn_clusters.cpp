@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "faults/churn.hpp"
+#include "fne.hpp"
+#include "percolation/cluster_stats.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+// ---- churn -----------------------------------------------------------------
+
+TEST(Churn, NoLeaveKeepsEverything) {
+  const Graph g = cycle_graph(20);
+  ChurnOptions opts;
+  opts.p_leave = 0.0;
+  opts.steps = 10;
+  const ChurnTrace trace = simulate_churn(g, opts);
+  EXPECT_EQ(trace.final_alive.count(), 20U);
+  EXPECT_DOUBLE_EQ(trace.min_gamma(), 1.0);
+}
+
+TEST(Churn, StationaryAliveFractionMatchesRates) {
+  const Graph g = Mesh::cube(16, 2).graph();
+  ChurnOptions opts;
+  opts.p_leave = 0.05;
+  opts.p_join = 0.45;
+  opts.steps = 200;
+  const ChurnTrace trace = simulate_churn(g, opts);
+  // Stationary fraction p_join / (p_join + p_leave) = 0.9.
+  EXPECT_NEAR(trace.mean_alive_fraction(256), 0.9, 0.05);
+}
+
+TEST(Churn, TraceLengthAndCountsConsistent) {
+  const Graph g = cycle_graph(30);
+  ChurnOptions opts;
+  opts.steps = 25;
+  const ChurnTrace trace = simulate_churn(g, opts);
+  ASSERT_EQ(trace.steps.size(), 25U);
+  EXPECT_EQ(trace.steps.back().alive_count, trace.final_alive.count());
+  for (const ChurnStep& s : trace.steps) {
+    EXPECT_GE(s.gamma, 0.0);
+    EXPECT_LE(s.gamma, 1.0);
+  }
+}
+
+TEST(Churn, DeterministicUnderSeed) {
+  const Graph g = random_regular(64, 4, 3);
+  const ChurnTrace a = simulate_churn(g);
+  const ChurnTrace b = simulate_churn(g);
+  EXPECT_EQ(a.final_alive, b.final_alive);
+}
+
+TEST(Churn, ExpanderKeepsGiantComponentUnderMildChurn) {
+  const Graph g = random_regular(256, 6, 9);
+  ChurnOptions opts;
+  opts.p_leave = 0.02;
+  opts.p_join = 0.18;  // stationary alive fraction 0.9
+  opts.steps = 80;
+  const ChurnTrace trace = simulate_churn(g, opts);
+  EXPECT_GT(trace.min_gamma(), 0.75);
+}
+
+TEST(Churn, ParameterValidation) {
+  const Graph g = cycle_graph(5);
+  ChurnOptions opts;
+  opts.p_leave = 1.5;
+  EXPECT_THROW((void)simulate_churn(g, opts), PreconditionError);
+}
+
+// ---- cluster statistics ------------------------------------------------------
+
+TEST(ClusterStats, FullSurvivalHasNoFiniteClusters) {
+  const Graph g = cycle_graph(24);
+  const ClusterStats s = cluster_statistics(g, PercolationKind::Site, 1.0, 4, 1);
+  EXPECT_DOUBLE_EQ(s.gamma.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.second_fraction.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.susceptibility.mean(), 0.0);
+}
+
+TEST(ClusterStats, GammaMatchesPercolate) {
+  const Graph g = Mesh::cube(12, 2).graph();
+  const ClusterStats s = cluster_statistics(g, PercolationKind::Bond, 0.6, 16, 9);
+  const PercolationResult p = percolate(g, PercolationKind::Bond, 0.6, 16, 9);
+  EXPECT_NEAR(s.gamma.mean(), p.gamma.mean(), 1e-12);
+}
+
+TEST(ClusterStats, SusceptibilityPeaksNearCriticalPoint) {
+  // χ should be larger near p* = 0.5 (2-D bond) than deep in either phase.
+  const Graph g = Mesh::cube(20, 2).graph();
+  const double chi_low =
+      cluster_statistics(g, PercolationKind::Bond, 0.2, 20, 3).susceptibility.mean();
+  const double chi_mid =
+      cluster_statistics(g, PercolationKind::Bond, 0.5, 20, 3).susceptibility.mean();
+  const double chi_high =
+      cluster_statistics(g, PercolationKind::Bond, 0.9, 20, 3).susceptibility.mean();
+  EXPECT_GT(chi_mid, chi_low);
+  EXPECT_GT(chi_mid, chi_high);
+}
+
+TEST(ClusterStats, SecondFractionVanishesAboveThreshold) {
+  const Graph g = random_regular(256, 4, 5);
+  const ClusterStats s = cluster_statistics(g, PercolationKind::Bond, 0.9, 12, 7);
+  EXPECT_LT(s.second_fraction.mean(), 0.05);
+}
+
+// ---- umbrella header ---------------------------------------------------------
+
+TEST(UmbrellaHeader, VersionConstantsVisible) {
+  EXPECT_EQ(kVersionMajor, 1);
+  EXPECT_GE(kVersionMinor, 0);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,126 @@
+#include "span/compact_sets.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(CompactSets, PathCompactSetsArePrefixesAndSuffixes) {
+  // On a path, S and complement both connected ⇔ S is a proper prefix or
+  // suffix: exactly 2(n-1) compact sets.
+  for (vid n : {4U, 6U, 9U}) {
+    EXPECT_EQ(count_compact_sets(path_graph(n)), 2ULL * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(CompactSets, CycleCompactSetsAreArcs) {
+  // On a cycle, compact sets are the proper arcs: n(n-1).
+  for (vid n : {4U, 6U, 8U}) {
+    EXPECT_EQ(count_compact_sets(cycle_graph(n)), static_cast<std::uint64_t>(n) * (n - 1))
+        << "n=" << n;
+  }
+}
+
+TEST(CompactSets, CompleteGraphAllProperSubsets) {
+  // In K_n every nonempty proper subset is compact: 2^n - 2.
+  EXPECT_EQ(count_compact_sets(complete_graph(5)), 30ULL);
+}
+
+TEST(CompactSets, EnumerationEmitsOnlyCompactSets) {
+  const Mesh m({3, 3});
+  const VertexSet all = VertexSet::full(9);
+  std::uint64_t count = 0;
+  enumerate_compact_sets(m.graph(), [&](const VertexSet& s) {
+    ++count;
+    EXPECT_TRUE(is_compact(m.graph(), all, s));
+  });
+  EXPECT_GT(count, 0ULL);
+}
+
+TEST(CompactSets, EnumerationVisitsBothOrientations) {
+  const Graph g = path_graph(4);
+  bool saw_prefix = false, saw_suffix = false;
+  enumerate_compact_sets(g, [&](const VertexSet& s) {
+    if (s == VertexSet::of(4, {0})) saw_prefix = true;
+    if (s == VertexSet::of(4, {1, 2, 3})) saw_suffix = true;
+  });
+  EXPECT_TRUE(saw_prefix);
+  EXPECT_TRUE(saw_suffix);
+}
+
+TEST(CompactSets, SampleProducesCompactSets) {
+  const Mesh m({8, 8});
+  Rng rng(7);
+  const VertexSet all = VertexSet::full(64);
+  int produced = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const vid target = 2 + static_cast<vid>(rng.uniform(30));
+    const VertexSet s = sample_compact_set(m.graph(), target, rng.next());
+    if (s.empty()) continue;
+    ++produced;
+    EXPECT_TRUE(is_compact(m.graph(), all, s)) << "trial " << trial;
+  }
+  EXPECT_GT(produced, 15);
+}
+
+TEST(CompactSets, SampleSizeGuards) {
+  const Graph g = path_graph(8);
+  EXPECT_THROW((void)sample_compact_set(g, 5, 1), PreconditionError);  // > n/2
+  EXPECT_THROW((void)sample_compact_set(g, 0, 1), PreconditionError);
+}
+
+TEST(CompactSets, DisconnectedGraphRejected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)count_compact_sets(g), PreconditionError);
+}
+
+TEST(SubgraphCounting, PathSubpaths) {
+  // Connected induced subgraphs of P_n are intervals.  With all vertices
+  // marked and r = 2, exactly the n-1 edges qualify (size limit 2).
+  const Graph g = path_graph(6);
+  const VertexSet marked = VertexSet::full(6);
+  EXPECT_EQ(count_connected_subgraphs_with_marked(g, marked, 2, 2), 5ULL);
+  // Intervals with exactly 3 vertices:
+  EXPECT_EQ(count_connected_subgraphs_with_marked(g, marked, 3, 3), 4ULL);
+}
+
+TEST(SubgraphCounting, Claim32BoundHoldsOnCycle) {
+  // Claim 3.2 (Eulerian-walk count): the number of connected subgraphs of
+  // G spanned by r G-vertices is at most n·δ^{2r}.
+  const Graph base = cycle_graph(6);  // n = 6, δ = 2
+  const VertexSet marked = VertexSet::full(6);
+  for (vid r = 1; r <= 4; ++r) {
+    const std::uint64_t count = count_connected_subgraphs_with_marked(base, marked, r, r);
+    const double bound = 6.0 * std::pow(2.0, 2.0 * r);
+    EXPECT_LE(static_cast<double>(count), bound) << "r=" << r;
+    EXPECT_GT(count, 0ULL) << "r=" << r;
+  }
+}
+
+TEST(SubgraphCounting, Claim32BoundHoldsOnDenserGraph) {
+  const Graph base = complete_graph(6);  // δ = 5
+  const VertexSet marked = VertexSet::full(6);
+  for (vid r = 1; r <= 4; ++r) {
+    const std::uint64_t count = count_connected_subgraphs_with_marked(base, marked, r, r);
+    const double bound = 6.0 * std::pow(5.0, 2.0 * r);
+    EXPECT_LE(static_cast<double>(count), bound) << "r=" << r;
+  }
+}
+
+TEST(SubgraphCounting, CompleteGraphAllSubsetsConnected) {
+  // In K_n every r-subset induces a connected subgraph: count = C(n, r).
+  const Graph g = complete_graph(6);
+  const VertexSet marked = VertexSet::full(6);
+  EXPECT_EQ(count_connected_subgraphs_with_marked(g, marked, 2, 2), 15ULL);
+  EXPECT_EQ(count_connected_subgraphs_with_marked(g, marked, 3, 3), 20ULL);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,106 @@
+#include "prune/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/uniform.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+double edge_ratio(const Graph& g, const VertexSet& alive, const VertexSet& s) {
+  return static_cast<double>(edge_boundary_size(g, alive, s)) /
+         static_cast<double>(s.count());
+}
+
+TEST(Compactify, AlreadyCompactSetUnchanged) {
+  const Graph g = cycle_graph(10);
+  const VertexSet all = VertexSet::full(10);
+  const VertexSet arc = VertexSet::of(10, {2, 3, 4});
+  EXPECT_EQ(compactify(g, all, arc), arc);
+}
+
+TEST(Compactify, Case2PicksDetachedComponent) {
+  // Path 0..8; S = {4} splits the complement into 0..3 and 5..8 (each has
+  // one cut edge, ratio 1/4 < S's ratio 2). Lemma 3.3 case 2.
+  const Graph g = path_graph(9);
+  const VertexSet all = VertexSet::full(9);
+  const VertexSet s = VertexSet::of(9, {4});
+  const VertexSet k = compactify(g, all, s);
+  EXPECT_TRUE(is_compact(g, all, k));
+  EXPECT_LE(edge_ratio(g, all, k), edge_ratio(g, all, s) + 1e-12);
+  EXPECT_EQ(k.count(), 4U);
+}
+
+TEST(Compactify, Case1TakesComplementOfBigComponent) {
+  // Path 0..9; S = {1}: complement components {0} and {2..9} (size 8 >= 5).
+  // Case 1: K = alive \ {2..9} = {0, 1}, compact and cheaper than S.
+  const Graph g = path_graph(10);
+  const VertexSet all = VertexSet::full(10);
+  const VertexSet s = VertexSet::of(10, {1});
+  const VertexSet k = compactify(g, all, s);
+  EXPECT_TRUE(is_compact(g, all, k));
+  EXPECT_TRUE(s.is_subset_of(k));
+  EXPECT_EQ(k.to_vector(), (std::vector<vid>{0, 1}));
+  EXPECT_LE(edge_ratio(g, all, k), edge_ratio(g, all, s) + 1e-12);
+}
+
+TEST(Compactify, PropertyOnRandomMeshSets) {
+  const Mesh m({7, 7});
+  const Graph& g = m.graph();
+  const VertexSet all = VertexSet::full(49);
+  Rng rng(3);
+  int nontrivial = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const vid size = 2 + static_cast<vid>(rng.uniform(20));
+    const VertexSet s = random_connected_set(g, all, size, rng.next());
+    if (s.empty() || 2 * s.count() > 49) continue;
+    const VertexSet k = compactify(g, all, s);
+    EXPECT_TRUE(is_compact(g, all, k)) << "trial " << trial;
+    EXPECT_LE(edge_ratio(g, all, k), edge_ratio(g, all, s) + 1e-12) << "trial " << trial;
+    if (!(k == s)) ++nontrivial;
+  }
+  // The sampler produces some non-compact sets, so compactify must have
+  // done real work at least once.
+  EXPECT_GT(nontrivial, 0);
+}
+
+TEST(Compactify, PropertyOnRandomRegular) {
+  const Graph g = random_regular(30, 4, 9);
+  const VertexSet all = VertexSet::full(30);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const vid size = 2 + static_cast<vid>(rng.uniform(13));
+    const VertexSet s = random_connected_set(g, all, size, rng.next());
+    if (s.empty() || 2 * s.count() > 30) continue;
+    const VertexSet k = compactify(g, all, s);
+    EXPECT_TRUE(is_compact(g, all, k));
+    EXPECT_LE(edge_ratio(g, all, k), edge_ratio(g, all, s) + 1e-12);
+  }
+}
+
+TEST(Compactify, WorksUnderAliveMask) {
+  const Graph g = path_graph(12);
+  VertexSet alive = VertexSet::full(12);
+  alive.reset(11);
+  const VertexSet s = VertexSet::of(12, {5});
+  const VertexSet k = compactify(g, alive, s);
+  EXPECT_TRUE(k.is_subset_of(alive));
+  EXPECT_TRUE(is_compact(g, alive, k));
+}
+
+TEST(Compactify, PreconditionsEnforced) {
+  const Graph g = path_graph(8);
+  const VertexSet all = VertexSet::full(8);
+  EXPECT_THROW((void)compactify(g, all, VertexSet(8)), PreconditionError);               // empty
+  EXPECT_THROW((void)compactify(g, all, VertexSet::of(8, {0, 2})), PreconditionError);   // split
+  EXPECT_THROW((void)compactify(g, all, VertexSet::of(8, {0, 1, 2, 3, 4})),
+               PreconditionError);  // > half
+}
+
+}  // namespace
+}  // namespace fne

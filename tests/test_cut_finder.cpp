@@ -1,0 +1,124 @@
+#include "expansion/cut_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/exact.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+void expect_valid_violation(const Graph& g, const VertexSet& alive, const CutWitness& w,
+                            ExpansionKind kind, double threshold) {
+  const vid size = w.side.count();
+  ASSERT_GT(size, 0U);
+  EXPECT_LE(2 * size, alive.count());
+  EXPECT_TRUE(w.side.is_subset_of(alive));
+  const std::size_t boundary = kind == ExpansionKind::Node
+                                   ? node_boundary_size(g, alive, w.side)
+                                   : edge_boundary_size(g, alive, w.side);
+  EXPECT_LE(static_cast<double>(boundary), threshold * size + 1e-12);
+  if (kind == ExpansionKind::Edge) {
+    EXPECT_TRUE(is_connected_subset(g, alive, w.side));
+  }
+}
+
+TEST(CutFinder, FindsDetachedComponents) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {5, 6}});
+  const VertexSet alive = VertexSet::full(7);
+  for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+    const auto hit = find_violating_set(g, alive, kind, 0.0);
+    ASSERT_TRUE(hit.has_value());
+    expect_valid_violation(g, alive, *hit, kind, 0.0);
+    EXPECT_DOUBLE_EQ(hit->expansion, 0.0);
+  }
+}
+
+TEST(CutFinder, NodeModeReturnsAllMinorComponentsAtOnce) {
+  const Graph g = Graph::from_edges(9, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}, {7, 8}});
+  const auto hit = find_violating_set(g, VertexSet::full(9), ExpansionKind::Node, 0.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->side.count(), 4U);  // both small components {5,6}, {7,8}
+}
+
+TEST(CutFinder, ExactModeIsDefinitiveBelowThreshold) {
+  // Cycle C_12: α = 2/6 = 1/3.  A threshold below 1/3 must find nothing.
+  const Graph g = cycle_graph(12);
+  const VertexSet alive = VertexSet::full(12);
+  const auto miss = find_violating_set(g, alive, ExpansionKind::Node, 0.33);
+  EXPECT_FALSE(miss.has_value());
+  const auto hit = find_violating_set(g, alive, ExpansionKind::Node, 1.0 / 3.0);
+  ASSERT_TRUE(hit.has_value());
+  expect_valid_violation(g, alive, *hit, ExpansionKind::Node, 1.0 / 3.0);
+}
+
+TEST(CutFinder, EdgeModeFindsBridgeCutOnBarbell) {
+  const Graph g = barbell_graph(8);
+  const VertexSet alive = VertexSet::full(16);
+  // One clique side: cut 1, size 8 → ratio 1/8.
+  const auto hit = find_violating_set(g, alive, ExpansionKind::Edge, 0.2);
+  ASSERT_TRUE(hit.has_value());
+  expect_valid_violation(g, alive, *hit, ExpansionKind::Edge, 0.2);
+  EXPECT_EQ(hit->side.count(), 8U);
+}
+
+TEST(CutFinder, HeuristicPathStillFindsObviousCut) {
+  // Two 5x5 grids joined by one edge, n = 50 > exact_limit.
+  std::vector<Edge> edges;
+  const Mesh m({5, 5});
+  for (const Edge& e : m.graph().edges()) {
+    edges.push_back(e);
+    edges.push_back({e.u + 25, e.v + 25});
+  }
+  edges.push_back({24, 25});
+  const Graph g = Graph::from_edges(50, edges);
+  const VertexSet alive = VertexSet::full(50);
+  CutFinderOptions opts;
+  opts.exact_limit = 10;
+  const auto hit = find_violating_set(g, alive, ExpansionKind::Edge, 0.1, opts);
+  ASSERT_TRUE(hit.has_value());
+  expect_valid_violation(g, alive, *hit, ExpansionKind::Edge, 0.1);
+}
+
+TEST(CutFinder, ReturnedSetsAlwaysValid) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(18, 0.25, rng.next());
+    const VertexSet alive = VertexSet::full(18);
+    const double threshold = 0.2 + rng.uniform01();
+    for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+      const auto hit = find_violating_set(g, alive, kind, threshold);
+      if (hit.has_value()) expect_valid_violation(g, alive, *hit, kind, threshold);
+    }
+  }
+}
+
+TEST(CutFinder, RespectsAliveMask) {
+  const Graph g = path_graph(12);
+  VertexSet alive = VertexSet::full(12);
+  alive.reset(6);  // split into 0..5 and 7..11
+  const auto hit = find_violating_set(g, alive, ExpansionKind::Node, 0.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->side.is_subset_of(alive));
+  EXPECT_EQ(hit->side.count(), 5U);  // smaller piece 7..11
+}
+
+TEST(CutFinder, TinyAliveSetsReturnNothing) {
+  const Graph g = path_graph(5);
+  EXPECT_FALSE(find_violating_set(g, VertexSet::of(5, {2}), ExpansionKind::Node, 10.0));
+  EXPECT_FALSE(find_violating_set(g, VertexSet(5), ExpansionKind::Edge, 10.0));
+}
+
+TEST(CutFinder, NegativeThresholdRejected) {
+  const Graph g = path_graph(5);
+  EXPECT_THROW(
+      (void)find_violating_set(g, VertexSet::full(5), ExpansionKind::Node, -1.0),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,51 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/io.hpp"
+#include "topology/classic.hpp"
+
+namespace fne {
+namespace {
+
+TEST(DotExport, PlainGraphListsAllVerticesAndEdges) {
+  const Graph g = cycle_graph(4);
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph fne {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("3;\n"), std::string::npos);
+  EXPECT_EQ(dot.find("dashed"), std::string::npos);
+}
+
+TEST(DotExport, DeadVerticesDashed) {
+  const Graph g = path_graph(3);
+  VertexSet alive = VertexSet::full(3);
+  alive.reset(1);
+  std::ostringstream os;
+  write_dot(os, g, &alive);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("1 [style=dashed"), std::string::npos);
+  // Both edges touch the dead vertex.
+  EXPECT_NE(dot.find("0 -- 1 [style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2 [style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, HighlightFills) {
+  const Graph g = path_graph(3);
+  const VertexSet hot = VertexSet::of(3, {2});
+  std::ostringstream os;
+  write_dot(os, g, nullptr, &hot);
+  EXPECT_NE(os.str().find("2 [style=filled"), std::string::npos);
+}
+
+TEST(DotExport, MismatchedMaskRejected) {
+  const Graph g = path_graph(3);
+  const VertexSet wrong(4);
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(os, g, &wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

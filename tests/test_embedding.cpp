@@ -1,0 +1,84 @@
+#include "analysis/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.hpp"
+#include "prune/prune2.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Embedding, IdentityWhenNoFaults) {
+  const Mesh m({5, 5});
+  const SelfEmbedding e = embed_into_survivors(m.graph(), VertexSet::full(25));
+  for (vid v = 0; v < 25; ++v) EXPECT_EQ(e.host_of[v], v);
+  EXPECT_EQ(e.quality.load, 1U);
+  EXPECT_EQ(e.quality.congestion, 1U);  // each guest edge maps to itself
+  EXPECT_EQ(e.quality.dilation, 1U);
+}
+
+TEST(Embedding, AliveGuestsMapToThemselves) {
+  const Mesh m({6, 6});
+  const VertexSet alive = random_node_faults(m.graph(), 0.1, 5);
+  if (!is_connected(m.graph(), alive)) GTEST_SKIP();
+  const SelfEmbedding e = embed_into_survivors(m.graph(), alive);
+  alive.for_each([&](vid v) { EXPECT_EQ(e.host_of[v], v); });
+}
+
+TEST(Embedding, DeadGuestsMapToAliveHosts) {
+  const Graph g = path_graph(7);
+  VertexSet alive = VertexSet::full(7);
+  alive.reset(0);
+  alive.reset(1);
+  const SelfEmbedding e = embed_into_survivors(g, alive);
+  EXPECT_EQ(e.host_of[0], 2U);  // nearest alive
+  EXPECT_EQ(e.host_of[1], 2U);
+  EXPECT_EQ(e.quality.load, 3U);  // vertex 2 hosts {0, 1, 2}
+}
+
+TEST(Embedding, SingleFaultInMeshHasLocalEffect) {
+  const Mesh m({7, 7});
+  VertexSet alive = VertexSet::full(49);
+  alive.reset(m.id_of({3, 3}));  // center fault
+  const SelfEmbedding e = embed_into_survivors(m.graph(), alive);
+  EXPECT_EQ(e.quality.load, 2U);      // one host absorbs the dead center
+  // Detour around one hole: a guest edge from the hole to a neighbor two
+  // steps from the image costs 2 + 2 (parity detour) = 4.
+  EXPECT_LE(e.quality.dilation, 4U);
+  EXPECT_LE(e.quality.congestion, 6U);
+}
+
+TEST(Embedding, QualityDegradesGracefullyWithFaults) {
+  const Mesh m({10, 10});
+  const Graph& g = m.graph();
+  const VertexSet alive = random_node_faults(g, 0.05, 9);
+  const PruneResult pruned = prune2(g, alive, 0.2, 0.125);
+  if (pruned.survivors.count() < 50) GTEST_SKIP();
+  const SelfEmbedding e = embed_into_survivors(g, pruned.survivors);
+  // Leighton–Maggs–Rao slowdown proxy should stay small constants at
+  // this fault rate (paper §1.2's constant-slowdown regime).
+  EXPECT_LE(e.quality.load, 6U);
+  EXPECT_LE(e.quality.dilation, 8U);
+  EXPECT_LE(e.quality.slowdown(), 40U);
+}
+
+TEST(Embedding, DisconnectedHostRejected) {
+  const Graph g = path_graph(5);
+  VertexSet alive = VertexSet::full(5);
+  alive.reset(2);
+  EXPECT_THROW((void)embed_into_survivors(g, alive), PreconditionError);
+}
+
+TEST(Embedding, AverageDilationAtMostMax) {
+  const Mesh m({8, 8});
+  const VertexSet alive = random_node_faults(m.graph(), 0.08, 21);
+  if (!is_connected(m.graph(), alive)) GTEST_SKIP();
+  const SelfEmbedding e = embed_into_survivors(m.graph(), alive);
+  EXPECT_LE(e.quality.average_dilation, static_cast<double>(e.quality.dilation) + 1e-12);
+  EXPECT_GT(e.quality.average_dilation, 0.0);
+}
+
+}  // namespace
+}  // namespace fne

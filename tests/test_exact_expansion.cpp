@@ -1,0 +1,150 @@
+#include "expansion/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/subgraph.hpp"
+#include "core/traversal.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+/// Naive reference: enumerate subsets explicitly and recompute boundaries
+/// from scratch (differential-testing oracle for the Gray-code scan).
+CutWitness naive_expansion(const Graph& g, ExpansionKind kind) {
+  const vid n = g.num_vertices();
+  const VertexSet all = VertexSet::full(n);
+  CutWitness best;
+  for (std::uint32_t mask = 1; mask < (1U << n) - 1U; ++mask) {
+    VertexSet s(n);
+    for (vid v = 0; v < n; ++v) {
+      if ((mask >> v) & 1U) s.set(v);
+    }
+    const vid size = s.count();
+    double ratio;
+    std::size_t boundary;
+    if (kind == ExpansionKind::Node) {
+      if (2 * size > n) continue;
+      boundary = node_boundary_size(g, all, s);
+      ratio = static_cast<double>(boundary) / size;
+    } else {
+      boundary = edge_boundary_size(g, all, s);
+      ratio = static_cast<double>(boundary) / std::min(size, n - size);
+    }
+    if (ratio < best.expansion) {
+      best.expansion = ratio;
+      best.boundary = boundary;
+      best.side = s;
+    }
+  }
+  return best;
+}
+
+TEST(ExactExpansion, CycleNodeExpansion) {
+  // Best set of C_n is an arc of floor(n/2) vertices with 2 boundary nodes.
+  for (vid n : {6U, 8U, 10U}) {
+    const CutWitness w = exact_expansion(cycle_graph(n), ExpansionKind::Node);
+    EXPECT_DOUBLE_EQ(w.expansion, 2.0 / (n / 2)) << "n=" << n;
+  }
+}
+
+TEST(ExactExpansion, CycleEdgeExpansion) {
+  for (vid n : {6U, 8U, 10U}) {
+    const CutWitness w = exact_expansion(cycle_graph(n), ExpansionKind::Edge);
+    EXPECT_DOUBLE_EQ(w.expansion, 2.0 / (n / 2)) << "n=" << n;
+  }
+}
+
+TEST(ExactExpansion, PathEdgeExpansion) {
+  const CutWitness w = exact_expansion(path_graph(9), ExpansionKind::Edge);
+  EXPECT_DOUBLE_EQ(w.expansion, 1.0 / 4.0);
+}
+
+TEST(ExactExpansion, CompleteGraph) {
+  // K_n: Γ(U) = V \ U, so α = (n - floor(n/2)) / floor(n/2).
+  const CutWitness node = exact_expansion(complete_graph(7), ExpansionKind::Node);
+  EXPECT_DOUBLE_EQ(node.expansion, 4.0 / 3.0);
+  // Edge: cut = |U|(n-|U|), denominator min(...) → minimized at n - floor(n/2).
+  const CutWitness edge = exact_expansion(complete_graph(7), ExpansionKind::Edge);
+  EXPECT_DOUBLE_EQ(edge.expansion, 4.0);
+}
+
+TEST(ExactExpansion, HypercubeEdgeExpansionIsOne) {
+  // The dimension cut of Q_d is optimal: αe(Q_d) = 1.
+  for (vid d : {3U, 4U}) {
+    const CutWitness w = exact_expansion(hypercube(d), ExpansionKind::Edge);
+    EXPECT_DOUBLE_EQ(w.expansion, 1.0) << "d=" << d;
+  }
+}
+
+TEST(ExactExpansion, DisconnectedGraphIsZero) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_DOUBLE_EQ(exact_expansion(g, ExpansionKind::Node).expansion, 0.0);
+  EXPECT_DOUBLE_EQ(exact_expansion(g, ExpansionKind::Edge).expansion, 0.0);
+}
+
+TEST(ExactExpansion, WitnessAchievesReportedValue) {
+  const Graph g = Mesh({4, 4}).graph();
+  const VertexSet all = VertexSet::full(16);
+  for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+    const CutWitness w = exact_expansion(g, kind);
+    const vid size = w.side.count();
+    ASSERT_GT(size, 0U);
+    EXPECT_LE(2 * size, 16U);
+    const std::size_t boundary = kind == ExpansionKind::Node
+                                     ? node_boundary_size(g, all, w.side)
+                                     : edge_boundary_size(g, all, w.side);
+    EXPECT_EQ(boundary, w.boundary);
+    EXPECT_DOUBLE_EQ(static_cast<double>(boundary) / size, w.expansion);
+  }
+}
+
+TEST(ExactExpansion, MatchesNaiveOnRandomGraphs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const vid n = 6 + static_cast<vid>(rng.uniform(7));  // 6..12
+    const Graph g = erdos_renyi(n, 0.35, rng.next());
+    for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+      const CutWitness fast = exact_expansion(g, kind);
+      const CutWitness slow = naive_expansion(g, kind);
+      EXPECT_NEAR(fast.expansion, slow.expansion, 1e-12)
+          << "trial=" << trial << " n=" << n << " kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(ExactExpansion, MaskedVersionMatchesInducedCopy) {
+  const Graph g = Mesh({4, 4}).graph();
+  const VertexSet keep = VertexSet::of(16, {0, 1, 2, 4, 5, 6, 8, 9, 10});
+  const CutWitness masked = exact_expansion(g, keep, ExpansionKind::Edge);
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  const CutWitness copied = exact_expansion(sub.graph, ExpansionKind::Edge);
+  EXPECT_DOUBLE_EQ(masked.expansion, copied.expansion);
+  EXPECT_TRUE(masked.side.is_subset_of(keep));
+}
+
+TEST(ExactExpansion, ParallelStrandsMatchSequentialThreshold) {
+  // n = 18 crosses the OpenMP strand-split threshold; compare with n = 17
+  // (sequential) on the same family to catch strand-boundary bugs.
+  const Graph g18 = cycle_graph(18);
+  EXPECT_DOUBLE_EQ(exact_expansion(g18, ExpansionKind::Edge).expansion, 2.0 / 9.0);
+  const Graph g17 = cycle_graph(17);
+  EXPECT_DOUBLE_EQ(exact_expansion(g17, ExpansionKind::Edge).expansion, 2.0 / 8.0);
+}
+
+TEST(ExactExpansion, SizeGuards) {
+  EXPECT_THROW((void)exact_expansion(path_graph(1), ExpansionKind::Node), PreconditionError);
+}
+
+TEST(ExactExpansion, StarGraphNodeExpansion) {
+  // Star S_n: any U of leaves (|U| <= n/2) has Γ(U) = {hub}, α = 1/|U|.
+  const CutWitness w = exact_expansion(star_graph(9), ExpansionKind::Node);
+  EXPECT_DOUBLE_EQ(w.expansion, 1.0 / 4.0);  // 4 leaves, boundary = hub
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/bfs_ball.hpp"
+#include "expansion/bracket.hpp"
+#include "expansion/exact.hpp"
+#include "expansion/local_search.hpp"
+#include "expansion/sweep.hpp"
+#include "expansion/uniform.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Sweep, NaturalOrderOnPathFindsMiddleCut) {
+  const vid n = 10;
+  const Graph g = path_graph(n);
+  std::vector<vid> order(n);
+  for (vid i = 0; i < n; ++i) order[i] = i;
+  const CutWitness w = sweep_cut(g, VertexSet::full(n), order, ExpansionKind::Edge);
+  EXPECT_DOUBLE_EQ(w.expansion, 1.0 / 5.0);
+}
+
+TEST(Sweep, FiedlerSweepIsUpperBound) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = erdos_renyi(14, 0.3, rng.next());
+    for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+      const double exact = exact_expansion(g, kind).expansion;
+      const double sweep = fiedler_sweep(g, VertexSet::full(14), kind, rng.next()).expansion;
+      EXPECT_GE(sweep + 1e-12, exact) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Sweep, FiedlerSweepExactOnCycle) {
+  // The Fiedler ordering of a cycle is a rotation of the natural order, so
+  // the sweep finds the optimal arc cut.
+  const vid n = 16;
+  const Graph g = cycle_graph(n);
+  const CutWitness w = fiedler_sweep(g, VertexSet::full(n), ExpansionKind::Edge);
+  EXPECT_DOUBLE_EQ(w.expansion, 2.0 / 8.0);
+}
+
+TEST(Sweep, NodeKindReturnsSuffixWhenBetter) {
+  // Order engineered so that the good small side is at the END of the
+  // order: sweep must consider complements (suffix candidate sets).
+  const Graph g = star_graph(9);
+  std::vector<vid> order;
+  order.push_back(0);  // hub first
+  for (vid v = 1; v < 9; ++v) order.push_back(v);
+  const CutWitness w = sweep_cut(g, VertexSet::full(9), order, ExpansionKind::Node);
+  // Suffix {5,6,7,8}... any leaf set of size 4 has ratio 1/4.
+  EXPECT_DOUBLE_EQ(w.expansion, 0.25);
+  EXPECT_FALSE(w.side.test(0));
+}
+
+TEST(Sweep, OrderMustCoverAliveSet) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)sweep_cut(g, VertexSet::full(4), {0, 1}, ExpansionKind::Edge),
+               PreconditionError);
+}
+
+TEST(BfsBall, GridBallCutWithinDiagonalFactor) {
+  const Mesh m({6, 6});
+  const CutWitness w =
+      best_ball_cut(m.graph(), VertexSet::full(36), ExpansionKind::Edge, 36, 1);
+  // Optimal edge cut of the 6x6 grid is a straight line (1/3); BFS balls
+  // produce diagonal staircase cuts, which are within a factor ~2 of it.
+  EXPECT_LE(w.expansion, 2.0 / 3.0 + 1e-12);
+  EXPECT_GE(w.expansion, 1.0 / 3.0 - 1e-12);
+}
+
+TEST(BfsBall, UpperBoundsExact) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = erdos_renyi(13, 0.3, rng.next());
+    const double exact = exact_expansion(g, ExpansionKind::Node).expansion;
+    const double ball =
+        best_ball_cut(g, VertexSet::full(13), ExpansionKind::Node, 13, rng.next()).expansion;
+    EXPECT_GE(ball + 1e-12, exact);
+  }
+}
+
+TEST(LocalSearch, NeverWorsens) {
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = erdos_renyi(16, 0.25, rng.next());
+    const VertexSet all = VertexSet::full(16);
+    CutWitness start = best_ball_cut(g, all, ExpansionKind::Edge, 4, rng.next());
+    const double before = start.expansion;
+    const CutWitness refined = refine_cut(g, all, std::move(start), ExpansionKind::Edge);
+    EXPECT_LE(refined.expansion, before + 1e-12);
+  }
+}
+
+TEST(LocalSearch, CompletesPartialCliqueSideOnBarbell) {
+  const Graph g = barbell_graph(5);
+  const VertexSet all = VertexSet::full(10);
+  // Start from 4/5 of one clique: a single add-move reaches the optimum
+  // bridge cut (ratio 1/5).
+  CutWitness start;
+  start.side = VertexSet::of(10, {5, 6, 7, 8});
+  start.expansion = 1e9;
+  const CutWitness refined = refine_cut(g, all, std::move(start), ExpansionKind::Edge, 20);
+  EXPECT_DOUBLE_EQ(refined.expansion, 1.0 / 5.0);  // one clique side
+}
+
+TEST(Bracket, ExactForSmallGraphs) {
+  const Graph g = cycle_graph(12);
+  const ExpansionBracket b = expansion_bracket(g, ExpansionKind::Edge);
+  EXPECT_TRUE(b.exact);
+  EXPECT_DOUBLE_EQ(b.lower, b.upper);
+  EXPECT_DOUBLE_EQ(b.upper, 2.0 / 6.0);
+}
+
+TEST(Bracket, LowerNeverExceedsUpper) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_regular(48, 4, rng.next());
+    for (ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+      BracketOptions opts;
+      opts.exact_limit = 10;  // force the heuristic path
+      const ExpansionBracket b = expansion_bracket(g, kind, opts);
+      EXPECT_LE(b.lower, b.upper + 1e-12);
+      EXPECT_FALSE(b.exact);
+      ASSERT_TRUE(b.witness.has_value());
+      EXPECT_GT(b.upper, 0.0);
+    }
+  }
+}
+
+TEST(Bracket, HeuristicUpperBoundsTrueValueOnSmallGraphs) {
+  Rng rng(37);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = erdos_renyi(15, 0.3, rng.next());
+    const double exact = exact_expansion(g, ExpansionKind::Edge).expansion;
+    BracketOptions opts;
+    opts.exact_limit = 4;  // force heuristics despite small size
+    const ExpansionBracket b = expansion_bracket(g, ExpansionKind::Edge, opts);
+    EXPECT_GE(b.upper + 1e-12, exact);
+    EXPECT_LE(b.lower, exact + 1e-9);
+  }
+}
+
+TEST(Bracket, DisconnectedIsExactZero) {
+  const Graph g = Graph::from_edges(8, {{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}});
+  const ExpansionBracket b = expansion_bracket(g, ExpansionKind::Node);
+  EXPECT_TRUE(b.exact);
+  EXPECT_DOUBLE_EQ(b.upper, 0.0);
+  ASSERT_TRUE(b.witness.has_value());
+  EXPECT_EQ(b.witness->side.count(), 2U);  // smallest component {3,4}
+}
+
+TEST(Bracket, HypercubeBracketStraddlesTrueValue) {
+  const Graph g = hypercube(6);
+  BracketOptions opts;
+  opts.exact_limit = 10;
+  const ExpansionBracket b = expansion_bracket(g, ExpansionKind::Edge, opts);
+  // λ2(Q_d) = 2 → certified edge lower bound 1; true αe = 1.  The upper
+  // side is heuristic (the dimension cut is not a sweep prefix of an
+  // arbitrary vector in the degenerate λ2 eigenspace), so allow slack.
+  EXPECT_GE(b.lower, 1.0 - 1e-5);
+  EXPECT_GE(b.upper, 1.0 - 1e-9);
+  EXPECT_LE(b.upper, 2.0);
+}
+
+TEST(UniformProbe, GrowsConnectedSetsOfRequestedSize) {
+  const Mesh m({8, 8});
+  const VertexSet all = VertexSet::full(64);
+  Rng rng(5);
+  for (vid size : {4U, 9U, 16U, 31U}) {
+    const VertexSet s = random_connected_set(m.graph(), all, size, rng.next());
+    ASSERT_EQ(s.count(), size);
+    EXPECT_TRUE(is_connected_subset(m.graph(), all, s));
+  }
+}
+
+TEST(UniformProbe, ReturnsEmptyWhenComponentTooSmall) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  const VertexSet s = random_connected_set(g, VertexSet::full(6), 5, 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(UniformProbe, MeshSubgraphExpansionShrinksWithSize) {
+  // Uniform expansion of the mesh: bigger subgraphs have smaller expansion
+  // (α(m) ~ 1/sqrt(m)); the probe table must reflect the trend.
+  const Mesh m({12, 12});
+  const auto records =
+      probe_uniform_expansion(m.graph(), ExpansionKind::Edge, {8, 18, 50}, 6, 11);
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_GT(records[0].expansion_upper, records[2].expansion_upper);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,90 @@
+#include "faults/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragmentation.hpp"
+#include "faults/adversary.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+TEST(FaultModel, ZeroAndOneProbabilities) {
+  const Graph g = cycle_graph(20);
+  EXPECT_EQ(random_node_faults(g, 0.0, 1).count(), 20U);
+  EXPECT_EQ(random_node_faults(g, 1.0, 1).count(), 0U);
+  EXPECT_EQ(random_edge_faults(g, 0.0, 1).count(), 20U);
+  EXPECT_EQ(random_edge_faults(g, 1.0, 1).count(), 0U);
+}
+
+TEST(FaultModel, DeterministicUnderSeed) {
+  const Graph g = cycle_graph(50);
+  EXPECT_EQ(random_node_faults(g, 0.3, 7), random_node_faults(g, 0.3, 7));
+}
+
+TEST(FaultModel, SurvivalRateNearExpectation) {
+  const Graph g = Mesh({40, 40}).graph();
+  const VertexSet alive = random_node_faults(g, 0.25, 3);
+  EXPECT_NEAR(static_cast<double>(alive.count()) / 1600.0, 0.75, 0.05);
+}
+
+TEST(FaultModel, ExactFaultCount) {
+  const Graph g = cycle_graph(30);
+  const VertexSet alive = random_exact_node_faults(g, 12, 5);
+  EXPECT_EQ(alive.count(), 18U);
+  EXPECT_THROW((void)random_exact_node_faults(g, 31, 5), PreconditionError);
+}
+
+TEST(Adversary, ChainCenterAttackUsesOneFaultPerEdge) {
+  const Graph base = random_regular(16, 4, 1);
+  const ChainExpander h = chain_replace(base, 4);
+  const AttackResult attack = chain_center_attack(h);
+  EXPECT_EQ(attack.budget_used, base.num_edges());
+  // Every fault is a chain interior, never an original vertex.
+  attack.faults.for_each([&](vid v) { EXPECT_FALSE(h.is_original(v)); });
+}
+
+TEST(Adversary, BisectionAttackShattersMesh) {
+  const Mesh m({12, 12});
+  BisectionOptions opts;
+  opts.epsilon = 0.2;
+  const AttackResult attack = bisection_attack(m.graph(), opts);
+  const VertexSet alive = VertexSet::full(144) - attack.faults;
+  const FragmentationProfile frag = fragmentation_profile(m.graph(), alive);
+  EXPECT_LT(frag.gamma, 0.2 + 0.05);
+  // Theorem 2.5 economy: the attack should spend far fewer than n faults.
+  EXPECT_LT(attack.budget_used, 72U);
+}
+
+TEST(Adversary, SweepCutAttackRespectsBudget) {
+  const Mesh m({10, 10});
+  const AttackResult attack = sweep_cut_attack(m.graph(), 15);
+  EXPECT_LE(attack.budget_used, 15U);
+  EXPECT_EQ(attack.faults.count(), attack.budget_used);
+}
+
+TEST(Adversary, HighDegreeAttackTakesHubsFirst) {
+  const Graph g = star_graph(10);
+  const AttackResult attack = high_degree_attack(g, 1);
+  EXPECT_TRUE(attack.faults.test(0));  // the hub
+  const VertexSet alive = VertexSet::full(10) - attack.faults;
+  EXPECT_EQ(fragmentation_profile(g, alive).largest, 1U);
+}
+
+TEST(Adversary, RandomAttackBudgetExact) {
+  const Graph g = cycle_graph(40);
+  const AttackResult attack = random_attack(g, 10, 3);
+  EXPECT_EQ(attack.faults.count(), 10U);
+  EXPECT_EQ(random_attack(g, 10, 3).faults, attack.faults);  // deterministic
+}
+
+TEST(Adversary, BudgetGuards) {
+  const Graph g = cycle_graph(5);
+  EXPECT_THROW((void)high_degree_attack(g, 6), PreconditionError);
+  EXPECT_THROW((void)random_attack(g, 6, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

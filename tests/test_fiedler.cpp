@@ -1,0 +1,93 @@
+#include "spectral/fiedler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "spectral/cheeger.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Fiedler, CycleLambda2) {
+  const vid n = 20;
+  const FiedlerResult res = fiedler_vector(cycle_graph(n), VertexSet::full(n));
+  ASSERT_TRUE(res.converged);
+  const double expected = 2.0 - 2.0 * std::cos(2.0 * std::numbers::pi / n);
+  EXPECT_NEAR(res.lambda2, expected, 1e-7);
+}
+
+TEST(Fiedler, HypercubeLambda2IsTwo) {
+  // λ2 of the Laplacian of Q_d is 2 (for every d >= 1).
+  for (vid d : {3U, 4U, 5U}) {
+    const Graph g = hypercube(d);
+    const FiedlerResult res = fiedler_vector(g, VertexSet::full(g.num_vertices()));
+    ASSERT_TRUE(res.converged) << "d=" << d;
+    EXPECT_NEAR(res.lambda2, 2.0, 1e-6) << "d=" << d;
+  }
+}
+
+TEST(Fiedler, PathVectorIsMonotone) {
+  const vid n = 17;
+  const FiedlerResult res = fiedler_vector(path_graph(n), VertexSet::full(n));
+  ASSERT_TRUE(res.converged);
+  // The Fiedler vector of a path is cos((i+1/2)πk/n): strictly monotone.
+  const double sign = res.vector[0] < res.vector[n - 1] ? 1.0 : -1.0;
+  for (vid i = 0; i + 1 < n; ++i) {
+    EXPECT_LT(sign * res.vector[i], sign * res.vector[i + 1]) << "i=" << i;
+  }
+}
+
+TEST(Fiedler, VectorIsZeroOnDeadVertices) {
+  const Graph g = path_graph(6);
+  VertexSet alive = VertexSet::full(6);
+  alive.reset(5);
+  const FiedlerResult res = fiedler_vector(g, alive);
+  EXPECT_DOUBLE_EQ(res.vector[5], 0.0);
+}
+
+TEST(Fiedler, MaskedSubgraphSpectrum) {
+  // A 6-cycle with one dead vertex is a 5-path: λ2 = 2 - 2cos(π/5).
+  const Graph g = cycle_graph(6);
+  VertexSet alive = VertexSet::full(6);
+  alive.reset(0);
+  const FiedlerResult res = fiedler_vector(g, alive);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.lambda2, 2.0 - 2.0 * std::cos(std::numbers::pi / 5), 1e-7);
+}
+
+TEST(Fiedler, BarbellHasTinyLambda2) {
+  const Graph g = barbell_graph(6);
+  const FiedlerResult res = fiedler_vector(g, VertexSet::full(12));
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(res.lambda2, 0.5);
+  EXPECT_GT(res.lambda2, 0.0);
+}
+
+TEST(Fiedler, MeshLambda2ClosedForm) {
+  // λ2 of the s×s grid Laplacian is 2 - 2cos(π/s).
+  const Mesh m({6, 6});
+  const FiedlerResult res = fiedler_vector(m.graph(), VertexSet::full(36));
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.lambda2, 2.0 - 2.0 * std::cos(std::numbers::pi / 6), 1e-6);
+}
+
+TEST(Cheeger, BoundsScaleAsDocumented) {
+  const CheegerBounds b = cheeger_lower_bounds(0.8, 4);
+  EXPECT_DOUBLE_EQ(b.lambda2, 0.8);
+  EXPECT_DOUBLE_EQ(b.edge_expansion_lower, 0.4);
+  EXPECT_DOUBLE_EQ(b.node_expansion_lower, 0.1);
+  EXPECT_DOUBLE_EQ(cheeger_lower_bounds(1.0, 0).node_expansion_lower, 0.0);
+}
+
+TEST(Fiedler, TooFewVerticesRejected) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)fiedler_vector(g, VertexSet::of(3, {1})), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,116 @@
+#include "expansion/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Flow, PathHasSinglePath) {
+  const Graph g = path_graph(6);
+  const VertexSet all = VertexSet::full(6);
+  EXPECT_EQ(max_edge_disjoint_paths(g, all, 0, 5), 1U);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, all, 0, 5), 1U);
+}
+
+TEST(Flow, CycleHasTwoPaths) {
+  const Graph g = cycle_graph(8);
+  const VertexSet all = VertexSet::full(8);
+  EXPECT_EQ(max_edge_disjoint_paths(g, all, 0, 4), 2U);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, all, 0, 4), 2U);
+}
+
+TEST(Flow, CompleteGraphPaths) {
+  const vid n = 7;
+  const Graph g = complete_graph(n);
+  const VertexSet all = VertexSet::full(n);
+  // Edge-disjoint s-t paths in K_n: n-1 (direct + via each other vertex).
+  EXPECT_EQ(max_edge_disjoint_paths(g, all, 0, 1), n - 1);
+  EXPECT_EQ(max_vertex_disjoint_paths(g, all, 0, 1), n - 1);
+}
+
+TEST(Flow, HypercubeConnectivityEqualsDegree) {
+  for (vid d : {3U, 4U}) {
+    const Graph g = hypercube(d);
+    const VertexSet all = VertexSet::full(g.num_vertices());
+    EXPECT_EQ(edge_connectivity(g, all), d) << "d=" << d;
+    EXPECT_EQ(vertex_connectivity(g, all), d) << "d=" << d;
+  }
+}
+
+TEST(Flow, MeshCornerLimitsConnectivity) {
+  const Mesh m({4, 4});
+  const VertexSet all = VertexSet::full(16);
+  EXPECT_EQ(edge_connectivity(m.graph(), all), 2U);    // corner degree
+  EXPECT_EQ(vertex_connectivity(m.graph(), all), 2U);  // corner neighbors
+}
+
+TEST(Flow, BarbellBridgeIsTheCut) {
+  const Graph g = barbell_graph(5);
+  const VertexSet all = VertexSet::full(10);
+  EXPECT_EQ(edge_connectivity(g, all), 1U);
+  EXPECT_EQ(vertex_connectivity(g, all), 1U);
+  EXPECT_EQ(max_edge_disjoint_paths(g, all, 1, 6), 1U);
+}
+
+TEST(Flow, CompleteGraphVertexConnectivity) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(vertex_connectivity(g, VertexSet::full(6)), 5U);
+}
+
+TEST(Flow, MasksReduceConnectivity) {
+  const Graph g = cycle_graph(8);
+  VertexSet alive = VertexSet::full(8);
+  alive.reset(2);  // cycle becomes a path
+  EXPECT_EQ(max_edge_disjoint_paths(g, alive, 0, 4), 1U);
+  EXPECT_EQ(edge_connectivity(g, alive), 1U);
+}
+
+TEST(Flow, DisconnectedReturnsZero) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const VertexSet all = VertexSet::full(4);
+  EXPECT_EQ(edge_connectivity(g, all), 0U);
+  EXPECT_EQ(vertex_connectivity(g, all), 0U);
+  EXPECT_EQ(max_edge_disjoint_paths(g, all, 0, 2), 0U);
+}
+
+TEST(Flow, MengerLowerBoundsMinDegree) {
+  // κ(G) <= λ(G) <= δ_min(G) (Whitney); equality on random regular whp.
+  const Graph g = random_regular(32, 4, 17);
+  const VertexSet all = VertexSet::full(32);
+  const auto lambda = edge_connectivity(g, all);
+  const auto kappa = vertex_connectivity(g, all);
+  EXPECT_LE(kappa, lambda);
+  EXPECT_LE(lambda, g.min_degree());
+  EXPECT_GE(kappa, 1U);
+}
+
+TEST(Flow, EndpointValidation) {
+  const Graph g = path_graph(4);
+  const VertexSet all = VertexSet::full(4);
+  EXPECT_THROW((void)max_edge_disjoint_paths(g, all, 0, 0), PreconditionError);
+  VertexSet alive = all;
+  alive.reset(3);
+  EXPECT_THROW((void)max_edge_disjoint_paths(g, alive, 0, 3), PreconditionError);
+}
+
+TEST(Flow, EdgeCutMatchesBoundaryOnWitness) {
+  // The s-t min cut lower-bounds any edge boundary separating s from t.
+  const Mesh m({5, 5});
+  const Graph& g = m.graph();
+  const VertexSet all = VertexSet::full(25);
+  const vid s = m.id_of({0, 0});
+  const vid t = m.id_of({4, 4});
+  const auto cut = max_edge_disjoint_paths(g, all, s, t);
+  // Any separating set has >= cut edges; the row cut {row 0, ...} has 5.
+  EXPECT_LE(cut, 5U);
+  EXPECT_GE(cut, 2U);
+}
+
+}  // namespace
+}  // namespace fne

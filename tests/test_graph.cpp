@@ -1,0 +1,109 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/io.hpp"
+
+namespace fne {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, tail 2-3.
+  return Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_vertices(), 4U);
+  EXPECT_EQ(g.num_edges(), 4U);
+  EXPECT_EQ(g.degree(2), 3U);
+  EXPECT_EQ(g.degree(3), 1U);
+  EXPECT_EQ(g.max_degree(), 3U);
+  EXPECT_EQ(g.min_degree(), 1U);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  const Graph g = triangle_plus_tail();
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  }
+  const auto nb2 = g.neighbors(2);
+  EXPECT_EQ(std::vector<vid>(nb2.begin(), nb2.end()), (std::vector<vid>{0, 1, 3}));
+}
+
+TEST(Graph, DuplicateEdgesMerged) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2U);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  EXPECT_THROW((void)Graph::from_edges(2, {{1, 1}}), PreconditionError);
+}
+
+TEST(Graph, EndpointOutOfRangeRejected) {
+  EXPECT_THROW((void)Graph::from_edges(2, {{0, 2}}), PreconditionError);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(Graph, EdgesAreNormalized) {
+  const Graph g = Graph::from_edges(3, {{2, 0}, {1, 0}});
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, IncidentEdgeIdsMatchEdgeList) {
+  const Graph g = triangle_plus_tail();
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Edge& e = g.edge(eids[i]);
+      const bool matches = (e.u == v && e.v == nbrs[i]) || (e.v == v && e.u == nbrs[i]);
+      EXPECT_TRUE(matches) << "vertex " << v << " arc " << i;
+    }
+  }
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_edges(), 0U);
+  EXPECT_EQ(g.max_degree(), 0U);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const std::string s = triangle_plus_tail().summary();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("m=4"), std::string::npos);
+}
+
+TEST(GraphIo, RoundTrip) {
+  const Graph g = triangle_plus_tail();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(h.has_edge(e.u, e.v));
+}
+
+TEST(GraphIo, TruncatedInputRejected) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW((void)read_edge_list(ss), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,89 @@
+#include "analysis/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.hpp"
+#include "prune/prune2.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Diffusion, UniformLoadConvergesImmediately) {
+  const Graph g = cycle_graph(10);
+  const DiffusionResult r =
+      diffuse_load(g, VertexSet::full(10), std::vector<double>(10, 3.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(Diffusion, PointLoadSpreadsToMean) {
+  const Graph g = cycle_graph(8);
+  const DiffusionResult r = diffuse_point_load(g, VertexSet::full(8), 0, 8.0);
+  ASSERT_TRUE(r.converged);
+  for (vid v = 0; v < 8; ++v) EXPECT_NEAR(r.load[v], 1.0, 0.02);
+}
+
+TEST(Diffusion, ConservesTotalLoad) {
+  const Mesh m({6, 6});
+  const DiffusionResult r = diffuse_point_load(m.graph(), VertexSet::full(36), 0, 36.0);
+  double total = 0.0;
+  for (double x : r.load) total += x;
+  EXPECT_NEAR(total, 36.0, 1e-6);
+}
+
+TEST(Diffusion, ExpanderBalancesFasterThanCycle) {
+  // Rounds ~ 1/λ2: constant-expansion graphs balance in O(log) rounds,
+  // cycles need Θ(n²).
+  const vid n = 64;
+  const DiffusionResult cycle = diffuse_point_load(cycle_graph(n), VertexSet::full(n), 0,
+                                                   static_cast<double>(n));
+  const DiffusionResult expander = diffuse_point_load(
+      random_regular(n, 4, 3), VertexSet::full(n), 0, static_cast<double>(n));
+  ASSERT_TRUE(cycle.converged);
+  ASSERT_TRUE(expander.converged);
+  EXPECT_LT(expander.rounds * 5, cycle.rounds);
+}
+
+TEST(Diffusion, PrunedFaultyMeshBalancesNearlyAsFastAsFaultFree) {
+  // §1.3's claim: if the pruned component keeps the expansion, it keeps
+  // the load-balancing ability.
+  const Mesh m({12, 12});
+  const Graph& g = m.graph();
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  const DiffusionResult clean =
+      diffuse_point_load(g, all, 0, static_cast<double>(g.num_vertices()));
+  ASSERT_TRUE(clean.converged);
+
+  const VertexSet alive = random_node_faults(g, 0.05, 11);
+  const PruneResult pruned = prune2(g, alive, 2.0 / 12.0, 0.125);
+  ASSERT_GE(pruned.survivors.count(), g.num_vertices() / 2);
+  const vid source = pruned.survivors.first();
+  const DiffusionResult faulty = diffuse_point_load(
+      g, pruned.survivors, source, static_cast<double>(pruned.survivors.count()));
+  ASSERT_TRUE(faulty.converged);
+  EXPECT_LT(faulty.rounds, 4 * clean.rounds);
+}
+
+TEST(Diffusion, DisconnectedRejected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)diffuse_point_load(g, VertexSet::full(4), 0), PreconditionError);
+}
+
+TEST(Diffusion, DeadSourceRejected) {
+  const Graph g = path_graph(4);
+  VertexSet alive = VertexSet::full(4);
+  alive.reset(0);
+  EXPECT_THROW((void)diffuse_point_load(g, alive, 0), PreconditionError);
+}
+
+TEST(Diffusion, InitialSizeValidated) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)diffuse_load(g, VertexSet::full(4), std::vector<double>(3, 1.0)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

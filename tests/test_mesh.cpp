@@ -1,0 +1,91 @@
+#include "topology/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Mesh, Grid2DCounts) {
+  const Mesh m({4, 4});
+  EXPECT_EQ(m.num_vertices(), 16U);
+  EXPECT_EQ(m.graph().num_edges(), 24U);  // 2 * 4 * 3
+  EXPECT_EQ(m.graph().min_degree(), 2U);
+  EXPECT_EQ(m.graph().max_degree(), 4U);
+}
+
+TEST(Mesh, Torus2DIsRegular) {
+  const Mesh t({4, 4}, /*wrap=*/true);
+  EXPECT_EQ(t.graph().num_edges(), 32U);
+  EXPECT_TRUE(t.graph().is_regular());
+  EXPECT_EQ(t.graph().max_degree(), 4U);
+}
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh m({3, 4, 5});
+  for (vid v = 0; v < m.num_vertices(); ++v) {
+    EXPECT_EQ(m.id_of(m.coords_of(v)), v);
+  }
+}
+
+TEST(Mesh, CoordSingleDimension) {
+  const Mesh m({3, 4});
+  const vid v = m.id_of({2, 1});
+  EXPECT_EQ(m.coord(v, 0), 2U);
+  EXPECT_EQ(m.coord(v, 1), 1U);
+}
+
+TEST(Mesh, EdgesConnectUnitSteps) {
+  const Mesh m({3, 3});
+  for (const Edge& e : m.graph().edges()) {
+    EXPECT_EQ(m.hamming_dims(e.u, e.v), 1U);
+    EXPECT_EQ(m.chebyshev_distance(e.u, e.v), 1U);
+  }
+}
+
+TEST(Mesh, CubeFactory) {
+  const Mesh m = Mesh::cube(3, 3);
+  EXPECT_EQ(m.num_vertices(), 27U);
+  EXPECT_EQ(m.dims(), 3U);
+}
+
+TEST(Mesh, IsConnected) {
+  for (vid d = 1; d <= 3; ++d) {
+    const Mesh m = Mesh::cube(3, d);
+    EXPECT_TRUE(is_connected(m.graph(), VertexSet::full(m.num_vertices()))) << "d=" << d;
+  }
+}
+
+TEST(Mesh, ChebyshevWraps) {
+  const Mesh t({8}, /*wrap=*/true);
+  EXPECT_EQ(t.chebyshev_distance(t.id_of({0}), t.id_of({7})), 1U);
+  const Mesh m({8});
+  EXPECT_EQ(m.chebyshev_distance(m.id_of({0}), m.id_of({7})), 7U);
+}
+
+TEST(Mesh, PathIsOneDimensionalMesh) {
+  const Mesh m({6});
+  EXPECT_EQ(m.graph().num_edges(), 5U);
+  EXPECT_EQ(m.graph().max_degree(), 2U);
+}
+
+TEST(Mesh, SideTwoTorusDoesNotDuplicateEdges) {
+  const Mesh t({2, 2}, /*wrap=*/true);
+  EXPECT_EQ(t.graph().num_edges(), 4U);  // wrap suppressed for sides <= 2
+}
+
+TEST(Mesh, InvalidCoordinatesRejected) {
+  const Mesh m({3, 3});
+  EXPECT_THROW((void)m.id_of({3, 0}), PreconditionError);
+  EXPECT_THROW((void)m.id_of({0}), PreconditionError);
+}
+
+TEST(Mesh, DiameterOfGrid) {
+  const Mesh m({4, 4});
+  const auto dist = bfs_distances(m.graph(), VertexSet::full(16), m.id_of({0, 0}));
+  EXPECT_EQ(dist[m.id_of({3, 3})], 6U);  // Manhattan distance
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,106 @@
+#include "span/mesh_span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "span/compact_sets.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(VirtualBoundary, SingleCellIn2D) {
+  // S = one interior cell of a 5x5 grid: boundary is the 4 orthogonal
+  // neighbors; each diagonal-adjacent pair gets a virtual edge.
+  const Mesh m({5, 5});
+  const VertexSet s = VertexSet::of(25, {m.id_of({2, 2})});
+  const VirtualBoundaryGraph vb = virtual_boundary_graph(m, s);
+  EXPECT_EQ(vb.graph.num_vertices(), 4U);
+  EXPECT_EQ(vb.graph.num_edges(), 4U);  // the 4 diagonal pairs form a cycle
+  EXPECT_TRUE(virtual_boundary_connected(m, s));
+}
+
+TEST(VirtualBoundary, Lemma37HoldsForAllCompactSets3x3) {
+  // Exhaustive check of Lemma 3.7 on the 3x3 grid: the virtual boundary
+  // graph of EVERY compact set is connected.
+  const Mesh m({3, 3});
+  std::uint64_t checked = 0;
+  enumerate_compact_sets(m.graph(), [&](const VertexSet& s) {
+    ++checked;
+    EXPECT_TRUE(virtual_boundary_connected(m, s)) << "set " << checked;
+  });
+  EXPECT_GT(checked, 0ULL);
+}
+
+TEST(VirtualBoundary, Lemma37HoldsForAllCompactSets2x2x2) {
+  const Mesh m = Mesh::cube(2, 3);
+  enumerate_compact_sets(m.graph(), [&](const VertexSet& s) {
+    EXPECT_TRUE(virtual_boundary_connected(m, s));
+  });
+}
+
+TEST(VirtualBoundary, Lemma37SampledOnLargerMeshes) {
+  Rng rng(3);
+  for (vid d : {2U, 3U}) {
+    const Mesh m = Mesh::cube(d == 2 ? 10 : 5, d);
+    const vid n = m.num_vertices();
+    for (int trial = 0; trial < 20; ++trial) {
+      const vid target = 2 + static_cast<vid>(rng.uniform(n / 3));
+      const VertexSet s = sample_compact_set(m.graph(), target, rng.next());
+      if (s.empty()) continue;
+      EXPECT_TRUE(virtual_boundary_connected(m, s)) << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SpanTree, SingleCellRatio) {
+  const Mesh m({5, 5});
+  const VertexSet s = VertexSet::of(25, {m.id_of({2, 2})});
+  const ConstructiveSpanTree tree = mesh_boundary_span_tree(m, s);
+  EXPECT_EQ(tree.boundary_size, 4U);
+  EXPECT_LE(tree.tree_nodes, 2U * 4U - 1U);
+  EXPECT_LE(tree.ratio, 2.0);
+}
+
+TEST(SpanTree, TheoremBoundHoldsOnSampledCompactSets) {
+  Rng rng(11);
+  const Mesh m({9, 9});
+  for (int trial = 0; trial < 25; ++trial) {
+    const vid target = 2 + static_cast<vid>(rng.uniform(35));
+    const VertexSet s = sample_compact_set(m.graph(), target, rng.next());
+    if (s.empty()) continue;
+    const ConstructiveSpanTree tree = mesh_boundary_span_tree(m, s);
+    // Theorem 3.6: at most 2(|B|-1) edges, hence < 2|B| nodes.
+    EXPECT_LE(tree.tree_edges, 2 * (tree.boundary_size - 1)) << "trial " << trial;
+    EXPECT_LT(tree.ratio, 2.0) << "trial " << trial;
+  }
+}
+
+TEST(SpanTree, RealizedNodesContainBoundaryAndConnect) {
+  Rng rng(13);
+  const Mesh m = Mesh::cube(4, 3);
+  const VertexSet all = VertexSet::full(m.num_vertices());
+  for (int trial = 0; trial < 10; ++trial) {
+    const VertexSet s = sample_compact_set(m.graph(), 6, rng.next());
+    if (s.empty()) continue;
+    const ConstructiveSpanTree tree = mesh_boundary_span_tree(m, s);
+    const VertexSet boundary = node_boundary(m.graph(), all, s);
+    EXPECT_TRUE(boundary.is_subset_of(tree.nodes));
+    EXPECT_TRUE(is_connected_subset(m.graph(), all, tree.nodes));
+  }
+}
+
+TEST(SpanTree, WorksOnTorus) {
+  const Mesh t({6, 6}, /*wrap=*/true);
+  const VertexSet s = VertexSet::of(36, {t.id_of({0, 0}), t.id_of({0, 1})});
+  const ConstructiveSpanTree tree = mesh_boundary_span_tree(t, s);
+  EXPECT_LE(tree.ratio, 2.0);
+}
+
+TEST(VirtualBoundary, EmptyBoundaryRejected) {
+  const Mesh m({3, 3});
+  EXPECT_THROW((void)virtual_boundary_graph(m, VertexSet::full(9)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

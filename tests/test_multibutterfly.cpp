@@ -1,0 +1,110 @@
+#include "topology/multibutterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "faults/adversary.hpp"
+#include "faults/fault_model.hpp"
+#include "topology/butterfly.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Multibutterfly, StructureCounts) {
+  const Multibutterfly mb = multibutterfly(4, 2, 7);
+  EXPECT_EQ(mb.rows, 16U);
+  EXPECT_EQ(mb.levels, 5U);
+  EXPECT_EQ(mb.graph.num_vertices(), 80U);
+  EXPECT_EQ(mb.inputs().count(), 16U);
+  EXPECT_EQ(mb.outputs().count(), 16U);
+}
+
+TEST(Multibutterfly, IsConnected) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Multibutterfly mb = multibutterfly(5, 2, seed);
+    EXPECT_TRUE(is_connected(mb.graph, VertexSet::full(mb.graph.num_vertices())))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Multibutterfly, EdgesRespectLevelStructure) {
+  const Multibutterfly mb = multibutterfly(4, 2, 3);
+  for (const Edge& e : mb.graph.edges()) {
+    EXPECT_EQ(mb.level_of(e.v), mb.level_of(e.u) + 1);
+  }
+}
+
+TEST(Multibutterfly, EdgesStayInsideBlocks) {
+  // An edge from level l must keep the top l row bits (same block).
+  const Multibutterfly mb = multibutterfly(4, 2, 5);
+  for (const Edge& e : mb.graph.edges()) {
+    const vid l = mb.level_of(e.u);
+    const vid shift = mb.dims - l;
+    EXPECT_EQ(mb.row_of(e.u) >> shift, mb.row_of(e.v) >> shift);
+  }
+}
+
+TEST(Multibutterfly, ForwardDegreeIsTwiceSplitterDegree) {
+  const Multibutterfly mb = multibutterfly(4, 2, 9);
+  for (vid r = 0; r < mb.rows; ++r) {
+    vid forward = 0;
+    for (vid w : mb.graph.neighbors(mb.id_of(0, r))) {
+      if (mb.level_of(w) == 1) ++forward;
+    }
+    EXPECT_EQ(forward, 4U) << "row " << r;  // 2 directions x degree 2
+  }
+}
+
+TEST(Multibutterfly, DeterministicUnderSeed) {
+  const Multibutterfly a = multibutterfly(4, 2, 11);
+  const Multibutterfly b = multibutterfly(4, 2, 11);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(Multibutterfly, ToleratesRandomFaultsBetterThanStructureLoss) {
+  // §1.1 Leighton–Maggs: n - O(f) inputs stay connected.
+  const Multibutterfly mb = multibutterfly(6, 2, 13);
+  const vid f = 16;
+  const AttackResult attack = random_attack(mb.graph, f, 3);
+  const VertexSet alive = VertexSet::full(mb.graph.num_vertices()) - attack.faults;
+  const IoConnectivity io = io_connectivity(mb.graph, alive, mb.inputs(), mb.outputs());
+  EXPECT_GE(io.inputs_connected + 2 * f, mb.rows);
+  EXPECT_GE(io.outputs_connected + 2 * f, mb.rows);
+}
+
+TEST(IoConnectivity, CountsOnlyLargestComponent) {
+  const Butterfly bf = butterfly(3);
+  VertexSet alive = VertexSet::full(bf.graph.num_vertices());
+  VertexSet inputs(bf.graph.num_vertices());
+  VertexSet outputs(bf.graph.num_vertices());
+  for (vid r = 0; r < bf.rows; ++r) {
+    inputs.set(bf.id_of(0, r));
+    outputs.set(bf.id_of(bf.levels - 1, r));
+  }
+  const IoConnectivity full = io_connectivity(bf.graph, alive, inputs, outputs);
+  EXPECT_EQ(full.inputs_connected, bf.rows);
+  EXPECT_EQ(full.outputs_connected, bf.rows);
+
+  // Killing input row 0's two level-1 neighbors isolates BOTH inputs 0
+  // and 1 (rows 0 and 1 share their level-1 targets — exactly the
+  // butterfly fragility §1.1 contrasts with the multibutterfly).
+  for (vid w : bf.graph.neighbors(bf.id_of(0, 0))) alive.reset(w);
+  const IoConnectivity cut = io_connectivity(bf.graph, alive, inputs, outputs);
+  EXPECT_EQ(cut.inputs_connected, bf.rows - 2);
+}
+
+TEST(IoConnectivity, EmptyAliveSet) {
+  const Butterfly bf = butterfly(2);
+  const IoConnectivity io = io_connectivity(bf.graph, VertexSet(bf.graph.num_vertices()),
+                                            VertexSet(bf.graph.num_vertices()),
+                                            VertexSet(bf.graph.num_vertices()));
+  EXPECT_EQ(io.largest_component, 0U);
+}
+
+TEST(Multibutterfly, ParameterValidation) {
+  EXPECT_THROW((void)multibutterfly(0, 2, 1), PreconditionError);
+  EXPECT_THROW((void)multibutterfly(4, 0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/classic.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Hypercube, CountsAndRegularity) {
+  for (vid d = 1; d <= 6; ++d) {
+    const Graph g = hypercube(d);
+    EXPECT_EQ(g.num_vertices(), vid{1} << d);
+    EXPECT_EQ(g.num_edges(), (std::size_t{1} << (d - 1)) * d);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_TRUE(is_connected(g, VertexSet::full(g.num_vertices())));
+  }
+}
+
+TEST(Hypercube, EdgesAreHammingNeighbors) {
+  const Graph g = hypercube(4);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(__builtin_popcount(e.u ^ e.v), 1) << e.u << "-" << e.v;
+  }
+}
+
+TEST(Butterfly, UnwrappedCounts) {
+  const Butterfly bf = butterfly(3);
+  EXPECT_EQ(bf.levels, 4U);
+  EXPECT_EQ(bf.rows, 8U);
+  EXPECT_EQ(bf.graph.num_vertices(), 32U);
+  // Each of the 3 level transitions contributes 2 edges per row.
+  EXPECT_EQ(bf.graph.num_edges(), 48U);
+  EXPECT_EQ(bf.graph.min_degree(), 2U);
+  EXPECT_EQ(bf.graph.max_degree(), 4U);
+  EXPECT_TRUE(is_connected(bf.graph, VertexSet::full(bf.graph.num_vertices())));
+}
+
+TEST(Butterfly, WrappedIsFourRegular) {
+  const Butterfly bf = butterfly(3, /*wrapped=*/true);
+  EXPECT_EQ(bf.graph.num_vertices(), 24U);
+  EXPECT_TRUE(bf.graph.is_regular());
+  EXPECT_EQ(bf.graph.max_degree(), 4U);
+  EXPECT_TRUE(is_connected(bf.graph, VertexSet::full(bf.graph.num_vertices())));
+}
+
+TEST(Butterfly, LevelRowHelpers) {
+  const Butterfly bf = butterfly(3);
+  const vid v = bf.id_of(2, 5);
+  EXPECT_EQ(bf.level_of(v), 2U);
+  EXPECT_EQ(bf.row_of(v), 5U);
+}
+
+TEST(Butterfly, StraightAndCrossEdgesExist) {
+  const Butterfly bf = butterfly(3);
+  EXPECT_TRUE(bf.graph.has_edge(bf.id_of(0, 3), bf.id_of(1, 3)));          // straight
+  EXPECT_TRUE(bf.graph.has_edge(bf.id_of(0, 3), bf.id_of(1, 3 ^ 1)));      // cross level 0
+  EXPECT_TRUE(bf.graph.has_edge(bf.id_of(1, 3), bf.id_of(2, 3 ^ 2)));      // cross level 1
+}
+
+TEST(DeBruijn, CountsAndConnectivity) {
+  for (vid d = 3; d <= 8; ++d) {
+    const Graph g = debruijn(d);
+    EXPECT_EQ(g.num_vertices(), vid{1} << d);
+    EXPECT_LE(g.max_degree(), 4U);
+    EXPECT_TRUE(is_connected(g, VertexSet::full(g.num_vertices()))) << "d=" << d;
+  }
+}
+
+TEST(DeBruijn, ShiftNeighborsPresent) {
+  const Graph g = debruijn(4);
+  // 0b0101 -> shifts 0b1010 and 0b1011.
+  EXPECT_TRUE(g.has_edge(0b0101, 0b1010));
+  EXPECT_TRUE(g.has_edge(0b0101, 0b1011));
+}
+
+TEST(ShuffleExchange, CountsAndConnectivity) {
+  for (vid d = 3; d <= 8; ++d) {
+    const Graph g = shuffle_exchange(d);
+    EXPECT_EQ(g.num_vertices(), vid{1} << d);
+    EXPECT_LE(g.max_degree(), 3U);
+    EXPECT_TRUE(is_connected(g, VertexSet::full(g.num_vertices()))) << "d=" << d;
+  }
+}
+
+TEST(ShuffleExchange, ExchangeAndShuffleEdges) {
+  const Graph g = shuffle_exchange(3);
+  EXPECT_TRUE(g.has_edge(0b010, 0b011));  // exchange
+  EXPECT_TRUE(g.has_edge(0b011, 0b110));  // shuffle (cyclic left shift)
+}
+
+TEST(Classic, PathCycleCompleteStar) {
+  EXPECT_EQ(path_graph(5).num_edges(), 4U);
+  EXPECT_EQ(cycle_graph(5).num_edges(), 5U);
+  EXPECT_EQ(complete_graph(6).num_edges(), 15U);
+  EXPECT_EQ(star_graph(5).num_edges(), 4U);
+  EXPECT_EQ(star_graph(5).degree(0), 4U);
+}
+
+TEST(Classic, BarbellStructure) {
+  const Graph g = barbell_graph(4);
+  EXPECT_EQ(g.num_vertices(), 8U);
+  EXPECT_EQ(g.num_edges(), 2U * 6U + 1U);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(is_connected(g, VertexSet::full(8)));
+}
+
+TEST(Classic, DegenerateSizesRejected) {
+  EXPECT_THROW((void)cycle_graph(2), PreconditionError);
+  EXPECT_THROW((void)star_graph(1), PreconditionError);
+  EXPECT_THROW((void)barbell_graph(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,103 @@
+#include "percolation/percolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "percolation/critical.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Percolation, FullSurvivalKeepsEverything) {
+  const Graph g = cycle_graph(30);
+  const PercolationResult r = percolate(g, PercolationKind::Site, 1.0, 5, 1);
+  EXPECT_DOUBLE_EQ(r.gamma.mean(), 1.0);
+  const PercolationResult rb = percolate(g, PercolationKind::Bond, 1.0, 5, 1);
+  EXPECT_DOUBLE_EQ(rb.gamma.mean(), 1.0);
+}
+
+TEST(Percolation, ZeroSurvivalKillsEverything) {
+  const Graph g = cycle_graph(30);
+  const PercolationResult r = percolate(g, PercolationKind::Site, 0.0, 5, 1);
+  EXPECT_DOUBLE_EQ(r.gamma.mean(), 0.0);
+  // Bond percolation at p=0 leaves isolated vertices: γ = 1/n.
+  const PercolationResult rb = percolate(g, PercolationKind::Bond, 0.0, 5, 1);
+  EXPECT_DOUBLE_EQ(rb.gamma.mean(), 1.0 / 30.0);
+}
+
+TEST(Percolation, DeterministicAcrossRuns) {
+  const Mesh m({12, 12});
+  const PercolationResult a = percolate(m.graph(), PercolationKind::Site, 0.7, 16, 9);
+  const PercolationResult b = percolate(m.graph(), PercolationKind::Site, 0.7, 16, 9);
+  EXPECT_DOUBLE_EQ(a.gamma.mean(), b.gamma.mean());
+  EXPECT_DOUBLE_EQ(a.gamma.variance(), b.gamma.variance());
+}
+
+TEST(Percolation, GammaMonotoneInSurvivalProbability) {
+  const Mesh m({16, 16});
+  double prev = -1.0;
+  for (double p : {0.3, 0.5, 0.7, 0.9}) {
+    const PercolationResult r = percolate(m.graph(), PercolationKind::Site, p, 24, 5);
+    EXPECT_GE(r.gamma.mean() + 0.05, prev) << "p=" << p;  // slack for MC noise
+    prev = r.gamma.mean();
+  }
+}
+
+TEST(Percolation, TrialCountRecorded) {
+  const Graph g = cycle_graph(10);
+  const PercolationResult r = percolate(g, PercolationKind::Site, 0.5, 33, 2);
+  EXPECT_EQ(r.trials, 33);
+  EXPECT_EQ(r.gamma.count(), 33U);
+}
+
+TEST(Percolation, InvalidParametersRejected) {
+  const Graph g = cycle_graph(10);
+  EXPECT_THROW((void)percolate(g, PercolationKind::Site, 1.5, 5, 1), PreconditionError);
+  EXPECT_THROW((void)percolate(g, PercolationKind::Site, 0.5, 0, 1), PreconditionError);
+}
+
+TEST(Critical, CompleteGraphThresholdNearOneOverN) {
+  // §1.1: p* = 1/(n-1) for K_n (bond percolation = G(n, p)).
+  const Graph g = complete_graph(64);
+  CriticalOptions opts;
+  opts.trials_per_probe = 16;
+  const CriticalResult r = estimate_critical_probability(g, PercolationKind::Bond, opts);
+  EXPECT_LT(r.p_star, 0.08);  // 1/63 ≈ 0.016 with generous finite-size slack
+  EXPECT_GT(r.p_star, 0.003);
+}
+
+TEST(Critical, Mesh2DBondNearHalf) {
+  // Kesten: p* = 1/2 for the 2-D lattice; finite 24x24 estimate is loose.
+  const Mesh m({24, 24});
+  CriticalOptions opts;
+  opts.gamma_target = 0.2;
+  opts.trials_per_probe = 12;
+  const CriticalResult r = estimate_critical_probability(m.graph(), PercolationKind::Bond, opts);
+  EXPECT_GT(r.p_star, 0.3);
+  EXPECT_LT(r.p_star, 0.7);
+}
+
+TEST(Critical, DenserGraphsPercolateEarlier) {
+  const Graph sparse = cycle_graph(256);
+  const Graph dense = hypercube(8);
+  CriticalOptions opts;
+  opts.trials_per_probe = 10;
+  const double p_sparse =
+      estimate_critical_probability(sparse, PercolationKind::Site, opts).p_star;
+  const double p_dense =
+      estimate_critical_probability(dense, PercolationKind::Site, opts).p_star;
+  EXPECT_LT(p_dense, p_sparse);
+}
+
+TEST(Critical, TargetValidation) {
+  const Graph g = cycle_graph(10);
+  CriticalOptions opts;
+  opts.gamma_target = 0.0;
+  EXPECT_THROW((void)estimate_critical_probability(g, PercolationKind::Site, opts),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,105 @@
+#include "expansion/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expansion/exact.hpp"
+#include "topology/classic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Profile, CycleProfileIsFlatTwo) {
+  // Arcs minimize both boundaries in C_n: node and edge boundary are 2
+  // for every size 1 <= s <= n-1 (node profile only defined to n/2).
+  const IsoperimetricProfile p = isoperimetric_profile(cycle_graph(10));
+  for (std::size_t s = 1; s < p.node_boundary.size(); ++s) {
+    EXPECT_EQ(p.node_boundary[s], 2U) << "s=" << s;
+  }
+  for (std::size_t s = 1; s < p.edge_boundary.size(); ++s) {
+    EXPECT_EQ(p.edge_boundary[s], 2U) << "s=" << s;
+  }
+}
+
+TEST(Profile, PathBoundariesAreOne) {
+  const IsoperimetricProfile p = isoperimetric_profile(path_graph(9));
+  for (std::size_t s = 1; s < p.node_boundary.size(); ++s) {
+    EXPECT_EQ(p.node_boundary[s], 1U);  // prefix intervals
+  }
+  for (std::size_t s = 1; s < p.edge_boundary.size(); ++s) {
+    EXPECT_EQ(p.edge_boundary[s], 1U);
+  }
+}
+
+TEST(Profile, CompleteGraphClosedForm) {
+  const vid n = 7;
+  const IsoperimetricProfile p = isoperimetric_profile(complete_graph(n));
+  for (std::size_t s = 1; s < p.node_boundary.size(); ++s) {
+    EXPECT_EQ(p.node_boundary[s], n - s);
+    EXPECT_EQ(p.edge_boundary[s], s * (n - s));
+  }
+}
+
+TEST(Profile, HypercubeHarperEdgeProfile) {
+  // Harper/Bernstein: subcubes minimize the edge boundary of Q_d at
+  // power-of-two sizes: boundary(2^k) = 2^k (d - k).
+  const vid d = 4;
+  const IsoperimetricProfile p = isoperimetric_profile(hypercube(d));
+  EXPECT_EQ(p.edge_boundary[1], 4U);   // single vertex
+  EXPECT_EQ(p.edge_boundary[2], 6U);   // edge subcube: 2*(4-1)
+  EXPECT_EQ(p.edge_boundary[4], 8U);   // square subcube: 4*(4-2)
+  EXPECT_EQ(p.edge_boundary[8], 8U);   // half cube: 8*(4-3)
+}
+
+TEST(Profile, HypercubeHarperVertexProfile) {
+  // Harper's vertex-isoperimetry: Hamming balls are optimal.  In Q_4 the
+  // radius-1 ball (5 vertices) has boundary C(4,2) = 6.
+  const IsoperimetricProfile p = isoperimetric_profile(hypercube(4));
+  EXPECT_EQ(p.node_boundary[1], 4U);
+  EXPECT_EQ(p.node_boundary[5], 6U);
+  // Size 8: a Hamming ball plus part of its next layer beats the subcube
+  // (boundary 6 < 8) — Harper's theorem in action; pinned from the
+  // exhaustive scan.
+  EXPECT_EQ(p.node_boundary[8], 6U);
+}
+
+TEST(Profile, ExpansionsDerivedFromProfileMatchExactScan) {
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = erdos_renyi(12, 0.35, rng.next());
+    const IsoperimetricProfile p = isoperimetric_profile(g);
+    EXPECT_NEAR(p.node_expansion(), exact_expansion(g, ExpansionKind::Node).expansion, 1e-12);
+    EXPECT_NEAR(p.edge_expansion(12), exact_expansion(g, ExpansionKind::Edge).expansion, 1e-12);
+  }
+}
+
+TEST(Profile, ProfileIsMonotoneOnMeshPrefix) {
+  // The 2-D mesh's edge profile grows like the perimeter ~ 2*sqrt(s) for
+  // small s; in particular it is non-decreasing up to n/2 boundary sizes
+  // of perfect squares.
+  const IsoperimetricProfile p = isoperimetric_profile(Mesh::cube(4, 2).graph());
+  EXPECT_EQ(p.edge_boundary[1], 2U);   // corner vertex
+  EXPECT_EQ(p.edge_boundary[4], 4U);   // 2x2 corner block
+  EXPECT_EQ(p.edge_boundary[8], 4U);   // half grid
+  EXPECT_LE(p.edge_boundary[2], 3U);   // corner domino
+}
+
+TEST(Profile, MaskedSubgraph) {
+  const Graph g = cycle_graph(8);
+  VertexSet alive = VertexSet::full(8);
+  alive.reset(0);  // 7-path
+  const IsoperimetricProfile p = isoperimetric_profile(g, alive);
+  for (std::size_t s = 1; s < p.node_boundary.size(); ++s) {
+    EXPECT_EQ(p.node_boundary[s], 1U);
+  }
+}
+
+TEST(Profile, SizeGuards) {
+  EXPECT_THROW((void)isoperimetric_profile(path_graph(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,133 @@
+// Property suite: expansion invariants swept across graph families
+// (parameterized gtest).  Every graph here is small enough for the exact
+// oracle, so each property is checked against ground truth.
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/bfs_ball.hpp"
+#include "expansion/bracket.hpp"
+#include "expansion/exact.hpp"
+#include "expansion/flow.hpp"
+#include "expansion/local_search.hpp"
+#include "expansion/sweep.hpp"
+#include "graph_cases.hpp"
+#include "spectral/cheeger.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace fne {
+namespace {
+
+using fne::testing::Family;
+using fne::testing::GraphCase;
+
+class ExpansionProperties : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  void SetUp() override {
+    graph_ = GetParam().make();
+    alive_ = VertexSet::full(graph_.num_vertices());
+    connected_ = is_connected(graph_, alive_);
+  }
+  Graph graph_;
+  VertexSet alive_;
+  bool connected_ = false;
+};
+
+TEST_P(ExpansionProperties, NodeExpansionAtMostEdgeExpansion) {
+  // For any U with |U| <= n/2, |Γ(U)| <= |(U, V\U)|, so α <= αe.
+  const double node = exact_expansion(graph_, ExpansionKind::Node).expansion;
+  const double edge = exact_expansion(graph_, ExpansionKind::Edge).expansion;
+  EXPECT_LE(node, edge + 1e-12);
+}
+
+TEST_P(ExpansionProperties, EdgeExpansionAtMostDeltaTimesNode) {
+  // Each boundary vertex absorbs at most δ cut edges: αe <= δ·α.
+  const double node = exact_expansion(graph_, ExpansionKind::Node).expansion;
+  const double edge = exact_expansion(graph_, ExpansionKind::Edge).expansion;
+  EXPECT_LE(edge, graph_.max_degree() * node + 1e-9);
+}
+
+TEST_P(ExpansionProperties, CheegerLowerBoundsHold) {
+  if (!connected_) GTEST_SKIP() << "λ2 = 0 for disconnected graphs";
+  const FiedlerResult fiedler = fiedler_vector(graph_, alive_);
+  ASSERT_TRUE(fiedler.converged);
+  const CheegerBounds bounds =
+      cheeger_lower_bounds(std::max(0.0, fiedler.lambda2), graph_.max_degree());
+  EXPECT_LE(bounds.edge_expansion_lower,
+            exact_expansion(graph_, ExpansionKind::Edge).expansion + 1e-7);
+  EXPECT_LE(bounds.node_expansion_lower,
+            exact_expansion(graph_, ExpansionKind::Node).expansion + 1e-7);
+}
+
+TEST_P(ExpansionProperties, HeuristicsAreUpperBounds) {
+  for (const ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+    const double exact = exact_expansion(graph_, kind).expansion;
+    const double sweep = fiedler_sweep(graph_, alive_, kind).expansion;
+    const double ball = best_ball_cut(graph_, alive_, kind, 8, 3).expansion;
+    EXPECT_GE(sweep + 1e-12, exact);
+    EXPECT_GE(ball + 1e-12, exact);
+  }
+}
+
+TEST_P(ExpansionProperties, RefinementNeverWorsensAndStaysAboveExact) {
+  const double exact = exact_expansion(graph_, ExpansionKind::Edge).expansion;
+  CutWitness start = best_ball_cut(graph_, alive_, ExpansionKind::Edge, 4, 5);
+  const double before = start.expansion;
+  const CutWitness refined = refine_cut(graph_, alive_, std::move(start), ExpansionKind::Edge);
+  EXPECT_LE(refined.expansion, before + 1e-12);
+  EXPECT_GE(refined.expansion + 1e-12, exact);
+}
+
+TEST_P(ExpansionProperties, BracketIsExactAndConsistentForSmallGraphs) {
+  for (const ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+    const ExpansionBracket bracket = expansion_bracket(graph_, kind);
+    EXPECT_LE(bracket.lower, bracket.upper + 1e-12);
+    EXPECT_TRUE(bracket.exact);
+    EXPECT_NEAR(bracket.lower, exact_expansion(graph_, kind).expansion, 1e-12);
+  }
+}
+
+TEST_P(ExpansionProperties, WitnessRecomputesToReportedValue) {
+  for (const ExpansionKind kind : {ExpansionKind::Node, ExpansionKind::Edge}) {
+    const CutWitness w = exact_expansion(graph_, kind);
+    ASSERT_FALSE(w.side.empty());
+    const vid size = w.side.count();
+    const std::size_t boundary = kind == ExpansionKind::Node
+                                     ? node_boundary_size(graph_, alive_, w.side)
+                                     : edge_boundary_size(graph_, alive_, w.side);
+    EXPECT_NEAR(static_cast<double>(boundary) / size, w.expansion, 1e-12);
+  }
+}
+
+TEST_P(ExpansionProperties, EdgeExpansionAtMostEdgeConnectivity) {
+  // αe minimizes cut/size with size >= 1, so αe <= λ(G) (cut of the λ
+  // witness divided by at least 1).
+  const double edge = exact_expansion(graph_, ExpansionKind::Edge).expansion;
+  const double lambda = static_cast<double>(edge_connectivity(graph_, alive_));
+  EXPECT_LE(edge, lambda + 1e-12);
+}
+
+TEST_P(ExpansionProperties, WhitneyInequalities) {
+  if (!connected_) GTEST_SKIP();
+  const std::size_t kappa = vertex_connectivity(graph_, alive_);
+  const std::size_t lambda = edge_connectivity(graph_, alive_);
+  EXPECT_LE(kappa, lambda);
+  EXPECT_LE(lambda, graph_.min_degree());
+  EXPECT_GE(kappa, 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ExpansionProperties,
+    ::testing::Values(
+        GraphCase{Family::Path, 9, 0}, GraphCase{Family::Cycle, 12, 0},
+        GraphCase{Family::Complete, 8, 0}, GraphCase{Family::Star, 10, 0},
+        GraphCase{Family::Barbell, 6, 0}, GraphCase{Family::Mesh2D, 4, 0},
+        GraphCase{Family::Torus2D, 4, 0}, GraphCase{Family::Mesh3D, 2, 0},
+        GraphCase{Family::Hypercube, 4, 0}, GraphCase{Family::DeBruijn, 4, 0},
+        GraphCase{Family::ShuffleExchange, 4, 0}, GraphCase{Family::RandomRegular4, 14, 1},
+        GraphCase{Family::RandomRegular4, 14, 2}, GraphCase{Family::ErdosRenyi, 13, 3},
+        GraphCase{Family::ErdosRenyi, 13, 4}, GraphCase{Family::ErdosRenyi, 16, 5},
+        GraphCase{Family::Multibutterfly, 2, 6}, GraphCase{Family::Butterfly, 2, 0}),
+    fne::testing::GraphCaseName{});
+
+}  // namespace
+}  // namespace fne

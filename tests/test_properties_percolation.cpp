@@ -1,0 +1,77 @@
+// Property suite: percolation invariants swept over graph families.
+#include <gtest/gtest.h>
+
+#include "graph_cases.hpp"
+#include "percolation/percolation.hpp"
+
+namespace fne {
+namespace {
+
+using fne::testing::Family;
+using fne::testing::GraphCase;
+
+class PercolationProperties : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  void SetUp() override { graph_ = GetParam().make(); }
+  Graph graph_;
+};
+
+TEST_P(PercolationProperties, FullSurvivalIsGammaOne) {
+  for (const PercolationKind kind : {PercolationKind::Site, PercolationKind::Bond}) {
+    const PercolationResult r = percolate(graph_, kind, 1.0, 4, 1);
+    EXPECT_DOUBLE_EQ(r.gamma.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(r.gamma.variance(), 0.0);
+  }
+}
+
+TEST_P(PercolationProperties, ZeroSurvivalLeavesAtMostIsolatedVertices) {
+  const PercolationResult site = percolate(graph_, PercolationKind::Site, 0.0, 4, 1);
+  EXPECT_DOUBLE_EQ(site.gamma.mean(), 0.0);
+  const PercolationResult bond = percolate(graph_, PercolationKind::Bond, 0.0, 4, 1);
+  EXPECT_DOUBLE_EQ(bond.gamma.mean(), 1.0 / graph_.num_vertices());
+}
+
+TEST_P(PercolationProperties, GammaBounded) {
+  for (const double p : {0.2, 0.5, 0.8}) {
+    const PercolationResult r = percolate(graph_, PercolationKind::Site, p, 8, 2);
+    EXPECT_GE(r.gamma.min(), 0.0);
+    EXPECT_LE(r.gamma.max(), 1.0);
+  }
+}
+
+TEST_P(PercolationProperties, DeterministicAcrossInvocations) {
+  const PercolationResult a = percolate(graph_, PercolationKind::Bond, 0.6, 12, 9);
+  const PercolationResult b = percolate(graph_, PercolationKind::Bond, 0.6, 12, 9);
+  EXPECT_DOUBLE_EQ(a.gamma.mean(), b.gamma.mean());
+  EXPECT_DOUBLE_EQ(a.gamma.stddev(), b.gamma.stddev());
+}
+
+TEST_P(PercolationProperties, MeanGammaWeaklyMonotoneInP) {
+  // Statistical monotonicity with slack for Monte-Carlo noise.
+  double prev = -0.1;
+  for (const double p : {0.1, 0.4, 0.7, 1.0}) {
+    const PercolationResult r = percolate(graph_, PercolationKind::Site, p, 16, 5);
+    EXPECT_GE(r.gamma.mean() + 0.12, prev) << "p=" << p;
+    prev = r.gamma.mean();
+  }
+}
+
+TEST_P(PercolationProperties, SiteGammaAtMostSurvivalFractionPlusNoise) {
+  // The largest component cannot exceed the number of surviving nodes.
+  const PercolationResult r = percolate(graph_, PercolationKind::Site, 0.5, 16, 7);
+  EXPECT_LE(r.gamma.mean(), 0.5 + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PercolationProperties,
+    ::testing::Values(GraphCase{Family::Cycle, 64, 0}, GraphCase{Family::Complete, 32, 0},
+                      GraphCase{Family::Mesh2D, 12, 0}, GraphCase{Family::Torus2D, 10, 0},
+                      GraphCase{Family::Hypercube, 7, 0}, GraphCase{Family::Butterfly, 5, 0},
+                      GraphCase{Family::DeBruijn, 7, 0},
+                      GraphCase{Family::RandomRegular4, 128, 1},
+                      GraphCase{Family::Star, 50, 0},
+                      GraphCase{Family::Multibutterfly, 5, 2}),
+    fne::testing::GraphCaseName{});
+
+}  // namespace
+}  // namespace fne

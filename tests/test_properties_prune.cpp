@@ -1,0 +1,126 @@
+// Property suite: Prune/Prune2 invariants under randomized fault
+// injection, swept over (family × fault probability × seed).
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/cut_finder.hpp"
+#include "faults/fault_model.hpp"
+#include "graph_cases.hpp"
+#include "prune/prune.hpp"
+#include "prune/prune2.hpp"
+#include "prune/verify.hpp"
+
+namespace fne {
+namespace {
+
+using fne::testing::Family;
+using fne::testing::GraphCase;
+
+struct PruneCase {
+  GraphCase graph_case;
+  double fault_p;
+  double alpha;
+  double epsilon;
+
+  [[nodiscard]] std::string label() const {
+    return graph_case.label() + "_p" + std::to_string(static_cast<int>(fault_p * 100));
+  }
+  friend std::ostream& operator<<(std::ostream& os, const PruneCase& c) {
+    return os << c.label();
+  }
+};
+
+class PruneProperties : public ::testing::TestWithParam<PruneCase> {
+ protected:
+  void SetUp() override {
+    graph_ = GetParam().graph_case.make();
+    alive_ = random_node_faults(graph_, GetParam().fault_p, GetParam().graph_case.seed + 99);
+  }
+  Graph graph_;
+  VertexSet alive_;
+};
+
+TEST_P(PruneProperties, PruneTraceReplaysValid) {
+  const auto& p = GetParam();
+  const PruneResult result = prune(graph_, alive_, p.alpha, p.epsilon);
+  const TraceVerification v =
+      verify_prune_trace(graph_, alive_, result, ExpansionKind::Node, p.alpha * p.epsilon);
+  EXPECT_TRUE(v.valid) << v.reason;
+}
+
+TEST_P(PruneProperties, Prune2TraceReplaysValidAndCompact) {
+  const auto& p = GetParam();
+  const PruneResult result = prune2(graph_, alive_, p.alpha, p.epsilon);
+  const TraceVerification v = verify_prune_trace(graph_, alive_, result, ExpansionKind::Edge,
+                                                 p.alpha * p.epsilon, /*require_compact=*/true);
+  EXPECT_TRUE(v.valid) << v.reason;
+}
+
+TEST_P(PruneProperties, CulledSetsPartitionTheRemovedRegion) {
+  const auto& p = GetParam();
+  for (const bool edge_mode : {false, true}) {
+    const PruneResult result = edge_mode ? prune2(graph_, alive_, p.alpha, p.epsilon)
+                                         : prune(graph_, alive_, p.alpha, p.epsilon);
+    VertexSet rebuilt = result.survivors;
+    vid culled_total = 0;
+    for (const CulledRecord& rec : result.culled) {
+      EXPECT_FALSE(rebuilt.intersects(rec.set));
+      EXPECT_EQ(rec.set.count(), rec.size);
+      rebuilt |= rec.set;
+      culled_total += rec.size;
+    }
+    EXPECT_EQ(rebuilt, alive_);
+    EXPECT_EQ(culled_total, result.total_culled);
+    EXPECT_EQ(static_cast<std::size_t>(result.iterations), result.culled.size());
+  }
+}
+
+TEST_P(PruneProperties, SurvivorsAreConnectedOrTiny) {
+  // Any detached piece <= |G_i|/2 violates every threshold (Γ = 0), so
+  // the survivor set of Prune must be connected (or < 2 vertices).
+  const auto& p = GetParam();
+  const PruneResult result = prune(graph_, alive_, p.alpha, p.epsilon);
+  if (result.survivors.count() >= 2) {
+    EXPECT_TRUE(is_connected(graph_, result.survivors));
+  }
+}
+
+TEST_P(PruneProperties, TerminationIsCertifiedOnSmallSurvivors) {
+  // When the survivor set is within the exact-search range, termination
+  // proves no violating set remains.
+  const auto& p = GetParam();
+  const PruneResult result = prune(graph_, alive_, p.alpha, p.epsilon);
+  if (result.survivors.count() >= 2 && result.survivors.count() <= 20) {
+    const auto leftover = find_violating_set(graph_, result.survivors, ExpansionKind::Node,
+                                             p.alpha * p.epsilon);
+    EXPECT_FALSE(leftover.has_value());
+  }
+}
+
+TEST_P(PruneProperties, DeterministicUnderSameSeed) {
+  const auto& p = GetParam();
+  const PruneResult a = prune(graph_, alive_, p.alpha, p.epsilon);
+  const PruneResult b = prune(graph_, alive_, p.alpha, p.epsilon);
+  EXPECT_EQ(a.survivors, b.survivors);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSweep, PruneProperties,
+    ::testing::Values(
+        PruneCase{{Family::Mesh2D, 8, 1}, 0.10, 0.25, 0.5},
+        PruneCase{{Family::Mesh2D, 8, 2}, 0.25, 0.25, 0.5},
+        PruneCase{{Family::Mesh2D, 10, 3}, 0.35, 0.2, 0.25},
+        PruneCase{{Family::Torus2D, 8, 4}, 0.20, 0.5, 0.5},
+        PruneCase{{Family::Mesh3D, 4, 5}, 0.15, 0.75, 0.33},
+        PruneCase{{Family::Hypercube, 6, 6}, 0.15, 0.5, 0.5},
+        PruneCase{{Family::RandomRegular4, 48, 7}, 0.10, 0.6, 0.5},
+        PruneCase{{Family::RandomRegular4, 48, 8}, 0.30, 0.6, 0.5},
+        PruneCase{{Family::Butterfly, 4, 9}, 0.20, 0.4, 0.5},
+        PruneCase{{Family::DeBruijn, 6, 10}, 0.20, 0.4, 0.5},
+        PruneCase{{Family::Cycle, 32, 11}, 0.10, 0.125, 0.5},
+        PruneCase{{Family::Barbell, 10, 12}, 0.10, 0.4, 0.5}),
+    [](const ::testing::TestParamInfo<PruneCase>& info) { return info.param.label(); });
+
+}  // namespace
+}  // namespace fne

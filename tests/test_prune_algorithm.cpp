@@ -1,0 +1,140 @@
+#include "prune/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "expansion/exact.hpp"
+#include "faults/fault_model.hpp"
+#include "prune/verify.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Prune, NoFaultsBelowTrueExpansionCullsNothing) {
+  // threshold = α·ε < α: no violating set exists, Prune returns G intact.
+  const Graph g = cycle_graph(16);
+  const double alpha = exact_expansion(g, ExpansionKind::Node).expansion;
+  const PruneResult result = prune(g, VertexSet::full(16), alpha, 0.5);
+  EXPECT_EQ(result.survivors.count(), 16U);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_TRUE(result.culled.empty());
+}
+
+TEST(Prune, RemovesDetachedFragment) {
+  const Graph g = path_graph(10);
+  VertexSet alive = VertexSet::full(10);
+  alive.reset(7);  // survivors: 0..6 and 8..9
+  // Threshold 1.0 * 0.2 = 0.2: the fragment {8,9} (Γ = 0) is culled, but
+  // no sub-path of 0..6 has |Γ(S)|/|S| <= 0.2 with |S| <= 3, so the big
+  // piece survives intact.
+  const PruneResult result = prune(g, alive, 1.0, 0.2);
+  EXPECT_FALSE(result.survivors.test(8));
+  EXPECT_FALSE(result.survivors.test(9));
+  EXPECT_EQ(result.survivors.count(), 7U);
+}
+
+TEST(Prune, TraceReplaysSuccessfully) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = random_regular(40, 4, rng.next());
+    const VertexSet alive = random_node_faults(g, 0.15, rng.next());
+    const double alpha = 0.8;
+    const double eps = 0.5;
+    const PruneResult result = prune(g, alive, alpha, eps);
+    const TraceVerification v =
+        verify_prune_trace(g, alive, result, ExpansionKind::Node, alpha * eps);
+    EXPECT_TRUE(v.valid) << "trial " << trial << ": " << v.reason;
+  }
+}
+
+TEST(Prune, SurvivorsPlusCulledEqualsInitial) {
+  const Graph g = Mesh({8, 8}).graph();
+  const VertexSet alive = random_node_faults(g, 0.2, 11);
+  const PruneResult result = prune(g, alive, 0.5, 0.5);
+  VertexSet reconstructed = result.survivors;
+  for (const CulledRecord& rec : result.culled) {
+    EXPECT_FALSE(reconstructed.intersects(rec.set));
+    reconstructed |= rec.set;
+  }
+  EXPECT_EQ(reconstructed, alive);
+  EXPECT_EQ(result.total_culled + result.survivors.count(), alive.count());
+}
+
+TEST(Prune, SurvivorsHaveNoSmallDetachedPieces) {
+  // After Prune, the survivor set is connected whenever threshold >= 0:
+  // any detached piece <= half would have been culled with Γ = 0.
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = Mesh({10, 10}).graph();
+    const VertexSet alive = random_node_faults(g, 0.25, rng.next());
+    const PruneResult result = prune(g, alive, 0.6, 0.5);
+    if (result.survivors.count() >= 2) {
+      EXPECT_TRUE(is_connected(g, result.survivors)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Prune, FinalGraphHasNoViolatingSetInExactRange) {
+  // For a small survivor set the cut finder is exhaustive, so termination
+  // certifies: min expansion of H > threshold.
+  const Graph g = cycle_graph(18);
+  VertexSet alive = VertexSet::full(18);
+  alive.reset(0);
+  alive.reset(9);  // two 8-arcs
+  const double alpha = 0.25;
+  const double eps = 0.5;
+  const PruneResult result = prune(g, alive, alpha, eps);
+  if (result.survivors.count() >= 2) {
+    const auto leftover =
+        find_violating_set(g, result.survivors, ExpansionKind::Node, alpha * eps);
+    EXPECT_FALSE(leftover.has_value());
+  }
+}
+
+TEST(Prune, ParameterValidation) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)prune(g, VertexSet::full(4), 0.0, 0.5), PreconditionError);
+  EXPECT_THROW((void)prune(g, VertexSet::full(4), 1.0, 1.0), PreconditionError);
+}
+
+TEST(PruneVerify, DetectsCorruptedTrace) {
+  const Graph g = path_graph(10);
+  VertexSet alive = VertexSet::full(10);
+  alive.reset(7);
+  PruneResult result = prune(g, alive, 1.0, 0.5);
+  ASSERT_FALSE(result.culled.empty());
+  // Tamper: claim a set that was never below the threshold.
+  PruneResult tampered = result;
+  tampered.culled[0].set = VertexSet::of(10, {3});
+  const TraceVerification v =
+      verify_prune_trace(g, alive, tampered, ExpansionKind::Node, 0.0);
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.failed_record, 0);
+}
+
+TEST(PruneVerify, DetectsSurvivorMismatch) {
+  const Graph g = path_graph(6);
+  const PruneResult clean = prune(g, VertexSet::full(6), 0.2, 0.5);
+  PruneResult tampered = clean;
+  tampered.survivors.reset(0);
+  const TraceVerification v =
+      verify_prune_trace(g, VertexSet::full(6), tampered, ExpansionKind::Node, 0.1);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Theorem21Check, BoundArithmetic) {
+  // n=100, α=0.5, f=5, k=2: culled allowance = 20, bound = 80, n/4 = 25.
+  const Theorem21Check check = check_theorem21_size(100, 0.5, 5, 2.0, 85);
+  EXPECT_TRUE(check.precondition_ok);
+  EXPECT_TRUE(check.size_ok);
+  EXPECT_DOUBLE_EQ(check.size_bound, 80.0);
+  EXPECT_FALSE(check_theorem21_size(100, 0.5, 5, 2.0, 79).size_ok);
+  EXPECT_FALSE(check_theorem21_size(100, 0.5, 30, 2.0, 0).precondition_ok);
+}
+
+}  // namespace
+}  // namespace fne

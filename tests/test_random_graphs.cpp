@@ -1,0 +1,76 @@
+#include "topology/random_graphs.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+
+namespace fne {
+namespace {
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(erdos_renyi(10, 0.0, 1).num_edges(), 0U);
+  EXPECT_EQ(erdos_renyi(10, 1.0, 1).num_edges(), 45U);
+}
+
+TEST(ErdosRenyi, DeterministicUnderSeed) {
+  const Graph a = erdos_renyi(50, 0.1, 99);
+  const Graph b = erdos_renyi(50, 0.1, 99);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (eid e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const vid n = 200;
+  const double p = 0.05;
+  const Graph g = erdos_renyi(n, p, 7);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(RandomRegular, ProducesSimpleRegularGraph) {
+  for (vid d : {3U, 4U, 6U}) {
+    const Graph g = random_regular(64, d, 5);
+    EXPECT_TRUE(g.is_regular()) << "d=" << d;
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_EQ(g.num_edges(), 64U * d / 2);
+  }
+}
+
+TEST(RandomRegular, TypicallyConnectedForDGe3) {
+  // d >= 3 random regular graphs are connected whp; check several seeds.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = random_regular(128, 4, seed);
+    EXPECT_TRUE(is_connected(g, VertexSet::full(128))) << "seed=" << seed;
+  }
+}
+
+TEST(RandomRegular, ParityRejected) {
+  EXPECT_THROW((void)random_regular(5, 3, 1), PreconditionError);
+  EXPECT_THROW((void)random_regular(4, 4, 1), PreconditionError);
+}
+
+TEST(RandomRegular, DeterministicUnderSeed) {
+  const Graph a = random_regular(32, 4, 123);
+  const Graph b = random_regular(32, 4, 123);
+  for (eid e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+}
+
+TEST(RandomWithEdges, ExactEdgeCount) {
+  const Graph g = random_with_edges(40, 100, 3);
+  EXPECT_EQ(g.num_edges(), 100U);
+  EXPECT_EQ(g.num_vertices(), 40U);
+}
+
+TEST(RandomWithEdges, RejectsImpossibleCount) {
+  EXPECT_THROW((void)random_with_edges(4, 7, 1), PreconditionError);
+}
+
+TEST(RandomWithEdges, FullCliqueReachable) {
+  const Graph g = random_with_edges(6, 15, 2);
+  EXPECT_EQ(g.num_edges(), 15U);
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "analysis/routing.hpp"
+#include "core/traversal.hpp"
+#include "faults/fault_model.hpp"
+#include "prune/upfal.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+
+namespace fne {
+namespace {
+
+// ---- Upfal degree pruning ------------------------------------------------
+
+TEST(UpfalPrune, NoFaultsKeepsEverything) {
+  const Graph g = random_regular(32, 4, 3);
+  const UpfalResult r = upfal_prune(g, VertexSet::full(32), 0.5);
+  EXPECT_EQ(r.survivors.count(), 32U);
+  EXPECT_EQ(r.total_culled, 0U);
+}
+
+TEST(UpfalPrune, CascadesFromDegreeLoss) {
+  // Path: killing an interior vertex leaves the neighbors with 1/2 of
+  // their degree, which at keep_fraction 0.6 cascades down both arms
+  // until the degree-1 endpoints (1 of original degree 1) stabilize.
+  const Graph g = path_graph(7);
+  VertexSet alive = VertexSet::full(7);
+  alive.reset(3);
+  const UpfalResult r = upfal_prune(g, alive, 0.6);
+  // Interior vertices 2 and 4 drop (alive degree 1 < 0.6*2), the cascade
+  // walks both arms, and finally the endpoints drop too (0 < 0.6*1):
+  // Upfal's rule on a path with one interior fault removes everything —
+  // a vivid case of degree pruning overshooting on weak expanders.
+  EXPECT_EQ(r.survivors.count(), 0U);
+  EXPECT_EQ(r.total_culled, 6U);
+}
+
+TEST(UpfalPrune, KeepsLargestComponentOnly) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}});
+  const UpfalResult r = upfal_prune(g, VertexSet::full(7), 0.5);
+  EXPECT_EQ(r.survivors.count(), 4U);  // the 4-cycle
+}
+
+TEST(UpfalPrune, GuaranteesLinearComponentOnExpander) {
+  // §1.1 (Upfal): n - O(f) survivors on a bounded-degree expander.
+  const Graph g = random_regular(128, 6, 7);
+  const VertexSet alive = random_exact_node_faults(g, 8, 5);
+  const UpfalResult r = upfal_prune(g, alive, 0.5);
+  EXPECT_GE(r.survivors.count() + 6 * 8, 128U);  // lost <= O(f)
+}
+
+TEST(UpfalPrune, SurvivorsAreConnectedSubset) {
+  const Mesh m({8, 8});
+  const VertexSet alive = random_node_faults(m.graph(), 0.2, 9);
+  const UpfalResult r = upfal_prune(m.graph(), alive, 0.5);
+  EXPECT_TRUE(r.survivors.is_subset_of(alive));
+  if (r.survivors.count() >= 2) {
+    EXPECT_TRUE(is_connected(m.graph(), r.survivors));
+  }
+}
+
+TEST(UpfalPrune, ParameterValidation) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)upfal_prune(g, VertexSet::full(4), 0.0), PreconditionError);
+  EXPECT_THROW((void)upfal_prune(g, VertexSet::full(4), 1.5), PreconditionError);
+}
+
+// ---- permutation routing ---------------------------------------------------
+
+TEST(Routing, RoutesEveryNonTrivialPair) {
+  const Mesh m({6, 6});
+  const RoutingResult r = route_random_permutation(m.graph(), VertexSet::full(36), 3);
+  EXPECT_GT(r.routed_pairs, 30U);  // fixed points of π are skipped
+  EXPECT_GT(r.max_edge_load, 0U);
+  EXPECT_LE(r.max_path_length, 10U);  // mesh diameter
+  EXPECT_LE(r.average_path_length, static_cast<double>(r.max_path_length));
+}
+
+TEST(Routing, DeterministicUnderSeed) {
+  const Graph g = random_regular(48, 4, 5);
+  const RoutingResult a = route_random_permutation(g, VertexSet::full(48), 7);
+  const RoutingResult b = route_random_permutation(g, VertexSet::full(48), 7);
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load);
+  EXPECT_EQ(a.routed_pairs, b.routed_pairs);
+}
+
+TEST(Routing, CongestionTracksBottleneck) {
+  // Barbell: every cross pair must use the single bridge, so congestion
+  // is Θ(n) there; an expander of the same size stays near O(log n).
+  const Graph bar = barbell_graph(12);
+  const Graph exp = random_regular(24, 4, 11);
+  const RoutingResult rb = route_random_permutation(bar, VertexSet::full(24), 13);
+  const RoutingResult re = route_random_permutation(exp, VertexSet::full(24), 13);
+  EXPECT_GT(rb.max_edge_load, 2 * re.max_edge_load);
+}
+
+TEST(Routing, WorksUnderMask) {
+  const Graph g = cycle_graph(12);
+  VertexSet alive = VertexSet::full(12);
+  alive.reset(0);  // a path
+  const RoutingResult r = route_random_permutation(g, alive, 17);
+  EXPECT_EQ(r.routed_pairs + (11 - r.routed_pairs), 11U);
+  EXPECT_GT(r.max_edge_load, 0U);
+}
+
+TEST(Routing, DisconnectedRejected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)route_random_permutation(g, VertexSet::full(4), 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fne

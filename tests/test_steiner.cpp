@@ -1,0 +1,119 @@
+#include "span/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.hpp"
+#include "topology/classic.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace fne {
+namespace {
+
+void expect_tree_spans(const Graph& g, const SteinerResult& tree,
+                       const std::vector<vid>& terminals) {
+  for (vid t : terminals) EXPECT_TRUE(tree.nodes.test(t));
+  EXPECT_TRUE(is_connected_subset(g, VertexSet::full(g.num_vertices()), tree.nodes));
+  EXPECT_EQ(tree.nodes.count(), tree.tree_nodes);
+}
+
+TEST(SteinerExact, SingleTerminal) {
+  const Graph g = path_graph(5);
+  const SteinerResult t = steiner_exact(g, {3});
+  EXPECT_EQ(t.tree_nodes, 1U);
+  EXPECT_EQ(t.tree_edges, 0U);
+  EXPECT_TRUE(t.nodes.test(3));
+}
+
+TEST(SteinerExact, PathEndpointsNeedWholePath) {
+  const Graph g = path_graph(7);
+  const SteinerResult t = steiner_exact(g, {0, 6});
+  EXPECT_EQ(t.tree_edges, 6U);
+  EXPECT_EQ(t.tree_nodes, 7U);
+  expect_tree_spans(g, t, {0, 6});
+}
+
+TEST(SteinerExact, StarLeavesRouteThroughHub) {
+  const Graph g = star_graph(6);
+  const SteinerResult t = steiner_exact(g, {1, 2, 3});
+  EXPECT_EQ(t.tree_nodes, 4U);  // three leaves + hub
+  EXPECT_TRUE(t.nodes.test(0));
+  expect_tree_spans(g, t, {1, 2, 3});
+}
+
+TEST(SteinerExact, GridSteinerPoint) {
+  // Terminals at (0,2), (2,0), (2,4), optimal tree uses the cross point.
+  const Mesh m({3, 5});
+  const std::vector<vid> terminals{m.id_of({0, 2}), m.id_of({2, 0}), m.id_of({2, 4})};
+  // Median point (2,2): each terminal is 2 steps away → 6 edges total.
+  const SteinerResult t = steiner_exact(m.graph(), terminals);
+  EXPECT_EQ(t.tree_edges, 6U);
+  expect_tree_spans(m.graph(), t, terminals);
+}
+
+TEST(SteinerExact, CycleUsesShorterArc) {
+  const Graph g = cycle_graph(10);
+  const SteinerResult t = steiner_exact(g, {0, 3});
+  EXPECT_EQ(t.tree_edges, 3U);
+}
+
+TEST(SteinerApprox, AlwaysSpansAndWithinTwiceOptimal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(16, 0.25, rng.next());
+    if (!is_connected(g, VertexSet::full(16))) continue;
+    const vid t = 2 + static_cast<vid>(rng.uniform(4));
+    const auto terms_idx = rng.sample_without_replacement(16, t);
+    const std::vector<vid> terminals(terms_idx.begin(), terms_idx.end());
+    const SteinerResult exact = steiner_exact(g, terminals);
+    const SteinerResult approx = steiner_approx(g, terminals);
+    expect_tree_spans(g, approx, terminals);
+    EXPECT_GE(approx.tree_edges + 1e-12, exact.tree_edges);
+    EXPECT_LE(approx.tree_edges, 2 * exact.tree_edges + 1)
+        << "trial " << trial << " t=" << t;
+  }
+}
+
+TEST(SteinerApprox, ExactOnTwoTerminals) {
+  // With 2 terminals both engines return a shortest path.
+  const Mesh m({5, 5});
+  const std::vector<vid> terminals{m.id_of({0, 0}), m.id_of({4, 4})};
+  const SteinerResult exact = steiner_exact(m.graph(), terminals);
+  const SteinerResult approx = steiner_approx(m.graph(), terminals);
+  EXPECT_EQ(exact.tree_edges, 8U);
+  EXPECT_EQ(approx.tree_edges, 8U);
+}
+
+TEST(SteinerDispatch, PicksEngineByBudget) {
+  const Graph g = path_graph(10);
+  EXPECT_TRUE(steiner_tree(g, {0, 9}).exact);
+  EXPECT_TRUE(dreyfus_wagner_feasible(10, 2));
+  EXPECT_FALSE(dreyfus_wagner_feasible(1 << 20, 18));
+  EXPECT_FALSE(dreyfus_wagner_feasible(100, 19));
+}
+
+TEST(SteinerExact, DisconnectedTerminalsRejected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)steiner_exact(g, {0, 2}), PreconditionError);
+  EXPECT_THROW((void)steiner_approx(g, {0, 2}), PreconditionError);
+}
+
+TEST(SteinerExact, EmptyTerminalsRejected) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)steiner_exact(g, {}), PreconditionError);
+}
+
+TEST(SteinerExact, TreeEdgesMatchNodeCount) {
+  Rng rng(19);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = erdos_renyi(14, 0.3, rng.next());
+    if (!is_connected(g, VertexSet::full(14))) continue;
+    const auto terms_idx = rng.sample_without_replacement(14, 3);
+    const SteinerResult t = steiner_exact(g, {terms_idx[0], terms_idx[1], terms_idx[2]});
+    EXPECT_EQ(t.tree_nodes, t.tree_edges + 1);
+  }
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,151 @@
+#include "core/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/union_find.hpp"
+#include "topology/classic.hpp"
+
+namespace fne {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, VertexSet::full(5), 0);
+  for (vid v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, MaskBlocksTraversal) {
+  const Graph g = path_graph(5);
+  VertexSet alive = VertexSet::full(5);
+  alive.reset(2);
+  const auto dist = bfs_distances(g, alive, 0);
+  EXPECT_EQ(dist[1], 1U);
+  EXPECT_EQ(dist[3], kUnreached);
+  EXPECT_EQ(dist[2], kUnreached);
+}
+
+TEST(Bfs, EdgeMaskBlocksTraversal) {
+  const Graph g = path_graph(4);
+  EdgeMask edges(g.num_edges(), true);
+  // Kill the middle edge 1-2.
+  for (eid e = 0; e < g.num_edges(); ++e) {
+    if (g.edge(e).u == 1 && g.edge(e).v == 2) edges.reset(e);
+  }
+  const auto dist = bfs_distances(g, VertexSet::full(4), 0, &edges);
+  EXPECT_EQ(dist[1], 1U);
+  EXPECT_EQ(dist[2], kUnreached);
+}
+
+TEST(Bfs, DeadSourceRejected) {
+  const Graph g = path_graph(3);
+  VertexSet alive = VertexSet::full(3);
+  alive.reset(0);
+  EXPECT_THROW((void)bfs_distances(g, alive, 0), PreconditionError);
+}
+
+TEST(Components, SplitPathHasTwoComponents) {
+  const Graph g = path_graph(6);
+  VertexSet alive = VertexSet::full(6);
+  alive.reset(3);
+  const Components comps = connected_components(g, alive);
+  EXPECT_EQ(comps.count(), 2U);
+  EXPECT_EQ(comps.largest_size(), 3U);
+  EXPECT_EQ(comps.label[3], kUnreached);
+}
+
+TEST(Components, LargestComponentMask) {
+  const Graph g = path_graph(7);
+  VertexSet alive = VertexSet::full(7);
+  alive.reset(2);  // split into {0,1} and {3,4,5,6}
+  const VertexSet big = largest_component(g, alive);
+  EXPECT_EQ(big.count(), 4U);
+  EXPECT_TRUE(big.test(3));
+  EXPECT_FALSE(big.test(0));
+}
+
+TEST(Components, GammaFraction) {
+  const Graph g = path_graph(10);
+  VertexSet alive = VertexSet::full(10);
+  alive.reset(5);
+  EXPECT_DOUBLE_EQ(gamma_largest_fraction(g, alive), 0.5);
+}
+
+TEST(Components, IsConnected) {
+  const Graph g = cycle_graph(6);
+  EXPECT_TRUE(is_connected(g, VertexSet::full(6)));
+  VertexSet alive = VertexSet::full(6);
+  alive.reset(0);
+  EXPECT_TRUE(is_connected(g, alive));  // cycle minus one vertex is a path
+  alive.reset(3);
+  EXPECT_FALSE(is_connected(g, alive));
+  EXPECT_FALSE(is_connected(g, VertexSet(6)));  // empty
+}
+
+TEST(Components, ConnectedSubset) {
+  const Graph g = path_graph(6);
+  const VertexSet all = VertexSet::full(6);
+  EXPECT_TRUE(is_connected_subset(g, all, VertexSet::of(6, {1, 2, 3})));
+  EXPECT_FALSE(is_connected_subset(g, all, VertexSet::of(6, {0, 2})));
+  EXPECT_FALSE(is_connected_subset(g, all, VertexSet(6)));
+}
+
+TEST(Boundary, NodeBoundaryOfPathInterval) {
+  const Graph g = path_graph(6);
+  const VertexSet all = VertexSet::full(6);
+  const VertexSet s = VertexSet::of(6, {2, 3});
+  const VertexSet boundary = node_boundary(g, all, s);
+  EXPECT_EQ(boundary.to_vector(), (std::vector<vid>{1, 4}));
+  EXPECT_EQ(node_boundary_size(g, all, s), 2U);
+}
+
+TEST(Boundary, RespectsAliveMask) {
+  const Graph g = path_graph(6);
+  VertexSet alive = VertexSet::full(6);
+  alive.reset(1);
+  const VertexSet s = VertexSet::of(6, {2, 3});
+  EXPECT_EQ(node_boundary(g, alive, s).to_vector(), (std::vector<vid>{4}));
+}
+
+TEST(Boundary, EdgeBoundaryCountsAllCrossings) {
+  const Graph g = cycle_graph(6);
+  const VertexSet all = VertexSet::full(6);
+  EXPECT_EQ(edge_boundary_size(g, all, VertexSet::of(6, {0, 1, 2})), 2U);
+  EXPECT_EQ(edge_boundary_size(g, all, VertexSet::of(6, {0, 2, 4})), 6U);
+}
+
+TEST(Compact, IntervalOfCycleIsCompact) {
+  const Graph g = cycle_graph(8);
+  const VertexSet all = VertexSet::full(8);
+  EXPECT_TRUE(is_compact(g, all, VertexSet::of(8, {1, 2, 3})));
+  EXPECT_FALSE(is_compact(g, all, VertexSet::of(8, {1, 3})));          // S disconnected
+  EXPECT_FALSE(is_compact(g, all, VertexSet::of(8, {0, 1, 4, 5})));    // complement split
+  EXPECT_FALSE(is_compact(g, all, VertexSet(8)));                      // empty
+  EXPECT_FALSE(is_compact(g, all, VertexSet::full(8)));                // no complement
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.num_components(), 6U);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already joined
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.component_size(2), 3U);
+  EXPECT_EQ(uf.num_components(), 4U);
+}
+
+TEST(EdgeMask, CountAndTail) {
+  EdgeMask m(70, true);
+  EXPECT_EQ(m.count(), 70U);
+  m.reset(69);
+  EXPECT_EQ(m.count(), 69U);
+  EXPECT_FALSE(m.test(69));
+  EdgeMask empty(70, false);
+  EXPECT_EQ(empty.count(), 0U);
+  empty.set(3);
+  EXPECT_TRUE(empty.test(3));
+}
+
+}  // namespace
+}  // namespace fne

@@ -1,0 +1,101 @@
+#include "core/vertex_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fne {
+namespace {
+
+TEST(VertexSet, EmptyAndFull) {
+  VertexSet empty(100);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0U);
+  const VertexSet full = VertexSet::full(100);
+  EXPECT_EQ(full.count(), 100U);
+  for (vid v = 0; v < 100; ++v) EXPECT_TRUE(full.test(v));
+}
+
+TEST(VertexSet, FullMasksTailBits) {
+  // Universe not a multiple of 64: the last word must not leak bits.
+  for (vid n : {1U, 63U, 64U, 65U, 100U, 127U, 128U, 129U}) {
+    EXPECT_EQ(VertexSet::full(n).count(), n) << "n=" << n;
+    EXPECT_EQ(VertexSet::full(n).complement().count(), 0U) << "n=" << n;
+  }
+}
+
+TEST(VertexSet, SetResetFlip) {
+  VertexSet s(70);
+  s.set(0);
+  s.set(69);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(69));
+  EXPECT_EQ(s.count(), 2U);
+  s.reset(0);
+  EXPECT_FALSE(s.test(0));
+  s.flip(69);
+  EXPECT_FALSE(s.test(69));
+  s.flip(69);
+  EXPECT_TRUE(s.test(69));
+}
+
+TEST(VertexSet, OfRejectsOutOfUniverse) {
+  EXPECT_THROW((void)VertexSet::of(10, {10}), PreconditionError);
+}
+
+TEST(VertexSet, ToVectorSortedAscending) {
+  const VertexSet s = VertexSet::of(100, {5, 90, 2, 64, 63});
+  EXPECT_EQ(s.to_vector(), (std::vector<vid>{2, 5, 63, 64, 90}));
+}
+
+TEST(VertexSet, FirstAndNextAfter) {
+  const VertexSet s = VertexSet::of(200, {3, 64, 130});
+  EXPECT_EQ(s.first(), 3U);
+  EXPECT_EQ(s.next_after(3), 64U);
+  EXPECT_EQ(s.next_after(64), 130U);
+  EXPECT_EQ(s.next_after(130), kInvalidVertex);
+  EXPECT_EQ(VertexSet(10).first(), kInvalidVertex);
+}
+
+TEST(VertexSet, SetAlgebra) {
+  const VertexSet a = VertexSet::of(10, {1, 2, 3});
+  const VertexSet b = VertexSet::of(10, {3, 4});
+  EXPECT_EQ((a | b).to_vector(), (std::vector<vid>{1, 2, 3, 4}));
+  EXPECT_EQ((a & b).to_vector(), (std::vector<vid>{3}));
+  EXPECT_EQ((a - b).to_vector(), (std::vector<vid>{1, 2}));
+  EXPECT_EQ((a ^ b).to_vector(), (std::vector<vid>{1, 2, 4}));
+}
+
+TEST(VertexSet, ComplementRoundTrip) {
+  const VertexSet a = VertexSet::of(77, {0, 10, 76});
+  EXPECT_EQ(a.complement().complement(), a);
+  EXPECT_EQ(a.complement().count(), 74U);
+}
+
+TEST(VertexSet, SubsetAndIntersection) {
+  const VertexSet a = VertexSet::of(10, {1, 2});
+  const VertexSet b = VertexSet::of(10, {1, 2, 3});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(VertexSet::of(10, {5})));
+}
+
+TEST(VertexSet, MismatchedUniversesRejected) {
+  VertexSet a(10);
+  const VertexSet b(11);
+  EXPECT_THROW(a |= b, PreconditionError);
+}
+
+TEST(VertexSet, ForEachVisitsAllInOrder) {
+  const VertexSet s = VertexSet::of(300, {0, 64, 128, 255, 299});
+  std::vector<vid> seen;
+  s.for_each([&](vid v) { seen.push_back(v); });
+  EXPECT_EQ(seen, s.to_vector());
+}
+
+TEST(VertexSet, EqualityIsStructural) {
+  EXPECT_EQ(VertexSet::of(10, {1, 2}), VertexSet::of(10, {2, 1}));
+  EXPECT_NE(VertexSet::of(10, {1}), VertexSet::of(10, {2}));
+}
+
+}  // namespace
+}  // namespace fne
