@@ -9,6 +9,7 @@
 
 #include "expansion/bracket.hpp"
 #include "faults/adversary.hpp"
+#include "prune/engine.hpp"
 #include "prune/prune.hpp"
 #include "prune/verify.hpp"
 #include "topology/hypercube.hpp"
@@ -49,12 +50,16 @@ void run(const Family& family, double k, std::uint64_t seed, Table& table) {
   copts.seed = seed;
   attacks.push_back({"sweep-cut", sweep_cut_attack(g, f, copts)});
 
+  // One engine across the attack portfolio: workspace buffers amortize
+  // over the runs, and deterministic mode keeps the table bit-identical
+  // to the stateless prune() it replaces.
+  PruneEngine engine(g, ExpansionKind::Node);
   for (const auto& [attack_name, attack] : attacks) {
     const VertexSet alive = VertexSet::full(n) - attack.faults;
-    PruneOptions popts;
+    PruneEngineOptions popts;
     popts.finder.seed = seed + 1;
     const double eps = 1.0 - 1.0 / k;
-    const PruneResult result = prune(g, alive, alpha, eps, popts);
+    const PruneResult result = engine.run(alive, alpha, eps, popts);
     const Theorem21Check check =
         check_theorem21_size(n, alpha, attack.budget_used, k, result.survivors.count());
     const TraceVerification trace =

@@ -7,6 +7,7 @@
 
 #include "expansion/bracket.hpp"
 #include "faults/fault_model.hpp"
+#include "prune/engine.hpp"
 #include "prune/prune2.hpp"
 #include "prune/verify.hpp"
 #include "topology/mesh.hpp"
@@ -41,11 +42,15 @@ int main(int argc, char** argv) {
     const double p_theorem = theorem34_fault_probability(delta, sigma);
     const double eps = 1.0 / (2.0 * delta);
 
+    // One engine drives the whole probability sweep: its workspace
+    // (Krylov basis, BFS queues, degree tables) is reused across runs,
+    // and the deterministic configuration is bit-identical to prune2().
+    PruneEngine engine(g, ExpansionKind::Edge);
     for (double p : {p_theorem, 0.01, 0.03}) {
       const VertexSet alive = random_node_faults(g, p, seed + n);
-      Prune2Options opts;
+      PruneEngineOptions opts;
       opts.finder.seed = seed;
-      const PruneResult result = prune2(g, alive, c.alpha_e, eps, opts);
+      const PruneResult result = engine.run(alive, c.alpha_e, eps, opts);
 
       const TraceVerification trace = verify_prune_trace(
           g, alive, result, ExpansionKind::Edge, c.alpha_e * eps, /*require_compact=*/false);

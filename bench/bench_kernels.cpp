@@ -10,6 +10,7 @@
 #include "expansion/sweep.hpp"
 #include "faults/fault_model.hpp"
 #include "percolation/percolation.hpp"
+#include "prune/engine.hpp"
 #include "prune/prune2.hpp"
 #include "span/steiner.hpp"
 #include "spectral/fiedler.hpp"
@@ -120,6 +121,46 @@ void BM_Prune2EndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Prune2EndToEnd)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_PruneEngineFastEndToEnd(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.05, 13);
+  const double alpha_e = 2.0 / static_cast<double>(state.range(0));
+  PruneEngine engine(m.graph(), ExpansionKind::Edge);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(alive, alpha_e, 0.125, PruneEngineOptions::fast()).survivors.count());
+  }
+}
+BENCHMARK(BM_PruneEngineFastEndToEnd)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeBoundarySize(benchmark::State& state) {
+  const Mesh m = Mesh::cube(64, 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  // A small connected side: the word-level kernel iterates the cheaper
+  // endpoint set (alive & ~S evaluated per 64-bit word).
+  VertexSet s(m.num_vertices());
+  alive.for_each([&](vid v) {
+    if (s.count() < static_cast<vid>(state.range(0))) s.set(v);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_boundary_size(m.graph(), alive, s));
+  }
+}
+BENCHMARK(BM_EdgeBoundarySize)->Arg(64)->Arg(1024);
+
+void BM_NodeBoundarySize(benchmark::State& state) {
+  const Mesh m = Mesh::cube(64, 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  VertexSet s(m.num_vertices());
+  alive.for_each([&](vid v) {
+    if (s.count() < static_cast<vid>(state.range(0))) s.set(v);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node_boundary_size(m.graph(), alive, s));
+  }
+}
+BENCHMARK(BM_NodeBoundarySize)->Arg(64)->Arg(1024);
 
 }  // namespace
 }  // namespace fne

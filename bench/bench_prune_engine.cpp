@@ -1,0 +1,128 @@
+// PERF — PruneEngine vs the stateless prune loop.
+//
+// The stateless reference recomputes connected components, alive degrees
+// and a cold-started Fiedler solve on every cull iteration; the engine
+// maintains them incrementally and (in fast mode) skips eigensolves
+// whenever sweeping the stale Fiedler ordering already exposes a
+// violating set.  This bench times both on the ISSUE's acceptance
+// workload — a 64x64 mesh with 30% random node faults, bench_e1-style —
+// and checks the two correctness contracts:
+//   * deterministic engine output is bit-identical to the reference;
+//   * fast-mode traces replay (verify_prune_trace), i.e. every culled set
+//     satisfied its culling condition — the paper-level validity notion.
+//
+// Flags: --side=N (default 64), --faults=P (default 0.3), --trials=N
+// (default 1), --alpha=A (default 0.5), --eps=E (default 0.5), --seed=S.
+#include "bench_common.hpp"
+
+#include "faults/fault_model.hpp"
+#include "prune/engine.hpp"
+#include "prune/prune.hpp"
+#include "prune/verify.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+bool identical(const PruneResult& a, const PruneResult& b) {
+  if (!(a.survivors == b.survivors) || a.iterations != b.iterations ||
+      a.culled.size() != b.culled.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.culled.size(); ++i) {
+    if (!(a.culled[i].set == b.culled[i].set) || a.culled[i].boundary != b.culled[i].boundary) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace fne
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const auto side = static_cast<vid>(cli.get_int("side", 64));
+  const double fault_p = cli.get_double("faults", 0.3);
+  const int trials = static_cast<int>(cli.get_int("trials", 1));
+  // Default alpha = the fault-free mesh's straight-cut node expansion
+  // (~2/side), the honest choice per bench_e1; 0.5·alpha as the threshold
+  // keeps Prune in the regime where H stays large and every iteration
+  // exercises a full-size cut search.
+  const double alpha = cli.get_double("alpha", 2.0 / static_cast<double>(side));
+  const double eps = cli.get_double("eps", 0.5);
+
+  bench::print_header(
+      "PERF-ENGINE",
+      "Incremental PruneEngine vs stateless prune loop (target: >= 3x end-to-end)");
+
+  const Mesh mesh = Mesh::cube(side, 2);
+  const Graph& g = mesh.graph();
+  const double threshold = alpha * eps;
+
+  Table table({"trial", "n", "alive", "ref ms", "det ms", "fast ms", "det speedup",
+               "fast speedup", "det identical", "fast trace ok", "|H| ref", "|H| fast"});
+
+  double total_ref = 0.0;
+  double total_fast = 0.0;
+  bool all_identical = true;
+  bool all_valid = true;
+
+  PruneEngine engine(g, ExpansionKind::Node);
+  for (int t = 0; t < trials; ++t) {
+    const VertexSet alive = random_node_faults(g, fault_p, seed + static_cast<std::uint64_t>(t));
+    PruneOptions popts;
+    popts.finder.seed = seed + 100 + static_cast<std::uint64_t>(t);
+
+    Timer timer;
+    const PruneResult ref = prune_reference(g, alive, alpha, eps, popts);
+    const double ref_ms = timer.millis();
+
+    PruneEngineOptions det;
+    det.finder = popts.finder;
+    timer.reset();
+    const PruneResult engine_det = engine.run(alive, alpha, eps, det);
+    const double det_ms = timer.millis();
+
+    PruneEngineOptions fast = PruneEngineOptions::fast();
+    fast.finder.seed = popts.finder.seed;
+    timer.reset();
+    const PruneResult engine_fast = engine.run(alive, alpha, eps, fast);
+    const double fast_ms = timer.millis();
+
+    const bool det_identical = identical(ref, engine_det);
+    const TraceVerification trace =
+        verify_prune_trace(g, alive, engine_fast, ExpansionKind::Node, threshold);
+    all_identical = all_identical && det_identical;
+    all_valid = all_valid && trace.valid;
+    total_ref += ref_ms;
+    total_fast += fast_ms;
+
+    table.row()
+        .cell(std::size_t(t))
+        .cell(std::size_t{g.num_vertices()})
+        .cell(std::size_t{alive.count()})
+        .cell(ref_ms, 1)
+        .cell(det_ms, 1)
+        .cell(fast_ms, 1)
+        .cell(ref_ms / det_ms, 2)
+        .cell(ref_ms / fast_ms, 2)
+        .cell(bench::yesno(det_identical))
+        .cell(bench::yesno(trace.valid))
+        .cell(std::size_t{ref.survivors.count()})
+        .cell(std::size_t{engine_fast.survivors.count()});
+  }
+
+  bench::print_table(
+      table,
+      "acceptance: 'det identical' and 'fast trace ok' = yes everywhere, and the fast\n"
+      "engine's end-to-end speedup over the stateless path is >= 3x.");
+  const double speedup = total_fast > 0.0 ? total_ref / total_fast : 0.0;
+  std::cout << "\noverall fast-mode speedup: " << speedup << "x ("
+            << (speedup >= 3.0 ? "PASS" : "FAIL") << " >= 3x), deterministic bit-identical: "
+            << (all_identical ? "PASS" : "FAIL")
+            << ", fast traces certified: " << (all_valid ? "PASS" : "FAIL") << "\n";
+  return (speedup >= 3.0 && all_identical && all_valid) ? 0 : 1;
+}

@@ -18,8 +18,7 @@ AgreementResult iterated_majority_agreement(const Graph& g, const VertexSet& ali
   std::vector<std::uint8_t> bit(n, 0);
   AgreementResult result;
   vid ones = 0;
-  alive.for_each([&](vid v) {
-    if (byzantine.test(v)) return;
+  alive.for_each_in_diff(byzantine, [&](vid v) {
     ++result.honest_total;
     if (rng.bernoulli(options.initial_ones_fraction)) {
       bit[v] = 1;
@@ -47,9 +46,7 @@ AgreementResult iterated_majority_agreement(const Graph& g, const VertexSet& ali
       if (decision != bit[v]) changed = true;
       next[v] = decision;
     });
-    alive.for_each([&](vid v) {
-      if (!byzantine.test(v)) bit[v] = next[v];
-    });
+    alive.for_each_in_diff(byzantine, [&](vid v) { bit[v] = next[v]; });
     result.rounds = round + 1;
     if (!changed) {
       result.stabilized = true;
@@ -57,8 +54,8 @@ AgreementResult iterated_majority_agreement(const Graph& g, const VertexSet& ali
     }
   }
 
-  alive.for_each([&](vid v) {
-    if (!byzantine.test(v) && bit[v] == majority) ++result.agreeing_honest;
+  alive.for_each_in_diff(byzantine, [&](vid v) {
+    if (bit[v] == majority) ++result.agreeing_honest;
   });
   result.agreement_fraction =
       static_cast<double>(result.agreeing_honest) / static_cast<double>(result.honest_total);

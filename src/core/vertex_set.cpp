@@ -82,6 +82,24 @@ VertexSet& VertexSet::operator^=(const VertexSet& o) {
 
 VertexSet VertexSet::complement() const { return full(n_) -= *this; }
 
+vid VertexSet::intersection_count(const VertexSet& o) const {
+  check_same_universe(o);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words_[i] & o.words_[i]));
+  }
+  return static_cast<vid>(total);
+}
+
+vid VertexSet::difference_count(const VertexSet& o) const {
+  check_same_universe(o);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words_[i] & ~o.words_[i]));
+  }
+  return static_cast<vid>(total);
+}
+
 bool VertexSet::intersects(const VertexSet& o) const noexcept {
   const std::size_t m = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
   for (std::size_t i = 0; i < m; ++i) {

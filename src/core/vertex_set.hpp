@@ -63,6 +63,47 @@ class VertexSet {
   [[nodiscard]] bool is_subset_of(const VertexSet& o) const noexcept;
   friend bool operator==(const VertexSet&, const VertexSet&) = default;
 
+  // Word-level kernels (see DESIGN.md §4).  These avoid materializing
+  // temporary sets on the hot prune path: counting |A ∩ B| or |A \ B| and
+  // iterating those combinations works directly on the packed words.
+
+  /// |*this ∩ o| without building the intersection.
+  [[nodiscard]] vid intersection_count(const VertexSet& o) const;
+  /// |*this \ o| without building the difference.
+  [[nodiscard]] vid difference_count(const VertexSet& o) const;
+
+  /// Raw word access for masked kernels (e.g. traversal boundary counts).
+  [[nodiscard]] std::size_t num_words() const noexcept { return words_.size(); }
+  [[nodiscard]] std::uint64_t word(std::size_t i) const noexcept { return words_[i]; }
+
+  /// Apply f(v) to every member of *this ∩ o in increasing order.
+  template <typename F>
+  void for_each_in_both(const VertexSet& o, F&& f) const {
+    check_same_universe(o);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w] & o.words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<vid>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Apply f(v) to every member of *this \ o in increasing order.
+  template <typename F>
+  void for_each_in_diff(const VertexSet& o, F&& f) const {
+    check_same_universe(o);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w] & ~o.words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<vid>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
   /// Apply f(v) to every member in increasing order.
   template <typename F>
   void for_each(F&& f) const {

@@ -2,7 +2,6 @@
 
 #include <deque>
 
-#include "expansion/sweep.hpp"
 #include "util/rng.hpp"
 
 namespace fne {
@@ -35,10 +34,33 @@ std::vector<vid> bfs_order(const Graph& g, const VertexSet& alive, vid source) {
   return order;
 }
 
+/// Allocation-free variant: the FIFO queue doubles as the visitation order
+/// (append-only, popped by index), visited marks are workspace epochs.
+void bfs_order_pooled(const Graph& g, const VertexSet& alive, vid source,
+                      ExpansionWorkspace& ws, std::vector<vid>& order) {
+  order.clear();
+  ws.next_epoch();
+  ws.mark(source);
+  order.push_back(source);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const vid u = order[head];
+    for (vid w : g.neighbors(u)) {
+      if (alive.test(w) && !ws.marked(w)) {
+        ws.mark(w);
+        order.push_back(w);
+      }
+    }
+  }
+  alive.for_each([&](vid v) {
+    if (!ws.marked(v)) order.push_back(v);
+  });
+}
+
 }  // namespace
 
 CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
-                         vid max_sources, std::uint64_t seed) {
+                         vid max_sources, std::uint64_t seed,
+                         const SweepOptions& sweep_options) {
   const std::vector<vid> candidates = alive.to_vector();
   Rng rng(seed);
   std::vector<vid> sources;
@@ -51,12 +73,28 @@ CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind k
     for (vid i : picks) sources.push_back(candidates[i]);
   }
 
+  ExpansionWorkspace* ws = sweep_options.ws;
   CutWitness best;
   for (vid s : sources) {
-    const CutWitness w = sweep_cut(g, alive, bfs_order(g, alive, s), kind);
+    CutWitness w;
+    if (ws != nullptr && ws->universe_size() == g.num_vertices()) {
+      bfs_order_pooled(g, alive, s, *ws, ws->queue);
+      w = sweep_cut(g, alive, ws->queue, kind, sweep_options);
+    } else {
+      w = sweep_cut(g, alive, bfs_order(g, alive, s), kind, sweep_options);
+    }
     if (w.expansion < best.expansion) best = w;
+    if (sweep_options.early_exit_threshold != std::numeric_limits<double>::infinity() &&
+        best.expansion <= sweep_options.early_exit_threshold) {
+      break;
+    }
   }
   return best;
+}
+
+CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                         vid max_sources, std::uint64_t seed) {
+  return best_ball_cut(g, alive, kind, max_sources, seed, SweepOptions{});
 }
 
 }  // namespace fne

@@ -8,12 +8,18 @@
 
 #include <cstdint>
 
+#include "expansion/sweep.hpp"
 #include "expansion/types.hpp"
 
 namespace fne {
 
 /// Best BFS-sweep cut over up to `max_sources` alive sources (sampled
-/// deterministically from `seed`; all alive vertices if fewer).
+/// deterministically from `seed`; all alive vertices if fewer).  With a
+/// finite early_exit_threshold in `sweep_options` the scan stops at the
+/// first source whose sweep reaches the threshold.
+[[nodiscard]] CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                                       vid max_sources, std::uint64_t seed,
+                                       const SweepOptions& sweep_options);
 [[nodiscard]] CutWitness best_ball_cut(const Graph& g, const VertexSet& alive, ExpansionKind kind,
                                        vid max_sources, std::uint64_t seed);
 

@@ -22,20 +22,32 @@ namespace {
 CutWitness best_connected_piece(const Graph& g, const VertexSet& alive, const CutWitness& w) {
   const Components comps = connected_components(g, w.side);
   if (comps.count() <= 1) return w;
+  // Components of S have no edges between them, so each piece's cut to
+  // alive \ piece equals its cut to alive \ S.  One pass over S bucketing
+  // boundary edges by label replaces the old per-component rescan of the
+  // whole side (O(components · n)).
+  std::vector<std::size_t> cut_by_label(comps.count(), 0);
+  w.side.for_each([&](vid u) {
+    const std::uint32_t c = comps.label[u];
+    for (vid v : g.neighbors(u)) {
+      if (alive.test(v) && !w.side.test(v)) ++cut_by_label[c];
+    }
+  });
   CutWitness best;
+  std::uint32_t best_label = 0;
   for (std::uint32_t c = 0; c < comps.sizes.size(); ++c) {
-    VertexSet piece(g.num_vertices());
-    w.side.for_each([&](vid v) {
-      if (comps.label[v] == c) piece.set(v);
-    });
-    const auto cut = edge_boundary_size(g, alive, piece);
-    const double ratio = static_cast<double>(cut) / static_cast<double>(piece.count());
+    const double ratio =
+        static_cast<double>(cut_by_label[c]) / static_cast<double>(comps.sizes[c]);
     if (ratio < best.expansion) {
       best.expansion = ratio;
-      best.boundary = cut;
-      best.side = std::move(piece);
+      best.boundary = cut_by_label[c];
+      best_label = c;
     }
   }
+  best.side = VertexSet(g.num_vertices());
+  w.side.for_each([&](vid v) {
+    if (comps.label[v] == best_label) best.side.set(v);
+  });
   return best;
 }
 
@@ -60,14 +72,49 @@ double prune_ratio(const Graph& g, const VertexSet& alive, const VertexSet& side
 
 std::optional<CutWitness> find_violating_set(const Graph& g, const VertexSet& alive,
                                              ExpansionKind kind, double threshold,
-                                             const CutFinderOptions& options) {
+                                             const CutFinderOptions& options,
+                                             ExpansionWorkspace* ws) {
   const vid k = alive.count();
   if (k < 2) return std::nullopt;
   FNE_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
 
+  auto accept = [&](CutWitness w) -> std::optional<CutWitness> {
+    if (w.side.empty() || 2 * w.side.count() > k) return std::nullopt;
+    if (kind == ExpansionKind::Edge && !is_connected_subset(g, alive, w.side)) {
+      w = best_connected_piece(g, alive, w);
+      if (w.side.empty() || 2 * w.side.count() > k) return std::nullopt;
+    }
+    std::size_t boundary = 0;
+    const double r = prune_ratio(g, alive, w.side, kind, &boundary);
+    if (r <= threshold) {
+      w.expansion = r;
+      w.boundary = boundary;
+      return w;
+    }
+    return std::nullopt;
+  };
+
+  // 0. Stale-order sweep (fast mode): the cached Fiedler vector of a
+  //    slightly larger alive mask usually still orders the survivors well
+  //    enough to expose a violating prefix; a hit costs one sweep and
+  //    skips the eigensolve entirely.  Every candidate is validated by
+  //    accept() against real boundaries, so a stale ordering can never
+  //    produce an invalid cull — only a different (still certified) one.
+  if (ws != nullptr && options.stale_sweep_first && ws->fiedler_valid &&
+      ws->fiedler_vec.size() == g.num_vertices()) {
+    SweepOptions sopts;
+    sopts.early_exit_threshold = threshold;
+    sopts.ws = ws;
+    if (auto hit = accept(sweep_by_values(g, alive, kind, ws->fiedler_vec, sopts))) {
+      return hit;
+    }
+  }
+
   // 1. Disconnected subgraph: everything but the largest component has an
-  //    empty boundary (a violation for any threshold >= 0).
-  {
+  //    empty boundary (a violation for any threshold >= 0).  The engine
+  //    maintains components incrementally and sets alive_connected when
+  //    the scan is provably a no-op.
+  if (ws == nullptr || !ws->alive_connected) {
     const Components comps = connected_components(g, alive);
     if (comps.count() > 1) {
       const std::uint32_t keep = comps.largest_label();
@@ -99,22 +146,6 @@ std::optional<CutWitness> find_violating_set(const Graph& g, const VertexSet& al
     }
   }
 
-  auto accept = [&](CutWitness w) -> std::optional<CutWitness> {
-    if (w.side.empty() || 2 * w.side.count() > k) return std::nullopt;
-    if (kind == ExpansionKind::Edge && !is_connected_subset(g, alive, w.side)) {
-      w = best_connected_piece(g, alive, w);
-      if (w.side.empty() || 2 * w.side.count() > k) return std::nullopt;
-    }
-    std::size_t boundary = 0;
-    const double r = prune_ratio(g, alive, w.side, kind, &boundary);
-    if (r <= threshold) {
-      w.expansion = r;
-      w.boundary = boundary;
-      return w;
-    }
-    return std::nullopt;
-  };
-
   // 2. Exhaustive for small subgraphs: definitive answer.
   if (options.use_exact && k <= options.exact_limit && k <= kExactExpansionLimit) {
     const CutWitness w = exact_expansion(g, alive, kind);
@@ -129,28 +160,49 @@ std::optional<CutWitness> find_violating_set(const Graph& g, const VertexSet& al
     // [min, threshold] remain possible; fall through to heuristics.
   }
 
-  // 3. Fiedler sweep.
+  const double sweep_exit =
+      options.early_exit ? threshold : std::numeric_limits<double>::infinity();
+
+  // 3. Fiedler sweep.  The sweep result doubles as the near-miss seed for
+  //    step 5, so the (deterministic) eigensolve runs exactly once.
+  std::optional<CutWitness> spectral_near;
   if (options.use_spectral) {
-    if (auto hit = accept(fiedler_sweep(g, alive, kind, options.seed))) {
+    FiedlerSweepOptions fso;
+    fso.seed = options.seed;
+    fso.ws = ws;
+    fso.warm_start = options.warm_start;
+    fso.early_exit_threshold = sweep_exit;
+    spectral_near = fiedler_sweep(g, alive, kind, fso);
+    if (auto hit = accept(*spectral_near)) {
       return hit;
     }
   }
 
   // 4. BFS-ball sweeps.
   if (options.use_balls) {
-    if (auto hit = accept(best_ball_cut(g, alive, kind, options.ball_sources, options.seed))) {
+    SweepOptions sopts;
+    sopts.ws = ws;
+    sopts.early_exit_threshold = sweep_exit;
+    if (auto hit = accept(
+            best_ball_cut(g, alive, kind, options.ball_sources, options.seed, sopts))) {
       return hit;
     }
   }
 
-  // 5. Local refinement of the best near-miss.
-  if (options.use_spectral) {
-    CutWitness near = fiedler_sweep(g, alive, kind, options.seed);
-    near = refine_cut(g, alive, std::move(near), kind, options.refine_passes);
+  // 5. Local refinement of the spectral near-miss.
+  if (spectral_near.has_value()) {
+    CutWitness near = refine_cut(g, alive, std::move(*spectral_near), kind,
+                                 options.refine_passes);
     if (auto hit = accept(near)) return hit;
   }
 
   return std::nullopt;
+}
+
+std::optional<CutWitness> find_violating_set(const Graph& g, const VertexSet& alive,
+                                             ExpansionKind kind, double threshold,
+                                             const CutFinderOptions& options) {
+  return find_violating_set(g, alive, kind, threshold, options, nullptr);
 }
 
 }  // namespace fne

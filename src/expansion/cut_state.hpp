@@ -17,21 +17,39 @@ namespace fne {
 
 class CutState {
  public:
-  CutState(const Graph& g, const VertexSet& alive)
+  /// `deg_alive_hint`, when non-null, must hold the alive-degree of every
+  /// alive vertex (entries of dead vertices are ignored); it lets a caller
+  /// that maintains degrees incrementally (PruneEngine) skip this
+  /// constructor's O(n + m) recount.
+  CutState(const Graph& g, const VertexSet& alive,
+           const std::vector<vid>* deg_alive_hint = nullptr)
       : graph_(&g),
         alive_(&alive),
         in_s_(g.num_vertices(), 0),
-        cnt_in_(g.num_vertices(), 0),
-        deg_alive_(g.num_vertices(), 0) {
-    alive.for_each([&](vid v) {
-      ++total_;
-      vid d = 0;
-      for (vid w : g.neighbors(v)) {
-        if (alive.test(w)) ++d;
-      }
-      deg_alive_[v] = d;
-    });
+        cnt_in_(g.num_vertices(), 0) {
+    if (deg_alive_hint != nullptr && deg_alive_hint->size() == g.num_vertices()) {
+      deg_ptr_ = deg_alive_hint->data();
+      total_ = alive.count();
+    } else {
+      deg_alive_.assign(g.num_vertices(), 0);
+      alive.for_each([&](vid v) {
+        ++total_;
+        vid d = 0;
+        for (vid w : g.neighbors(v)) {
+          if (alive.test(w)) ++d;
+        }
+        deg_alive_[v] = d;
+      });
+      deg_ptr_ = deg_alive_.data();
+    }
   }
+
+  // deg_ptr_ may point into this object's own deg_alive_; copying or
+  // moving would leave it dangling, and no caller needs either.
+  CutState(const CutState&) = delete;
+  CutState& operator=(const CutState&) = delete;
+  CutState(CutState&&) = delete;
+  CutState& operator=(CutState&&) = delete;
 
   [[nodiscard]] vid total_alive() const noexcept { return total_; }
   [[nodiscard]] vid size() const noexcept { return size_; }
@@ -53,13 +71,13 @@ class CutState {
     in_s_[v] = 1;
     ++size_;
     if (cnt_in_[v] > 0) --out_boundary_;
-    if (cnt_in_[v] < deg_alive_[v]) ++in_boundary_;
+    if (cnt_in_[v] < deg_ptr_[v]) ++in_boundary_;
     for (vid w : graph_->neighbors(v)) {
       if (!alive_->test(w)) continue;
       if (in_s_[w]) {
         --cut_;
         ++cnt_in_[w];
-        if (cnt_in_[w] == deg_alive_[w]) --in_boundary_;  // w fully inside now
+        if (cnt_in_[w] == deg_ptr_[w]) --in_boundary_;  // w fully inside now
       } else {
         ++cut_;
         if (cnt_in_[w] == 0) ++out_boundary_;
@@ -75,7 +93,7 @@ class CutState {
       if (!alive_->test(w)) continue;
       if (in_s_[w]) {
         ++cut_;
-        if (cnt_in_[w] == deg_alive_[w]) ++in_boundary_;  // w regains an outside neighbor
+        if (cnt_in_[w] == deg_ptr_[w]) ++in_boundary_;  // w regains an outside neighbor
         --cnt_in_[w];
       } else {
         --cut_;
@@ -84,7 +102,7 @@ class CutState {
       }
     }
     if (cnt_in_[v] > 0) ++out_boundary_;
-    if (cnt_in_[v] < deg_alive_[v]) --in_boundary_;
+    if (cnt_in_[v] < deg_ptr_[v]) --in_boundary_;
   }
 
   /// Expansion of the current S under `kind`; +inf when S is an invalid
@@ -113,7 +131,8 @@ class CutState {
   const VertexSet* alive_;
   std::vector<std::uint8_t> in_s_;
   std::vector<vid> cnt_in_;
-  std::vector<vid> deg_alive_;
+  std::vector<vid> deg_alive_;        // owned degrees (unused when a hint is supplied)
+  const vid* deg_ptr_ = nullptr;      // active degree table (owned or hinted)
   vid total_ = 0;
   vid size_ = 0;
   long long cut_ = 0;

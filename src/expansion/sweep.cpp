@@ -10,9 +10,11 @@
 namespace fne {
 
 CutWitness sweep_cut(const Graph& g, const VertexSet& alive, const std::vector<vid>& order,
-                     ExpansionKind kind) {
+                     ExpansionKind kind, const SweepOptions& options) {
   FNE_REQUIRE(order.size() == alive.count(), "order must enumerate the alive set");
-  CutState state(g, alive);
+  const std::vector<vid>* deg_hint =
+      options.ws != nullptr && options.ws->deg_alive_valid ? &options.ws->deg_alive : nullptr;
+  CutState state(g, alive, deg_hint);
   const vid k = state.total_alive();
 
   double best = std::numeric_limits<double>::infinity();
@@ -39,6 +41,14 @@ CutWitness sweep_cut(const Graph& g, const VertexSet& alive, const std::vector<v
         best_boundary = state.in_boundary();
       }
     }
+    // The caller only needs *a* violating candidate: the verdict at the
+    // threshold is decided as soon as one prefix (or suffix) reaches it.
+    // (The default threshold is +inf, which must never trigger: `best`
+    // starts at +inf and the full sweep is the reference behavior.)
+    if (options.early_exit_threshold != std::numeric_limits<double>::infinity() &&
+        best <= options.early_exit_threshold) {
+      break;
+    }
   }
 
   CutWitness witness;
@@ -57,13 +67,81 @@ CutWitness sweep_cut(const Graph& g, const VertexSet& alive, const std::vector<v
   return witness;
 }
 
+CutWitness sweep_cut(const Graph& g, const VertexSet& alive, const std::vector<vid>& order,
+                     ExpansionKind kind) {
+  return sweep_cut(g, alive, order, kind, SweepOptions{});
+}
+
+CutWitness sweep_by_values(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                           const std::vector<double>& values, const SweepOptions& options) {
+  std::vector<vid> local_order;
+  std::vector<vid>& order = options.ws != nullptr ? options.ws->order : local_order;
+  order.clear();
+  alive.for_each([&](vid v) { order.push_back(v); });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vid a, vid b) { return values[a] < values[b]; });
+  return sweep_cut(g, alive, order, kind, options);
+}
+
+CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind kind,
+                         const FiedlerSweepOptions& options) {
+  ExpansionWorkspace* ws = options.ws;
+  FiedlerOptions fopts;
+  fopts.seed = options.seed;
+  if (ws != nullptr) {
+    fopts.scratch = &ws->lanczos;
+    if (options.warm_start && ws->fiedler_valid &&
+        ws->fiedler_vec.size() == g.num_vertices()) {
+      fopts.warm_start = &ws->fiedler_vec;
+    }
+  }
+
+  SweepOptions sopts;
+  sopts.early_exit_threshold = options.early_exit_threshold;
+  sopts.ws = ws;
+
+  // Fast path: the caller only needs the verdict at a threshold, so the
+  // eigensolve runs in stages — a sharply truncated Lanczos first, full
+  // accuracy only if the crude vector's sweep leaves the verdict open.
+  // Each stage warm-starts from the previous stage's Ritz vector, so work
+  // is never thrown away.  Cut quality is a function of the *ordering*,
+  // not of eigenvalue accuracy, which is why a 40-iteration vector
+  // usually decides the verdict that the 400-iteration solve would.
+  const bool staged = ws != nullptr &&
+                      options.early_exit_threshold != std::numeric_limits<double>::infinity();
+  if (staged) {
+    constexpr int kStageIterations[] = {40, 120, 400};
+    CutWitness last;
+    for (int stage = 0; stage < 3; ++stage) {
+      fopts.max_iterations = kStageIterations[stage];
+      FiedlerResult fiedler = fiedler_vector(g, alive, fopts);
+      const bool converged = fiedler.converged;
+      ws->fiedler_vec = std::move(fiedler.vector);
+      ws->fiedler_valid = true;
+      fopts.warm_start = &ws->fiedler_vec;  // escalation continues from here
+      last = sweep_by_values(g, alive, kind, ws->fiedler_vec, sopts);
+      if (last.expansion <= options.early_exit_threshold || converged) break;
+    }
+    return last;
+  }
+
+  FiedlerResult fiedler = fiedler_vector(g, alive, fopts);
+
+  // Cache the vector for the next iteration's warm start / stale sweep.
+  const std::vector<double>* values = &fiedler.vector;
+  if (ws != nullptr) {
+    ws->fiedler_vec = std::move(fiedler.vector);
+    ws->fiedler_valid = true;
+    values = &ws->fiedler_vec;
+  }
+  return sweep_by_values(g, alive, kind, *values, sopts);
+}
+
 CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind kind,
                          std::uint64_t seed) {
-  const FiedlerResult fiedler = fiedler_vector(g, alive, seed);
-  std::vector<vid> order = alive.to_vector();
-  std::stable_sort(order.begin(), order.end(),
-                   [&](vid a, vid b) { return fiedler.vector[a] < fiedler.vector[b]; });
-  return sweep_cut(g, alive, order, kind);
+  FiedlerSweepOptions options;
+  options.seed = seed;
+  return fiedler_sweep(g, alive, kind, options);
 }
 
 }  // namespace fne

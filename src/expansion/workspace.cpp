@@ -1,0 +1,22 @@
+#include "expansion/workspace.hpp"
+
+namespace fne {
+
+void ExpansionWorkspace::reset(vid n) {
+  universe_ = n;
+  order.clear();
+  order.reserve(n);
+  queue.clear();
+  queue.reserve(n);
+  if (stamp.size() != n) {
+    stamp.assign(n, 0);
+    epoch = 0;
+  }
+  fiedler_vec.assign(n, 0.0);
+  fiedler_valid = false;
+  deg_alive.assign(n, 0);
+  deg_alive_valid = false;
+  alive_connected = false;
+}
+
+}  // namespace fne

@@ -1,0 +1,74 @@
+// Pooled state threaded through the cut-finder portfolio.
+//
+// One find_violating_set call allocates BFS queues, sweep orderings,
+// CutState arrays and a Krylov basis; a prune run makes hundreds of such
+// calls over slowly-shrinking alive masks.  ExpansionWorkspace owns all of
+// those buffers so the cull loop is allocation-free after warm-up, and it
+// carries the two pieces of cross-iteration state the PruneEngine exploits:
+// the previous Fiedler vector (warm start / stale-order sweep) and the
+// incrementally-maintained alive-degree table (see DESIGN.md §5).
+//
+// A workspace never changes results by itself: with the fast-mode flags in
+// CutFinderOptions left off, threading a workspace through the portfolio is
+// bit-for-bit equivalent to the stateless path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace fne {
+
+class ExpansionWorkspace {
+ public:
+  ExpansionWorkspace() = default;
+
+  /// Size every buffer for graphs over `n` vertices and invalidate all
+  /// cached state.  Idempotent; call once per (graph, run).
+  void reset(vid n);
+
+  [[nodiscard]] vid universe_size() const noexcept { return universe_; }
+
+  /// Begin a new stamped visit pass; mark/seen work against the returned
+  /// epoch.  Handles counter wrap by clearing the stamp array.
+  std::uint32_t next_epoch() {
+    if (++epoch == 0) {
+      stamp.assign(stamp.size(), 0);
+      epoch = 1;
+    }
+    return epoch;
+  }
+  void mark(vid v) noexcept { stamp[v] = epoch; }
+  [[nodiscard]] bool marked(vid v) const noexcept { return stamp[v] == epoch; }
+
+  // --- pooled buffers (contents are scratch between uses) ---
+  std::vector<vid> order;   ///< sweep orderings
+  std::vector<vid> queue;   ///< BFS worklists
+  LanczosScratch lanczos;   ///< Krylov basis pool
+
+  // --- cross-iteration caches (owned by PruneEngine when one is driving) ---
+  /// Most recent Fiedler vector, per original vertex id.  Valid entries
+  /// cover the alive mask of the solve that produced it; culled vertices
+  /// simply stop being referenced.
+  std::vector<double> fiedler_vec;
+  bool fiedler_valid = false;
+
+  /// Alive-degree per vertex (meaningful for alive vertices only).  When
+  /// valid, CutState construction skips its O(n + m) degree recount.
+  std::vector<vid> deg_alive;
+  bool deg_alive_valid = false;
+
+  /// Hint set by the engine: the current alive mask is known connected, so
+  /// find_violating_set may skip its full component scan.
+  bool alive_connected = false;
+
+ private:
+  vid universe_ = 0;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+};
+
+}  // namespace fne

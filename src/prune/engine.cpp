@@ -1,0 +1,216 @@
+#include "prune/engine.hpp"
+
+#include "core/traversal.hpp"
+#include "prune/compact.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+PruneEngine::PruneEngine(const Graph& g, ExpansionKind kind) : g_(&g), kind_(kind) {}
+
+void PruneEngine::bootstrap(const VertexSet& alive) {
+  const vid n = g_->num_vertices();
+  alive_ = alive;
+  comp_of_.assign(n, kUnreached);
+  comps_.clear();
+  live_comps_ = 0;
+  bfs_stack_.clear();
+  bfs_stack_.reserve(n);
+
+  // Alive degrees (ws_.deg_alive was zeroed by ws_.reset).
+  alive_.for_each([&](vid v) {
+    vid d = 0;
+    for (vid w : g_->neighbors(v)) {
+      if (alive_.test(w)) ++d;
+    }
+    ws_.deg_alive[v] = d;
+  });
+
+  // Full component labeling.  Enumerating alive ascending makes each
+  // component's first-discovered vertex its minimum — the property the
+  // reference path's label order encodes and disconnected_witness()
+  // reproduces through (size, min_v) tie-breaking.
+  alive_.for_each([&](vid start) {
+    if (comp_of_[start] != kUnreached) return;
+    const auto id = static_cast<std::uint32_t>(comps_.size());
+    comps_.push_back({0, start, false});
+    ++live_comps_;
+    comp_of_[start] = id;
+    bfs_stack_.push_back(start);
+    while (!bfs_stack_.empty()) {
+      const vid u = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      ++comps_[id].size;
+      for (vid w : g_->neighbors(u)) {
+        if (alive_.test(w) && comp_of_[w] == kUnreached) {
+          comp_of_[w] = id;
+          bfs_stack_.push_back(w);
+        }
+      }
+    }
+  });
+}
+
+std::optional<CutWitness> PruneEngine::disconnected_witness(vid alive_count) const {
+  // Bit-exact mirror of find_violating_set's step 1.  The reference path
+  // labels components in ascending-minimum-vertex order and breaks size
+  // ties by label order, so every selection below reduces to comparing
+  // (size, min_v) pairs — available from the incremental records without
+  // any graph scan.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t keep = npos;
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    if (comps_[c].dead) continue;
+    if (keep == npos || comps_[c].size > comps_[keep].size ||
+        (comps_[c].size == comps_[keep].size && comps_[c].min_v < comps_[keep].min_v)) {
+      keep = c;
+    }
+  }
+  if (keep == npos) return std::nullopt;
+
+  const vid n = g_->num_vertices();
+  if (kind_ == ExpansionKind::Node) {
+    const vid rest_count = alive_count - comps_[keep].size;
+    if (rest_count > 0 && 2 * rest_count <= alive_count) {
+      VertexSet rest(n);
+      const auto keep_id = static_cast<std::uint32_t>(keep);
+      alive_.for_each([&](vid v) {
+        if (comp_of_[v] != keep_id) rest.set(v);
+      });
+      return CutWitness{std::move(rest), 0.0, 0};
+    }
+  }
+  // Edge mode (or the pathological tie): one smallest non-keep component.
+  std::size_t smallest = npos;
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    if (comps_[c].dead || c == keep) continue;
+    if (smallest == npos || comps_[c].size < comps_[smallest].size ||
+        (comps_[c].size == comps_[smallest].size &&
+         comps_[c].min_v < comps_[smallest].min_v)) {
+      smallest = c;
+    }
+  }
+  if (smallest == npos || 2 * comps_[smallest].size > alive_count) return std::nullopt;
+  VertexSet piece(n);
+  const auto small_id = static_cast<std::uint32_t>(smallest);
+  alive_.for_each([&](vid v) {
+    if (comp_of_[v] == small_id) piece.set(v);
+  });
+  return CutWitness{std::move(piece), 0.0, 0};
+}
+
+void PruneEngine::apply_cull(const VertexSet& s) {
+  // 1. Kill the record of every component S touches.
+  s.for_each([&](vid v) {
+    const std::uint32_t c = comp_of_[v];
+    if (c != kUnreached && !comps_[c].dead) {
+      comps_[c].dead = true;
+      --live_comps_;
+    }
+  });
+
+  // 2. Remove S; clear its labels and decrement surviving neighbors'
+  //    alive degrees along the boundary edges.
+  alive_ -= s;
+  s.for_each([&](vid v) {
+    comp_of_[v] = kUnreached;
+    for (vid w : g_->neighbors(v)) {
+      if (alive_.test(w)) --ws_.deg_alive[w];
+    }
+  });
+
+  // 3. Relabel only the remnants of the killed component(s).  Every
+  //    connected remnant piece contains an alive neighbor of S (take any
+  //    remnant vertex; its old path to S first enters S from such a
+  //    neighbor), so BFS from S's alive boundary covers all of them.
+  //    Vertices still pointing at a dead record are exactly the
+  //    not-yet-relabeled remnants; other components are untouched.
+  s.for_each([&](vid v) {
+    for (vid w : g_->neighbors(v)) {
+      if (!alive_.test(w)) continue;
+      const std::uint32_t cw = comp_of_[w];
+      if (cw == kUnreached || !comps_[cw].dead) continue;
+      const auto id = static_cast<std::uint32_t>(comps_.size());
+      comps_.push_back({0, w, false});
+      ++live_comps_;
+      comp_of_[w] = id;
+      bfs_stack_.clear();
+      bfs_stack_.push_back(w);
+      while (!bfs_stack_.empty()) {
+        const vid u = bfs_stack_.back();
+        bfs_stack_.pop_back();
+        ++comps_[id].size;
+        if (u < comps_[id].min_v) comps_[id].min_v = u;
+        for (vid x : g_->neighbors(u)) {
+          if (!alive_.test(x)) continue;
+          const std::uint32_t cx = comp_of_[x];
+          if (cx != kUnreached && comps_[cx].dead) {
+            comp_of_[x] = id;
+            bfs_stack_.push_back(x);
+          }
+        }
+      }
+    }
+  });
+}
+
+PruneResult PruneEngine::run(const VertexSet& alive, double alpha, double epsilon,
+                             const PruneEngineOptions& options) {
+  FNE_REQUIRE(alpha > 0.0, "alpha must be positive");
+  FNE_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "epsilon must lie in [0, 1)");
+  FNE_REQUIRE(alive.universe_size() == g_->num_vertices(), "mask/graph size mismatch");
+  const double threshold = alpha * epsilon;
+
+  ws_.reset(g_->num_vertices());
+  bootstrap(alive);
+  ws_.deg_alive_valid = true;
+
+  PruneResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const vid k = alive_.count();
+    if (k < 2) break;
+
+    std::optional<CutWitness> violation;
+    if (live_comps_ > 1) {
+      violation = disconnected_witness(k);
+    }
+    if (!violation.has_value()) {
+      CutFinderOptions finder = options.finder;
+      finder.seed = options.finder.seed + static_cast<std::uint64_t>(i);
+      ws_.alive_connected = live_comps_ <= 1;
+      violation = find_violating_set(*g_, alive_, kind_, threshold, finder, &ws_);
+      ws_.alive_connected = false;
+    }
+    if (!violation.has_value()) break;
+
+    CulledRecord record;
+    if (kind_ == ExpansionKind::Node) {
+      record.set = std::move(violation->side);
+      record.size = record.set.count();
+      record.boundary = violation->boundary;
+      record.ratio = violation->expansion;
+    } else {
+      VertexSet cull = std::move(violation->side);
+      if (options.compactify_enabled) {
+        cull = compactify(*g_, alive_, cull);
+      }
+      record.size = cull.count();
+      record.boundary = edge_boundary_size(*g_, alive_, cull);
+      record.ratio = static_cast<double>(record.boundary) / static_cast<double>(record.size);
+      record.set = std::move(cull);
+    }
+    apply_cull(record.set);
+    result.total_culled += record.size;
+    result.culled.push_back(std::move(record));
+    ++result.iterations;
+  }
+  result.survivors = alive_;
+  // The degree table and connectivity hint are keyed to this run's final
+  // alive mask; leaving them valid would poison a later caller that
+  // threads workspace() through find_violating_set with a different mask.
+  ws_.deg_alive_valid = false;
+  ws_.alive_connected = false;
+  return result;
+}
+
+}  // namespace fne

@@ -47,7 +47,19 @@ struct PruneOptions {
 /// Run Prune(epsilon) on the faulty graph (g restricted to `alive`) with
 /// expansion parameter `alpha` (the fault-free expansion, or any target).
 /// The culling threshold is alpha * epsilon.
+///
+/// This entry point is a thin wrapper over PruneEngine (prune/engine.hpp)
+/// in its deterministic configuration, which is bit-identical to the
+/// stateless reference loop below; fast-mode toggles in options.finder
+/// (warm_start / stale_sweep_first / early_exit) are honored.
 [[nodiscard]] PruneResult prune(const Graph& g, const VertexSet& alive, double alpha,
                                 double epsilon, const PruneOptions& options = {});
+
+/// The original stateless cull loop: every iteration recomputes components,
+/// degrees and a cold-started Fiedler solve via find_violating_set.  Kept
+/// as the reference implementation for regression tests and benchmarks of
+/// the engine (see DESIGN.md §5).
+[[nodiscard]] PruneResult prune_reference(const Graph& g, const VertexSet& alive, double alpha,
+                                          double epsilon, const PruneOptions& options = {});
 
 }  // namespace fne

@@ -26,8 +26,17 @@ struct Prune2Options {
 
 /// Run Prune2(epsilon) with edge-expansion parameter `alpha_e`.  Culled
 /// records store the *compactified* sets K_i and their cut at cull time.
+///
+/// Thin wrapper over PruneEngine in its deterministic configuration
+/// (bit-identical to prune2_reference); fast-mode toggles in
+/// options.finder are honored.
 [[nodiscard]] PruneResult prune2(const Graph& g, const VertexSet& alive, double alpha_e,
                                  double epsilon, const Prune2Options& options = {});
+
+/// The original stateless Prune2 loop, kept as the reference
+/// implementation for regression tests and engine benchmarks.
+[[nodiscard]] PruneResult prune2_reference(const Graph& g, const VertexSet& alive, double alpha_e,
+                                           double epsilon, const Prune2Options& options = {});
 
 /// Theorem 3.4's admissible fault probability for span sigma and max
 /// degree delta: 1 / (2e · δ^(4σ)).

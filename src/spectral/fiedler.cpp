@@ -1,22 +1,32 @@
 #include "spectral/fiedler.hpp"
 
 #include "core/traversal.hpp"
-#include "spectral/lanczos.hpp"
 #include "spectral/operator.hpp"
 #include "util/require.hpp"
 
 namespace fne {
 
-FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive, std::uint64_t seed) {
+FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive,
+                             const FiedlerOptions& options) {
   FNE_REQUIRE(alive.count() >= 2, "Fiedler vector needs >= 2 alive vertices");
   MaskedLaplacian lap(g, alive);
   const std::size_t k = lap.dim();
 
   LanczosOptions opts;
   opts.num_eigenpairs = 1;
-  opts.seed = seed;
-  opts.max_iterations = 400;
-  opts.tolerance = 1e-8;
+  opts.seed = options.seed;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  opts.scratch = options.scratch;
+
+  // Restrict the warm-start vector (original ids) to the masked subspace.
+  std::vector<double> initial;
+  if (options.warm_start != nullptr && options.warm_start->size() == g.num_vertices()) {
+    const auto& verts = lap.vertices();
+    initial.resize(k);
+    for (std::size_t i = 0; i < verts.size(); ++i) initial[i] = (*options.warm_start)[verts[i]];
+    opts.initial = &initial;
+  }
 
   const std::vector<std::vector<double>> deflation{std::vector<double>(k, 1.0)};
   const auto res = lanczos_smallest(
@@ -32,6 +42,12 @@ FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive, std::uint64
     for (std::size_t i = 0; i < verts.size(); ++i) out.vector[verts[i]] = res.vectors[0][i];
   }
   return out;
+}
+
+FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive, std::uint64_t seed) {
+  FiedlerOptions options;
+  options.seed = seed;
+  return fiedler_vector(g, alive, options);
 }
 
 }  // namespace fne

@@ -6,6 +6,7 @@
 
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
+#include "spectral/lanczos.hpp"
 
 namespace fne {
 
@@ -15,8 +16,24 @@ struct FiedlerResult {
   bool converged = false;
 };
 
+struct FiedlerOptions {
+  std::uint64_t seed = 7;
+  int max_iterations = 400;
+  double tolerance = 1e-8;
+  /// Optional warm start, indexed by ORIGINAL vertex id (as FiedlerResult
+  /// stores it).  It is restricted to the alive vertices and re-deflated
+  /// against the all-ones kernel before use, so the previous iteration's
+  /// vector of a slightly larger alive mask is a valid (and very good)
+  /// initial guess.  nullptr = seeded random start.
+  const std::vector<double>* warm_start = nullptr;
+  /// Optional Lanczos buffer pool shared across solves.
+  LanczosScratch* scratch = nullptr;
+};
+
 /// λ₂ and Fiedler vector of the subgraph induced by `alive`, which must be
 /// connected and have >= 2 vertices.  The all-ones kernel is deflated.
+[[nodiscard]] FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive,
+                                           const FiedlerOptions& options);
 [[nodiscard]] FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive,
                                            std::uint64_t seed = 7);
 

@@ -22,10 +22,11 @@ void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
-void project_out(const std::vector<std::vector<double>>& basis, std::vector<double>& x) {
-  for (const auto& b : basis) {
-    const double c = dot(b, x);
-    if (c != 0.0) axpy(-c, b, x);
+void project_out(const std::vector<std::vector<double>>& basis, std::size_t count,
+                 std::vector<double>& x) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double c = dot(basis[i], x);
+    if (c != 0.0) axpy(-c, basis[i], x);
   }
 }
 
@@ -55,31 +56,52 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
   const int max_iter =
       static_cast<int>(std::min<std::size_t>(usable, static_cast<std::size_t>(options.max_iterations)));
 
-  Rng rng(options.seed);
-  std::vector<std::vector<double>> basis;  // Lanczos vectors q_1..q_j
+  LanczosScratch local_scratch;
+  LanczosScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
+  std::vector<std::vector<double>>& basis = scratch.basis;  // Lanczos vectors q_1..q_j
+  std::size_t basis_count = 0;
+  auto push_basis = [&](const std::vector<double>& v) {
+    if (basis.size() <= basis_count) basis.emplace_back();
+    basis[basis_count] = v;
+    ++basis_count;
+  };
   std::vector<double> alpha;
   std::vector<double> beta;
 
-  std::vector<double> q(n);
-  for (auto& x : q) x = rng.uniform01() - 0.5;
-  project_out(defl, q);
+  Rng rng(options.seed);
+  std::vector<double>& q = scratch.q;
+  q.resize(n);
+  bool warm = options.initial != nullptr && options.initial->size() == n;
+  if (warm) {
+    q = *options.initial;
+  } else {
+    for (auto& x : q) x = rng.uniform01() - 0.5;
+  }
+  project_out(defl, defl.size(), q);
   {
-    const double nq = norm(q);
+    double nq = norm(q);
+    if (warm && !(nq > 1e-12)) {
+      // Degenerate warm start (e.g. orthogonal remnant): seeded random fallback.
+      for (auto& x : q) x = rng.uniform01() - 0.5;
+      project_out(defl, defl.size(), q);
+      nq = norm(q);
+    }
     FNE_REQUIRE(nq > 0.0, "degenerate start vector");
     for (auto& x : q) x /= nq;
   }
-  basis.push_back(q);
+  push_basis(q);
 
-  std::vector<double> w(n);
+  std::vector<double>& w = scratch.w;
+  w.resize(n);
   for (int j = 0; j < max_iter; ++j) {
-    op(basis.back(), w);
-    const double a = dot(basis.back(), w);
+    op(basis[basis_count - 1], w);
+    const double a = dot(basis[basis_count - 1], w);
     alpha.push_back(a);
     // w -= a*q_j + b_{j-1}*q_{j-1}; then full reorthogonalization.
-    axpy(-a, basis.back(), w);
-    if (j > 0) axpy(-beta.back(), basis[basis.size() - 2], w);
-    project_out(defl, w);
-    for (int pass = 0; pass < 2; ++pass) project_out(basis, w);
+    axpy(-a, basis[basis_count - 1], w);
+    if (j > 0) axpy(-beta.back(), basis[basis_count - 2], w);
+    project_out(defl, defl.size(), w);
+    for (int pass = 0; pass < 2; ++pass) project_out(basis, basis_count, w);
 
     const double b = norm(w);
     // Convergence check every few steps (or on breakdown).
@@ -119,7 +141,7 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
     if (b < 1e-13) break;  // invariant subspace exhausted
     beta.push_back(b);
     for (auto& x : w) x /= b;
-    basis.push_back(w);
+    push_basis(w);
   }
 
   // max_iter loop exited without returning (shouldn't happen); mark failure.

@@ -20,11 +20,27 @@ struct LanczosResult {
   bool converged = false;
 };
 
+/// Reusable buffers for repeated Lanczos solves.  The Krylov basis is the
+/// dominant allocation of an eigensolve (iterations × n doubles); pooling
+/// it across the cull iterations of a prune run eliminates that traffic.
+/// Contents are scratch — only capacity is carried between calls.
+struct LanczosScratch {
+  std::vector<std::vector<double>> basis;
+  std::vector<double> w;
+  std::vector<double> q;
+};
+
 struct LanczosOptions {
   int num_eigenpairs = 1;      ///< how many smallest pairs to extract
   int max_iterations = 300;
   double tolerance = 1e-9;     ///< residual bound |beta * y_last|
   std::uint64_t seed = 7;
+  /// Optional warm-start vector (length n, pre-deflation).  It is projected
+  /// against `deflation` and normalized internally; a degenerate warm start
+  /// falls back to the seeded random start.  nullptr = random start.
+  const std::vector<double>* initial = nullptr;
+  /// Optional buffer pool; nullptr allocates locally.
+  LanczosScratch* scratch = nullptr;
 };
 
 using LinearOperator = std::function<void(const std::vector<double>&, std::vector<double>&)>;

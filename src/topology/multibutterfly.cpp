@@ -69,11 +69,11 @@ IoConnectivity io_connectivity(const Graph& g, const VertexSet& alive, const Ver
   if (comps.count() == 0) return result;
   const std::uint32_t big = comps.largest_label();
   result.largest_component = comps.sizes[big];
-  inputs.for_each([&](vid v) {
-    if (alive.test(v) && comps.label[v] == big) ++result.inputs_connected;
+  inputs.for_each_in_both(alive, [&](vid v) {
+    if (comps.label[v] == big) ++result.inputs_connected;
   });
-  outputs.for_each([&](vid v) {
-    if (alive.test(v) && comps.label[v] == big) ++result.outputs_connected;
+  outputs.for_each_in_both(alive, [&](vid v) {
+    if (comps.label[v] == big) ++result.outputs_connected;
   });
   return result;
 }

@@ -4,6 +4,8 @@
 
 #include "core/union_find.hpp"
 #include "topology/classic.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
 
 namespace fne {
 namespace {
@@ -111,6 +113,32 @@ TEST(Boundary, EdgeBoundaryCountsAllCrossings) {
   const VertexSet all = VertexSet::full(6);
   EXPECT_EQ(edge_boundary_size(g, all, VertexSet::of(6, {0, 1, 2})), 2U);
   EXPECT_EQ(edge_boundary_size(g, all, VertexSet::of(6, {0, 2, 4})), 6U);
+}
+
+TEST(Boundary, WordKernelsMatchNaiveCountsOnRandomMasks) {
+  // The word-level masked kernels (alive & ~S per 64-bit word, smaller-side
+  // selection) must agree with a direct per-edge count on arbitrary masks.
+  Rng rng(99);
+  const Graph g = random_regular(130, 4, 5);
+  for (int trial = 0; trial < 8; ++trial) {
+    VertexSet alive(g.num_vertices());
+    VertexSet s(g.num_vertices());
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (rng.bernoulli(0.7)) alive.set(v);
+    }
+    alive.for_each([&](vid v) {
+      if (rng.bernoulli(trial % 2 == 0 ? 0.2 : 0.8)) s.set(v);  // small and large sides
+    });
+    std::size_t naive_edges = 0;
+    s.for_each([&](vid u) {
+      for (vid w : g.neighbors(u)) {
+        if (alive.test(w) && !s.test(w)) ++naive_edges;
+      }
+    });
+    EXPECT_EQ(edge_boundary_size(g, alive, s), naive_edges) << "trial " << trial;
+    EXPECT_EQ(node_boundary_size(g, alive, s), node_boundary(g, alive, s).count())
+        << "trial " << trial;
+  }
 }
 
 TEST(Compact, IntervalOfCycleIsCompact) {

@@ -97,5 +97,52 @@ TEST(VertexSet, EqualityIsStructural) {
   EXPECT_NE(VertexSet::of(10, {1}), VertexSet::of(10, {2}));
 }
 
+TEST(VertexSet, IntersectionCountMatchesMaterializedAnd) {
+  const VertexSet a = VertexSet::of(200, {0, 1, 63, 64, 65, 127, 128, 199});
+  const VertexSet b = VertexSet::of(200, {1, 63, 65, 100, 128, 150});
+  EXPECT_EQ(a.intersection_count(b), (a & b).count());
+  EXPECT_EQ(a.intersection_count(b), 4U);
+  EXPECT_EQ(a.intersection_count(VertexSet(200)), 0U);
+  EXPECT_EQ(a.intersection_count(a), a.count());
+}
+
+TEST(VertexSet, DifferenceCountMatchesMaterializedDiff) {
+  const VertexSet a = VertexSet::of(200, {0, 1, 63, 64, 65, 127, 128, 199});
+  const VertexSet b = VertexSet::of(200, {1, 63, 65, 100, 128, 150});
+  EXPECT_EQ(a.difference_count(b), (a - b).count());
+  EXPECT_EQ(b.difference_count(a), (b - a).count());
+  EXPECT_EQ(a.difference_count(a), 0U);
+  EXPECT_EQ(a.difference_count(VertexSet(200)), a.count());
+}
+
+TEST(VertexSet, ForEachInBothVisitsIntersectionInOrder) {
+  const VertexSet a = VertexSet::of(300, {0, 5, 64, 128, 255, 299});
+  const VertexSet b = VertexSet::of(300, {5, 64, 200, 299});
+  std::vector<vid> seen;
+  a.for_each_in_both(b, [&](vid v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (a & b).to_vector());
+}
+
+TEST(VertexSet, ForEachInDiffVisitsDifferenceInOrder) {
+  const VertexSet a = VertexSet::of(300, {0, 5, 64, 128, 255, 299});
+  const VertexSet b = VertexSet::of(300, {5, 64, 200, 299});
+  std::vector<vid> seen;
+  a.for_each_in_diff(b, [&](vid v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (a - b).to_vector());
+  // Diff against the empty set is the set itself.
+  seen.clear();
+  a.for_each_in_diff(VertexSet(300), [&](vid v) { seen.push_back(v); });
+  EXPECT_EQ(seen, a.to_vector());
+}
+
+TEST(VertexSet, WordKernelsRejectMismatchedUniverses) {
+  const VertexSet a(64);
+  const VertexSet b(65);
+  EXPECT_THROW(a.for_each_in_both(b, [](vid) {}), PreconditionError);
+  EXPECT_THROW(a.for_each_in_diff(b, [](vid) {}), PreconditionError);
+  EXPECT_THROW((void)a.intersection_count(b), PreconditionError);
+  EXPECT_THROW((void)a.difference_count(b), PreconditionError);
+}
+
 }  // namespace
 }  // namespace fne
