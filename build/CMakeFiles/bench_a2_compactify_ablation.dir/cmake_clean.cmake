@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_compactify_ablation.dir/bench/bench_a2_compactify_ablation.cpp.o"
+  "CMakeFiles/bench_a2_compactify_ablation.dir/bench/bench_a2_compactify_ablation.cpp.o.d"
+  "bench_a2_compactify_ablation"
+  "bench_a2_compactify_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_compactify_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

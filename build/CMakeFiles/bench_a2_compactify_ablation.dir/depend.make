@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a2_compactify_ablation.
+# This may be replaced when dependencies are built.

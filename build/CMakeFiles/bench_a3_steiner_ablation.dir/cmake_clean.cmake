@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_steiner_ablation.dir/bench/bench_a3_steiner_ablation.cpp.o"
+  "CMakeFiles/bench_a3_steiner_ablation.dir/bench/bench_a3_steiner_ablation.cpp.o.d"
+  "bench_a3_steiner_ablation"
+  "bench_a3_steiner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_steiner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_upfal_baseline.dir/bench/bench_a4_upfal_baseline.cpp.o"
+  "CMakeFiles/bench_a4_upfal_baseline.dir/bench/bench_a4_upfal_baseline.cpp.o.d"
+  "bench_a4_upfal_baseline"
+  "bench_a4_upfal_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_upfal_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a4_upfal_baseline.
+# This may be replaced when dependencies are built.

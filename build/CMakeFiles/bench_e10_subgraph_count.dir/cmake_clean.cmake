@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_subgraph_count.dir/bench/bench_e10_subgraph_count.cpp.o"
+  "CMakeFiles/bench_e10_subgraph_count.dir/bench/bench_e10_subgraph_count.cpp.o.d"
+  "bench_e10_subgraph_count"
+  "bench_e10_subgraph_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_subgraph_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_multibutterfly.dir/bench/bench_e11_multibutterfly.cpp.o"
+  "CMakeFiles/bench_e11_multibutterfly.dir/bench/bench_e11_multibutterfly.cpp.o.d"
+  "bench_e11_multibutterfly"
+  "bench_e11_multibutterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_multibutterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_emulation.dir/bench/bench_e12_emulation.cpp.o"
+  "CMakeFiles/bench_e12_emulation.dir/bench/bench_e12_emulation.cpp.o.d"
+  "bench_e12_emulation"
+  "bench_e12_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

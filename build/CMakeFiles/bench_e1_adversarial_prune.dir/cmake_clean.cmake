@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_adversarial_prune.dir/bench/bench_e1_adversarial_prune.cpp.o"
+  "CMakeFiles/bench_e1_adversarial_prune.dir/bench/bench_e1_adversarial_prune.cpp.o.d"
+  "bench_e1_adversarial_prune"
+  "bench_e1_adversarial_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_adversarial_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

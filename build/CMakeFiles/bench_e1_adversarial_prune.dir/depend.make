@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_adversarial_prune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_chain_expander.dir/bench/bench_e2_chain_expander.cpp.o"
+  "CMakeFiles/bench_e2_chain_expander.dir/bench/bench_e2_chain_expander.cpp.o.d"
+  "bench_e2_chain_expander"
+  "bench_e2_chain_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_chain_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

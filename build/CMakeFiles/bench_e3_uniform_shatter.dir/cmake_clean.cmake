@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_uniform_shatter.dir/bench/bench_e3_uniform_shatter.cpp.o"
+  "CMakeFiles/bench_e3_uniform_shatter.dir/bench/bench_e3_uniform_shatter.cpp.o.d"
+  "bench_e3_uniform_shatter"
+  "bench_e3_uniform_shatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_uniform_shatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_uniform_shatter.
+# This may be replaced when dependencies are built.

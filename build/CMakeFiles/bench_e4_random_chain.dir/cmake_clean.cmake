@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_random_chain.dir/bench/bench_e4_random_chain.cpp.o"
+  "CMakeFiles/bench_e4_random_chain.dir/bench/bench_e4_random_chain.cpp.o.d"
+  "bench_e4_random_chain"
+  "bench_e4_random_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_random_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

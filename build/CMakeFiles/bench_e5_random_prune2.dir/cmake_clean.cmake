@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_random_prune2.dir/bench/bench_e5_random_prune2.cpp.o"
+  "CMakeFiles/bench_e5_random_prune2.dir/bench/bench_e5_random_prune2.cpp.o.d"
+  "bench_e5_random_prune2"
+  "bench_e5_random_prune2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_random_prune2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

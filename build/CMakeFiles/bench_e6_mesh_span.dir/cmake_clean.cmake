@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_mesh_span.dir/bench/bench_e6_mesh_span.cpp.o"
+  "CMakeFiles/bench_e6_mesh_span.dir/bench/bench_e6_mesh_span.cpp.o.d"
+  "bench_e6_mesh_span"
+  "bench_e6_mesh_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_mesh_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

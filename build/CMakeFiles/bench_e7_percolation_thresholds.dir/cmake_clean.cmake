@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_percolation_thresholds.dir/bench/bench_e7_percolation_thresholds.cpp.o"
+  "CMakeFiles/bench_e7_percolation_thresholds.dir/bench/bench_e7_percolation_thresholds.cpp.o.d"
+  "bench_e7_percolation_thresholds"
+  "bench_e7_percolation_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_percolation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

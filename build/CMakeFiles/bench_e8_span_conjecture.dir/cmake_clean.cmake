@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_span_conjecture.dir/bench/bench_e8_span_conjecture.cpp.o"
+  "CMakeFiles/bench_e8_span_conjecture.dir/bench/bench_e8_span_conjecture.cpp.o.d"
+  "bench_e8_span_conjecture"
+  "bench_e8_span_conjecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_span_conjecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

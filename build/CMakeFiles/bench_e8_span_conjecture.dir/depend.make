@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e8_span_conjecture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_diameter_stretch.dir/bench/bench_e9_diameter_stretch.cpp.o"
+  "CMakeFiles/bench_e9_diameter_stretch.dir/bench/bench_e9_diameter_stretch.cpp.o.d"
+  "bench_e9_diameter_stretch"
+  "bench_e9_diameter_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_diameter_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

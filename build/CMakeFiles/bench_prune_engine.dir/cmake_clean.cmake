@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prune_engine.dir/bench/bench_prune_engine.cpp.o"
+  "CMakeFiles/bench_prune_engine.dir/bench/bench_prune_engine.cpp.o.d"
+  "bench_prune_engine"
+  "bench_prune_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prune_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

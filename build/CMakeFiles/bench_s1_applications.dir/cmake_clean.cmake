@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_applications.dir/bench/bench_s1_applications.cpp.o"
+  "CMakeFiles/bench_s1_applications.dir/bench/bench_s1_applications.cpp.o.d"
+  "bench_s1_applications"
+  "bench_s1_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

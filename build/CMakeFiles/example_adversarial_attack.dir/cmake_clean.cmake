@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adversarial_attack.dir/examples/adversarial_attack.cpp.o"
+  "CMakeFiles/example_adversarial_attack.dir/examples/adversarial_attack.cpp.o.d"
+  "example_adversarial_attack"
+  "example_adversarial_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adversarial_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

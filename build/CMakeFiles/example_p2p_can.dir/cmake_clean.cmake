@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_p2p_can.dir/examples/p2p_can.cpp.o"
+  "CMakeFiles/example_p2p_can.dir/examples/p2p_can.cpp.o.d"
+  "example_p2p_can"
+  "example_p2p_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_p2p_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

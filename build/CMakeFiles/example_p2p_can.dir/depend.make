@@ -1,0 +1,2 @@
+# Empty dependencies file for example_p2p_can.
+# This may be replaced when dependencies are built.

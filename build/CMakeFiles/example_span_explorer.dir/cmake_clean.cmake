@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_span_explorer.dir/examples/span_explorer.cpp.o"
+  "CMakeFiles/example_span_explorer.dir/examples/span_explorer.cpp.o.d"
+  "example_span_explorer"
+  "example_span_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_span_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

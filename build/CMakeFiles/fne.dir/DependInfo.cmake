@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/agreement.cpp" "CMakeFiles/fne.dir/src/analysis/agreement.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/agreement.cpp.o.d"
+  "/root/repo/src/analysis/distance.cpp" "CMakeFiles/fne.dir/src/analysis/distance.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/distance.cpp.o.d"
+  "/root/repo/src/analysis/embedding.cpp" "CMakeFiles/fne.dir/src/analysis/embedding.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/embedding.cpp.o.d"
+  "/root/repo/src/analysis/fragmentation.cpp" "CMakeFiles/fne.dir/src/analysis/fragmentation.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/fragmentation.cpp.o.d"
+  "/root/repo/src/analysis/load_balance.cpp" "CMakeFiles/fne.dir/src/analysis/load_balance.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/load_balance.cpp.o.d"
+  "/root/repo/src/analysis/routing.cpp" "CMakeFiles/fne.dir/src/analysis/routing.cpp.o" "gcc" "CMakeFiles/fne.dir/src/analysis/routing.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "CMakeFiles/fne.dir/src/core/graph.cpp.o" "gcc" "CMakeFiles/fne.dir/src/core/graph.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "CMakeFiles/fne.dir/src/core/io.cpp.o" "gcc" "CMakeFiles/fne.dir/src/core/io.cpp.o.d"
+  "/root/repo/src/core/subgraph.cpp" "CMakeFiles/fne.dir/src/core/subgraph.cpp.o" "gcc" "CMakeFiles/fne.dir/src/core/subgraph.cpp.o.d"
+  "/root/repo/src/core/traversal.cpp" "CMakeFiles/fne.dir/src/core/traversal.cpp.o" "gcc" "CMakeFiles/fne.dir/src/core/traversal.cpp.o.d"
+  "/root/repo/src/core/vertex_set.cpp" "CMakeFiles/fne.dir/src/core/vertex_set.cpp.o" "gcc" "CMakeFiles/fne.dir/src/core/vertex_set.cpp.o.d"
+  "/root/repo/src/expansion/bfs_ball.cpp" "CMakeFiles/fne.dir/src/expansion/bfs_ball.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/bfs_ball.cpp.o.d"
+  "/root/repo/src/expansion/bracket.cpp" "CMakeFiles/fne.dir/src/expansion/bracket.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/bracket.cpp.o.d"
+  "/root/repo/src/expansion/cut_finder.cpp" "CMakeFiles/fne.dir/src/expansion/cut_finder.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/cut_finder.cpp.o.d"
+  "/root/repo/src/expansion/exact.cpp" "CMakeFiles/fne.dir/src/expansion/exact.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/exact.cpp.o.d"
+  "/root/repo/src/expansion/flow.cpp" "CMakeFiles/fne.dir/src/expansion/flow.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/flow.cpp.o.d"
+  "/root/repo/src/expansion/local_search.cpp" "CMakeFiles/fne.dir/src/expansion/local_search.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/local_search.cpp.o.d"
+  "/root/repo/src/expansion/profile.cpp" "CMakeFiles/fne.dir/src/expansion/profile.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/profile.cpp.o.d"
+  "/root/repo/src/expansion/sweep.cpp" "CMakeFiles/fne.dir/src/expansion/sweep.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/sweep.cpp.o.d"
+  "/root/repo/src/expansion/uniform.cpp" "CMakeFiles/fne.dir/src/expansion/uniform.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/uniform.cpp.o.d"
+  "/root/repo/src/expansion/workspace.cpp" "CMakeFiles/fne.dir/src/expansion/workspace.cpp.o" "gcc" "CMakeFiles/fne.dir/src/expansion/workspace.cpp.o.d"
+  "/root/repo/src/faults/adversary.cpp" "CMakeFiles/fne.dir/src/faults/adversary.cpp.o" "gcc" "CMakeFiles/fne.dir/src/faults/adversary.cpp.o.d"
+  "/root/repo/src/faults/churn.cpp" "CMakeFiles/fne.dir/src/faults/churn.cpp.o" "gcc" "CMakeFiles/fne.dir/src/faults/churn.cpp.o.d"
+  "/root/repo/src/faults/fault_model.cpp" "CMakeFiles/fne.dir/src/faults/fault_model.cpp.o" "gcc" "CMakeFiles/fne.dir/src/faults/fault_model.cpp.o.d"
+  "/root/repo/src/percolation/cluster_stats.cpp" "CMakeFiles/fne.dir/src/percolation/cluster_stats.cpp.o" "gcc" "CMakeFiles/fne.dir/src/percolation/cluster_stats.cpp.o.d"
+  "/root/repo/src/percolation/critical.cpp" "CMakeFiles/fne.dir/src/percolation/critical.cpp.o" "gcc" "CMakeFiles/fne.dir/src/percolation/critical.cpp.o.d"
+  "/root/repo/src/percolation/percolation.cpp" "CMakeFiles/fne.dir/src/percolation/percolation.cpp.o" "gcc" "CMakeFiles/fne.dir/src/percolation/percolation.cpp.o.d"
+  "/root/repo/src/prune/compact.cpp" "CMakeFiles/fne.dir/src/prune/compact.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/compact.cpp.o.d"
+  "/root/repo/src/prune/engine.cpp" "CMakeFiles/fne.dir/src/prune/engine.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/engine.cpp.o.d"
+  "/root/repo/src/prune/prune.cpp" "CMakeFiles/fne.dir/src/prune/prune.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/prune.cpp.o.d"
+  "/root/repo/src/prune/prune2.cpp" "CMakeFiles/fne.dir/src/prune/prune2.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/prune2.cpp.o.d"
+  "/root/repo/src/prune/upfal.cpp" "CMakeFiles/fne.dir/src/prune/upfal.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/upfal.cpp.o.d"
+  "/root/repo/src/prune/verify.cpp" "CMakeFiles/fne.dir/src/prune/verify.cpp.o" "gcc" "CMakeFiles/fne.dir/src/prune/verify.cpp.o.d"
+  "/root/repo/src/span/compact_sets.cpp" "CMakeFiles/fne.dir/src/span/compact_sets.cpp.o" "gcc" "CMakeFiles/fne.dir/src/span/compact_sets.cpp.o.d"
+  "/root/repo/src/span/mesh_span.cpp" "CMakeFiles/fne.dir/src/span/mesh_span.cpp.o" "gcc" "CMakeFiles/fne.dir/src/span/mesh_span.cpp.o.d"
+  "/root/repo/src/span/span.cpp" "CMakeFiles/fne.dir/src/span/span.cpp.o" "gcc" "CMakeFiles/fne.dir/src/span/span.cpp.o.d"
+  "/root/repo/src/span/steiner.cpp" "CMakeFiles/fne.dir/src/span/steiner.cpp.o" "gcc" "CMakeFiles/fne.dir/src/span/steiner.cpp.o.d"
+  "/root/repo/src/spectral/cheeger.cpp" "CMakeFiles/fne.dir/src/spectral/cheeger.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/cheeger.cpp.o.d"
+  "/root/repo/src/spectral/expander_certificate.cpp" "CMakeFiles/fne.dir/src/spectral/expander_certificate.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/expander_certificate.cpp.o.d"
+  "/root/repo/src/spectral/fiedler.cpp" "CMakeFiles/fne.dir/src/spectral/fiedler.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/fiedler.cpp.o.d"
+  "/root/repo/src/spectral/jacobi.cpp" "CMakeFiles/fne.dir/src/spectral/jacobi.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/jacobi.cpp.o.d"
+  "/root/repo/src/spectral/lanczos.cpp" "CMakeFiles/fne.dir/src/spectral/lanczos.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/lanczos.cpp.o.d"
+  "/root/repo/src/spectral/tridiag.cpp" "CMakeFiles/fne.dir/src/spectral/tridiag.cpp.o" "gcc" "CMakeFiles/fne.dir/src/spectral/tridiag.cpp.o.d"
+  "/root/repo/src/topology/butterfly.cpp" "CMakeFiles/fne.dir/src/topology/butterfly.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/butterfly.cpp.o.d"
+  "/root/repo/src/topology/can_overlay.cpp" "CMakeFiles/fne.dir/src/topology/can_overlay.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/can_overlay.cpp.o.d"
+  "/root/repo/src/topology/chain_expander.cpp" "CMakeFiles/fne.dir/src/topology/chain_expander.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/chain_expander.cpp.o.d"
+  "/root/repo/src/topology/classic.cpp" "CMakeFiles/fne.dir/src/topology/classic.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/classic.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "CMakeFiles/fne.dir/src/topology/debruijn.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/debruijn.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "CMakeFiles/fne.dir/src/topology/hypercube.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "CMakeFiles/fne.dir/src/topology/mesh.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/mesh.cpp.o.d"
+  "/root/repo/src/topology/multibutterfly.cpp" "CMakeFiles/fne.dir/src/topology/multibutterfly.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/multibutterfly.cpp.o.d"
+  "/root/repo/src/topology/random_graphs.cpp" "CMakeFiles/fne.dir/src/topology/random_graphs.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/random_graphs.cpp.o.d"
+  "/root/repo/src/topology/shuffle_exchange.cpp" "CMakeFiles/fne.dir/src/topology/shuffle_exchange.cpp.o" "gcc" "CMakeFiles/fne.dir/src/topology/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/fne.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/fne.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/fne.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/fne.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/fne.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/fne.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/fne.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/fne.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

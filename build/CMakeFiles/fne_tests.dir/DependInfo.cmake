@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agreement.cpp" "CMakeFiles/fne_tests.dir/tests/test_agreement.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_agreement.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "CMakeFiles/fne_tests.dir/tests/test_analysis.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_can_overlay.cpp" "CMakeFiles/fne_tests.dir/tests/test_can_overlay.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_can_overlay.cpp.o.d"
+  "/root/repo/tests/test_chain_expander.cpp" "CMakeFiles/fne_tests.dir/tests/test_chain_expander.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_chain_expander.cpp.o.d"
+  "/root/repo/tests/test_churn_clusters.cpp" "CMakeFiles/fne_tests.dir/tests/test_churn_clusters.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_churn_clusters.cpp.o.d"
+  "/root/repo/tests/test_compact_sets.cpp" "CMakeFiles/fne_tests.dir/tests/test_compact_sets.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_compact_sets.cpp.o.d"
+  "/root/repo/tests/test_compactify.cpp" "CMakeFiles/fne_tests.dir/tests/test_compactify.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_compactify.cpp.o.d"
+  "/root/repo/tests/test_cut_finder.cpp" "CMakeFiles/fne_tests.dir/tests/test_cut_finder.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_cut_finder.cpp.o.d"
+  "/root/repo/tests/test_dot_export.cpp" "CMakeFiles/fne_tests.dir/tests/test_dot_export.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_dot_export.cpp.o.d"
+  "/root/repo/tests/test_eigensolvers.cpp" "CMakeFiles/fne_tests.dir/tests/test_eigensolvers.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_eigensolvers.cpp.o.d"
+  "/root/repo/tests/test_embedding.cpp" "CMakeFiles/fne_tests.dir/tests/test_embedding.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_embedding.cpp.o.d"
+  "/root/repo/tests/test_exact_expansion.cpp" "CMakeFiles/fne_tests.dir/tests/test_exact_expansion.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_exact_expansion.cpp.o.d"
+  "/root/repo/tests/test_expander_certificate.cpp" "CMakeFiles/fne_tests.dir/tests/test_expander_certificate.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_expander_certificate.cpp.o.d"
+  "/root/repo/tests/test_expansion_heuristics.cpp" "CMakeFiles/fne_tests.dir/tests/test_expansion_heuristics.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_expansion_heuristics.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "CMakeFiles/fne_tests.dir/tests/test_faults.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_faults.cpp.o.d"
+  "/root/repo/tests/test_fiedler.cpp" "CMakeFiles/fne_tests.dir/tests/test_fiedler.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_fiedler.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "CMakeFiles/fne_tests.dir/tests/test_flow.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_flow.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "CMakeFiles/fne_tests.dir/tests/test_graph.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/fne_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_load_balance.cpp" "CMakeFiles/fne_tests.dir/tests/test_load_balance.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_load_balance.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "CMakeFiles/fne_tests.dir/tests/test_mesh.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_mesh_span.cpp" "CMakeFiles/fne_tests.dir/tests/test_mesh_span.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_mesh_span.cpp.o.d"
+  "/root/repo/tests/test_multibutterfly.cpp" "CMakeFiles/fne_tests.dir/tests/test_multibutterfly.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_multibutterfly.cpp.o.d"
+  "/root/repo/tests/test_networks.cpp" "CMakeFiles/fne_tests.dir/tests/test_networks.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_networks.cpp.o.d"
+  "/root/repo/tests/test_percolation.cpp" "CMakeFiles/fne_tests.dir/tests/test_percolation.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_percolation.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "CMakeFiles/fne_tests.dir/tests/test_profile.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties_expansion.cpp" "CMakeFiles/fne_tests.dir/tests/test_properties_expansion.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_properties_expansion.cpp.o.d"
+  "/root/repo/tests/test_properties_percolation.cpp" "CMakeFiles/fne_tests.dir/tests/test_properties_percolation.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_properties_percolation.cpp.o.d"
+  "/root/repo/tests/test_properties_prune.cpp" "CMakeFiles/fne_tests.dir/tests/test_properties_prune.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_properties_prune.cpp.o.d"
+  "/root/repo/tests/test_properties_span.cpp" "CMakeFiles/fne_tests.dir/tests/test_properties_span.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_properties_span.cpp.o.d"
+  "/root/repo/tests/test_prune2_algorithm.cpp" "CMakeFiles/fne_tests.dir/tests/test_prune2_algorithm.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_prune2_algorithm.cpp.o.d"
+  "/root/repo/tests/test_prune_algorithm.cpp" "CMakeFiles/fne_tests.dir/tests/test_prune_algorithm.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_prune_algorithm.cpp.o.d"
+  "/root/repo/tests/test_prune_engine.cpp" "CMakeFiles/fne_tests.dir/tests/test_prune_engine.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_prune_engine.cpp.o.d"
+  "/root/repo/tests/test_random_graphs.cpp" "CMakeFiles/fne_tests.dir/tests/test_random_graphs.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_random_graphs.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "CMakeFiles/fne_tests.dir/tests/test_rng.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing_upfal.cpp" "CMakeFiles/fne_tests.dir/tests/test_routing_upfal.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_routing_upfal.cpp.o.d"
+  "/root/repo/tests/test_span_estimation.cpp" "CMakeFiles/fne_tests.dir/tests/test_span_estimation.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_span_estimation.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "CMakeFiles/fne_tests.dir/tests/test_stats.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_stats.cpp.o.d"
+  "/root/repo/tests/test_steiner.cpp" "CMakeFiles/fne_tests.dir/tests/test_steiner.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_steiner.cpp.o.d"
+  "/root/repo/tests/test_subgraph.cpp" "CMakeFiles/fne_tests.dir/tests/test_subgraph.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_subgraph.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "CMakeFiles/fne_tests.dir/tests/test_table.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_table.cpp.o.d"
+  "/root/repo/tests/test_traversal.cpp" "CMakeFiles/fne_tests.dir/tests/test_traversal.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_traversal.cpp.o.d"
+  "/root/repo/tests/test_vertex_set.cpp" "CMakeFiles/fne_tests.dir/tests/test_vertex_set.cpp.o" "gcc" "CMakeFiles/fne_tests.dir/tests/test_vertex_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/fne.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fne_tests "/root/repo/build/fne_tests")
+set_tests_properties(fne_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
