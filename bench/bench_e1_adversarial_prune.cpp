@@ -2,92 +2,76 @@
 // Prune(1 - 1/k) returns H with |H| >= n - k·f/α and node expansion
 // >= (1 - 1/k)·α.
 //
-// We run the attack portfolio at the maximum admissible budget on
-// expander-like families, execute Prune, replay-verify its trace, and
-// compare |H| against the theorem's bound.
+// Scenario-layer version: each family is a Scenario (topology by registry
+// name), the attack portfolio is the fault-model registry, and one
+// ScenarioRunner per family drives every (k, attack) cell on one
+// persistent engine — the runner also measures the honest α (the
+// constructive upper bound of the fault-free bracket) that the theorem's
+// budget is computed from.
 #include "bench_common.hpp"
 
-#include "expansion/bracket.hpp"
-#include "faults/adversary.hpp"
-#include "prune/engine.hpp"
-#include "prune/prune.hpp"
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "api/runner.hpp"
 #include "prune/verify.hpp"
-#include "topology/hypercube.hpp"
-#include "topology/random_graphs.hpp"
 
 namespace fne {
 namespace {
 
 struct Family {
   std::string name;
-  Graph graph;
+  TopologySpec topology;
 };
 
 void run(const Family& family, double k, std::uint64_t seed, Table& table) {
-  const Graph& g = family.graph;
-  const vid n = g.num_vertices();
+  Scenario scenario;
+  scenario.name = family.name;
+  scenario.topology = family.topology;
+  scenario.prune.kind = ExpansionKind::Node;
+  scenario.prune.epsilon = 1.0 - 1.0 / k;
+  scenario.metrics.verify_trace = true;
+  scenario.metrics.expansion = true;
+  scenario.metrics.bracket_exact_limit = 16;
+  scenario.seed = seed;
 
-  BracketOptions bopts;
-  bopts.exact_limit = 16;
-  bopts.seed = seed;
-  const ExpansionBracket bracket = expansion_bracket(g, ExpansionKind::Node, bopts);
-  // α must be a value the graph *actually has*: the constructive upper
-  // bound (a real cut) is the honest choice — using a larger α would make
+  ScenarioRunner runner(std::move(scenario));
+  const vid n = runner.graph().num_vertices();
+  // α must be a value the graph *actually has*: the runner measured the
+  // constructive upper bound (a real cut) — using a larger α would make
   // the theorem's precondition easier but its conclusion unverifiable.
-  const double alpha = bracket.upper;
+  const double alpha = runner.alpha();
   const vid f_max = static_cast<vid>(alpha * n / (4.0 * k));
   const vid f = std::max<vid>(1, f_max / 2);  // half the admissible budget
 
-  struct NamedAttack {
-    std::string name;
-    AttackResult attack;
+  const std::vector<std::pair<std::string, Params>> attacks{
+      {"random_exact", Params().set("budget", std::int64_t{f})},
+      {"high_degree", Params().set("budget", std::int64_t{f})},
+      {"sweep_cut", Params().set("budget", std::int64_t{f})},
   };
-  std::vector<NamedAttack> attacks;
-  attacks.push_back({"random", random_attack(g, f, seed)});
-  attacks.push_back({"high-degree", high_degree_attack(g, f)});
-  CutFinderOptions copts;
-  copts.exact_limit = 14;
-  copts.seed = seed;
-  attacks.push_back({"sweep-cut", sweep_cut_attack(g, f, copts)});
-
-  // One engine across the attack portfolio: workspace buffers amortize
-  // over the runs, and deterministic mode keeps the table bit-identical
-  // to the stateless prune() it replaces.
-  PruneEngine engine(g, ExpansionKind::Node);
-  for (const auto& [attack_name, attack] : attacks) {
-    const VertexSet alive = VertexSet::full(n) - attack.faults;
-    PruneEngineOptions popts;
-    popts.finder.seed = seed + 1;
-    const double eps = 1.0 - 1.0 / k;
-    const PruneResult result = engine.run(alive, alpha, eps, popts);
-    const Theorem21Check check =
-        check_theorem21_size(n, alpha, attack.budget_used, k, result.survivors.count());
-    const TraceVerification trace =
-        verify_prune_trace(g, alive, result, ExpansionKind::Node, alpha * eps);
-
-    // Expansion of H: bracket it (upper side is a real cut of H, so
-    // "upper >= threshold" is the meaningful check).
+  for (const auto& [attack_name, params] : attacks) {
+    runner.set_fault({attack_name, params});
+    const ScenarioRun result = runner.run_once();
+    const Theorem21Check check = check_theorem21_size(n, alpha, result.faults, k,
+                                                      result.prune.survivors.count());
     std::string h_expansion = "-";
-    if (result.survivors.count() >= 2) {
-      BracketOptions hopts = bopts;
-      hopts.seed = seed + 2;
-      const ExpansionBracket hb =
-          expansion_bracket(g, result.survivors, ExpansionKind::Node, hopts);
-      h_expansion = std::to_string(hb.upper).substr(0, 6);
+    if (result.expansion.has_value()) {
+      h_expansion = std::to_string(result.expansion->upper).substr(0, 6);
     }
     table.row()
         .cell(family.name)
         .cell(std::size_t{n})
         .cell(alpha, 3)
         .cell(k, 2)
-        .cell(std::size_t{attack.budget_used})
+        .cell(std::size_t{result.faults})
         .cell(attack_name)
-        .cell(std::size_t{result.survivors.count()})
+        .cell(std::size_t{result.prune.survivors.count()})
         .cell(check.size_bound, 4)
         .cell(bench::yesno(check.size_ok && check.precondition_ok))
-        .cell(alpha * eps, 3)
+        .cell(result.threshold, 3)
         .cell(h_expansion)
-        .cell(bench::yesno(trace.valid));
+        .cell(bench::yesno(result.trace.has_value() && result.trace->valid));
   }
 }
 
@@ -98,7 +82,7 @@ int main(int argc, char** argv) {
   using namespace fne;
   const Cli cli(argc, argv);
   const std::uint64_t seed = cli.get_seed();
-  const auto scale = static_cast<vid>(cli.get_int("scale", 1));
+  const auto scale = static_cast<std::int64_t>(cli.get_int("scale", 1));
 
   bench::print_header("E1",
                       "Theorem 2.1 — Prune keeps |H| >= n - k·f/α with expansion (1-1/k)·α "
@@ -107,9 +91,13 @@ int main(int argc, char** argv) {
   Table table({"family", "n", "alpha", "k", "f", "attack", "|H|", "bound n-kf/a", "size ok",
                "thr (1-1/k)a", "exp(H) upper", "trace ok"});
   std::vector<Family> families;
-  families.push_back({"rand-4-reg", random_regular(256 * scale, 4, seed)});
-  families.push_back({"rand-6-reg", random_regular(256 * scale, 6, seed + 1)});
-  families.push_back({"hypercube-8", hypercube(8)});
+  families.push_back(
+      {"rand-4-reg",
+       {"random_regular", Params().set("n", 256 * scale).set("degree", std::int64_t{4})}});
+  families.push_back(
+      {"rand-6-reg",
+       {"random_regular", Params().set("n", 256 * scale).set("degree", std::int64_t{6})}});
+  families.push_back({"hypercube-8", {"hypercube", Params().set("dims", std::int64_t{8})}});
   for (const Family& family : families) {
     for (double k : {2.0, 4.0}) run(family, k, seed, table);
   }

@@ -5,14 +5,21 @@
 // Meshes are the canonical uniform-expansion family (α(n) ≈ d·n^{-1/d}).
 // The bench runs the proof's own adversary and compares the faults spent
 // to α(n)·n.
+//
+// Scenario-layer version: topology and adversary both resolve through the
+// registries ("mesh" × "bisection"); no prune stage runs because the
+// claim is about the raw shatter profile, so this driver is the fault
+// injection plus analysis.  (The bisection rounds count of the old
+// hand-wired driver is not part of the registry's uniform alive-mask
+// contract and was dropped.)
 #include "bench_common.hpp"
 
 #include <cmath>
 
 #include "analysis/fragmentation.hpp"
+#include "api/registry.hpp"
 #include "expansion/profile.hpp"
 #include "expansion/uniform.hpp"
-#include "faults/adversary.hpp"
 #include "topology/mesh.hpp"
 
 int main(int argc, char** argv) {
@@ -28,32 +35,29 @@ int main(int argc, char** argv) {
   const double epsilon = cli.get_double("epsilon", 0.1);
 
   Table table({"mesh", "n", "alpha(n)~", "alpha*n", "eps", "faults", "faults/(alpha*n)",
-               "paper O(log(1/e)/e)", "largest", "eps*n", "gamma", "rounds"});
+               "paper O(log(1/e)/e)", "largest", "eps*n", "gamma"});
 
   struct Case {
     std::string name;
-    Mesh mesh;
+    std::int64_t side;
+    std::int64_t dims;
   };
   std::vector<Case> cases;
-  cases.push_back({"2D 16x16", Mesh::cube(16, 2)});
-  cases.push_back({"2D 24x24", Mesh::cube(24, 2)});
-  if (scale >= 1) cases.push_back({"2D 32x32", Mesh::cube(32, 2)});
-  cases.push_back({"3D 8x8x8", Mesh::cube(8, 3)});
+  cases.push_back({"2D 16x16", 16, 2});
+  cases.push_back({"2D 24x24", 24, 2});
+  if (scale >= 1) cases.push_back({"2D 32x32", 32, 2});
+  cases.push_back({"3D 8x8x8", 8, 3});
 
   for (const Case& c : cases) {
-    const Graph& g = c.mesh.graph();
+    const Graph g = TopologyRegistry::instance().build(
+        "mesh", Params().set("side", c.side).set("dims", c.dims), seed);
     const vid n = g.num_vertices();
-    const double d = c.mesh.dims();
     // Node expansion of the d-dim side-s mesh is ~ s^{d-1}/(s^d / 2) ≈ 2/s.
-    const double side = static_cast<double>(c.mesh.sides()[0]);
-    const double alpha_n = 2.0 / side;
+    const double alpha_n = 2.0 / static_cast<double>(c.side);
 
-    BisectionOptions opts;
-    opts.epsilon = epsilon;
-    opts.cut_options.exact_limit = 14;
-    opts.cut_options.seed = seed;
-    const AttackResult attack = bisection_attack(g, opts);
-    const VertexSet alive = VertexSet::full(n) - attack.faults;
+    const VertexSet alive = FaultModelRegistry::instance().build(
+        "bisection", g, Params().set("epsilon", epsilon), seed);
+    const vid faults = n - alive.count();
     const FragmentationProfile frag = fragmentation_profile(g, alive);
 
     const double alpha_times_n = alpha_n * n;
@@ -63,14 +67,12 @@ int main(int argc, char** argv) {
         .cell(alpha_n, 4)
         .cell(alpha_times_n, 4)
         .cell(epsilon, 3)
-        .cell(std::size_t{attack.budget_used})
-        .cell(static_cast<double>(attack.budget_used) / alpha_times_n, 3)
+        .cell(std::size_t{faults})
+        .cell(static_cast<double>(faults) / alpha_times_n, 3)
         .cell(std::log(1.0 / epsilon) / epsilon, 3)
         .cell(std::size_t{frag.largest})
         .cell(epsilon * n, 4)
-        .cell(frag.gamma, 4)
-        .cell(attack.rounds.size());
-    (void)d;
+        .cell(frag.gamma, 4);
   }
   bench::print_table(
       table,

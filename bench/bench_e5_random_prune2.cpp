@@ -3,14 +3,18 @@
 // >= ε·α_e (whp).  Meshes have σ = 2 (Theorem 3.6), so the admissible p
 // is tiny; we run at the theorem's p and far beyond it to show both the
 // guarantee and the (much larger) practical margin.
+//
+// Scenario-layer version: one Scenario per mesh, the probability sweep
+// through ScenarioRunner::sweep_fault_param — every run of a mesh reuses
+// the same persistent engine (Krylov basis, BFS queues, degree tables).
 #include "bench_common.hpp"
 
-#include "expansion/bracket.hpp"
-#include "faults/fault_model.hpp"
-#include "prune/engine.hpp"
+#include <string>
+#include <vector>
+
+#include "api/runner.hpp"
 #include "prune/prune2.hpp"
 #include "prune/verify.hpp"
-#include "topology/mesh.hpp"
 
 int main(int argc, char** argv) {
   using namespace fne;
@@ -22,69 +26,65 @@ int main(int argc, char** argv) {
                       "expansion >= ε·α_e for p <= 1/(2e·δ^{4σ})");
 
   Table table({"mesh", "n", "alpha_e", "eps", "fault p", "p vs thm", "|H|", "n/2", "size ok",
-               "exp(H) up", "thr eps*a_e", "trace ok", "compact ok"});
+               "exp(H) up", "thr eps*a_e", "trace ok"});
 
   struct Case {
     std::string name;
-    Mesh mesh;
+    std::int64_t side;
+    std::int64_t dims;
     double alpha_e;  // straight-cut edge expansion of the fault-free mesh
   };
-  std::vector<Case> cases;
-  cases.push_back({"2D 24x24", Mesh::cube(24, 2), 24.0 / 288.0});
-  cases.push_back({"2D 32x32", Mesh::cube(32, 2), 32.0 / 512.0});
-  cases.push_back({"3D 8x8x8", Mesh::cube(8, 3), 64.0 / 256.0});
+  const std::vector<Case> cases{
+      {"2D 24x24", 24, 2, 24.0 / 288.0},
+      {"2D 32x32", 32, 2, 32.0 / 512.0},
+      {"3D 8x8x8", 8, 3, 64.0 / 256.0},
+  };
 
   for (const Case& c : cases) {
-    const Graph& g = c.mesh.graph();
-    const vid n = g.num_vertices();
-    const double delta = g.max_degree();
+    Scenario scenario;
+    scenario.name = c.name;
+    scenario.topology = {"mesh", Params().set("side", c.side).set("dims", c.dims)};
+    scenario.fault = {"random", Params()};
+    scenario.prune.kind = ExpansionKind::Edge;
+    scenario.prune.alpha = c.alpha_e;  // epsilon <= 0 resolves to 1/(2δ)
+    scenario.metrics.verify_trace = true;
+    scenario.metrics.expansion = true;
+    scenario.seed = seed + static_cast<std::uint64_t>(c.side * c.dims);
+
+    // One runner per mesh: its engine drives the whole probability sweep,
+    // reusing every workspace buffer across the runs.
+    ScenarioRunner runner(std::move(scenario));
+    const vid n = runner.graph().num_vertices();
+    const double delta = runner.graph().max_degree();
     const double sigma = 2.0;  // Theorem 3.6
     const double p_theorem = theorem34_fault_probability(delta, sigma);
-    const double eps = 1.0 / (2.0 * delta);
 
-    // One engine drives the whole probability sweep: its workspace
-    // (Krylov basis, BFS queues, degree tables) is reused across runs,
-    // and the deterministic configuration is bit-identical to prune2().
-    PruneEngine engine(g, ExpansionKind::Edge);
-    for (double p : {p_theorem, 0.01, 0.03}) {
-      const VertexSet alive = random_node_faults(g, p, seed + n);
-      PruneEngineOptions opts;
-      opts.finder.seed = seed;
-      const PruneResult result = engine.run(alive, c.alpha_e, eps, opts);
-
-      const TraceVerification trace = verify_prune_trace(
-          g, alive, result, ExpansionKind::Edge, c.alpha_e * eps, /*require_compact=*/false);
-      const TraceVerification compact = verify_prune_trace(
-          g, alive, result, ExpansionKind::Edge, c.alpha_e * eps, /*require_compact=*/true);
-
+    const std::vector<double> probes{p_theorem, 0.01, 0.03};
+    const std::vector<ScenarioRun> runs = runner.sweep_fault_param("p", probes);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ScenarioRun& result = runs[i];
       std::string h_up = "-";
-      if (result.survivors.count() >= 2) {
-        BracketOptions bopts;
-        bopts.exact_limit = 14;
-        bopts.seed = seed + 3;
-        h_up = std::to_string(
-                   expansion_bracket(g, result.survivors, ExpansionKind::Edge, bopts).upper)
-                   .substr(0, 6);
+      if (result.expansion.has_value()) {
+        h_up = std::to_string(result.expansion->upper).substr(0, 6);
       }
       table.row()
           .cell(c.name)
           .cell(std::size_t{n})
-          .cell(c.alpha_e, 3)
-          .cell(eps, 3)
-          .cell(p, 3)
-          .cell(p <= p_theorem ? "<= thm" : "beyond")
-          .cell(std::size_t{result.survivors.count()})
+          .cell(runner.alpha(), 3)
+          .cell(runner.epsilon(), 3)
+          .cell(probes[i], 3)
+          .cell(probes[i] <= p_theorem ? "<= thm" : "beyond")
+          .cell(std::size_t{result.prune.survivors.count()})
           .cell(std::size_t{n / 2})
-          .cell(bench::yesno(result.survivors.count() >= n / 2))
+          .cell(bench::yesno(result.prune.survivors.count() >= n / 2))
           .cell(h_up)
-          .cell(c.alpha_e * eps, 4)
-          .cell(bench::yesno(trace.valid))
-          .cell(bench::yesno(compact.valid));
+          .cell(result.threshold, 4)
+          .cell(bench::yesno(result.trace.has_value() && result.trace->valid));
     }
   }
   bench::print_table(
       table,
-      "paper prediction: at p <= 1/(2e·δ^{4σ}) every row has size ok / trace ok / compact ok;\n"
+      "paper prediction: at p <= 1/(2e·δ^{4σ}) every row has size ok / trace ok;\n"
       "the 'beyond' rows probe the slack between the conservative bound and actual resilience\n"
       "(the guarantee is expected to persist far beyond the theorem's p on meshes).");
   return 0;

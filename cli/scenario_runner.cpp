@@ -1,0 +1,199 @@
+// scenario_runner — execute one fne::Scenario from the command line.
+//
+// The CLI face of the scenario layer (DESIGN.md §6): every topology and
+// fault model in the registries is reachable from flags, so any
+// paper-style experiment — build, injure, prune, measure — runs without
+// writing a driver.
+//
+//   scenario_runner --list
+//       show registered topologies, fault models, and named scenarios
+//   scenario_runner --scenario=mesh-random [--reps=3] [--seed=7]
+//       run a named preset (overrides apply on top)
+//   scenario_runner --topology=hypercube --topo-params=dims=8 \
+//       --fault=high_degree --fault-params=frac=0.1 \
+//       --kind=node --reps=3 --verify --expansion
+//       run an ad-hoc scenario
+//   scenario_runner --scenario=can-churn --churn-steps=40
+//       additionally drive ongoing churn, re-pruning every round through
+//       the runner's persistent engine
+//
+// Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
+// --csv (emit CSV instead of the aligned table), --stats (engine
+// telemetry after the runs).
+#include <algorithm>
+#include <iostream>
+
+#include "api/registry.hpp"
+#include "api/runner.hpp"
+#include "api/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace fne {
+namespace {
+
+void list_registries() {
+  std::cout << "topologies:\n";
+  Table topo({"name", "params", "description"});
+  for (const std::string& name : TopologyRegistry::instance().names()) {
+    const TopologyEntry& e = TopologyRegistry::instance().at(name);
+    std::string params;
+    for (const ParamSpec& p : e.params) {
+      if (!params.empty()) params += ", ";
+      params += p.key;
+      if (!p.default_value.empty()) params += "=" + p.default_value;
+    }
+    topo.row().cell(name).cell(params.empty() ? "-" : params).cell(e.doc);
+  }
+  topo.print(std::cout);
+
+  std::cout << "\nfault models:\n";
+  Table faults({"name", "params", "description"});
+  for (const std::string& name : FaultModelRegistry::instance().names()) {
+    const FaultModelEntry& e = FaultModelRegistry::instance().at(name);
+    std::string params;
+    for (const ParamSpec& p : e.params) {
+      if (!params.empty()) params += ", ";
+      params += p.key;
+      if (!p.default_value.empty()) params += "=" + p.default_value;
+    }
+    faults.row().cell(name).cell(params.empty() ? "-" : params).cell(e.doc);
+  }
+  faults.print(std::cout);
+
+  std::cout << "\nnamed scenarios:\n";
+  Table named({"name", "topology", "fault", "prune"});
+  for (const Scenario& s : scenario_catalog()) {
+    named.row()
+        .cell(s.name)
+        .cell(s.topology.name +
+              (s.topology.params.empty() ? "" : "(" + s.topology.params.to_string() + ")"))
+        .cell(s.fault.name +
+              (s.fault.params.empty() ? "" : "(" + s.fault.params.to_string() + ")"))
+        .cell(s.prune.kind == ExpansionKind::Node ? "prune (node)" : "prune2 (edge)");
+  }
+  named.print(std::cout);
+}
+
+int run(const Cli& cli) {
+  Scenario scenario;
+  if (cli.has("scenario")) {
+    scenario = named_scenario(cli.get("scenario", ""));
+  } else {
+    scenario.name = "ad-hoc";
+  }
+
+  // Flag overrides apply on top of the preset (or the defaults): parsed
+  // keys merge into the preset's params, except when the topology/fault
+  // *name* changes — the preset's params belong to the old factory.
+  const auto merge = [](Params& into, const std::string& spec) {
+    const Params parsed = Params::parse(spec);
+    for (const auto& [k, v] : parsed.values()) into.set(k, v);
+  };
+  if (cli.has("topology") && cli.get("topology", "") != scenario.topology.name) {
+    scenario.topology = {cli.get("topology", ""), Params{}};
+  }
+  if (cli.has("topo-params")) merge(scenario.topology.params, cli.get("topo-params", ""));
+  if (cli.has("fault") && cli.get("fault", "") != scenario.fault.name) {
+    scenario.fault = {cli.get("fault", ""), Params{}};
+  }
+  if (cli.has("fault-params")) merge(scenario.fault.params, cli.get("fault-params", ""));
+  if (cli.has("kind")) {
+    const std::string kind = cli.get("kind", "edge");
+    FNE_REQUIRE(kind == "node" || kind == "edge", "--kind must be node or edge");
+    scenario.prune.kind = kind == "node" ? ExpansionKind::Node : ExpansionKind::Edge;
+  }
+  scenario.prune.alpha = cli.get_double("alpha", scenario.prune.alpha);
+  scenario.prune.epsilon = cli.get_double("eps", scenario.prune.epsilon);
+  scenario.prune.fast = cli.has("fast") || scenario.prune.fast;
+  scenario.metrics.verify_trace = cli.has("verify") || scenario.metrics.verify_trace;
+  scenario.metrics.expansion = cli.has("expansion") || scenario.metrics.expansion;
+  scenario.repetitions = static_cast<int>(cli.get_int("reps", scenario.repetitions));
+  scenario.seed = cli.get_seed(scenario.seed);
+
+  ScenarioRunner runner(std::move(scenario));
+  const Scenario& s = runner.scenario();
+  std::cout << "scenario: " << s.name << "\n"
+            << "topology: " << s.topology.name
+            << (s.topology.params.empty() ? "" : " (" + s.topology.params.to_string() + ")")
+            << " — " << runner.graph().summary() << "\n"
+            << "fault:    " << s.fault.name
+            << (s.fault.params.empty() ? "" : " (" + s.fault.params.to_string() + ")") << "\n"
+            << "prune:    " << (s.prune.kind == ExpansionKind::Node ? "Prune (node)"
+                                                                    : "Prune2 (edge)")
+            << "  alpha=" << runner.alpha() << "  eps=" << runner.epsilon()
+            << "  threshold=" << runner.alpha() * runner.epsilon()
+            << (s.prune.fast ? "  [fast]" : "") << "\n\n";
+
+  const std::vector<ScenarioRun> runs = runner.run_all();
+  const Table table = runner.metrics_table(runs);
+  if (cli.has("csv")) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  const auto churn_steps = static_cast<int>(cli.get_int("churn-steps", 0));
+  if (churn_steps > 0) {
+    ChurnOptions copts;
+    copts.steps = churn_steps;
+    copts.p_leave = cli.get_double("p-leave", copts.p_leave);
+    copts.p_join = cli.get_double("p-join", copts.p_join);
+    copts.seed = s.seed + 17;
+    const ChurnRunTrace trace = runner.run_churn(copts);
+    std::cout << "\nchurn (" << churn_steps << " rounds, p_leave=" << copts.p_leave
+              << ", p_join=" << copts.p_join << "), re-pruned per round on one engine:\n";
+    Table churn({"round", "alive", "gamma", "|H|", "culled", "iters", "prune ms"});
+    const int stride = std::max(1, churn_steps / 10);
+    for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
+      if (static_cast<int>(i) % stride != 0 && i + 1 != trace.rounds.size()) continue;
+      const ChurnRoundRun& r = trace.rounds[i];
+      churn.row()
+          .cell(std::size_t{i})
+          .cell(std::size_t{r.churn.alive_count})
+          .cell(r.churn.gamma, 3)
+          .cell(std::size_t{r.survivors})
+          .cell(std::size_t{r.culled})
+          .cell(r.iterations)
+          .cell(r.prune_millis, 2);
+    }
+    churn.print(std::cout);
+    std::cout << "total per-round prune time: " << trace.total_prune_millis() << " ms\n";
+  }
+
+  if (cli.has("stats")) {
+    const EngineStats& st = runner.engine_stats();
+    std::cout << "\nengine telemetry (cumulative):\n";
+    Table stats({"runs", "iters", "eigensolves", "stale sweeps", "stale hits",
+                 "disconnected culls", "relabel BFS", "relabel verts"});
+    stats.row()
+        .cell(st.runs)
+        .cell(st.iterations)
+        .cell(st.eigensolves)
+        .cell(st.stale_sweeps)
+        .cell(st.stale_sweep_hits)
+        .cell(st.disconnected_culls)
+        .cell(st.relabel_bfs_calls)
+        .cell(st.relabel_bfs_vertices);
+    stats.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fne
+
+int main(int argc, char** argv) {
+  const fne::Cli cli(argc, argv);
+  if (cli.has("list")) {
+    fne::list_registries();
+    return 0;
+  }
+  try {
+    return fne::run(cli);
+  } catch (const fne::PreconditionError& e) {
+    std::cerr << "error: " << e.what() << "\n(use --list to see registered names and params)\n";
+    return 1;
+  }
+}

@@ -1,55 +1,71 @@
-// Quickstart: inject random faults into a 2-D mesh, run Prune2, and
-// report what survived and how much expansion it kept.
+// Quickstart: the scenario API in five steps.
 //
-//   ./quickstart [--side=24] [--p=0.05] [--seed=42]
+// Every experiment in this library is one pipeline — build a topology,
+// injure it, run Prune/Prune2, measure the survivor.  The scenario layer
+// (DESIGN.md §6) makes that pipeline a value: describe it as an
+// fne::Scenario, hand it to an fne::ScenarioRunner, read the metrics.
+//
+//   ./example_quickstart [--side=24] [--p=0.05] [--seed=42]
 #include <iostream>
 
-#include "expansion/bracket.hpp"
-#include "faults/fault_model.hpp"
-#include "prune/prune2.hpp"
-#include "prune/verify.hpp"
-#include "topology/mesh.hpp"
+#include "api/runner.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace fne;
   const Cli cli(argc, argv);
-  const auto side = static_cast<vid>(cli.get_int("side", 24));
-  const double p = cli.get_double("p", 0.05);
-  const std::uint64_t seed = cli.get_seed();
 
-  // 1. Build the network and measure its fault-free edge expansion.
-  const Mesh mesh = Mesh::cube(side, 2);
-  const Graph& g = mesh.graph();
-  std::cout << "network: " << side << "x" << side << " mesh, " << g.summary() << "\n";
+  // 1. Describe the experiment.  Topology and fault process are registry
+  //    names (see `scenario_runner --list` for the full catalog), so the
+  //    whole description is plain data — no per-module APIs involved.
+  Scenario scenario;
+  scenario.name = "quickstart";
+  scenario.topology = {"mesh", Params()
+                                   .set("side", cli.get_int("side", 24))
+                                   .set("dims", std::int64_t{2})};
+  scenario.fault = {"random", Params().set("p", cli.get_double("p", 0.05))};
+  scenario.prune.kind = ExpansionKind::Edge;   // Prune2, the random-fault algorithm
+  scenario.metrics.verify_trace = true;        // replay-certify the run
+  scenario.metrics.expansion = true;           // bracket the survivor's expansion
+  scenario.seed = cli.get_seed();
 
-  const double alpha_e = 2.0 / static_cast<double>(side);  // straight-line cut
-  std::cout << "fault-free edge expansion alpha_e ~ " << alpha_e << "\n";
-
-  // 2. Fail each node independently with probability p.
-  const VertexSet alive = random_node_faults(g, p, seed);
-  std::cout << "faults: p = " << p << " -> " << (g.num_vertices() - alive.count())
-            << " nodes failed, " << alive.count() << " survive\n";
-
-  // 3. Prune away the poorly-expanding fringe (paper Fig. 2, Prune2).
-  const double eps = 1.0 / (2.0 * g.max_degree());  // Theorem 3.4's epsilon
-  const PruneResult result = prune2(g, alive, alpha_e, eps);
-  std::cout << "prune2: culled " << result.total_culled << " vertices in "
-            << result.iterations << " iterations; |H| = " << result.survivors.count()
-            << " (n/2 = " << g.num_vertices() / 2 << ")\n";
-
-  // 4. Verify the run is a certified execution of the paper's algorithm.
-  const TraceVerification trace = verify_prune_trace(
-      g, alive, result, ExpansionKind::Edge, alpha_e * eps, /*require_compact=*/true);
-  std::cout << "trace replay: " << (trace.valid ? "valid" : "INVALID — " + trace.reason)
+  // 2. Bind a runner.  It builds the graph once, resolves alpha (the
+  //    measured edge expansion of the fault-free mesh — a real cut, so a
+  //    value the graph actually has) and epsilon (Theorem 3.4's
+  //    1/(2*max_degree)), and owns one PruneEngine whose workspace will
+  //    be reused by every run below.
+  ScenarioRunner runner(scenario);
+  std::cout << "network: " << runner.graph().summary() << "\n"
+            << "alpha_e = " << runner.alpha() << ", eps = " << runner.epsilon()
+            << "  ->  culling threshold alpha*eps = " << runner.alpha() * runner.epsilon()
             << "\n";
 
-  // 5. Bracket the expansion of the surviving component.
-  if (result.survivors.count() >= 2) {
-    const ExpansionBracket bracket =
-        expansion_bracket(g, result.survivors, ExpansionKind::Edge);
-    std::cout << "edge expansion of H in [" << bracket.lower << ", " << bracket.upper
-              << "]  (target: >= " << alpha_e * eps << ")\n";
+  // 3. Execute.  One call injects the faults, runs the engine-backed
+  //    Prune2 loop, and measures the requested metrics.
+  const ScenarioRun run = runner.run_once();
+  std::cout << "faults: " << run.faults << " nodes failed, " << run.alive.count()
+            << " survive\n"
+            << "prune2: culled " << run.prune.total_culled << " vertices in "
+            << run.prune.iterations << " iterations; |H| = " << run.prune.survivors.count()
+            << " (n/2 = " << runner.graph().num_vertices() / 2 << ")\n";
+
+  // 4. Certify.  The trace replay proves every culled set satisfied its
+  //    culling condition — the run is a valid execution of the paper's
+  //    algorithm, not just a heuristic's opinion.
+  std::cout << "trace replay: "
+            << (run.trace->valid ? "valid" : "INVALID — " + run.trace->reason) << "\n";
+
+  // 5. Read the survivor's expansion bracket: [provable lower bound,
+  //    constructive upper bound] around the Theorem 3.4 target.
+  if (run.expansion.has_value()) {
+    std::cout << "edge expansion of H in [" << run.expansion->lower << ", "
+              << run.expansion->upper << "]  (target: >= " << run.threshold << ")\n";
   }
+
+  // Bonus: the same scenario, rendered as the standard metrics table —
+  // what the scenario_runner CLI prints for any registry-described
+  // pipeline.
+  std::cout << "\n";
+  runner.metrics_table(std::vector<ScenarioRun>{run}).print(std::cout);
   return 0;
 }

@@ -1,0 +1,59 @@
+// String-keyed parameter maps for the scenario layer (DESIGN.md §6).
+//
+// Every registry factory — topology builders and fault models alike — is
+// normalized behind the uniform signature (params, seed).  Params carries
+// the per-factory knobs as strings so scenarios can be described in
+// flags, config rows, or tables without per-factory structs, while the
+// typed getters validate on access: a malformed or out-of-range value
+// raises PreconditionError naming the offending key, never a silent
+// default.  Registries additionally reject keys a factory never declared
+// (see registry.hpp), so typos fail loudly too.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace fne {
+
+class Params {
+ public:
+  Params() = default;
+  Params(std::initializer_list<std::pair<std::string, std::string>> kvs);
+
+  /// Parse a "key=value,key=value" spec (the CLI wire format).  Empty
+  /// spec -> empty params.  A token without '=' is treated as a boolean
+  /// flag ("wrap" == "wrap=1").
+  [[nodiscard]] static Params parse(const std::string& spec);
+
+  Params& set(const std::string& key, std::string value);
+  Params& set(const std::string& key, std::int64_t value);
+  Params& set(const std::string& key, double value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Typed getters: return the fallback when the key is absent, and
+  /// REQUIRE-fail (naming the key and the raw text) when the stored value
+  /// does not parse as the requested type.
+  [[nodiscard]] std::string get_str(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const noexcept {
+    return values_;
+  }
+
+  /// "k=v,k=v" round-trip of parse(); keys in sorted order.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Params&, const Params&) = default;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fne

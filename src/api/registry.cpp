@@ -1,0 +1,452 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+
+#include "faults/adversary.hpp"
+#include "faults/fault_model.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/can_overlay.hpp"
+#include "topology/chain_expander.hpp"
+#include "topology/classic.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/multibutterfly.hpp"
+#include "topology/random_graphs.hpp"
+#include "topology/shuffle_exchange.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Uniform declared-params check: every supplied key must be declared.
+template <typename Entry>
+void check_declared(const char* registry_kind, const Entry& entry, const Params& params) {
+  for (const auto& [key, value] : params.values()) {
+    const bool known = std::any_of(entry.params.begin(), entry.params.end(),
+                                   [&](const ParamSpec& s) { return s.key == key; });
+    if (!known) {
+      std::string declared;
+      for (const ParamSpec& s : entry.params) {
+        if (!declared.empty()) declared += ", ";
+        declared += s.key;
+      }
+      FNE_REQUIRE(false, std::string(registry_kind) + " '" + entry.name +
+                             "' has no param '" + key + "' (declared: " +
+                             (declared.empty() ? "none" : declared) + ")");
+    }
+  }
+}
+
+[[nodiscard]] vid require_vid(const std::string& who, const Params& p, const std::string& key,
+                              std::int64_t fallback, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t v = p.get_int(key, fallback);
+  FNE_REQUIRE(v >= lo && v <= hi, who + ": " + key + "=" + std::to_string(v) +
+                                      " out of range [" + std::to_string(lo) + ", " +
+                                      std::to_string(hi) + "]");
+  return static_cast<vid>(v);
+}
+
+[[nodiscard]] double require_prob(const std::string& who, const Params& p,
+                                  const std::string& key, double fallback) {
+  const double v = p.get_double(key, fallback);
+  FNE_REQUIRE(v >= 0.0 && v <= 1.0,
+              who + ": " + key + "=" + std::to_string(v) + " must lie in [0, 1]");
+  return v;
+}
+
+/// 64-bit checked conversion for vertex counts derived from params: the
+/// contract must fail loudly on overflow, not compare wrapped numbers.
+[[nodiscard]] vid checked_n(const std::string& who, std::uint64_t n) {
+  FNE_REQUIRE(n < (std::uint64_t{1} << 31),
+              who + ": " + std::to_string(n) + " vertices exceed the 32-bit id space");
+  return static_cast<vid>(n);
+}
+
+[[nodiscard]] vid pow_n(const std::string& who, vid base, vid exp) {
+  std::uint64_t n = 1;
+  for (vid i = 0; i < exp; ++i) {
+    n *= base;
+    (void)checked_n(who, n);
+  }
+  return checked_n(who, n);
+}
+
+/// Shared budget resolution for the adversarial fault models: an absolute
+/// `budget` wins; otherwise `frac` of n (default 10%).
+[[nodiscard]] vid resolve_budget(const std::string& who, const Graph& g, const Params& p) {
+  if (p.has("budget")) {
+    return require_vid(who, p, "budget", 0, 0, g.num_vertices());
+  }
+  const double frac = require_prob(who, p, "frac", 0.1);
+  return static_cast<vid>(frac * static_cast<double>(g.num_vertices()));
+}
+
+const std::vector<ParamSpec> kBudgetParams = {
+    {"budget", "", "absolute fault budget (overrides frac)"},
+    {"frac", "0.1", "fault budget as a fraction of n"},
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TopologyRegistry
+// ---------------------------------------------------------------------------
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry registry;
+  return registry;
+}
+
+void TopologyRegistry::add(TopologyEntry entry) {
+  FNE_REQUIRE(!entry.name.empty(), "topology entry needs a name");
+  FNE_REQUIRE(static_cast<bool>(entry.build), "topology '" + entry.name + "' needs a factory");
+  FNE_REQUIRE(static_cast<bool>(entry.expected_n),
+              "topology '" + entry.name + "' needs a vertex-count contract");
+  entries_[entry.name] = std::move(entry);
+}
+
+bool TopologyRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const TopologyEntry& TopologyRegistry::at(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [n, e] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    FNE_REQUIRE(false, "unknown topology '" + name + "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TopologyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+vid TopologyRegistry::expected_n(const std::string& name, const Params& params) const {
+  const TopologyEntry& entry = at(name);
+  check_declared("topology", entry, params);
+  return entry.expected_n(params);
+}
+
+Graph TopologyRegistry::build(const std::string& name, const Params& params,
+                              std::uint64_t seed) const {
+  const TopologyEntry& entry = at(name);
+  check_declared("topology", entry, params);
+  const vid want = entry.expected_n(params);
+  Graph g = entry.build(params, seed);
+  FNE_REQUIRE(g.num_vertices() == want,
+              "topology '" + name + "' violated its vertex-count contract: built " +
+                  std::to_string(g.num_vertices()) + ", declared " + std::to_string(want));
+  return g;
+}
+
+TopologyRegistry::TopologyRegistry() {
+  // Deterministic families.  Contracts mirror the header docs: the
+  // 2^dims-vertex families (hypercube/debruijn/shuffle_exchange) and the
+  // side^dims meshes make the previously implicit size explicit.
+  add({"mesh",
+       "d-dimensional mesh, side^dims vertices (topology/mesh.hpp)",
+       {{"side", "24", "vertices per dimension"}, {"dims", "2", "dimensions"}},
+       [](const Params& p) {
+         return pow_n("topology 'mesh'",
+                      require_vid("topology 'mesh'", p, "side", 24, 1, 1 << 20),
+                      require_vid("topology 'mesh'", p, "dims", 2, 1, 10));
+       },
+       [](const Params& p, std::uint64_t) {
+         return Mesh::cube(require_vid("topology 'mesh'", p, "side", 24, 1, 1 << 20),
+                           require_vid("topology 'mesh'", p, "dims", 2, 1, 10))
+             .graph();
+       }});
+  add({"torus",
+       "d-dimensional torus (periodic mesh), side^dims vertices",
+       {{"side", "24", "vertices per dimension"}, {"dims", "2", "dimensions"}},
+       [](const Params& p) {
+         return pow_n("topology 'torus'",
+                      require_vid("topology 'torus'", p, "side", 24, 1, 1 << 20),
+                      require_vid("topology 'torus'", p, "dims", 2, 1, 10));
+       },
+       [](const Params& p, std::uint64_t) {
+         return Mesh::cube(require_vid("topology 'torus'", p, "side", 24, 1, 1 << 20),
+                           require_vid("topology 'torus'", p, "dims", 2, 1, 10),
+                           /*wrap=*/true)
+             .graph();
+       }});
+  add({"hypercube",
+       "d-dimensional hypercube Q_d, 2^dims vertices",
+       {{"dims", "8", "dimension d"}},
+       [](const Params& p) {
+         return vid{1} << require_vid("topology 'hypercube'", p, "dims", 8, 1, 26);
+       },
+       [](const Params& p, std::uint64_t) {
+         return hypercube(require_vid("topology 'hypercube'", p, "dims", 8, 1, 26));
+       }});
+  add({"debruijn",
+       "binary de Bruijn network DB(d), 2^dims vertices",
+       {{"dims", "10", "dimension d"}},
+       [](const Params& p) {
+         return vid{1} << require_vid("topology 'debruijn'", p, "dims", 10, 2, 26);
+       },
+       [](const Params& p, std::uint64_t) {
+         return debruijn(require_vid("topology 'debruijn'", p, "dims", 10, 2, 26));
+       }});
+  add({"shuffle_exchange",
+       "shuffle-exchange network SE(d), 2^dims vertices",
+       {{"dims", "10", "dimension d"}},
+       [](const Params& p) {
+         return vid{1} << require_vid("topology 'shuffle_exchange'", p, "dims", 10, 2, 26);
+       },
+       [](const Params& p, std::uint64_t) {
+         return shuffle_exchange(require_vid("topology 'shuffle_exchange'", p, "dims", 10, 2, 26));
+       }});
+  add({"butterfly",
+       "butterfly BF(d): (dims+1)*2^dims vertices unwrapped, dims*2^dims wrapped",
+       {{"dims", "6", "dimension d"}, {"wrapped", "0", "identify level d with level 0"}},
+       [](const Params& p) {
+         const vid d = require_vid("topology 'butterfly'", p, "dims", 6, 1, 22);
+         const vid levels = p.get_bool("wrapped", false) ? d : d + 1;
+         return levels * (vid{1} << d);
+       },
+       [](const Params& p, std::uint64_t) {
+         return butterfly(require_vid("topology 'butterfly'", p, "dims", 6, 1, 22),
+                          p.get_bool("wrapped", false))
+             .graph;
+       }});
+  add({"multibutterfly",
+       "multibutterfly with random splitters, (dims+1)*2^dims vertices (seeded)",
+       {{"dims", "6", "log2(rows)"}, {"splitter_degree", "2", "random edges per half-block"}},
+       [](const Params& p) {
+         const vid d = require_vid("topology 'multibutterfly'", p, "dims", 6, 1, 16);
+         return (d + 1) * (vid{1} << d);
+       },
+       [](const Params& p, std::uint64_t seed) {
+         return multibutterfly(
+                    require_vid("topology 'multibutterfly'", p, "dims", 6, 1, 16),
+                    require_vid("topology 'multibutterfly'", p, "splitter_degree", 2, 1, 64),
+                    seed)
+             .graph;
+       }});
+  add({"random_regular",
+       "random d-regular simple graph (permutation model, seeded)",
+       {{"n", "256", "vertices (n*degree must be even)"}, {"degree", "4", "degree"}},
+       [](const Params& p) {
+         return require_vid("topology 'random_regular'", p, "n", 256, 2, 1 << 26);
+       },
+       [](const Params& p, std::uint64_t seed) {
+         const vid n = require_vid("topology 'random_regular'", p, "n", 256, 2, 1 << 26);
+         const vid d = require_vid("topology 'random_regular'", p, "degree", 4, 1, 1 << 16);
+         FNE_REQUIRE((static_cast<std::uint64_t>(n) * d) % 2 == 0 && d < n,
+                     "topology 'random_regular': need n*degree even and degree < n");
+         return random_regular(n, d, seed);
+       }});
+  add({"erdos_renyi",
+       "Erdős–Rényi G(n, p) (seeded)",
+       {{"n", "256", "vertices"}, {"p", "0.02", "edge probability"}},
+       [](const Params& p) {
+         return require_vid("topology 'erdos_renyi'", p, "n", 256, 1, 1 << 26);
+       },
+       [](const Params& p, std::uint64_t seed) {
+         return erdos_renyi(require_vid("topology 'erdos_renyi'", p, "n", 256, 1, 1 << 26),
+                            require_prob("topology 'erdos_renyi'", p, "p", 0.02), seed);
+       }});
+  add({"can",
+       "CAN overlay zone-adjacency graph, `peers` vertices (seeded)",
+       {{"peers", "256", "number of peers/zones"},
+        {"dims", "2", "torus dimensions"},
+        {"max_depth", "20", "split resolution (bits per dimension)"}},
+       [](const Params& p) {
+         return require_vid("topology 'can'", p, "peers", 256, 1, 1 << 26);
+       },
+       [](const Params& p, std::uint64_t seed) {
+         return can_overlay(require_vid("topology 'can'", p, "peers", 256, 1, 1 << 26),
+                            require_vid("topology 'can'", p, "dims", 2, 1, 10), seed,
+                            require_vid("topology 'can'", p, "max_depth", 20, 1, 30))
+             .graph;
+       }});
+  add({"chain_expander",
+       "H(G, k): every edge of a random base expander replaced by a k-chain "
+       "(seeded); base_n + k * (base_n*base_degree/2) vertices",
+       {{"base_n", "32", "base expander vertices"},
+        {"base_degree", "4", "base expander degree"},
+        {"k", "4", "chain length (even, >= 2)"}},
+       [](const Params& p) {
+         const vid bn = require_vid("topology 'chain_expander'", p, "base_n", 32, 2, 1 << 16);
+         const vid bd = require_vid("topology 'chain_expander'", p, "base_degree", 4, 1, 64);
+         const vid k = require_vid("topology 'chain_expander'", p, "k", 4, 2, 1 << 12);
+         FNE_REQUIRE(k % 2 == 0, "topology 'chain_expander': k must be even");
+         // The pairing model keeps exactly base_n*base_degree/2 edges
+         // (duplicates force a resample, not a smaller graph).
+         const std::uint64_t edges = std::uint64_t{bn} * bd / 2;
+         return checked_n("topology 'chain_expander'", bn + std::uint64_t{k} * edges);
+       },
+       [](const Params& p, std::uint64_t seed) {
+         const vid bn = require_vid("topology 'chain_expander'", p, "base_n", 32, 2, 1 << 16);
+         const vid bd = require_vid("topology 'chain_expander'", p, "base_degree", 4, 1, 64);
+         const vid k = require_vid("topology 'chain_expander'", p, "k", 4, 2, 1 << 12);
+         return chain_replace(random_regular(bn, bd, seed), k).graph;
+       }});
+  add({"complete",
+       "complete graph K_n",
+       {{"n", "64", "vertices"}},
+       [](const Params& p) { return require_vid("topology 'complete'", p, "n", 64, 1, 4096); },
+       [](const Params& p, std::uint64_t) {
+         return complete_graph(require_vid("topology 'complete'", p, "n", 64, 1, 4096));
+       }});
+  add({"cycle",
+       "cycle C_n",
+       {{"n", "64", "vertices"}},
+       [](const Params& p) { return require_vid("topology 'cycle'", p, "n", 64, 3, 1 << 26); },
+       [](const Params& p, std::uint64_t) {
+         return cycle_graph(require_vid("topology 'cycle'", p, "n", 64, 3, 1 << 26));
+       }});
+  add({"path",
+       "path P_n",
+       {{"n", "64", "vertices"}},
+       [](const Params& p) { return require_vid("topology 'path'", p, "n", 64, 1, 1 << 26); },
+       [](const Params& p, std::uint64_t) {
+         return path_graph(require_vid("topology 'path'", p, "n", 64, 1, 1 << 26));
+       }});
+  add({"star",
+       "star S_n (vertex 0 is the hub)",
+       {{"n", "64", "vertices"}},
+       [](const Params& p) { return require_vid("topology 'star'", p, "n", 64, 2, 1 << 26); },
+       [](const Params& p, std::uint64_t) {
+         return star_graph(require_vid("topology 'star'", p, "n", 64, 2, 1 << 26));
+       }});
+  add({"barbell",
+       "two K_half cliques joined by one edge, 2*half vertices (paper §1.3)",
+       {{"half", "16", "clique size"}},
+       [](const Params& p) {
+         return 2 * require_vid("topology 'barbell'", p, "half", 16, 2, 2048);
+       },
+       [](const Params& p, std::uint64_t) {
+         return barbell_graph(require_vid("topology 'barbell'", p, "half", 16, 2, 2048));
+       }});
+}
+
+// ---------------------------------------------------------------------------
+// FaultModelRegistry
+// ---------------------------------------------------------------------------
+
+FaultModelRegistry& FaultModelRegistry::instance() {
+  static FaultModelRegistry registry;
+  return registry;
+}
+
+void FaultModelRegistry::add(FaultModelEntry entry) {
+  FNE_REQUIRE(!entry.name.empty(), "fault model entry needs a name");
+  FNE_REQUIRE(static_cast<bool>(entry.build),
+              "fault model '" + entry.name + "' needs a factory");
+  entries_[entry.name] = std::move(entry);
+}
+
+bool FaultModelRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const FaultModelEntry& FaultModelRegistry::at(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [n, e] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    FNE_REQUIRE(false, "unknown fault model '" + name + "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> FaultModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+VertexSet FaultModelRegistry::build(const std::string& name, const Graph& g,
+                                    const Params& params, std::uint64_t seed) const {
+  const FaultModelEntry& entry = at(name);
+  check_declared("fault model", entry, params);
+  VertexSet alive = entry.build(g, params, seed);
+  FNE_REQUIRE(alive.universe_size() == g.num_vertices(),
+              "fault model '" + name + "' returned a mask over the wrong universe");
+  return alive;
+}
+
+FaultModelRegistry::FaultModelRegistry() {
+  add({"none",
+       "no faults: everything alive (baseline rows)",
+       {},
+       [](const Graph& g, const Params&, std::uint64_t) {
+         return VertexSet::full(g.num_vertices());
+       }});
+  add({"random",
+       "each node fails independently with probability p (paper §3)",
+       {{"p", "0.1", "per-node fault probability"}},
+       [](const Graph& g, const Params& p, std::uint64_t seed) {
+         return random_node_faults(g, require_prob("fault model 'random'", p, "p", 0.1), seed);
+       }});
+  add({"random_exact",
+       "exactly `budget` (or frac*n) uniform random node faults",
+       kBudgetParams,
+       [](const Graph& g, const Params& p, std::uint64_t seed) {
+         return random_exact_node_faults(g, resolve_budget("fault model 'random_exact'", g, p),
+                                         seed);
+       }});
+  add({"high_degree",
+       "adversary fails the `budget` highest-degree vertices (hub attack)",
+       kBudgetParams,
+       [](const Graph& g, const Params& p, std::uint64_t) {
+         const AttackResult a =
+             high_degree_attack(g, resolve_budget("fault model 'high_degree'", g, p));
+         return VertexSet::full(g.num_vertices()) - a.faults;
+       }});
+  add({"sweep_cut",
+       "adversary fails node boundaries of low-expansion sweep cuts within budget",
+       [] {
+         std::vector<ParamSpec> ps = kBudgetParams;
+         ps.push_back({"exact_limit", "14", "exhaustive cut search below this size"});
+         return ps;
+       }(),
+       [](const Graph& g, const Params& p, std::uint64_t seed) {
+         CutFinderOptions copts;
+         copts.exact_limit =
+             require_vid("fault model 'sweep_cut'", p, "exact_limit", 14, 0, 24);
+         copts.seed = seed;
+         const AttackResult a =
+             sweep_cut_attack(g, resolve_budget("fault model 'sweep_cut'", g, p), copts);
+         return VertexSet::full(g.num_vertices()) - a.faults;
+       }});
+  add({"separator",
+       "Menger adversary: exact minimum s-t vertex separators within budget",
+       kBudgetParams,
+       [](const Graph& g, const Params& p, std::uint64_t seed) {
+         const AttackResult a =
+             separator_attack(g, resolve_budget("fault model 'separator'", g, p), seed);
+         return VertexSet::full(g.num_vertices()) - a.faults;
+       }});
+  add({"bisection",
+       "Theorem 2.5 adversary: recursive bisection until pieces < epsilon*n",
+       {{"epsilon", "0.05", "stop when all pieces are below epsilon*n"},
+        {"exact_limit", "14", "exhaustive cut search below this size"}},
+       [](const Graph& g, const Params& p, std::uint64_t seed) {
+         BisectionOptions opts;
+         opts.epsilon = require_prob("fault model 'bisection'", p, "epsilon", 0.05);
+         opts.cut_options.exact_limit =
+             require_vid("fault model 'bisection'", p, "exact_limit", 14, 0, 24);
+         opts.cut_options.seed = seed;
+         const AttackResult a = bisection_attack(g, opts);
+         return VertexSet::full(g.num_vertices()) - a.faults;
+       }});
+}
+
+}  // namespace fne

@@ -1,0 +1,105 @@
+// String-keyed registries normalizing every topology builder and fault
+// model behind uniform factory signatures (DESIGN.md §6).
+//
+// The repo grew one API per module: free functions (hypercube(dims)),
+// result structs (ChainExpanderResult-style wrappers), the Mesh class,
+// and three unrelated fault entry points (fault_model.hpp, adversary.hpp,
+// churn.hpp).  The registries put one seam over all of them:
+//
+//   TopologyRegistry :  name × Params × seed -> Graph
+//   FaultModelRegistry: name × Graph × Params × seed -> alive VertexSet
+//
+// Contracts enforced uniformly for every registered entry:
+//   * declared params — build() rejects any key the entry did not
+//     declare (typos fail loudly, with the declared keys in the message);
+//   * vertex-count contract — every topology entry computes expected_n()
+//     from its params *before* building, and build() REQUIREs the built
+//     graph to match.  This pins down families like debruijn(dims) and
+//     shuffle_exchange(dims) whose size (2^dims) was previously implicit;
+//   * REQUIRE-style errors — range violations surface as
+//     PreconditionError naming the entry ("topology 'mesh': ...").
+//
+// Registries are process-wide singletons; builtins are registered in the
+// constructor (not by self-registering globals, which a static-library
+// link would dead-strip).  add() lets applications extend them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/params.hpp"
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// One declared parameter of a registered factory.
+struct ParamSpec {
+  std::string key;
+  std::string default_value;  ///< display only; factories own the real default
+  std::string doc;
+};
+
+struct TopologyEntry {
+  std::string name;
+  std::string doc;
+  std::vector<ParamSpec> params;
+  /// Vertex count implied by the params, computable without building.
+  std::function<vid(const Params&)> expected_n;
+  std::function<Graph(const Params&, std::uint64_t seed)> build;
+};
+
+class TopologyRegistry {
+ public:
+  /// The process-wide registry, with all builtin families registered.
+  [[nodiscard]] static TopologyRegistry& instance();
+
+  void add(TopologyEntry entry);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const TopologyEntry& at(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Validate params against the entry's declaration, build, and REQUIRE
+  /// the result to honor the entry's vertex-count contract.
+  [[nodiscard]] Graph build(const std::string& name, const Params& params,
+                            std::uint64_t seed) const;
+  /// The vertex count `build` would produce, without building.
+  [[nodiscard]] vid expected_n(const std::string& name, const Params& params) const;
+
+ private:
+  TopologyRegistry();
+  std::map<std::string, TopologyEntry> entries_;
+};
+
+struct FaultModelEntry {
+  std::string name;
+  std::string doc;
+  std::vector<ParamSpec> params;
+  /// Returns the *alive* set (survivors), matching faults/fault_model.hpp
+  /// conventions: params always describe the fault process, not survival.
+  std::function<VertexSet(const Graph&, const Params&, std::uint64_t seed)> build;
+};
+
+class FaultModelRegistry {
+ public:
+  [[nodiscard]] static FaultModelRegistry& instance();
+
+  void add(FaultModelEntry entry);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const FaultModelEntry& at(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Validate params and run the fault process; REQUIREs the returned
+  /// alive mask to live in g's universe.
+  [[nodiscard]] VertexSet build(const std::string& name, const Graph& g, const Params& params,
+                                std::uint64_t seed) const;
+
+ private:
+  FaultModelRegistry();
+  std::map<std::string, FaultModelEntry> entries_;
+};
+
+}  // namespace fne

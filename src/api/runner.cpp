@@ -1,0 +1,204 @@
+#include "api/runner.hpp"
+
+#include "api/registry.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace fne {
+
+namespace {
+
+/// Decorrelated per-repetition seed streams (splitmix64 over a domain
+/// tag), so rep i's faults and rep i's finder never share a stream and
+/// `seed + i` collisions across scenarios cannot alias.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t domain,
+                                        std::uint64_t index) {
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ULL * (domain + 1));
+  (void)splitmix64(state);
+  state += index;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+double ChurnRunTrace::total_prune_millis() const {
+  double total = 0.0;
+  for (const ChurnRoundRun& r : rounds) total += r.prune_millis;
+  return total;
+}
+
+ScenarioRunner::ScenarioRunner(Scenario scenario)
+    : scenario_(std::move(scenario)),
+      graph_(TopologyRegistry::instance().build(scenario_.topology.name,
+                                                scenario_.topology.params,
+                                                derive_seed(scenario_.seed, 0, 0))),
+      engine_(graph_, scenario_.prune.kind) {
+  FNE_REQUIRE(scenario_.repetitions >= 1, "scenario needs >= 1 repetition");
+
+  alpha_ = scenario_.prune.alpha;
+  if (alpha_ <= 0.0) {
+    // Measure: the constructive upper bound is a real cut of the
+    // fault-free graph, so α is a value the graph actually has.
+    BracketOptions bopts;
+    bopts.exact_limit = scenario_.metrics.bracket_exact_limit;
+    bopts.seed = derive_seed(scenario_.seed, 1, 0);
+    alpha_ = expansion_bracket(graph_, scenario_.prune.kind, bopts).upper;
+    FNE_REQUIRE(alpha_ > 0.0, "scenario '" + scenario_.name +
+                                  "': measured alpha is 0 (disconnected topology?); "
+                                  "set prune.alpha explicitly");
+  }
+  epsilon_ = scenario_.prune.epsilon;
+  if (epsilon_ <= 0.0) {
+    epsilon_ = scenario_.prune.kind == ExpansionKind::Edge
+                   ? 1.0 / (2.0 * static_cast<double>(graph_.max_degree()))
+                   : 0.5;
+  }
+}
+
+PruneEngineOptions ScenarioRunner::engine_options(std::uint64_t finder_seed) const {
+  PruneEngineOptions opts;
+  if (scenario_.prune.fast) opts = PruneEngineOptions::fast();
+  // fast() only toggles switches; layer the scenario's finder knobs on
+  // top, then re-apply the switches so fast mode survives the overwrite.
+  const bool fast = scenario_.prune.fast;
+  opts.finder = scenario_.prune.finder;
+  opts.finder.warm_start = opts.finder.warm_start || fast;
+  opts.finder.stale_sweep_first = opts.finder.stale_sweep_first || fast;
+  opts.finder.early_exit = opts.finder.early_exit || fast;
+  opts.finder.seed = finder_seed;
+  opts.max_iterations = scenario_.prune.max_iterations;
+  return opts;
+}
+
+void ScenarioRunner::measure(ScenarioRun& run) const {
+  if (scenario_.metrics.fragmentation) {
+    run.fragmentation = fragmentation_profile(graph_, run.prune.survivors);
+  }
+  if (scenario_.metrics.expansion && run.prune.survivors.count() >= 2) {
+    BracketOptions bopts;
+    bopts.exact_limit = scenario_.metrics.bracket_exact_limit;
+    bopts.seed = derive_seed(scenario_.seed, 2, static_cast<std::uint64_t>(run.repetition));
+    run.expansion = expansion_bracket(graph_, run.prune.survivors, scenario_.prune.kind, bopts);
+  }
+  if (scenario_.metrics.verify_trace) {
+    run.trace = verify_prune_trace(graph_, run.alive, run.prune, scenario_.prune.kind,
+                                   run.threshold);
+  }
+}
+
+ScenarioRun ScenarioRunner::run_once(int rep) {
+  ScenarioRun run;
+  run.repetition = rep;
+  run.fault_seed = derive_seed(scenario_.seed, 3, static_cast<std::uint64_t>(rep));
+  run.alive = FaultModelRegistry::instance().build(scenario_.fault.name, graph_,
+                                                   scenario_.fault.params, run.fault_seed);
+  run.faults = graph_.num_vertices() - run.alive.count();
+  run.threshold = alpha_ * epsilon_;
+  run.finder_seed = derive_seed(scenario_.seed, 4, static_cast<std::uint64_t>(rep));
+
+  Timer timer;
+  run.prune = engine_.run(run.alive, alpha_, epsilon_, engine_options(run.finder_seed));
+  run.millis = timer.millis();
+  measure(run);
+  return run;
+}
+
+std::vector<ScenarioRun> ScenarioRunner::run_all() {
+  std::vector<ScenarioRun> runs;
+  runs.reserve(static_cast<std::size_t>(scenario_.repetitions));
+  for (int rep = 0; rep < scenario_.repetitions; ++rep) runs.push_back(run_once(rep));
+  return runs;
+}
+
+void ScenarioRunner::set_fault(FaultSpec fault) {
+  // Validate the name eagerly so a typo fails at set time, not mid-sweep.
+  (void)FaultModelRegistry::instance().at(fault.name);
+  scenario_.fault = std::move(fault);
+}
+
+std::vector<ScenarioRun> ScenarioRunner::sweep_fault_param(const std::string& key,
+                                                           std::span<const double> values) {
+  const FaultSpec saved = scenario_.fault;
+  std::vector<ScenarioRun> runs;
+  runs.reserve(values.size());
+  try {
+    for (double v : values) {
+      scenario_.fault.params.set(key, v);
+      runs.push_back(run_once(0));
+    }
+  } catch (...) {
+    // A bad key/value must not poison the runner's own fault spec for
+    // every later run_once().
+    scenario_.fault = saved;
+    throw;
+  }
+  scenario_.fault = saved;
+  return runs;
+}
+
+ChurnRunTrace ScenarioRunner::run_churn(const ChurnOptions& options) {
+  ChurnProcess process(graph_, options);
+  ChurnRunTrace trace;
+  trace.rounds.reserve(static_cast<std::size_t>(options.steps));
+  for (int t = 0; t < options.steps; ++t) {
+    ChurnRoundRun round;
+    round.churn = process.step();
+    round.finder_seed = derive_seed(scenario_.seed, 5, static_cast<std::uint64_t>(t));
+    Timer timer;
+    const PruneResult pruned =
+        engine_.run(process.alive(), alpha_, epsilon_, engine_options(round.finder_seed));
+    round.prune_millis = timer.millis();
+    round.survivors = pruned.survivors.count();
+    round.culled = pruned.total_culled;
+    round.iterations = pruned.iterations;
+    if (t + 1 == options.steps) trace.final_survivors = pruned.survivors;
+    trace.rounds.push_back(round);
+  }
+  trace.final_alive = process.alive();
+  return trace;
+}
+
+Table ScenarioRunner::metrics_table(std::span<const ScenarioRun> runs,
+                                    const std::vector<std::string>& labels) const {
+  std::vector<std::string> headers{"run", "n", "faults", "alive", "|H|", "|H|/n",
+                                   "culled", "iters", "ms"};
+  if (scenario_.metrics.fragmentation) {
+    headers.push_back("gamma(H)");
+    headers.push_back("comps");
+  }
+  if (scenario_.metrics.expansion) headers.push_back("exp(H) [lo,up]");
+  if (scenario_.metrics.verify_trace) headers.push_back("trace");
+
+  Table table(std::move(headers));
+  const vid n = graph_.num_vertices();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScenarioRun& r = runs[i];
+    table.row()
+        .cell(i < labels.size() ? labels[i] : "rep " + std::to_string(r.repetition))
+        .cell(std::size_t{n})
+        .cell(std::size_t{r.faults})
+        .cell(std::size_t{r.alive.count()})
+        .cell(std::size_t{r.prune.survivors.count()})
+        .cell(r.survivor_fraction(n), 3)
+        .cell(std::size_t{r.prune.total_culled})
+        .cell(r.prune.iterations)
+        .cell(r.millis, 1);
+    if (scenario_.metrics.fragmentation) {
+      table.cell(r.fragmentation.gamma, 3).cell(r.fragmentation.num_components);
+    }
+    if (scenario_.metrics.expansion) {
+      if (r.expansion.has_value()) {
+        table.cell("[" + std::to_string(r.expansion->lower).substr(0, 6) + "," +
+                   std::to_string(r.expansion->upper).substr(0, 6) + "]");
+      } else {
+        table.cell("-");
+      }
+    }
+    if (scenario_.metrics.verify_trace) {
+      table.cell(r.trace.has_value() ? (r.trace->valid ? "valid" : "INVALID") : "-");
+    }
+  }
+  return table;
+}
+
+}  // namespace fne

@@ -1,0 +1,116 @@
+// fne::ScenarioRunner — executes Scenarios (DESIGN.md §6).
+//
+// A runner is bound to one Scenario: it builds the topology once, resolves
+// α/ε once, and owns ONE PruneEngine for the graph, whose workspace
+// (Krylov basis, BFS queues, degree tables, cached Fiedler vector)
+// survives across repetitions, fault-parameter sweeps, and churn rounds.
+// That closes ROADMAP's "reuse component state across *rounds*" item: the
+// per-round deltas of a churn process are tiny, and bench_s2_churn_engine
+// shows the persistent engine beating per-round stateless pruning.
+//
+// Determinism contract: a ScenarioRunner is a pure function of its
+// Scenario.  Repetition r derives its fault seed from (scenario.seed, r)
+// via splitmix64 and its finder seed likewise, so the same Scenario run
+// twice — or on two runners — produces bit-identical ScenarioRuns.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/fragmentation.hpp"
+#include "api/scenario.hpp"
+#include "expansion/bracket.hpp"
+#include "faults/churn.hpp"
+#include "prune/engine.hpp"
+#include "prune/verify.hpp"
+#include "util/table.hpp"
+
+namespace fne {
+
+/// One executed repetition of a Scenario.
+struct ScenarioRun {
+  int repetition = 0;
+  std::uint64_t fault_seed = 0;
+  std::uint64_t finder_seed = 0;  ///< cut-finder seed used; replays via prune()/prune2()
+  vid faults = 0;          ///< n - |alive|
+  VertexSet alive;         ///< post-fault, pre-prune survivors
+  PruneResult prune;
+  double threshold = 0.0;  ///< α·ε actually used
+  FragmentationProfile fragmentation;           ///< of prune.survivors (if requested)
+  std::optional<ExpansionBracket> expansion;    ///< of prune.survivors (if requested)
+  std::optional<TraceVerification> trace;       ///< replay certificate (if requested)
+  double millis = 0.0;     ///< prune time only (topology/fault excluded)
+
+  [[nodiscard]] double survivor_fraction(vid n) const {
+    return n == 0 ? 0.0 : static_cast<double>(prune.survivors.count()) / n;
+  }
+};
+
+/// One churn round executed through the runner's persistent engine.
+struct ChurnRoundRun {
+  ChurnStep churn;         ///< the raw process observables (parity with simulate_churn)
+  vid survivors = 0;       ///< |H| after re-pruning this round's alive mask
+  vid culled = 0;
+  int iterations = 0;
+  std::uint64_t finder_seed = 0;  ///< cut-finder seed used this round
+  double prune_millis = 0.0;
+};
+
+struct ChurnRunTrace {
+  std::vector<ChurnRoundRun> rounds;
+  VertexSet final_alive;       ///< churn process state after the last round
+  VertexSet final_survivors;   ///< prune survivors of the last round
+  [[nodiscard]] double total_prune_millis() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario);
+
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] const EngineStats& engine_stats() const noexcept { return engine_.stats(); }
+
+  /// Execute repetition `rep`: inject faults, prune through the persistent
+  /// engine, measure the requested metrics.
+  [[nodiscard]] ScenarioRun run_once(int rep = 0);
+
+  /// All scenario.repetitions, in order, on the one engine.
+  [[nodiscard]] std::vector<ScenarioRun> run_all();
+
+  /// Swap the fault process (topology, α/ε and engine state are kept —
+  /// that is the point of the persistent engine).
+  void set_fault(FaultSpec fault);
+
+  /// Sweep one numeric fault param over `values`: one run per value at
+  /// repetition 0's seed, all on the one engine.  The fault spec is
+  /// restored afterwards.
+  [[nodiscard]] std::vector<ScenarioRun> sweep_fault_param(const std::string& key,
+                                                           std::span<const double> values);
+
+  /// Drive a churn process and re-prune EVERY round through the
+  /// persistent engine.  The fault stream is bit-identical to
+  /// simulate_churn(graph(), options) — the scenario's fault spec is not
+  /// used here.
+  [[nodiscard]] ChurnRunTrace run_churn(const ChurnOptions& options);
+
+  /// Render runs as a metrics table (one row per run; columns follow the
+  /// scenario's MetricsSpec).  `label` names the first column.
+  [[nodiscard]] Table metrics_table(std::span<const ScenarioRun> runs,
+                                    const std::vector<std::string>& labels = {}) const;
+
+ private:
+  [[nodiscard]] PruneEngineOptions engine_options(std::uint64_t finder_seed) const;
+  void measure(ScenarioRun& run) const;
+
+  Scenario scenario_;
+  Graph graph_;
+  double alpha_ = 0.0;
+  double epsilon_ = 0.0;
+  PruneEngine engine_;
+};
+
+}  // namespace fne

@@ -1,0 +1,82 @@
+#include "api/scenario.hpp"
+
+#include "util/require.hpp"
+
+namespace fne {
+
+std::vector<Scenario> scenario_catalog() {
+  std::vector<Scenario> catalog;
+
+  {
+    // The quickstart workload: random faults on a 2-D mesh, Prune2.
+    Scenario s;
+    s.name = "mesh-random";
+    s.topology = {"mesh", Params{{"side", "24"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.05"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.metrics.verify_trace = true;
+    catalog.push_back(s);
+  }
+  {
+    // Theorem 2.1 regime: adversarial sweep cuts on an expander, Prune.
+    Scenario s;
+    s.name = "expander-adversarial";
+    s.topology = {"random_regular", Params{{"n", "256"}, {"degree", "4"}}};
+    s.fault = {"sweep_cut", Params{{"frac", "0.05"}}};
+    s.prune.kind = ExpansionKind::Node;
+    s.metrics.verify_trace = true;
+    catalog.push_back(s);
+  }
+  {
+    // Hub attack on the hypercube, Prune.
+    Scenario s;
+    s.name = "hypercube-hubs";
+    s.topology = {"hypercube", Params{{"dims", "8"}}};
+    s.fault = {"high_degree", Params{{"frac", "0.1"}}};
+    s.prune.kind = ExpansionKind::Node;
+    catalog.push_back(s);
+  }
+  {
+    // The CAN overlay under a one-shot churn wave (paper §4), Prune2.
+    Scenario s;
+    s.name = "can-churn";
+    s.topology = {"can", Params{{"peers", "256"}, {"dims", "3"}}};
+    s.fault = {"random", Params{{"p", "0.15"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.metrics.expansion = true;
+    catalog.push_back(s);
+  }
+  {
+    // Theorem 3.1 regime: Θ(1/k) random faults collapse the chain expander.
+    Scenario s;
+    s.name = "chain-collapse";
+    s.topology = {"chain_expander", Params{{"base_n", "32"}, {"base_degree", "4"}, {"k", "8"}}};
+    s.fault = {"random", Params{{"p", "0.125"}}};
+    s.prune.kind = ExpansionKind::Node;
+    catalog.push_back(s);
+  }
+  {
+    // Sparse-network baseline: de Bruijn under random faults, Prune2.
+    Scenario s;
+    s.name = "debruijn-random";
+    s.topology = {"debruijn", Params{{"dims", "9"}}};
+    s.fault = {"random", Params{{"p", "0.05"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    catalog.push_back(s);
+  }
+
+  return catalog;
+}
+
+Scenario named_scenario(const std::string& name) {
+  std::string known;
+  for (const Scenario& s : scenario_catalog()) {
+    if (s.name == name) return s;
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  FNE_REQUIRE(false, "unknown scenario '" + name + "' (catalog: " + known + ")");
+  return {};  // unreachable
+}
+
+}  // namespace fne

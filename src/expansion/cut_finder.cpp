@@ -105,7 +105,9 @@ std::optional<CutWitness> find_violating_set(const Graph& g, const VertexSet& al
     SweepOptions sopts;
     sopts.early_exit_threshold = threshold;
     sopts.ws = ws;
+    ++ws->counters.stale_sweeps;
     if (auto hit = accept(sweep_by_values(g, alive, kind, ws->fiedler_vec, sopts))) {
+      ++ws->counters.stale_sweep_hits;
       return hit;
     }
   }

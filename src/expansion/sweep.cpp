@@ -114,6 +114,7 @@ CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind k
     CutWitness last;
     for (int stage = 0; stage < 3; ++stage) {
       fopts.max_iterations = kStageIterations[stage];
+      ++ws->counters.eigensolves;
       FiedlerResult fiedler = fiedler_vector(g, alive, fopts);
       const bool converged = fiedler.converged;
       ws->fiedler_vec = std::move(fiedler.vector);
@@ -125,6 +126,7 @@ CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind k
     return last;
   }
 
+  if (ws != nullptr) ++ws->counters.eigensolves;
   FiedlerResult fiedler = fiedler_vector(g, alive, fopts);
 
   // Cache the vector for the next iteration's warm start / stale sweep.

@@ -12,11 +12,21 @@ void ExpansionWorkspace::reset(vid n) {
     stamp.assign(n, 0);
     epoch = 0;
   }
-  fiedler_vec.assign(n, 0.0);
-  fiedler_valid = false;
+  // The cached Fiedler vector survives reset() as long as the universe is
+  // unchanged: an engine rerunning on a perturbed alive mask (fault
+  // sweeps, churn rounds) may stale-sweep / warm-start from the previous
+  // run's ordering.  Deterministic mode never reads it (the fast-mode
+  // switches gate every consumer), so preservation cannot change
+  // reference results; fast-mode candidates are validated against real
+  // boundaries regardless of how stale the ordering is.
+  if (static_cast<vid>(fiedler_vec.size()) != n) {
+    fiedler_vec.assign(n, 0.0);
+    fiedler_valid = false;
+  }
   deg_alive.assign(n, 0);
   deg_alive_valid = false;
   alive_connected = false;
+  counters = WorkspaceCounters{};
 }
 
 }  // namespace fne

@@ -22,12 +22,25 @@
 
 namespace fne {
 
+/// Telemetry accumulated by the portfolio while a workspace is threaded
+/// through it (zeroed by reset()).  The PruneEngine folds these into its
+/// cumulative EngineStats after every run; benches report them to show
+/// how much work fast mode actually skipped.
+struct WorkspaceCounters {
+  std::uint64_t eigensolves = 0;        ///< Fiedler solves performed (staged stages count)
+  std::uint64_t stale_sweeps = 0;       ///< stale-ordering sweeps attempted
+  std::uint64_t stale_sweep_hits = 0;   ///< ...that found a violating set (solve skipped)
+};
+
 class ExpansionWorkspace {
  public:
   ExpansionWorkspace() = default;
 
-  /// Size every buffer for graphs over `n` vertices and invalidate all
-  /// cached state.  Idempotent; call once per (graph, run).
+  /// Size every buffer for graphs over `n` vertices and invalidate the
+  /// per-run caches (degree table, connectivity hint, counters).  The
+  /// Fiedler cache survives when the universe is unchanged so repeated
+  /// runs (fault sweeps, churn rounds) can reuse the previous run's
+  /// ordering in fast mode.  Idempotent; call once per (graph, run).
   void reset(vid n);
 
   [[nodiscard]] vid universe_size() const noexcept { return universe_; }
@@ -64,6 +77,10 @@ class ExpansionWorkspace {
   /// Hint set by the engine: the current alive mask is known connected, so
   /// find_violating_set may skip its full component scan.
   bool alive_connected = false;
+
+  /// Telemetry (see WorkspaceCounters); incremented by sweep/cut-finder
+  /// code paths only when a workspace is present.
+  WorkspaceCounters counters;
 
  private:
   vid universe_ = 0;

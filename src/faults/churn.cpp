@@ -4,7 +4,6 @@
 
 #include "core/traversal.hpp"
 #include "util/require.hpp"
-#include "util/rng.hpp"
 
 namespace fne {
 
@@ -21,29 +20,36 @@ double ChurnTrace::mean_alive_fraction(vid n) const {
   return total / (static_cast<double>(steps.size()) * static_cast<double>(n));
 }
 
-ChurnTrace simulate_churn(const Graph& g, const ChurnOptions& options) {
-  FNE_REQUIRE(options.p_leave >= 0.0 && options.p_leave <= 1.0, "p_leave out of range");
-  FNE_REQUIRE(options.p_join >= 0.0 && options.p_join <= 1.0, "p_join out of range");
-  FNE_REQUIRE(options.steps >= 1, "need at least one step");
-  Rng rng(options.seed);
+ChurnProcess::ChurnProcess(const Graph& g, const ChurnOptions& options)
+    : g_(&g), options_(options), rng_(options.seed), alive_(VertexSet::full(g.num_vertices())) {
+  FNE_REQUIRE(options_.p_leave >= 0.0 && options_.p_leave <= 1.0, "p_leave out of range");
+  FNE_REQUIRE(options_.p_join >= 0.0 && options_.p_join <= 1.0, "p_join out of range");
+  FNE_REQUIRE(options_.steps >= 1, "need at least one step");
+}
 
-  ChurnTrace trace;
-  VertexSet alive = VertexSet::full(g.num_vertices());
-  trace.steps.reserve(static_cast<std::size_t>(options.steps));
-  for (int t = 0; t < options.steps; ++t) {
-    for (vid v = 0; v < g.num_vertices(); ++v) {
-      if (alive.test(v)) {
-        if (rng.bernoulli(options.p_leave)) alive.reset(v);
-      } else if (rng.bernoulli(options.p_join)) {
-        alive.set(v);
-      }
+ChurnStep ChurnProcess::step() {
+  // Scan order and draw order are part of the deterministic contract:
+  // ascending vertex id, one bernoulli per vertex per round.
+  for (vid v = 0; v < g_->num_vertices(); ++v) {
+    if (alive_.test(v)) {
+      if (rng_.bernoulli(options_.p_leave)) alive_.reset(v);
+    } else if (rng_.bernoulli(options_.p_join)) {
+      alive_.set(v);
     }
-    ChurnStep step;
-    step.alive_count = alive.count();
-    step.gamma = gamma_largest_fraction(g, alive);
-    trace.steps.push_back(step);
   }
-  trace.final_alive = alive;
+  ++taken_;
+  ChurnStep step;
+  step.alive_count = alive_.count();
+  step.gamma = gamma_largest_fraction(*g_, alive_);
+  return step;
+}
+
+ChurnTrace simulate_churn(const Graph& g, const ChurnOptions& options) {
+  ChurnProcess process(g, options);
+  ChurnTrace trace;
+  trace.steps.reserve(static_cast<std::size_t>(options.steps));
+  for (int t = 0; t < options.steps; ++t) trace.steps.push_back(process.step());
+  trace.final_alive = process.alive();
   return trace;
 }
 

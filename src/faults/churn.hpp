@@ -7,6 +7,13 @@
 // is p_join / (p_join + p_leave); the interesting observable is the time
 // series of γ and of the largest component's expansion, which the CAN
 // example and bench S2 track.
+//
+// ChurnProcess is the stepping core: it owns the alive mask and the RNG
+// and advances one round at a time, so callers that do per-round work —
+// ScenarioRunner::run_churn re-prunes every round through one persistent
+// PruneEngine (DESIGN.md §6) — consume the exact same fault stream as the
+// one-shot simulate_churn wrapper.  Same options + seed -> bit-identical
+// alive masks, whichever driver is used.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
+#include "util/rng.hpp"
 
 namespace fne {
 
@@ -36,7 +44,27 @@ struct ChurnTrace {
   [[nodiscard]] double mean_alive_fraction(vid n) const;
 };
 
-/// Run the churn process starting from all-alive.
+/// The stepping churn process.  Starts from all-alive.
+class ChurnProcess {
+ public:
+  ChurnProcess(const Graph& g, const ChurnOptions& options);
+
+  /// Advance one leave/rejoin round and return its observables.
+  ChurnStep step();
+
+  [[nodiscard]] const VertexSet& alive() const noexcept { return alive_; }
+  [[nodiscard]] const ChurnOptions& options() const noexcept { return options_; }
+  [[nodiscard]] int steps_taken() const noexcept { return taken_; }
+
+ private:
+  const Graph* g_;
+  ChurnOptions options_;
+  Rng rng_;
+  VertexSet alive_;
+  int taken_ = 0;
+};
+
+/// Run the churn process for options.steps rounds starting from all-alive.
 [[nodiscard]] ChurnTrace simulate_churn(const Graph& g, const ChurnOptions& options = {});
 
 }  // namespace fne

@@ -133,6 +133,7 @@ void PruneEngine::apply_cull(const VertexSet& s) {
       const auto id = static_cast<std::uint32_t>(comps_.size());
       comps_.push_back({0, w, false});
       ++live_comps_;
+      ++stats_.relabel_bfs_calls;
       comp_of_[w] = id;
       bfs_stack_.clear();
       bfs_stack_.push_back(w);
@@ -140,6 +141,7 @@ void PruneEngine::apply_cull(const VertexSet& s) {
         const vid u = bfs_stack_.back();
         bfs_stack_.pop_back();
         ++comps_[id].size;
+        ++stats_.relabel_bfs_vertices;
         if (u < comps_[id].min_v) comps_[id].min_v = u;
         for (vid x : g_->neighbors(u)) {
           if (!alive_.test(x)) continue;
@@ -173,6 +175,7 @@ PruneResult PruneEngine::run(const VertexSet& alive, double alpha, double epsilo
     std::optional<CutWitness> violation;
     if (live_comps_ > 1) {
       violation = disconnected_witness(k);
+      if (violation.has_value()) ++stats_.disconnected_culls;
     }
     if (!violation.has_value()) {
       CutFinderOptions finder = options.finder;
@@ -205,6 +208,11 @@ PruneResult PruneEngine::run(const VertexSet& alive, double alpha, double epsilo
     ++result.iterations;
   }
   result.survivors = alive_;
+  ++stats_.runs;
+  stats_.iterations += static_cast<std::uint64_t>(result.iterations);
+  stats_.eigensolves += ws_.counters.eigensolves;
+  stats_.stale_sweeps += ws_.counters.stale_sweeps;
+  stats_.stale_sweep_hits += ws_.counters.stale_sweep_hits;
   // The degree table and connectivity hint are keyed to this run's final
   // alive mask; leaving them valid would poison a later caller that
   // threads workspace() through find_violating_set with a different mask.

@@ -54,6 +54,46 @@ struct PruneEngineOptions {
   }
 };
 
+/// Cumulative telemetry across every run() of one engine (ROADMAP:
+/// "stale-sweep hit-rate telemetry ... so benches can report how many
+/// eigensolves fast mode actually skipped").  Counters only ever grow;
+/// diff two snapshots to attribute work to a single run.
+struct EngineStats {
+  std::uint64_t runs = 0;
+  std::uint64_t iterations = 0;          ///< cull iterations across runs
+  std::uint64_t eigensolves = 0;         ///< Fiedler solves actually performed
+  std::uint64_t stale_sweeps = 0;        ///< stale-ordering sweeps attempted
+  std::uint64_t stale_sweep_hits = 0;    ///< ...that exposed a set (solve skipped)
+  std::uint64_t disconnected_culls = 0;  ///< culls served from incremental labels
+  std::uint64_t relabel_bfs_calls = 0;   ///< remnant relabels after a cull
+  std::uint64_t relabel_bfs_vertices = 0;  ///< total vertices those BFS touched
+
+  /// Snapshot difference: `after - before` attributes work to the runs
+  /// between the two snapshots.
+  [[nodiscard]] friend EngineStats operator-(const EngineStats& after,
+                                             const EngineStats& before) {
+    return {after.runs - before.runs,
+            after.iterations - before.iterations,
+            after.eigensolves - before.eigensolves,
+            after.stale_sweeps - before.stale_sweeps,
+            after.stale_sweep_hits - before.stale_sweep_hits,
+            after.disconnected_culls - before.disconnected_culls,
+            after.relabel_bfs_calls - before.relabel_bfs_calls,
+            after.relabel_bfs_vertices - before.relabel_bfs_vertices};
+  }
+  EngineStats& operator+=(const EngineStats& o) {
+    runs += o.runs;
+    iterations += o.iterations;
+    eigensolves += o.eigensolves;
+    stale_sweeps += o.stale_sweeps;
+    stale_sweep_hits += o.stale_sweep_hits;
+    disconnected_culls += o.disconnected_culls;
+    relabel_bfs_calls += o.relabel_bfs_calls;
+    relabel_bfs_vertices += o.relabel_bfs_vertices;
+    return *this;
+  }
+};
+
 class PruneEngine {
  public:
   /// An engine is bound to a graph and an expansion kind (Node = Prune,
@@ -69,6 +109,9 @@ class PruneEngine {
 
   [[nodiscard]] ExpansionWorkspace& workspace() noexcept { return ws_; }
 
+  /// Cumulative counters since construction (never reset by run()).
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
  private:
   struct CompRecord {
     vid size = 0;
@@ -83,6 +126,7 @@ class PruneEngine {
   const Graph* g_;
   ExpansionKind kind_;
   ExpansionWorkspace ws_;
+  EngineStats stats_;
   VertexSet alive_;
   std::vector<std::uint32_t> comp_of_;  ///< kUnreached for dead vertices
   std::vector<CompRecord> comps_;       ///< append-only; dead records stay

@@ -1,6 +1,10 @@
 // The binary de Bruijn network DB(d) on 2^d vertices (paper §4 span
 // conjecture): x is adjacent to its shuffles (2x mod 2^d) and
 // (2x + 1 mod 2^d).  We build the undirected simple version.
+//
+// Vertex-count contract: debruijn(dims) returns exactly 2^dims vertices
+// (dims in [2, 26]); registered as topology "debruijn" with the contract
+// enforced by TopologyRegistry::build (api/registry.hpp).
 #pragma once
 
 #include "core/graph.hpp"

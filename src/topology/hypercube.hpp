@@ -1,5 +1,9 @@
 // The d-dimensional hypercube Q_d: 2^d vertices, edges between ids at
 // Hamming distance 1 (paper §1.1: p* = 1/d, Ajtai–Komlós–Szemerédi).
+//
+// Vertex-count contract: hypercube(dims) returns exactly 2^dims vertices
+// (dims in [1, 26]); registered as topology "hypercube" with the
+// contract enforced by TopologyRegistry::build.
 #pragma once
 
 #include "core/graph.hpp"

@@ -1,6 +1,10 @@
 // The shuffle-exchange network SE(d) on 2^d vertices (paper §4 span
 // conjecture): x is adjacent to x ⊕ 1 (exchange) and to its cyclic left
 // shift (shuffle).  Undirected simple version.
+//
+// Vertex-count contract: shuffle_exchange(dims) returns exactly 2^dims
+// vertices (dims in [2, 26]); registered as topology "shuffle_exchange"
+// with the contract enforced by TopologyRegistry::build.
 #pragma once
 
 #include "core/graph.hpp"
