@@ -7,18 +7,42 @@
 // runtime) and accept --scale=N / --trials=N / --samples=N to grow the
 // workloads.  Setting the environment variable FNE_CSV_DIR additionally
 // dumps every printed table as CSV into that directory for plotting.
+//
+// Perf benches additionally accept --json=out.json and emit a
+// machine-readable JsonReport (workload, millis, speedups, thread count)
+// so CI can archive BENCH_*.json artifacts and the perf trajectory of a
+// kernel is a diffable file, not a scrollback screenshot.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace fne::bench {
+
+/// OpenMP worker count the process would use (1 when built without it);
+/// reported in JSON results so perf numbers are attributable.
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
 
 namespace detail {
 inline std::string& current_experiment() {
@@ -53,5 +77,18 @@ inline void print_table(const Table& table, const std::string& note = "") {
 }
 
 inline const char* yesno(bool b) { return b ? "yes" : "NO"; }
+
+/// Resolve the --json flag to a file path: bare `--json` parses as the
+/// value "1" and means "use the bench's default filename".
+inline std::string json_path(const Cli& cli, const std::string& fallback) {
+  const std::string path = cli.get("json", fallback);
+  return path == "1" ? fallback : path;
+}
+
+/// Machine-readable bench results (see util/json.hpp): top-level scalars
+/// (workload, millis, speedup, threads, pass/fail) plus named arrays of
+/// per-row records, written to the --json=path file.
+using JsonObject = fne::JsonObject;
+using JsonReport = fne::JsonReport;
 
 }  // namespace fne::bench

@@ -14,6 +14,7 @@
 #include "prune/prune2.hpp"
 #include "span/steiner.hpp"
 #include "spectral/fiedler.hpp"
+#include "spectral/operator.hpp"
 #include "topology/mesh.hpp"
 #include "topology/random_graphs.hpp"
 
@@ -58,6 +59,46 @@ void BM_ExactExpansionScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactExpansionScan)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_MaskedLaplacianApply(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  const MaskedLaplacian lap(m.graph(), alive);
+  std::vector<double> x(lap.dim(), 1.0), y(lap.dim(), 0.0);
+  for (auto _ : state) {
+    lap.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lap.dim()));
+}
+BENCHMARK(BM_MaskedLaplacianApply)->Arg(32)->Arg(64);
+
+void BM_SubCsrApply(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  SubCsr sub;
+  sub.build(m.graph(), alive);
+  const SubCsrLaplacian lap(sub);
+  std::vector<double> x(lap.dim(), 1.0), y(lap.dim(), 0.0);
+  for (auto _ : state) {
+    lap.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lap.dim()));
+}
+BENCHMARK(BM_SubCsrApply)->Arg(32)->Arg(64);
+
+void BM_SubCsrBuild(benchmark::State& state) {
+  const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);
+  const VertexSet alive = random_node_faults(m.graph(), 0.3, 7);
+  SubCsr sub;
+  for (auto _ : state) {
+    sub.build(m.graph(), alive);
+    benchmark::DoNotOptimize(sub.adj.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_vertices());
+}
+BENCHMARK(BM_SubCsrBuild)->Arg(32)->Arg(64);
 
 void BM_FiedlerVector(benchmark::State& state) {
   const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);

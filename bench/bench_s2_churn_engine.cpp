@@ -13,7 +13,7 @@
 // engine telemetry (how many eigensolves fast mode skipped).
 //
 // Flags: --side=N (default 32), --steps=N (default 30), --p-leave, --p-join,
-// --seed=S.
+// --seed=S, --json=out.json (machine-readable results).
 #include "bench_common.hpp"
 
 #include <utility>
@@ -136,6 +136,29 @@ int main(int argc, char** argv) {
                      "totals show how little of the graph each round's cull actually touches.");
 
   const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+
+  if (cli.has("json")) {
+    bench::JsonReport json("bench_s2_churn_engine");
+    json.top()
+        .put("workload", "mesh " + std::to_string(side) + "x" + std::to_string(side) + ", " +
+                             std::to_string(steps) + " churn rounds")
+        .put("n", std::size_t{det_runner.graph().num_vertices()})
+        .put("rounds", steps)
+        .put("threads", bench::max_threads())
+        .put("stateless_ms", ref_ms)
+        .put("det_ms", det_ms)
+        .put("fast_ms", fast_ms)
+        .put("speedup", speedup)
+        .put("det_matches_reference", det_matches_ref);
+    for (const auto& [mode, ms] :
+         {std::pair<const char*, double>{"stateless", ref_ms}, {"det", det_ms},
+          {"fast", fast_ms}}) {
+      json.record("modes").put("mode", mode).put("millis", ms).put(
+          "speedup", ms > 0.0 ? ref_ms / ms : 0.0);
+    }
+    json.write(bench::json_path(cli, "bench_s2_churn_engine.json"));
+  }
+
   std::cout << "\nfast engine vs stateless per-round: " << speedup << "x ("
             << (speedup > 1.0 ? "PASS" : "FAIL") << " > 1x), deterministic parity: "
             << (det_matches_ref ? "PASS" : "FAIL") << "\n";

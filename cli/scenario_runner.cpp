@@ -18,8 +18,13 @@
 //       the runner's persistent engine
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
-// --csv (emit CSV instead of the aligned table), --stats (engine
-// telemetry after the runs).
+// --threads=N (shard repetitions across an engine pool; results are
+// bit-identical for any N — see DESIGN.md §7), --csv (emit CSV instead
+// of the aligned table), --json[=path] (machine-readable runs: bare
+// --json replaces ALL tables on stdout with one JSON document,
+// --json=path keeps the tables and writes the file), --stats (engine
+// telemetry after the runs, including the thread count and pooled
+// worker engines; table form only).
 #include <algorithm>
 #include <iostream>
 
@@ -27,6 +32,7 @@
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
 
@@ -112,30 +118,75 @@ int run(const Cli& cli) {
   scenario.repetitions = static_cast<int>(cli.get_int("reps", scenario.repetitions));
   scenario.seed = cli.get_seed(scenario.seed);
 
+  const auto threads = static_cast<int>(cli.get_int("threads", 1));
+  FNE_REQUIRE(threads >= 1, "--threads must be >= 1");
+  // Bare `--json` parses as the value "1": JSON replaces the table on
+  // stdout.  `--json=path` keeps the table and writes the file.
+  const std::string json_path = cli.get("json", "");
+  const bool json_to_stdout = json_path == "1";
+
   ScenarioRunner runner(std::move(scenario));
   const Scenario& s = runner.scenario();
-  std::cout << "scenario: " << s.name << "\n"
-            << "topology: " << s.topology.name
-            << (s.topology.params.empty() ? "" : " (" + s.topology.params.to_string() + ")")
-            << " — " << runner.graph().summary() << "\n"
-            << "fault:    " << s.fault.name
-            << (s.fault.params.empty() ? "" : " (" + s.fault.params.to_string() + ")") << "\n"
-            << "prune:    " << (s.prune.kind == ExpansionKind::Node ? "Prune (node)"
-                                                                    : "Prune2 (edge)")
-            << "  alpha=" << runner.alpha() << "  eps=" << runner.epsilon()
-            << "  threshold=" << runner.alpha() * runner.epsilon()
-            << (s.prune.fast ? "  [fast]" : "") << "\n\n";
+  if (!json_to_stdout) {
+    std::cout << "scenario: " << s.name << "\n"
+              << "topology: " << s.topology.name
+              << (s.topology.params.empty() ? "" : " (" + s.topology.params.to_string() + ")")
+              << " — " << runner.graph().summary() << "\n"
+              << "fault:    " << s.fault.name
+              << (s.fault.params.empty() ? "" : " (" + s.fault.params.to_string() + ")") << "\n"
+              << "prune:    " << (s.prune.kind == ExpansionKind::Node ? "Prune (node)"
+                                                                      : "Prune2 (edge)")
+              << "  alpha=" << runner.alpha() << "  eps=" << runner.epsilon()
+              << "  threshold=" << runner.alpha() * runner.epsilon()
+              << (s.prune.fast ? "  [fast]" : "")
+              << (threads > 1 ? "  threads=" + std::to_string(threads) : "") << "\n\n";
+  }
 
-  const std::vector<ScenarioRun> runs = runner.run_all();
-  const Table table = runner.metrics_table(runs);
-  if (cli.has("csv")) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
+  const std::vector<ScenarioRun> runs = runner.run_all(threads);
+  if (!json_to_stdout) {
+    const Table table = runner.metrics_table(runs);
+    if (cli.has("csv")) {
+      table.write_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+
+  if (!json_path.empty()) {
+    JsonReport report("scenario_runner");
+    report.top()
+        .put("scenario", s.name)
+        .put("topology", s.topology.name)
+        .put("fault", s.fault.name)
+        .put("kind", s.prune.kind == ExpansionKind::Node ? "node" : "edge")
+        .put("n", std::size_t{runner.graph().num_vertices()})
+        .put("alpha", runner.alpha())
+        .put("epsilon", runner.epsilon())
+        .put("fast", s.prune.fast)
+        .put("repetitions", s.repetitions)
+        .put("threads", threads)
+        .put("seed", s.seed);
+    for (const ScenarioRun& r : runs) {
+      report.record("runs")
+          .put("rep", r.repetition)
+          .put("fault_seed", r.fault_seed)
+          .put("finder_seed", r.finder_seed)
+          .put("faults", std::size_t{r.faults})
+          .put("alive", std::size_t{r.alive.count()})
+          .put("survivors", std::size_t{r.prune.survivors.count()})
+          .put("culled", std::size_t{r.prune.total_culled})
+          .put("iterations", r.prune.iterations)
+          .put("millis", r.millis);
+    }
+    if (json_to_stdout) {
+      std::cout << report.dump() << "\n";
+    } else {
+      report.write(json_path);
+    }
   }
 
   const auto churn_steps = static_cast<int>(cli.get_int("churn-steps", 0));
-  if (churn_steps > 0) {
+  if (churn_steps > 0 && !json_to_stdout) {
     ChurnOptions copts;
     copts.steps = churn_steps;
     copts.p_leave = cli.get_double("p-leave", copts.p_leave);
@@ -162,12 +213,16 @@ int run(const Cli& cli) {
     std::cout << "total per-round prune time: " << trace.total_prune_millis() << " ms\n";
   }
 
-  if (cli.has("stats")) {
-    const EngineStats& st = runner.engine_stats();
-    std::cout << "\nengine telemetry (cumulative):\n";
-    Table stats({"runs", "iters", "eigensolves", "stale sweeps", "stale hits",
+  if (cli.has("stats") && !json_to_stdout) {
+    // Pooled total: the runner's own engine plus every retired worker
+    // engine — the same work total regardless of --threads.
+    const EngineStats st = runner.total_engine_stats();
+    std::cout << "\nengine telemetry (cumulative, " << threads
+              << (threads == 1 ? " thread):\n" : " threads, pooled):\n");
+    Table stats({"threads", "runs", "iters", "eigensolves", "stale sweeps", "stale hits",
                  "disconnected culls", "relabel BFS", "relabel verts"});
     stats.row()
+        .cell(threads)
         .cell(st.runs)
         .cell(st.iterations)
         .cell(st.eigensolves)

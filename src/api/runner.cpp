@@ -1,5 +1,11 @@
 #include "api/runner.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "api/registry.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
@@ -86,27 +92,83 @@ void ScenarioRunner::measure(ScenarioRun& run) const {
   }
 }
 
-ScenarioRun ScenarioRunner::run_once(int rep) {
+ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& fault,
+                                      int rep) const {
   ScenarioRun run;
   run.repetition = rep;
   run.fault_seed = derive_seed(scenario_.seed, 3, static_cast<std::uint64_t>(rep));
-  run.alive = FaultModelRegistry::instance().build(scenario_.fault.name, graph_,
-                                                   scenario_.fault.params, run.fault_seed);
+  run.alive = FaultModelRegistry::instance().build(fault.name, graph_, fault.params,
+                                                   run.fault_seed);
   run.faults = graph_.num_vertices() - run.alive.count();
   run.threshold = alpha_ * epsilon_;
   run.finder_seed = derive_seed(scenario_.seed, 4, static_cast<std::uint64_t>(rep));
 
   Timer timer;
-  run.prune = engine_.run(run.alive, alpha_, epsilon_, engine_options(run.finder_seed));
+  run.prune = engine.run(run.alive, alpha_, epsilon_, engine_options(run.finder_seed));
   run.millis = timer.millis();
   measure(run);
   return run;
 }
 
-std::vector<ScenarioRun> ScenarioRunner::run_all() {
-  std::vector<ScenarioRun> runs;
-  runs.reserve(static_cast<std::size_t>(scenario_.repetitions));
-  for (int rep = 0; rep < scenario_.repetitions; ++rep) runs.push_back(run_once(rep));
+ScenarioRun ScenarioRunner::run_once(int rep) {
+  return run_point(engine_, scenario_.fault, rep);
+}
+
+void ScenarioRunner::run_pooled(std::span<const FaultSpec> faults, std::span<const int> reps,
+                                std::span<ScenarioRun> out, int threads) {
+  const std::size_t jobs = out.size();
+  FNE_REQUIRE(faults.size() == jobs && reps.size() == jobs, "pooled spans must align");
+  threads = std::clamp<int>(threads, 1, static_cast<int>(std::max<std::size_t>(jobs, 1)));
+
+  // Whatever executes job i, its result depends only on (scenario,
+  // faults[i], reps[i]): drop_warm_state() severs the one cross-run
+  // channel (the cached Fiedler ordering), so placement and claim order
+  // cannot leak into the outputs.
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      engine_.drop_warm_state();
+      out[i] = run_point(engine_, faults[i], reps[i]);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<EngineStats> worker_stats(static_cast<std::size_t>(threads));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      // One persistent engine + workspace per worker: buffers amortize
+      // over every repetition this worker claims.
+      PruneEngine engine(graph_, scenario_.prune.kind);
+      try {
+        for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
+          engine.drop_warm_state();
+          out[i] = run_point(engine, faults[i], reps[i]);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Other workers drain the remaining jobs; partial output is
+        // discarded by the rethrow below.
+      }
+      worker_stats[static_cast<std::size_t>(w)] = engine.stats();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const EngineStats& st : worker_stats) pool_stats_ += st;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ScenarioRun> ScenarioRunner::run_all(int threads) {
+  const auto reps = static_cast<std::size_t>(scenario_.repetitions);
+  std::vector<ScenarioRun> runs(reps);
+  std::vector<FaultSpec> faults(reps, scenario_.fault);
+  std::vector<int> rep_ids(reps);
+  for (std::size_t i = 0; i < reps; ++i) rep_ids[i] = static_cast<int>(i);
+  run_pooled(faults, rep_ids, runs, threads);
   return runs;
 }
 
@@ -117,22 +179,17 @@ void ScenarioRunner::set_fault(FaultSpec fault) {
 }
 
 std::vector<ScenarioRun> ScenarioRunner::sweep_fault_param(const std::string& key,
-                                                           std::span<const double> values) {
-  const FaultSpec saved = scenario_.fault;
-  std::vector<ScenarioRun> runs;
-  runs.reserve(values.size());
-  try {
-    for (double v : values) {
-      scenario_.fault.params.set(key, v);
-      runs.push_back(run_once(0));
-    }
-  } catch (...) {
-    // A bad key/value must not poison the runner's own fault spec for
-    // every later run_once().
-    scenario_.fault = saved;
-    throw;
-  }
-  scenario_.fault = saved;
+                                                           std::span<const double> values,
+                                                           int threads) {
+  // Each point runs a COPY of the fault spec with the swept key set, so
+  // the runner's own spec is never touched: a bad key/value surfaces as a
+  // registry PreconditionError from run_pooled without poisoning later
+  // runs, and points are free to execute on any worker.
+  std::vector<FaultSpec> faults(values.size(), scenario_.fault);
+  for (std::size_t i = 0; i < values.size(); ++i) faults[i].params.set(key, values[i]);
+  const std::vector<int> rep_ids(values.size(), 0);
+  std::vector<ScenarioRun> runs(values.size());
+  run_pooled(faults, rep_ids, runs, threads);
   return runs;
 }
 

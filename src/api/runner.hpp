@@ -12,6 +12,17 @@
 // Scenario.  Repetition r derives its fault seed from (scenario.seed, r)
 // via splitmix64 and its finder seed likewise, so the same Scenario run
 // twice — or on two runners — produces bit-identical ScenarioRuns.
+//
+// Parallel execution (DESIGN.md §7): run_all(threads) and
+// sweep_fault_param(..., threads) shard repetitions / sweep points across
+// a pool of workers, each owning ONE persistent engine + workspace that
+// survives all the repetitions that worker claims.  Seeds are derived per
+// REPETITION, never per thread, and every repetition starts from a cold
+// cross-run cache (PruneEngine::drop_warm_state), so each ScenarioRun is a
+// pure function of (scenario, rep): outputs are bit-identical for ANY
+// thread count and any work-stealing order.  Single-rep warm-engine use
+// (run_once, run_churn) keeps the cross-run Fiedler cache — churn rounds
+// are serially dependent anyway and profit most from it.
 #pragma once
 
 #include <optional>
@@ -74,22 +85,39 @@ class ScenarioRunner {
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
   [[nodiscard]] const EngineStats& engine_stats() const noexcept { return engine_.stats(); }
 
+  /// Cumulative telemetry across the runner's own engine AND every retired
+  /// worker engine of past parallel run_all/sweep calls — the number to
+  /// report when attributing total work regardless of thread count.
+  [[nodiscard]] EngineStats total_engine_stats() const {
+    EngineStats total = engine_.stats();
+    total += pool_stats_;
+    return total;
+  }
+
   /// Execute repetition `rep`: inject faults, prune through the persistent
-  /// engine, measure the requested metrics.
+  /// engine, measure the requested metrics.  Keeps the engine's cross-run
+  /// warm cache (legacy single-shot semantics).
   [[nodiscard]] ScenarioRun run_once(int rep = 0);
 
-  /// All scenario.repetitions, in order, on the one engine.
-  [[nodiscard]] std::vector<ScenarioRun> run_all();
+  /// All scenario.repetitions, sharded over `threads` workers (clamped to
+  /// [1, repetitions]).  threads == 1 runs on the runner's own engine;
+  /// more spin up one persistent PruneEngine per worker, repetitions
+  /// claimed dynamically.  Every repetition is cache-isolated, so the
+  /// returned runs are bit-identical for any thread count (see the
+  /// determinism contract above).
+  [[nodiscard]] std::vector<ScenarioRun> run_all(int threads = 1);
 
   /// Swap the fault process (topology, α/ε and engine state are kept —
   /// that is the point of the persistent engine).
   void set_fault(FaultSpec fault);
 
   /// Sweep one numeric fault param over `values`: one run per value at
-  /// repetition 0's seed, all on the one engine.  The fault spec is
-  /// restored afterwards.
+  /// repetition 0's seed, sharded over `threads` workers like run_all.
+  /// The runner's own fault spec is never mutated (each point runs a
+  /// copy), so a bad key/value cannot poison later runs.
   [[nodiscard]] std::vector<ScenarioRun> sweep_fault_param(const std::string& key,
-                                                           std::span<const double> values);
+                                                           std::span<const double> values,
+                                                           int threads = 1);
 
   /// Drive a churn process and re-prune EVERY round through the
   /// persistent engine.  The fault stream is bit-identical to
@@ -104,6 +132,15 @@ class ScenarioRunner {
 
  private:
   [[nodiscard]] PruneEngineOptions engine_options(std::uint64_t finder_seed) const;
+  /// One repetition on an explicit engine and fault spec — the unit of
+  /// work a pool worker executes.  Pure given (scenario, fault, rep) when
+  /// the engine's warm state was dropped.
+  [[nodiscard]] ScenarioRun run_point(PruneEngine& engine, const FaultSpec& fault,
+                                      int rep) const;
+  /// Shard `jobs` indices over `threads` engine-pool workers; jobs[i]
+  /// fills out[i].  Worker exceptions are rethrown on the caller.
+  void run_pooled(std::span<const FaultSpec> faults, std::span<const int> reps,
+                  std::span<ScenarioRun> out, int threads);
   void measure(ScenarioRun& run) const;
 
   Scenario scenario_;
@@ -111,6 +148,7 @@ class ScenarioRunner {
   double alpha_ = 0.0;
   double epsilon_ = 0.0;
   PruneEngine engine_;
+  EngineStats pool_stats_;  ///< telemetry folded in from retired worker engines
 };
 
 }  // namespace fne

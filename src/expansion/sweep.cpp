@@ -96,6 +96,17 @@ CutWitness fiedler_sweep(const Graph& g, const VertexSet& alive, ExpansionKind k
     }
   }
 
+  // Every path below eigensolves at least once, so resolve the operator's
+  // sub-CSR up front: the engine-maintained one when it is authoritative
+  // for this mask, otherwise one local build shared by all solve stages.
+  SubCsr local_sub;
+  if (ws != nullptr && ws->subcsr.valid && ws->subcsr.dim() == alive.count()) {
+    fopts.sub = &ws->subcsr;
+  } else {
+    local_sub.build(g, alive);
+    fopts.sub = &local_sub;
+  }
+
   SweepOptions sopts;
   sopts.early_exit_threshold = options.early_exit_threshold;
   sopts.ws = ws;

@@ -26,6 +26,7 @@ void ExpansionWorkspace::reset(vid n) {
   deg_alive.assign(n, 0);
   deg_alive_valid = false;
   alive_connected = false;
+  subcsr.valid = false;  // per-run: the engine rebuilds it in bootstrap
   counters = WorkspaceCounters{};
 }
 

@@ -19,6 +19,7 @@
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
 #include "spectral/lanczos.hpp"
+#include "spectral/operator.hpp"
 
 namespace fne {
 
@@ -77,6 +78,14 @@ class ExpansionWorkspace {
   /// Hint set by the engine: the current alive mask is known connected, so
   /// find_violating_set may skip its full component scan.
   bool alive_connected = false;
+
+  /// Compact sub-CSR of the current alive subgraph (DESIGN.md §7).  The
+  /// PruneEngine builds it at bootstrap, shrinks it after every cull
+  /// (SubCsr::remove) and sets subcsr.valid while it is authoritative for
+  /// the mask find_violating_set is being called with; fiedler_sweep then
+  /// hands it to the eigensolve instead of rebuilding.  Like
+  /// deg_alive_valid, the flag is cleared at the end of every engine run.
+  SubCsr subcsr;
 
   /// Telemetry (see WorkspaceCounters); incremented by sweep/cut-finder
   /// code paths only when a workspace is present.

@@ -7,10 +7,6 @@
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 namespace fne {
 
 ClusterStats cluster_statistics(const Graph& g, PercolationKind kind,
@@ -22,47 +18,61 @@ ClusterStats cluster_statistics(const Graph& g, PercolationKind kind,
   const Rng root(seed);
   const double n = static_cast<double>(g.num_vertices());
 
-  struct TrialResult {
-    double gamma = 0.0;
-    double second = 0.0;
-    double chi = 0.0;
+  // Same reduction pattern as percolate(): Rng::fork per trial, one
+  // accumulator set per fixed-size chunk, chunks merged in index order —
+  // thread-count- and schedule-independent with no O(trials) buffer.
+  struct ChunkStats {
+    RunningStats gamma;
+    RunningStats second;
+    RunningStats chi;
   };
-  std::vector<TrialResult> results(static_cast<std::size_t>(trials));
+  const int chunks = (trials + kPercolationChunk - 1) / kPercolationChunk;
+  std::vector<ChunkStats> partial(static_cast<std::size_t>(chunks));
 
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 4)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
-    Components comps;
-    if (kind == PercolationKind::Site) {
-      const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
-      comps = connected_components(g, alive);
-    } else {
-      const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
-      comps = connected_components(g, VertexSet::full(g.num_vertices()), &edges);
+  for (int c = 0; c < chunks; ++c) {
+    ChunkStats acc;
+    const int lo = c * kPercolationChunk;
+    const int hi = std::min(trials, lo + kPercolationChunk);
+    for (int t = lo; t < hi; ++t) {
+      const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
+      Components comps;
+      if (kind == PercolationKind::Site) {
+        const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
+        comps = connected_components(g, alive);
+      } else {
+        const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
+        comps = connected_components(g, VertexSet::full(g.num_vertices()), &edges);
+      }
+      double gamma = 0.0, second = 0.0, chi = 0.0;
+      if (!comps.sizes.empty()) {
+        std::vector<vid> sizes = comps.sizes;
+        std::sort(sizes.begin(), sizes.end(), std::greater<>());
+        gamma = static_cast<double>(sizes[0]) / n;
+        second = sizes.size() > 1 ? static_cast<double>(sizes[1]) / n : 0.0;
+        double s1 = 0.0, s2 = 0.0;
+        for (std::size_t i = 1; i < sizes.size(); ++i) {  // exclude the largest
+          const double s = static_cast<double>(sizes[i]);
+          s1 += s;
+          s2 += s * s;
+        }
+        chi = s1 > 0.0 ? s2 / s1 : 0.0;
+      }
+      acc.gamma.add(gamma);
+      acc.second.add(second);
+      acc.chi.add(chi);
     }
-    TrialResult& r = results[static_cast<std::size_t>(t)];
-    if (comps.sizes.empty()) continue;
-    std::vector<vid> sizes = comps.sizes;
-    std::sort(sizes.begin(), sizes.end(), std::greater<>());
-    r.gamma = static_cast<double>(sizes[0]) / n;
-    r.second = sizes.size() > 1 ? static_cast<double>(sizes[1]) / n : 0.0;
-    double s1 = 0.0, s2 = 0.0;
-    for (std::size_t i = 1; i < sizes.size(); ++i) {  // exclude the largest
-      const double s = static_cast<double>(sizes[i]);
-      s1 += s;
-      s2 += s * s;
-    }
-    r.chi = s1 > 0.0 ? s2 / s1 : 0.0;
+    partial[static_cast<std::size_t>(c)] = acc;
   }
 
   ClusterStats stats;
   stats.trials = trials;
-  for (const TrialResult& r : results) {
-    stats.gamma.add(r.gamma);
-    stats.second_fraction.add(r.second);
-    stats.susceptibility.add(r.chi);
+  for (const ChunkStats& p : partial) {
+    stats.gamma.merge(p.gamma);
+    stats.second_fraction.merge(p.second);
+    stats.susceptibility.merge(p.chi);
   }
   return stats;
 }

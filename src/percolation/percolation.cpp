@@ -1,13 +1,11 @@
 #include "percolation/percolation.hpp"
 
+#include <algorithm>
+
 #include "core/traversal.hpp"
 #include "faults/fault_model.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
 
 namespace fne {
 
@@ -23,26 +21,36 @@ PercolationResult percolate(const Graph& g, PercolationKind kind, double surviva
   result.survival_probability = survival_probability;
   result.trials = trials;
 
-  // Per-trial γ values land in a pre-sized buffer indexed by trial, and
-  // the accumulator folds them in trial order afterwards: results are
-  // bit-identical for any thread count or schedule.
-  std::vector<double> gammas(static_cast<std::size_t>(trials), 0.0);
+  // Rng::fork per TRIAL + RunningStats::merge per fixed-size CHUNK: each
+  // chunk accumulates its own Welford state and the chunks merge in index
+  // order afterwards.  Chunk boundaries depend only on the trial index,
+  // so the result is one specific value per (graph, p, trials, seed) —
+  // never a function of the thread count or the OpenMP schedule — and no
+  // O(trials) side buffer is needed (DESIGN.md §7).
+  const int chunks = (trials + kPercolationChunk - 1) / kPercolationChunk;
+  std::vector<RunningStats> partial(static_cast<std::size_t>(chunks));
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 4)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
-    double gamma = 0.0;
-    if (kind == PercolationKind::Site) {
-      const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
-      gamma = gamma_largest_fraction(g, alive);
-    } else {
-      const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
-      gamma = gamma_largest_fraction(g, VertexSet::full(g.num_vertices()), &edges);
+  for (int c = 0; c < chunks; ++c) {
+    RunningStats acc;
+    const int lo = c * kPercolationChunk;
+    const int hi = std::min(trials, lo + kPercolationChunk);
+    for (int t = lo; t < hi; ++t) {
+      const std::uint64_t trial_seed = root.fork(static_cast<std::uint64_t>(t)).next();
+      double gamma = 0.0;
+      if (kind == PercolationKind::Site) {
+        const VertexSet alive = random_node_faults(g, fault_p, trial_seed);
+        gamma = gamma_largest_fraction(g, alive);
+      } else {
+        const EdgeMask edges = random_edge_faults(g, fault_p, trial_seed);
+        gamma = gamma_largest_fraction(g, VertexSet::full(g.num_vertices()), &edges);
+      }
+      acc.add(gamma);
     }
-    gammas[static_cast<std::size_t>(t)] = gamma;
+    partial[static_cast<std::size_t>(c)] = acc;
   }
-  for (double gamma : gammas) result.gamma.add(gamma);
+  for (const RunningStats& p : partial) result.gamma.merge(p);
   return result;
 }
 

@@ -7,7 +7,10 @@
 // in the largest surviving component.
 //
 // Trials are embarrassingly parallel: each gets an Rng forked by trial
-// index, so results are independent of the OpenMP schedule.
+// index, and per-trial observables accumulate into per-chunk
+// RunningStats (fixed kPercolationChunk-trial chunks) merged in chunk
+// order, so results are independent of the thread count and the OpenMP
+// schedule (DESIGN.md §7).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,11 @@ enum class PercolationKind {
   Site,  ///< vertices survive with probability p
   Bond,  ///< edges survive with probability p
 };
+
+/// Reduction granularity of the Monte-Carlo layers: trials are chunked in
+/// fixed groups of this size regardless of thread count, each chunk's
+/// stats merging in index order.
+inline constexpr int kPercolationChunk = 16;
 
 struct PercolationResult {
   RunningStats gamma;             ///< largest-component fraction per trial

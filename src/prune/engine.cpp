@@ -17,6 +17,12 @@ void PruneEngine::bootstrap(const VertexSet& alive) {
   bfs_stack_.clear();
   bfs_stack_.reserve(n);
 
+  // Compact sub-CSR of the alive subgraph for the spectral kernels: built
+  // once here, shrunk in apply_cull — the cull loop never re-walks the
+  // full graph CSR for an eigensolve again (DESIGN.md §7).
+  ws_.subcsr.build(*g_, alive_);
+  ws_.subcsr.valid = true;
+
   // Alive degrees (ws_.deg_alive was zeroed by ws_.reset).
   alive_.for_each([&](vid v) {
     vid d = 0;
@@ -110,7 +116,9 @@ void PruneEngine::apply_cull(const VertexSet& s) {
   });
 
   // 2. Remove S; clear its labels and decrement surviving neighbors'
-  //    alive degrees along the boundary edges.
+  //    alive degrees along the boundary edges.  The spectral sub-CSR
+  //    shrinks by the same set — pure array compaction, no graph walk.
+  ws_.subcsr.remove(s);
   alive_ -= s;
   s.for_each([&](vid v) {
     comp_of_[v] = kUnreached;
@@ -213,11 +221,13 @@ PruneResult PruneEngine::run(const VertexSet& alive, double alpha, double epsilo
   stats_.eigensolves += ws_.counters.eigensolves;
   stats_.stale_sweeps += ws_.counters.stale_sweeps;
   stats_.stale_sweep_hits += ws_.counters.stale_sweep_hits;
-  // The degree table and connectivity hint are keyed to this run's final
-  // alive mask; leaving them valid would poison a later caller that
-  // threads workspace() through find_violating_set with a different mask.
+  // The degree table, connectivity hint and sub-CSR are keyed to this
+  // run's final alive mask; leaving them valid would poison a later
+  // caller that threads workspace() through find_violating_set with a
+  // different mask.
   ws_.deg_alive_valid = false;
   ws_.alive_connected = false;
+  ws_.subcsr.valid = false;
   return result;
 }
 

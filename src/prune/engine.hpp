@@ -109,6 +109,13 @@ class PruneEngine {
 
   [[nodiscard]] ExpansionWorkspace& workspace() noexcept { return ws_; }
 
+  /// Forget the cross-run warm state (the cached Fiedler ordering), making
+  /// the next run() a pure function of (graph, alive, options) — the
+  /// repetition-isolation hook behind ScenarioRunner's thread-count-
+  /// independent run_all/sweep (DESIGN.md §7).  Deterministic mode never
+  /// reads the cache, so this is a no-op for reference-parity runs.
+  void drop_warm_state() noexcept { ws_.fiedler_valid = false; }
+
   /// Cumulative counters since construction (never reset by run()).
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 

@@ -26,12 +26,19 @@ ExpanderCertificate certify_expander(const Graph& g, const VertexSet& alive, std
   ExpanderCertificate cert;
   cert.degree = static_cast<double>(degree);
 
+  // One sub-CSR serves both solves.
+  SubCsr sub;
+  sub.build(g, alive);
+
   // λ₂(A) = d - λ₂(L): smallest nonzero Laplacian eigenvalue.
-  const FiedlerResult fiedler = fiedler_vector(g, alive, seed);
+  FiedlerOptions fopts;
+  fopts.seed = seed;
+  fopts.sub = &sub;
+  const FiedlerResult fiedler = fiedler_vector(g, alive, fopts);
   cert.lambda2_adj = cert.degree - fiedler.lambda2;
 
   // λ_min(A) = d - λ_max(L): Lanczos on -L, no deflation.
-  MaskedLaplacian lap(g, alive);
+  SubCsrLaplacian lap(sub);
   LanczosOptions opts;
   opts.num_eigenpairs = 1;
   opts.seed = seed + 1;

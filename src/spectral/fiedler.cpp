@@ -9,7 +9,18 @@ namespace fne {
 FiedlerResult fiedler_vector(const Graph& g, const VertexSet& alive,
                              const FiedlerOptions& options) {
   FNE_REQUIRE(alive.count() >= 2, "Fiedler vector needs >= 2 alive vertices");
-  MaskedLaplacian lap(g, alive);
+  // Solve over the compact sub-CSR: one build (or none, when the caller
+  // maintains one incrementally) buys every Lanczos apply a branch-free
+  // walk of alive arcs only — no to_sub gather, no dead-neighbor test, no
+  // per-apply degree recount (DESIGN.md §7).
+  SubCsr local;
+  const SubCsr* sub = options.sub;
+  if (sub == nullptr) {
+    local.build(g, alive);
+    sub = &local;
+  }
+  FNE_REQUIRE(sub->dim() == alive.count(), "prebuilt SubCsr does not match the alive mask");
+  SubCsrLaplacian lap(*sub);
   const std::size_t k = lap.dim();
 
   LanczosOptions opts;

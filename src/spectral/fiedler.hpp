@@ -7,6 +7,7 @@
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
 #include "spectral/lanczos.hpp"
+#include "spectral/operator.hpp"
 
 namespace fne {
 
@@ -28,6 +29,10 @@ struct FiedlerOptions {
   const std::vector<double>* warm_start = nullptr;
   /// Optional Lanczos buffer pool shared across solves.
   LanczosScratch* scratch = nullptr;
+  /// Optional prebuilt sub-CSR of the alive subgraph (must match `alive`
+  /// exactly — the PruneEngine maintains one incrementally across culls).
+  /// nullptr: the solve builds its own, amortized over its 40+ applies.
+  const SubCsr* sub = nullptr;
 };
 
 /// λ₂ and Fiedler vector of the subgraph induced by `alive`, which must be

@@ -1,32 +1,93 @@
 #include "spectral/lanczos.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "spectral/operator.hpp"  // kSpectralParallelDim
 #include "spectral/tridiag.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace fne {
 
 namespace {
 
+/// Fixed reduction granularity for dot products.  Every dot — serial or
+/// parallel — sums each 1024-element chunk first and folds the chunk
+/// partials in index order, so the floating-point result is one specific
+/// value per input, not one per thread count (DESIGN.md §7).
+constexpr std::size_t kDotChunk = 1024;
+
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  const std::size_t n = a.size();
+  const std::size_t chunks = (n + kDotChunk - 1) / kDotChunk;
+#ifdef _OPENMP
+  if (n >= kSpectralParallelDim) {
+    // One shared partials buffer per call (NOT thread_local: inside the
+    // parallel region that would resolve to each worker's own instance).
+    std::vector<double> partials(chunks, 0.0);
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t end = std::min(n, (c + 1) * kDotChunk);
+      double s = 0.0;
+      for (std::size_t i = c * kDotChunk; i < end; ++i) s += a[i] * b[i];
+      partials[c] = s;
+    }
+    double total = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) total += partials[c];
+    return total;
+  }
+#endif
+  double total = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = std::min(n, (c + 1) * kDotChunk);
+    double s = 0.0;
+    for (std::size_t i = c * kDotChunk; i < end; ++i) s += a[i] * b[i];
+    total += s;
+  }
+  return total;
 }
 
 double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const std::size_t n = x.size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (n >= kSpectralParallelDim)
+#endif
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void project_out(const std::vector<std::vector<double>>& basis, std::size_t count,
-                 std::vector<double>& x) {
-  for (std::size_t i = 0; i < count; ++i) {
-    const double c = dot(basis[i], x);
-    if (c != 0.0) axpy(-c, basis[i], x);
+/// x -= Σ_i <b_i, x> b_i over basis[0..count), classical Gram–Schmidt:
+/// all coefficients against the incoming x first, then one fused blocked
+/// rank-`count` update.  Two calls per Krylov step (CGS2) match the
+/// stability of the old two-pass modified Gram–Schmidt while streaming
+/// every basis vector exactly once per pass and exposing both loops to
+/// OpenMP.  Deterministic for any thread count: each coefficient is a
+/// chunked dot, and each element of x subtracts its contributions in
+/// basis order within its block.
+void orthogonalize(const std::vector<std::vector<double>>& basis, std::size_t count,
+                   std::vector<double>& x, std::vector<double>& coeff) {
+  if (count == 0) return;
+  coeff.resize(count);
+  for (std::size_t i = 0; i < count; ++i) coeff[i] = dot(basis[i], x);
+  const std::size_t n = x.size();
+  const std::size_t blocks = (n + kDotChunk - 1) / kDotChunk;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (n >= kSpectralParallelDim)
+#endif
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t lo = blk * kDotChunk;
+    const std::size_t hi = std::min(n, lo + kDotChunk);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double c = coeff[i];
+      const double* bi = basis[i].data();
+      for (std::size_t e = lo; e < hi; ++e) x[e] -= c * bi[e];
+    }
   }
 }
 
@@ -59,6 +120,7 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
   LanczosScratch local_scratch;
   LanczosScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
   std::vector<std::vector<double>>& basis = scratch.basis;  // Lanczos vectors q_1..q_j
+  std::vector<double>& coeff = scratch.coeff;
   std::size_t basis_count = 0;
   auto push_basis = [&](const std::vector<double>& v) {
     if (basis.size() <= basis_count) basis.emplace_back();
@@ -77,13 +139,13 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
   } else {
     for (auto& x : q) x = rng.uniform01() - 0.5;
   }
-  project_out(defl, defl.size(), q);
+  orthogonalize(defl, defl.size(), q, coeff);
   {
     double nq = norm(q);
     if (warm && !(nq > 1e-12)) {
       // Degenerate warm start (e.g. orthogonal remnant): seeded random fallback.
       for (auto& x : q) x = rng.uniform01() - 0.5;
-      project_out(defl, defl.size(), q);
+      orthogonalize(defl, defl.size(), q, coeff);
       nq = norm(q);
     }
     FNE_REQUIRE(nq > 0.0, "degenerate start vector");
@@ -93,6 +155,14 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
 
   std::vector<double>& w = scratch.w;
   w.resize(n);
+  // DGKS criterion: after one full Gram–Schmidt pass, re-orthogonalize
+  // again only when the pass removed a large fraction of w (norm dropped
+  // below 1/√2 of the pre-pass norm), i.e. when cancellation may have
+  // left O(ε·‖w_before‖) residue in the basis span.  The decision is a
+  // pure function of the computed norms, so determinism is unaffected; in
+  // the common well-conditioned iteration it halves the dominant
+  // reorthogonalization FLOPs.
+  constexpr double kDgks = 0.70710678118654752;
   for (int j = 0; j < max_iter; ++j) {
     op(basis[basis_count - 1], w);
     const double a = dot(basis[basis_count - 1], w);
@@ -100,10 +170,14 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
     // w -= a*q_j + b_{j-1}*q_{j-1}; then full reorthogonalization.
     axpy(-a, basis[basis_count - 1], w);
     if (j > 0) axpy(-beta.back(), basis[basis_count - 2], w);
-    project_out(defl, defl.size(), w);
-    for (int pass = 0; pass < 2; ++pass) project_out(basis, basis_count, w);
-
-    const double b = norm(w);
+    orthogonalize(defl, defl.size(), w, coeff);
+    const double before = norm(w);
+    orthogonalize(basis, basis_count, w, coeff);
+    double b = norm(w);
+    if (b < kDgks * before) {
+      orthogonalize(basis, basis_count, w, coeff);
+      b = norm(w);
+    }
     // Convergence check every few steps (or on breakdown).
     const bool last = (j + 1 == max_iter) || b < 1e-13;
     if (last || (j + 1) % 10 == 0) {

@@ -3,8 +3,18 @@
 //
 // Full reorthogonalization is O(iter^2 · n) but rock solid; iteration
 // counts stay modest (<= 300) for the graph sizes this library handles.
+// It runs as two-pass classical Gram–Schmidt (CGS2): all coefficients
+// against the incoming vector, then one fused blocked rank-k update —
+// the dominant FLOPs of a solve, streamed once per pass and OpenMP-
+// parallel above kSpectralParallelDim (spectral/operator.hpp).
 // Deflation vectors (e.g. the all-ones kernel of a connected Laplacian)
 // are projected out of every Krylov vector.
+//
+// Determinism contract (DESIGN.md §7): every reduction (dot, norm, the
+// rank-k update) uses a fixed 1024-element chunk order regardless of the
+// thread count or whether the parallel path is taken at all, so a solve
+// is a pure function of (operator, n, deflation, options) — OMP_NUM_THREADS
+// never changes a bit of the result.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,7 @@ struct LanczosScratch {
   std::vector<std::vector<double>> basis;
   std::vector<double> w;
   std::vector<double> q;
+  std::vector<double> coeff;  ///< Gram–Schmidt coefficient buffer
 };
 
 struct LanczosOptions {

@@ -1,0 +1,103 @@
+#include "spectral/operator.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+void SubCsr::build(const Graph& g, const VertexSet& alive) {
+  FNE_REQUIRE(alive.universe_size() == g.num_vertices(), "mask/graph size mismatch");
+  const vid n = g.num_vertices();
+
+  // Invalidate the previous mapping.  Only the previous vertices can hold
+  // stale entries (remove() keeps the everything-else-is-invalid
+  // invariant), so cleanup is O(previous dim) unless the universe changed.
+  if (to_sub.size() == n) {
+    for (vid v : verts) to_sub[v] = kInvalidVertex;
+  } else {
+    to_sub.assign(n, kInvalidVertex);
+  }
+
+  verts.clear();
+  alive.for_each([&](vid v) { verts.push_back(v); });
+  for (vid i = 0; i < static_cast<vid>(verts.size()); ++i) to_sub[verts[i]] = i;
+
+  const std::size_t k = verts.size();
+  offsets.resize(k + 1);
+  adj.clear();
+  deg.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    offsets[i] = adj.size();
+    for (vid w : g.neighbors(verts[i])) {
+      const vid j = to_sub[w];
+      if (j != kInvalidVertex) adj.push_back(j);
+    }
+    deg[i] = static_cast<double>(adj.size() - offsets[i]);
+  }
+  offsets[k] = adj.size();
+  valid = false;  // the owner decides when the structure is authoritative
+}
+
+void SubCsr::remove(const VertexSet& culled) {
+  // 1. Invalidate the culled rows in the mapping; to_sub[verts[i]] ==
+  //    kInvalidVertex is then the "row i is gone" test below.
+  culled.for_each([&](vid v) {
+    FNE_REQUIRE(v < to_sub.size() && to_sub[v] != kInvalidVertex,
+                "SubCsr::remove: vertex not present");
+    to_sub[v] = kInvalidVertex;
+  });
+
+  // 2. Old sub index -> new sub index for the survivors.
+  const std::size_t k = verts.size();
+  remap_.resize(k);
+  vid next = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    remap_[i] = to_sub[verts[i]] != kInvalidVertex ? next++ : kInvalidVertex;
+  }
+
+  // 3. Compact rows, arcs and degrees in place (write pos <= read pos).
+  //    Survivor order is preserved, so verts stays ascending and each row
+  //    keeps its ascending neighbor order — the parity invariants.
+  std::size_t write_arc = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const vid ni = remap_[i];
+    if (ni == kInvalidVertex) continue;
+    const std::size_t row_start = write_arc;
+    for (std::size_t a = offsets[i]; a < offsets[i + 1]; ++a) {
+      const vid nj = remap_[adj[a]];
+      if (nj != kInvalidVertex) adj[write_arc++] = nj;
+    }
+    offsets[ni] = row_start;
+    deg[ni] = static_cast<double>(write_arc - row_start);
+    verts[ni] = verts[i];
+    to_sub[verts[ni]] = ni;
+  }
+  verts.resize(next);
+  deg.resize(next);
+  offsets.resize(next + 1);
+  offsets[next] = write_arc;
+  adj.resize(write_arc);
+}
+
+void SubCsrLaplacian::apply(const std::vector<double>& x, std::vector<double>& y) const {
+  FNE_REQUIRE(x.size() == dim() && y.size() == dim(), "operator dimension mismatch");
+  const std::size_t k = s_->dim();
+  const std::size_t* offsets = s_->offsets.data();
+  const vid* adj = s_->adj.data();
+  const double* deg = s_->deg.data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  // Each row writes only y[i] and reads its arcs in storage order: the
+  // partition of rows across threads cannot change a single bit.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (k >= kSpectralParallelDim)
+#endif
+  for (std::size_t i = 0; i < k; ++i) {
+    double acc = 0.0;
+    for (std::size_t a = offsets[i]; a < offsets[i + 1]; ++a) acc += xp[adj[a]];
+    yp[i] = deg[i] * xp[i] - acc;
+  }
+}
+
+}  // namespace fne

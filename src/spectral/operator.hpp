@@ -1,11 +1,31 @@
 // Implicit symmetric linear operators over masked graphs.
 //
 // The spectral layer never materializes matrices: Lanczos only needs
-// y = Op(x).  MaskedLaplacian applies the combinatorial Laplacian
-// L = D - A of the subgraph induced by an alive mask, over compact
-// indices [0, k).
+// y = Op(x).  Two implementations of the masked combinatorial Laplacian
+// L = D - A over compact indices [0, k) coexist (DESIGN.md §7):
+//
+//   * MaskedLaplacian — the original full-graph walk.  Every apply
+//     re-traverses the COMPLETE CSR row of every alive vertex, pays a
+//     to_sub gather plus a dead-neighbor branch per arc, and recounts the
+//     alive degree it already counted on the previous apply.  Kept as the
+//     bit-exact reference the sub-CSR kernel is parity-tested against.
+//
+//   * SubCsr + SubCsrLaplacian — a compact CSR over the alive vertices
+//     only: offsets/adjacency hold sub indices, alive degrees are stored
+//     once.  Built in O(|alive| + alive arcs) and amortized over the
+//     40-400 applies of an eigensolve; the PruneEngine additionally
+//     shrinks it incrementally after each cull (remove()) instead of
+//     rebuilding, so a prune run walks the full graph exactly once.
+//     apply() is branch-free per arc and row-parallel (rows are
+//     independent, so OpenMP above kSpectralParallelDim cannot change
+//     results — see the determinism note in lanczos.hpp).
+//
+// Both produce bit-identical y for the same (graph, mask, x): they
+// enumerate alive vertices ascending and alive neighbors in the same
+// (ascending) order, and deg accumulates the same way.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -14,6 +34,68 @@
 
 namespace fne {
 
+/// Dimension at or above which the spectral kernels (sub-CSR apply and the
+/// Lanczos dot/axpy/reorthogonalization) go parallel.  Below it the OpenMP
+/// fork/join overhead exceeds the work; either side of the threshold the
+/// summation order is fixed, so results never depend on the thread count.
+inline constexpr std::size_t kSpectralParallelDim = 8192;
+
+/// Compact CSR of the subgraph induced by an alive mask.
+///
+/// Invariants (relied on for bit-parity with MaskedLaplacian):
+///   * verts lists the alive vertices in ascending original id;
+///   * adj rows list alive neighbors in ascending original id, stored as
+///     SUB indices (positions in verts);
+///   * deg[i] == row length of i, as a double (the alive degree);
+///   * to_sub[orig] is the sub index, kInvalidVertex for dead vertices.
+///
+/// The arrays are pooled: build() and remove() reuse capacity, so an
+/// ExpansionWorkspace-resident SubCsr allocates only on first use.
+struct SubCsr {
+  std::vector<vid> verts;             ///< sub -> original id, ascending
+  std::vector<vid> to_sub;            ///< original -> sub, kInvalidVertex if dead
+  std::vector<std::size_t> offsets;   ///< dim()+1 row offsets into adj
+  std::vector<vid> adj;               ///< alive neighbors as sub indices
+  std::vector<double> deg;            ///< alive degree per sub vertex
+  /// Set by the one owner that maintains the structure (the PruneEngine,
+  /// for its current alive mask); consumers must treat false as "absent".
+  bool valid = false;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return verts.size(); }
+
+  /// Rebuild for the subgraph induced by `alive`.  O(|alive| + alive arcs)
+  /// plus O(previous |verts|) map cleanup (O(n) only when the universe
+  /// changed).
+  void build(const Graph& g, const VertexSet& alive);
+
+  /// Shrink in place after culling `culled` (a subset of the current
+  /// vertices): drop their rows, drop arcs into them, remap the surviving
+  /// sub indices.  Pure sequential array passes — no graph walk, no mask
+  /// tests.  Equivalent to build(g, alive - culled), bit for bit.
+  void remove(const VertexSet& culled);
+
+ private:
+  std::vector<vid> remap_;  ///< scratch for remove(): old sub -> new sub
+};
+
+/// y = (D - A) x over a prebuilt SubCsr.  Rows are independent; each row
+/// accumulates its neighbors in storage order, so the result is identical
+/// for any thread count.
+class SubCsrLaplacian {
+ public:
+  explicit SubCsrLaplacian(const SubCsr& s) : s_(&s) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return s_->dim(); }
+  [[nodiscard]] const std::vector<vid>& vertices() const noexcept { return s_->verts; }
+
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+ private:
+  const SubCsr* s_;
+};
+
+/// Reference implementation: full-graph walk with per-arc mask test.  Used
+/// by parity tests and the kernel bench; production solves use SubCsr.
 class MaskedLaplacian {
  public:
   MaskedLaplacian(const Graph& g, const VertexSet& alive)

@@ -1,0 +1,134 @@
+// Minimal JSON emission for machine-readable results.
+//
+// Bench binaries (--json=out.json) and the scenario_runner CLI emit flat
+// report files — top-level scalars (workload, millis, speedup, thread
+// count) plus named arrays of flat records — so a perf trajectory is a
+// diffable artifact, not a scrollback screenshot.  Emission only: nothing
+// in the library parses JSON, so no third-party dependency is warranted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fne {
+
+/// Flat JSON object: insertion-ordered key -> already-encoded value.
+class JsonObject {
+ public:
+  JsonObject& put(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + escape(value) + "\"");
+  }
+  JsonObject& put(const std::string& key, const char* value) {
+    return put(key, std::string(value));
+  }
+  JsonObject& put(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    return raw(key, os.str());
+  }
+  JsonObject& put(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonObject& put(const std::string& key, std::int64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& put(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& put(const std::string& key, int value) {
+    return put(key, static_cast<std::int64_t>(value));
+  }
+
+  [[nodiscard]] std::string dump() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, std::string encoded) {
+    fields_.emplace_back(key, std::move(encoded));
+    return *this;
+  }
+  [[nodiscard]] static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A report = one top-level object plus named arrays of flat records.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) { top_.put("name", std::move(name)); }
+
+  [[nodiscard]] JsonObject& top() noexcept { return top_; }
+
+  /// Append a record to the named array (created on first use).
+  [[nodiscard]] JsonObject& record(const std::string& array) {
+    for (auto& [name, rows] : arrays_) {
+      if (name == array) {
+        rows.emplace_back();
+        return rows.back();
+      }
+    }
+    arrays_.emplace_back(array, std::vector<JsonObject>{});
+    arrays_.back().second.emplace_back();
+    return arrays_.back().second.back();
+  }
+
+  [[nodiscard]] std::string dump() const {
+    std::string body = top_.dump();
+    body.pop_back();  // reopen the top object to splice the arrays in
+    for (const auto& [name, rows] : arrays_) {
+      body += ", \"" + name + "\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0) body += ", ";
+        body += rows[i].dump();
+      }
+      body += "]";
+    }
+    return body + "}";
+  }
+
+  /// Write to `path`; returns false (with a note on stderr) on IO failure.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write json report to " << path << "\n";
+      return false;
+    }
+    out << dump() << "\n";
+    // Status goes to stderr: stdout may itself be a machine-readable
+    // stream (--csv, --json) that a note would corrupt.
+    std::cerr << "(json written to " << path << ")\n";
+    return true;
+  }
+
+ private:
+  JsonObject top_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
+}  // namespace fne

@@ -1,0 +1,163 @@
+// Sub-CSR spectral kernel contracts (DESIGN.md §7): the compact operator
+// is bit-identical to the MaskedLaplacian reference on any mask, the
+// incremental remove() equals a fresh build of the shrunken mask, and
+// Lanczos results are pure functions of their inputs on either side of
+// the parallel dimension threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faults/fault_model.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/operator.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+namespace {
+
+[[nodiscard]] std::vector<double> probe_vector(std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(k);
+  for (auto& v : x) v = rng.uniform01() - 0.5;
+  return x;
+}
+
+void expect_same_operator(const Graph& g, const VertexSet& alive, const SubCsr& sub) {
+  const MaskedLaplacian reference(g, alive);
+  const SubCsrLaplacian compact(sub);
+  ASSERT_EQ(reference.dim(), compact.dim());
+  ASSERT_EQ(reference.vertices(), compact.vertices());
+  const std::size_t k = reference.dim();
+  const std::vector<double> x = probe_vector(k, 17);
+  std::vector<double> y_ref(k, 0.0);
+  std::vector<double> y_sub(k, 0.0);
+  reference.apply(x, y_ref);
+  compact.apply(x, y_sub);
+  for (std::size_t i = 0; i < k; ++i) {
+    ASSERT_EQ(y_ref[i], y_sub[i]) << "apply differs at sub index " << i;
+  }
+}
+
+TEST(SubCsr, BuildMatchesMaskedLaplacianOnRandomMasks) {
+  const Graph g = random_regular(200, 4, 5);
+  for (const double p : {0.0, 0.1, 0.4}) {
+    const VertexSet alive = random_node_faults(g, p, 23);
+    if (alive.count() < 2) continue;
+    SubCsr sub;
+    sub.build(g, alive);
+    SCOPED_TRACE(p);
+    expect_same_operator(g, alive, sub);
+  }
+}
+
+TEST(SubCsr, BuildIsReusableAcrossMasks) {
+  // Pooled buffers: rebuilding the same SubCsr for a different mask must
+  // fully erase the previous mapping.
+  const Graph g = random_regular(150, 4, 9);
+  SubCsr sub;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const VertexSet alive = random_node_faults(g, 0.3, seed);
+    sub.build(g, alive);
+    SCOPED_TRACE(seed);
+    expect_same_operator(g, alive, sub);
+  }
+}
+
+TEST(SubCsr, RemoveEqualsFreshBuildAcrossCullSequence) {
+  const Mesh m = Mesh::cube(16, 2);
+  const Graph& g = m.graph();
+  VertexSet alive = random_node_faults(g, 0.2, 7);
+  SubCsr incremental;
+  incremental.build(g, alive);
+
+  Rng rng(99);
+  for (int round = 0; round < 6; ++round) {
+    // Cull a random small subset of the survivors.
+    VertexSet cull(g.num_vertices());
+    alive.for_each([&](vid v) {
+      if (rng.bernoulli(0.1)) cull.set(v);
+    });
+    if (cull.empty()) cull.set(alive.first());
+    incremental.remove(cull);
+    alive -= cull;
+
+    SubCsr fresh;
+    fresh.build(g, alive);
+    SCOPED_TRACE(round);
+    ASSERT_EQ(incremental.verts, fresh.verts);
+    ASSERT_EQ(incremental.offsets, fresh.offsets);
+    ASSERT_EQ(incremental.adj, fresh.adj);
+    ASSERT_EQ(incremental.deg, fresh.deg);
+    if (alive.count() >= 2) expect_same_operator(g, alive, incremental);
+  }
+}
+
+TEST(SubCsr, PrebuiltOperatorGivesBitIdenticalFiedlerVector) {
+  const Mesh m = Mesh::cube(12, 2);
+  const Graph& g = m.graph();
+  const VertexSet alive = VertexSet::full(g.num_vertices());
+
+  FiedlerOptions opts;
+  opts.seed = 5;
+  const FiedlerResult without = fiedler_vector(g, alive, opts);
+
+  SubCsr sub;
+  sub.build(g, alive);
+  opts.sub = &sub;
+  const FiedlerResult with = fiedler_vector(g, alive, opts);
+
+  ASSERT_EQ(without.converged, with.converged);
+  ASSERT_EQ(without.lambda2, with.lambda2);
+  ASSERT_EQ(without.vector, with.vector);
+}
+
+TEST(Lanczos, DeterministicBelowAndAboveParallelThreshold) {
+  // One dimension on each side of kSpectralParallelDim, exercised with a
+  // cheap diagonal operator; the solve must be a pure function of its
+  // inputs — same bits on every invocation and for every thread count.
+  for (const std::size_t n : {std::size_t{512}, kSpectralParallelDim + 512}) {
+    // Diagonal spectrum with a well-separated smallest eigenvalue (1.0
+    // against a [2, 6] bulk), so the solve converges in a few dozen
+    // iterations at any dimension.
+    const auto op = [n](const std::vector<double>& x, std::vector<double>& y) {
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i] = (i == 0 ? 1.0 : 2.0 + static_cast<double>(i % 5)) * x[i];
+      }
+    };
+    LanczosOptions opts;
+    opts.max_iterations = 60;
+    opts.seed = 11;
+
+    const auto solve = [&] { return lanczos_smallest(op, n, {}, opts); };
+    const LanczosResult first = solve();
+
+#ifdef _OPENMP
+    const int saved = omp_get_max_threads();
+    for (const int threads : {1, 2, 4}) {
+      omp_set_num_threads(threads);
+      const LanczosResult again = solve();
+      SCOPED_TRACE(threads);
+      ASSERT_EQ(first.iterations, again.iterations);
+      ASSERT_EQ(first.values, again.values);
+      ASSERT_EQ(first.vectors, again.vectors);
+    }
+    omp_set_num_threads(saved);
+#else
+    const LanczosResult again = solve();
+    ASSERT_EQ(first.values, again.values);
+    ASSERT_EQ(first.vectors, again.vectors);
+#endif
+    ASSERT_TRUE(first.converged);
+    EXPECT_NEAR(first.values[0], 1.0, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace fne
