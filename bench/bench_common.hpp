@@ -79,11 +79,16 @@ inline void print_table(const Table& table, const std::string& note = "") {
 inline const char* yesno(bool b) { return b ? "yes" : "NO"; }
 
 /// Resolve the --json flag to a file path: bare `--json` parses as the
-/// value "1" and means "use the bench's default filename".
+/// value "1" and means "use the bench's default filename".  (Alias for
+/// the shared util/cli helper; the CLI and every bench resolve the flag
+/// the same way.)
 inline std::string json_path(const Cli& cli, const std::string& fallback) {
-  const std::string path = cli.get("json", fallback);
-  return path == "1" ? fallback : path;
+  return json_flag_path(cli, fallback);
 }
+
+/// Resolve --threads for scaling benches: absent defaults to hardware
+/// concurrency (never less than 1), explicit values are validated.
+inline int threads_flag(const Cli& cli) { return cli.get_threads(0); }
 
 /// Machine-readable bench results (see util/json.hpp): top-level scalars
 /// (workload, millis, speedup, threads, pass/fail) plus named arrays of

@@ -150,7 +150,7 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
 /// prints the table, fills the JSON records, returns whether both staged
 /// solves cleared >= 1.5x.
 bool spectral_kernel_section(const Graph& g, const VertexSet& alive, std::uint64_t seed,
-                             bench::JsonReport* json) {
+                             double min_speedup, bench::JsonReport* json) {
   MaskedLaplacian masked(g, alive);
   SubCsr sub;
   sub.build(g, alive);
@@ -219,13 +219,13 @@ bool spectral_kernel_section(const Graph& g, const VertexSet& alive, std::uint64
     const double new_ms = timer.millis() / reps;
     const double speedup = old_ms / new_ms;
     const bool gating = cap == 40;
-    if (gating) pass = pass && speedup >= 1.5;
+    if (gating) pass = pass && speedup >= min_speedup;
     table.row()
         .cell("staged solve cap " + std::to_string(cap))
         .cell(old_ms, 2)
         .cell(new_ms, 2)
         .cell(speedup, 2)
-        .cell(gating ? bench::yesno(speedup >= 1.5) : "(info)");
+        .cell(gating ? bench::yesno(speedup >= min_speedup) : "(info)");
     if (json != nullptr) {
       json->record("kernel")
           .put("workload", "staged_solve_" + std::to_string(cap))
@@ -386,7 +386,11 @@ int main(int argc, char** argv) {
                      "every stale hit is an eigensolve skipped; det mode runs one staged solve\n"
                      "per connected iteration, fast mode's solves/iter shows what remains.");
 
-  const bool kernel_pass = spectral_kernel_section(g, first_alive, seed, &json);
+  // The staged-solve ratio is noise-bound at reduced sizes on loaded
+  // 1-2 core CI boxes; --min-spectral-speedup relaxes the gate there
+  // (the 64x64 acceptance default stays 1.5).
+  const double min_spectral = cli.get_double("min-spectral-speedup", 1.5);
+  const bool kernel_pass = spectral_kernel_section(g, first_alive, seed, min_spectral, &json);
 
   const double speedup = total_fast > 0.0 ? total_ref / total_fast : 0.0;
   json.top()

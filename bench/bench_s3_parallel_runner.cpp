@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(cli.get_int("reps", 200));
   const double fault_p = cli.get_double("faults", 0.3);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int threads = static_cast<int>(cli.get_int("threads", static_cast<int>(hw)));
+  const int threads = bench::threads_flag(cli);
   const double min_speedup = cli.get_double("min-speedup", 0.8);
 
   bench::print_header("S3-PARALLEL",

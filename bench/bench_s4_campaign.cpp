@@ -1,0 +1,191 @@
+// S4 — the campaign batch driver over the process-wide engine cache
+// (DESIGN.md §8).
+//
+// Two acceptance claims:
+//
+//   1. Throughput: running the full scenario catalog through
+//      CampaignRunner at T threads beats the serial per-scenario loop
+//      (fresh ScenarioRunner + run_all(1) per scenario — the pre-campaign
+//      driver shape) by >= 2.5x at 4 threads on 4+ cores, while the
+//      report's deterministic payload stays BYTE-identical for any
+//      thread count (verified on every run).
+//
+//   2. Monotone sweeps: chaining a declared-monotone fault sweep
+//      (survivors of p_low feed p_high) cuts engine cull work >= 1.5x
+//      vs independent points (EngineStats-verified) and reproduces the
+//      independent survivors bit for bit in deterministic mode.
+//
+// Flags: --reps=N (default 4: catalog repetitions), --threads=N
+// (default: hardware), --side=N (monotone sweep mesh side, default 32),
+// --min-speedup=X (sanity floor on the measured campaign speedup; the
+// default 0.8 tolerates pure pool overhead on 1-core CI machines but
+// fails a real regression), --min-cullwork-ratio=X (default 1.5),
+// --seed=S, --json=out.json.
+#include "bench_common.hpp"
+
+#include <thread>
+
+#include "api/campaign.hpp"
+#include "api/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const int reps = static_cast<int>(cli.get_int("reps", 4));
+  const auto side = static_cast<vid>(cli.get_int("side", 32));
+  const int threads = bench::threads_flag(cli);
+  const double min_speedup = cli.get_double("min-speedup", 0.8);
+  const double min_cullwork = cli.get_double("min-cullwork-ratio", 1.5);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  bench::print_header("S4-CAMPAIGN",
+                      "Campaign batch driver over the engine cache (>= 2.5x at 4 threads on "
+                      "4+ cores; monotone sweeps cut cull work >= 1.5x; reports bit-identical "
+                      "for any thread count)");
+
+  bench::JsonReport json("bench_s4_campaign");
+  json.top()
+      .put("reps", reps)
+      .put("threads", threads)
+      .put("hardware_threads", static_cast<std::int64_t>(hw))
+      .put("omp_threads", bench::max_threads());
+
+  // -------------------------------------------------------------------------
+  // 1. Catalog campaign vs the serial per-scenario loop.
+  // -------------------------------------------------------------------------
+  Campaign catalog = catalog_campaign(reps);
+  for (CampaignEntry& e : catalog.entries) e.scenario.seed += seed;  // --seed shifts the study
+  std::cout << "catalog: " << catalog.entries.size() << " scenarios x " << reps
+            << " repetitions, " << hw << " hardware threads\n\n";
+
+  // The pre-campaign driver shape: one scenario at a time, one engine
+  // lineage, no cross-scenario scheduling.  Cold cache for a fair start.
+  EngineCache::instance().clear();
+  Timer timer;
+  std::size_t serial_runs = 0;
+  for (const CampaignEntry& e : catalog.entries) {
+    ScenarioRunner runner(e.scenario);
+    serial_runs += runner.run_all(1).size();
+  }
+  const double serial_ms = timer.millis();
+
+  CampaignRunner campaign_runner(catalog);
+  EngineCache::instance().clear();
+  timer.reset();
+  const CampaignReport serial_report = campaign_runner.run(1);
+  const double campaign1_ms = timer.millis();
+  const std::string payload = serial_report.to_json(/*include_timing=*/false);
+
+  Table scaling({"driver", "threads", "total ms", "speedup vs loop", "payload identical"});
+  scaling.row().cell("serial loop").cell(1).cell(serial_ms, 1).cell(1.0, 2).cell("-");
+  scaling.row()
+      .cell("campaign")
+      .cell(1)
+      .cell(campaign1_ms, 1)
+      .cell(serial_ms / campaign1_ms, 2)
+      .cell("yes");
+  json.record("scaling").put("driver", "serial_loop").put("threads", 1).put("millis", serial_ms);
+  json.record("scaling").put("driver", "campaign").put("threads", 1).put("millis", campaign1_ms);
+
+  bool payload_identical = true;
+  double best_speedup = serial_ms / campaign1_ms;
+  std::vector<int> counts{2};
+  if (threads > 2) counts.push_back(threads);
+  for (const int t : counts) {
+    EngineCache::instance().clear();
+    timer.reset();
+    const CampaignReport report = campaign_runner.run(t);
+    const double ms = timer.millis();
+    const bool same = report.to_json(false) == payload;
+    payload_identical = payload_identical && same;
+    const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+    if (same) best_speedup = std::max(best_speedup, speedup);
+    scaling.row().cell("campaign").cell(t).cell(ms, 1).cell(speedup, 2).cell(bench::yesno(same));
+    json.record("scaling").put("driver", "campaign").put("threads", t).put("millis", ms).put(
+        "speedup", speedup);
+  }
+  bench::print_table(scaling,
+                     "speedup = serial per-scenario loop time / campaign wall time; the\n"
+                     "deterministic payload (to_json without timing) must match at every T.");
+  std::cout << "serial loop runs: " << serial_runs
+            << ", campaign runs: " << serial_report.total_engine_stats().runs << "\n";
+
+  // -------------------------------------------------------------------------
+  // 2. Monotone sweep vs independent points.
+  // -------------------------------------------------------------------------
+  Scenario sweep;
+  sweep.name = "monotone-mesh";
+  sweep.topology = {"mesh", Params().set("side", static_cast<std::int64_t>(side))};
+  sweep.fault = {"random", Params().set("p", 0.05)};
+  sweep.prune.kind = ExpansionKind::Edge;
+  sweep.prune.alpha = 2.0 / static_cast<double>(side);
+  sweep.seed = seed;
+  const std::vector<double> values = cli.get_double_list(
+      "sweep-values", "0.05,0.1,0.15,0.2,0.25,0.3,0.35");
+
+  ScenarioRunner indep_runner(sweep);
+  timer.reset();
+  const std::vector<ScenarioRun> indep = indep_runner.sweep_fault_param("p", values);
+  const double indep_ms = timer.millis();
+  const EngineStats indep_stats = indep_runner.total_engine_stats();
+
+  ScenarioRunner mono_runner(sweep);
+  timer.reset();
+  const std::vector<ScenarioRun> mono =
+      mono_runner.sweep_fault_param("p", values, 1, SweepMode::kMonotone);
+  const double mono_ms = timer.millis();
+  const EngineStats mono_stats = mono_runner.total_engine_stats();
+
+  bool parity = indep.size() == mono.size();
+  for (std::size_t i = 0; parity && i < indep.size(); ++i) {
+    parity = indep[i].prune.survivors == mono[i].prune.survivors;
+  }
+  const double cullwork_ratio =
+      mono_stats.iterations > 0
+          ? static_cast<double>(indep_stats.iterations) / static_cast<double>(mono_stats.iterations)
+          : static_cast<double>(indep_stats.iterations);
+
+  Table monotone({"mode", "points", "engine iters", "eigensolves", "relabel verts", "ms",
+                  "survivors identical"});
+  monotone.row()
+      .cell("independent")
+      .cell(values.size())
+      .cell(indep_stats.iterations)
+      .cell(indep_stats.eigensolves)
+      .cell(indep_stats.relabel_bfs_vertices)
+      .cell(indep_ms, 1)
+      .cell("-");
+  monotone.row()
+      .cell("monotone")
+      .cell(values.size())
+      .cell(mono_stats.iterations)
+      .cell(mono_stats.eigensolves)
+      .cell(mono_stats.relabel_bfs_vertices)
+      .cell(mono_ms, 1)
+      .cell(bench::yesno(parity));
+  bench::print_table(
+      monotone,
+      "monotone chains survivors(p_low) ∩ alive(p_high) as the next start mask; cull work\n"
+      "(engine iterations) must drop >= " + std::to_string(min_cullwork).substr(0, 4) +
+          "x while deterministic-mode survivors stay bit-identical.");
+
+  const bool pass = payload_identical && parity && best_speedup >= min_speedup &&
+                    cullwork_ratio >= min_cullwork;
+  json.top()
+      .put("best_speedup", best_speedup)
+      .put("payload_identical", payload_identical)
+      .put("monotone_parity", parity)
+      .put("cullwork_ratio", cullwork_ratio)
+      .put("pass", pass);
+  if (cli.has("json")) json.write(bench::json_path(cli, "bench_s4_campaign.json"));
+
+  std::cout << "\npayload bit-identical across thread counts: "
+            << (payload_identical ? "PASS" : "FAIL")
+            << "\nmonotone survivors == independent survivors: " << (parity ? "PASS" : "FAIL")
+            << "\nmonotone cull-work saving: " << cullwork_ratio << "x (threshold "
+            << min_cullwork << "x: " << (cullwork_ratio >= min_cullwork ? "PASS" : "FAIL")
+            << ")\nbest campaign speedup: " << best_speedup << "x (threshold " << min_speedup
+            << "x: " << (best_speedup >= min_speedup ? "PASS" : "FAIL") << ")\n";
+  return pass ? 0 : 1;
+}

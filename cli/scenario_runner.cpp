@@ -1,9 +1,10 @@
-// scenario_runner — execute one fne::Scenario from the command line.
+// scenario_runner — execute one fne::Scenario, a fault sweep, or a whole
+// Campaign from the command line.
 //
-// The CLI face of the scenario layer (DESIGN.md §6): every topology and
-// fault model in the registries is reachable from flags, so any
-// paper-style experiment — build, injure, prune, measure — runs without
-// writing a driver.
+// The CLI face of the scenario/campaign layers (DESIGN.md §6, §8): every
+// topology and fault model in the registries is reachable from flags,
+// and a JSON campaign file runs the full batch pipeline — scenario×rep
+// jobs on an ExecutorPool over the process-wide EngineCache.
 //
 //   scenario_runner --list
 //       show registered topologies, fault models, and named scenarios
@@ -13,24 +14,33 @@
 //       --fault=high_degree --fault-params=frac=0.1 \
 //       --kind=node --reps=3 --verify --expansion
 //       run an ad-hoc scenario
+//   scenario_runner --scenario=mesh-random --sweep=p \
+//       --sweep-values=0.05,0.15,0.25 [--sweep-mode=monotone]
+//       sweep one fault param (monotone mode chains survivors downward —
+//       the fault model must declare the param monotone, see --list)
+//   scenario_runner --campaign=campaigns/smoke.json [--threads=4]
+//       run every scenario of a campaign file; one aggregated report
+//   scenario_runner --campaign=catalog [--reps=2]
+//       the built-in scenario catalog as a campaign (CI smoke)
 //   scenario_runner --scenario=can-churn --churn-steps=40
 //       additionally drive ongoing churn, re-pruning every round through
 //       the runner's persistent engine
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
-// --threads=N (shard repetitions across an engine pool; results are
-// bit-identical for any N — see DESIGN.md §7), --csv (emit CSV instead
-// of the aligned table), --json[=path] (machine-readable runs: bare
-// --json replaces ALL tables on stdout with one JSON document,
+// --threads=N (shard jobs across the engine pool; results are
+// bit-identical for any N — see DESIGN.md §7/§8), --csv (emit CSV
+// instead of the aligned table), --json[=path] (machine-readable runs:
+// bare --json replaces ALL tables on stdout with one JSON document,
 // --json=path keeps the tables and writes the file), --stats (engine
-// telemetry after the runs, including the thread count and pooled
-// worker engines; table form only).
+// telemetry after the runs; table form only).
 #include <algorithm>
 #include <iostream>
 
+#include "api/campaign.hpp"
 #include "api/registry.hpp"
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
+#include "api/scenario_cli.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
@@ -55,7 +65,7 @@ void list_registries() {
   topo.print(std::cout);
 
   std::cout << "\nfault models:\n";
-  Table faults({"name", "params", "description"});
+  Table faults({"name", "params", "monotone", "description"});
   for (const std::string& name : FaultModelRegistry::instance().names()) {
     const FaultModelEntry& e = FaultModelRegistry::instance().at(name);
     std::string params;
@@ -64,7 +74,16 @@ void list_registries() {
       params += p.key;
       if (!p.default_value.empty()) params += "=" + p.default_value;
     }
-    faults.row().cell(name).cell(params.empty() ? "-" : params).cell(e.doc);
+    std::string monotone;
+    for (const std::string& p : e.monotone_params) {
+      if (!monotone.empty()) monotone += ", ";
+      monotone += p;
+    }
+    faults.row()
+        .cell(name)
+        .cell(params.empty() ? "-" : params)
+        .cell(monotone.empty() ? "-" : monotone)
+        .cell(e.doc);
   }
   faults.print(std::cout);
 
@@ -82,44 +101,91 @@ void list_registries() {
   named.print(std::cout);
 }
 
+int run_campaign(const Cli& cli) {
+  const std::string spec = cli.get("campaign", "");
+  // Scenario-level flags have no campaign meaning (the file/preset owns
+  // the scenario fields) — reject them loudly rather than silently
+  // returning results the flags did not influence.
+  for (const char* flag : {"scenario", "topology", "topo-params", "fault", "fault-params",
+                           "kind", "alpha", "eps", "fast", "verify", "expansion", "seed",
+                           "sweep", "sweep-values", "sweep-mode", "churn-steps"}) {
+    FNE_REQUIRE(!cli.has(flag), std::string("--") + flag +
+                                    " does not apply to --campaign; set it in the campaign "
+                                    "file (or run a single scenario)");
+  }
+  FNE_REQUIRE(spec == "catalog" || !cli.has("reps"),
+              "--reps only applies to --campaign=catalog; file campaigns declare "
+              "repetitions per scenario");
+  Campaign campaign = spec == "catalog"
+                          ? catalog_campaign(static_cast<int>(cli.get_int("reps", 1)))
+                          : campaign_from_file(spec);
+  const int threads = cli.get_threads(1);
+  const std::string json_path = cli.get("json", "");
+  const bool json_to_stdout = json_path == "1";
+
+  CampaignRunner runner(std::move(campaign));
+  const CampaignReport report = runner.run(threads);
+
+  if (!json_to_stdout) {
+    std::cout << "campaign: " << report.name << " — " << report.scenarios.size()
+              << " scenarios, " << threads << (threads == 1 ? " thread" : " threads") << ", "
+              << report.millis << " ms\n\n";
+    Table table({"scenario", "topology", "n", "runs", "mean |H|/n", "culled", "engine iters",
+                 "eigensolves", "ms"});
+    for (const ScenarioReport& s : report.scenarios) {
+      double frac = 0.0;
+      std::uint64_t culled = 0;
+      for (const ScenarioRun& r : s.runs) {
+        frac += r.survivor_fraction(s.n);
+        culled += r.prune.total_culled;
+      }
+      if (!s.runs.empty()) frac /= static_cast<double>(s.runs.size());
+      table.row()
+          .cell(s.scenario.name)
+          .cell(s.scenario.topology.name)
+          .cell(std::size_t{s.n})
+          .cell(s.runs.size())
+          .cell(frac, 3)
+          .cell(culled)
+          .cell(s.engine.iterations)
+          .cell(s.engine.eigensolves)
+          .cell(s.millis, 1);
+    }
+    if (cli.has("csv")) {
+      table.write_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    if (cli.has("stats")) {
+      const EngineStats st = report.total_engine_stats();
+      std::cout << "\nengine totals: runs=" << st.runs << " iters=" << st.iterations
+                << " eigensolves=" << st.eigensolves << " stale_hits=" << st.stale_sweep_hits
+                << " disconnected=" << st.disconnected_culls
+                << "\ncache: leases=" << report.cache.leases
+                << " engine_hits=" << report.cache.engine_hits
+                << " engine_builds=" << report.cache.engine_builds
+                << " graph_builds=" << report.cache.graph_builds << "\n";
+    }
+  }
+  if (json_to_stdout) {
+    std::cout << report.to_json() << "\n";
+  } else if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (out) {
+      out << report.to_json() << "\n";
+      std::cerr << "(json written to " << json_path << ")\n";
+    } else {
+      std::cerr << "warning: cannot write json report to " << json_path << "\n";
+    }
+  }
+  return 0;
+}
+
 int run(const Cli& cli) {
-  Scenario scenario;
-  if (cli.has("scenario")) {
-    scenario = named_scenario(cli.get("scenario", ""));
-  } else {
-    scenario.name = "ad-hoc";
-  }
+  if (cli.has("campaign")) return run_campaign(cli);
 
-  // Flag overrides apply on top of the preset (or the defaults): parsed
-  // keys merge into the preset's params, except when the topology/fault
-  // *name* changes — the preset's params belong to the old factory.
-  const auto merge = [](Params& into, const std::string& spec) {
-    const Params parsed = Params::parse(spec);
-    for (const auto& [k, v] : parsed.values()) into.set(k, v);
-  };
-  if (cli.has("topology") && cli.get("topology", "") != scenario.topology.name) {
-    scenario.topology = {cli.get("topology", ""), Params{}};
-  }
-  if (cli.has("topo-params")) merge(scenario.topology.params, cli.get("topo-params", ""));
-  if (cli.has("fault") && cli.get("fault", "") != scenario.fault.name) {
-    scenario.fault = {cli.get("fault", ""), Params{}};
-  }
-  if (cli.has("fault-params")) merge(scenario.fault.params, cli.get("fault-params", ""));
-  if (cli.has("kind")) {
-    const std::string kind = cli.get("kind", "edge");
-    FNE_REQUIRE(kind == "node" || kind == "edge", "--kind must be node or edge");
-    scenario.prune.kind = kind == "node" ? ExpansionKind::Node : ExpansionKind::Edge;
-  }
-  scenario.prune.alpha = cli.get_double("alpha", scenario.prune.alpha);
-  scenario.prune.epsilon = cli.get_double("eps", scenario.prune.epsilon);
-  scenario.prune.fast = cli.has("fast") || scenario.prune.fast;
-  scenario.metrics.verify_trace = cli.has("verify") || scenario.metrics.verify_trace;
-  scenario.metrics.expansion = cli.has("expansion") || scenario.metrics.expansion;
-  scenario.repetitions = static_cast<int>(cli.get_int("reps", scenario.repetitions));
-  scenario.seed = cli.get_seed(scenario.seed);
-
-  const auto threads = static_cast<int>(cli.get_int("threads", 1));
-  FNE_REQUIRE(threads >= 1, "--threads must be >= 1");
+  Scenario scenario = scenario_from_cli(cli);
+  const int threads = cli.get_threads(1);
   // Bare `--json` parses as the value "1": JSON replaces the table on
   // stdout.  `--json=path` keeps the table and writes the file.
   const std::string json_path = cli.get("json", "");
@@ -142,9 +208,31 @@ int run(const Cli& cli) {
               << (threads > 1 ? "  threads=" + std::to_string(threads) : "") << "\n\n";
   }
 
-  const std::vector<ScenarioRun> runs = runner.run_all(threads);
+  // Either a fault-param sweep (--sweep=key) or the scenario's own
+  // repetitions.
+  std::vector<ScenarioRun> runs;
+  std::vector<std::string> labels;
+  std::vector<double> sweep_values;
+  const bool sweeping = cli.has("sweep");
+  const std::string sweep_key = cli.get("sweep", "");
+  if (sweeping) {
+    sweep_values = cli.get_double_list("sweep-values", "");
+    FNE_REQUIRE(!sweep_values.empty(), "--sweep needs --sweep-values=a,b,c");
+    const std::string mode_name = cli.get("sweep-mode", "independent");
+    FNE_REQUIRE(mode_name == "independent" || mode_name == "monotone",
+                "--sweep-mode must be independent or monotone");
+    const SweepMode mode =
+        mode_name == "monotone" ? SweepMode::kMonotone : SweepMode::kIndependent;
+    runs = runner.sweep_fault_param(sweep_key, sweep_values, threads, mode);
+    for (const double v : sweep_values) {
+      labels.push_back(sweep_key + "=" + std::to_string(v).substr(0, 6));
+    }
+  } else {
+    runs = runner.run_all(threads);
+  }
+
   if (!json_to_stdout) {
-    const Table table = runner.metrics_table(runs);
+    const Table table = runner.metrics_table(runs, labels);
     if (cli.has("csv")) {
       table.write_csv(std::cout);
     } else {
@@ -166,9 +254,15 @@ int run(const Cli& cli) {
         .put("repetitions", s.repetitions)
         .put("threads", threads)
         .put("seed", s.seed);
-    for (const ScenarioRun& r : runs) {
-      report.record("runs")
-          .put("rep", r.repetition)
+    if (sweeping) {
+      report.top().put("sweep", sweep_key).put_numbers("sweep_values", sweep_values);
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ScenarioRun& r = runs[i];
+      auto& record = report.record("runs");
+      // Sweep rows carry their x-axis value; repetition rows their rep.
+      if (sweeping) record.put("value", sweep_values[i]);
+      record.put("rep", r.repetition)
           .put("fault_seed", r.fault_seed)
           .put("finder_seed", r.finder_seed)
           .put("faults", std::size_t{r.faults})
@@ -214,8 +308,8 @@ int run(const Cli& cli) {
   }
 
   if (cli.has("stats") && !json_to_stdout) {
-    // Pooled total: the runner's own engine plus every retired worker
-    // engine — the same work total regardless of --threads.
+    // Pooled total: the runner's primary engine plus every per-job lease
+    // — the same work total regardless of --threads.
     const EngineStats st = runner.total_engine_stats();
     std::cout << "\nengine telemetry (cumulative, " << threads
               << (threads == 1 ? " thread):\n" : " threads, pooled):\n");

@@ -1,0 +1,414 @@
+#include "api/campaign.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace fne {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON -> Campaign
+// ---------------------------------------------------------------------------
+
+/// Registry-style hygiene for config files: an unknown key is a typo and
+/// fails loudly, naming the offender and the context.
+void check_keys(const JsonValue& obj, const std::string& context,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&](const char* a) { return key == a; });
+    if (!known) {
+      std::string list;
+      for (const char* a : allowed) {
+        if (!list.empty()) list += ", ";
+        list += a;
+      }
+      FNE_REQUIRE(false, "campaign: " + context + " has no key '" + key +
+                             "' (allowed: " + list + ")");
+    }
+  }
+}
+
+[[nodiscard]] Params params_from_json(const JsonValue& obj, const std::string& context) {
+  Params out;
+  for (const auto& [key, value] : obj.members()) {
+    switch (value.kind()) {
+      case JsonValue::Kind::kString:
+        out.set(key, value.as_string());
+        break;
+      case JsonValue::Kind::kBool:
+        out.set(key, std::string(value.as_bool() ? "1" : "0"));
+        break;
+      case JsonValue::Kind::kNumber: {
+        const double d = value.as_number();
+        // Integral numbers round-trip as integers so "side": 24 matches
+        // the flag form side=24 byte-for-byte in Params::to_string().
+        if (static_cast<double>(static_cast<std::int64_t>(d)) == d) {
+          out.set(key, static_cast<std::int64_t>(d));
+        } else {
+          out.set(key, d);
+        }
+        break;
+      }
+      default:
+        FNE_REQUIRE(false, "campaign: " + context + "." + key +
+                               " must be a scalar (string, number or bool)");
+    }
+  }
+  return out;
+}
+
+void apply_scenario_json(Scenario& s, const JsonValue& obj) {
+  check_keys(obj, "scenario entry",
+             {"preset", "name", "seed", "repetitions", "topology", "fault", "prune", "metrics",
+              "sweep"});
+  if (const JsonValue* v = obj.find("name")) s.name = v->as_string();
+  if (const JsonValue* v = obj.find("seed")) s.seed = static_cast<std::uint64_t>(v->as_int());
+  if (const JsonValue* v = obj.find("repetitions")) {
+    s.repetitions = static_cast<int>(v->as_int());
+  }
+  if (const JsonValue* v = obj.find("topology")) {
+    check_keys(*v, "topology", {"name", "params"});
+    if (const JsonValue* name = v->find("name")) {
+      if (name->as_string() != s.topology.name) s.topology = {name->as_string(), Params{}};
+    }
+    if (const JsonValue* params = v->find("params")) {
+      const Params parsed = params_from_json(*params, "topology.params");
+      for (const auto& [k, val] : parsed.values()) s.topology.params.set(k, val);
+    }
+  }
+  if (const JsonValue* v = obj.find("fault")) {
+    check_keys(*v, "fault", {"name", "params"});
+    if (const JsonValue* name = v->find("name")) {
+      if (name->as_string() != s.fault.name) s.fault = {name->as_string(), Params{}};
+    }
+    if (const JsonValue* params = v->find("params")) {
+      const Params parsed = params_from_json(*params, "fault.params");
+      for (const auto& [k, val] : parsed.values()) s.fault.params.set(k, val);
+    }
+  }
+  if (const JsonValue* v = obj.find("prune")) {
+    check_keys(*v, "prune", {"kind", "alpha", "epsilon", "fast", "max_iterations"});
+    if (const JsonValue* kind = v->find("kind")) {
+      const std::string& k = kind->as_string();
+      FNE_REQUIRE(k == "node" || k == "edge", "campaign: prune.kind must be node or edge");
+      s.prune.kind = k == "node" ? ExpansionKind::Node : ExpansionKind::Edge;
+    }
+    if (const JsonValue* a = v->find("alpha")) s.prune.alpha = a->as_number();
+    if (const JsonValue* e = v->find("epsilon")) s.prune.epsilon = e->as_number();
+    if (const JsonValue* f = v->find("fast")) s.prune.fast = f->as_bool();
+    if (const JsonValue* m = v->find("max_iterations")) {
+      s.prune.max_iterations = static_cast<int>(m->as_int());
+    }
+  }
+  if (const JsonValue* v = obj.find("metrics")) {
+    check_keys(*v, "metrics",
+               {"fragmentation", "expansion", "verify_trace", "bracket_exact_limit"});
+    if (const JsonValue* f = v->find("fragmentation")) s.metrics.fragmentation = f->as_bool();
+    if (const JsonValue* e = v->find("expansion")) s.metrics.expansion = e->as_bool();
+    if (const JsonValue* t = v->find("verify_trace")) s.metrics.verify_trace = t->as_bool();
+    if (const JsonValue* b = v->find("bracket_exact_limit")) {
+      s.metrics.bracket_exact_limit = static_cast<vid>(b->as_int());
+    }
+  }
+}
+
+[[nodiscard]] std::optional<SweepSpec> sweep_from_json(const JsonValue& obj) {
+  const JsonValue* v = obj.find("sweep");
+  if (v == nullptr) return std::nullopt;
+  check_keys(*v, "sweep", {"param", "values", "mode"});
+  SweepSpec sweep;
+  sweep.param = v->at("param").as_string();
+  for (const JsonValue& value : v->at("values").items()) {
+    sweep.values.push_back(value.as_number());
+  }
+  FNE_REQUIRE(!sweep.values.empty(), "campaign: sweep.values must be non-empty");
+  if (const JsonValue* mode = v->find("mode")) {
+    const std::string& m = mode->as_string();
+    FNE_REQUIRE(m == "independent" || m == "monotone",
+                "campaign: sweep.mode must be independent or monotone");
+    sweep.mode = m == "monotone" ? SweepMode::kMonotone : SweepMode::kIndependent;
+  }
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Report serialization
+// ---------------------------------------------------------------------------
+
+/// Order-sensitive 64-bit FNV-1a over the survivor words: a strong,
+/// cheap identity for "same set, bit for bit" comparisons across report
+/// payloads.
+[[nodiscard]] std::uint64_t mask_hash(const VertexSet& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t word) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (word >> (8 * b)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(s.universe_size());
+  for (std::size_t w = 0; w < s.num_words(); ++w) mix(s.word(w));
+  return h;
+}
+
+void put_engine_stats(JsonObject& obj, const EngineStats& st) {
+  obj.put("runs", st.runs)
+      .put("iterations", st.iterations)
+      .put("eigensolves", st.eigensolves)
+      .put("stale_sweeps", st.stale_sweeps)
+      .put("stale_sweep_hits", st.stale_sweep_hits)
+      .put("disconnected_culls", st.disconnected_culls)
+      .put("relabel_bfs_calls", st.relabel_bfs_calls)
+      .put("relabel_bfs_vertices", st.relabel_bfs_vertices);
+}
+
+[[nodiscard]] std::string run_record_json(const ScenarioRun& run, const MetricsSpec& metrics,
+                                          bool include_timing) {
+  JsonObject obj;
+  obj.put("rep", run.repetition)
+      .put("fault_seed", run.fault_seed)
+      .put("finder_seed", run.finder_seed)
+      .put("faults", static_cast<std::uint64_t>(run.faults))
+      .put("alive", static_cast<std::uint64_t>(run.alive.count()))
+      .put("survivors", static_cast<std::uint64_t>(run.prune.survivors.count()))
+      .put("survivor_hash", mask_hash(run.prune.survivors))
+      .put("culled", static_cast<std::uint64_t>(run.prune.total_culled))
+      .put("iterations", run.prune.iterations);
+  if (metrics.fragmentation) {
+    obj.put("gamma", run.fragmentation.gamma)
+        .put("components", static_cast<std::uint64_t>(run.fragmentation.num_components));
+  }
+  if (run.expansion.has_value()) {
+    obj.put("expansion_lower", run.expansion->lower)
+        .put("expansion_upper", run.expansion->upper);
+  }
+  if (run.trace.has_value()) obj.put("trace_valid", run.trace->valid);
+  if (include_timing) obj.put("millis", run.millis);
+  return obj.dump();
+}
+
+[[nodiscard]] std::string scenario_report_json(const ScenarioReport& report,
+                                               bool include_timing) {
+  JsonObject obj;
+  const Scenario& s = report.scenario;
+  obj.put("name", s.name)
+      .put("topology", s.topology.name)
+      .put("topo_params", s.topology.params.to_string())
+      .put("fault", s.fault.name)
+      .put("fault_params", s.fault.params.to_string())
+      .put("kind", s.prune.kind == ExpansionKind::Node ? "node" : "edge")
+      .put("fast", s.prune.fast)
+      .put("n", static_cast<std::uint64_t>(report.n))
+      .put("alpha", report.alpha)
+      .put("epsilon", report.epsilon)
+      .put("seed", s.seed)
+      .put("repetitions", s.repetitions);
+  if (report.sweep.has_value()) {
+    obj.put("sweep_param", report.sweep->param)
+        .put("sweep_mode",
+             report.sweep->mode == SweepMode::kMonotone ? "monotone" : "independent")
+        .put_numbers("sweep_values", report.sweep->values);
+  }
+  std::string runs = "[";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    if (i > 0) runs += ", ";
+    runs += run_record_json(report.runs[i], s.metrics, include_timing);
+  }
+  obj.put_json("runs", runs + "]");
+  JsonObject engine;
+  put_engine_stats(engine, report.engine);
+  obj.put_json("engine", engine.dump());
+  if (include_timing) obj.put("millis", report.millis);
+  return obj.dump();
+}
+
+}  // namespace
+
+namespace {
+
+[[nodiscard]] Campaign campaign_from_doc(const JsonValue& doc) {
+  check_keys(doc, "campaign", {"name", "scenarios"});
+  Campaign campaign;
+  if (const JsonValue* name = doc.find("name")) campaign.name = name->as_string();
+  const JsonValue& entries = doc.at("scenarios");
+  FNE_REQUIRE(!entries.items().empty(), "campaign: scenarios must be non-empty");
+  for (const JsonValue& entry : entries.items()) {
+    CampaignEntry e;
+    if (const JsonValue* preset = entry.find("preset")) {
+      e.scenario = named_scenario(preset->as_string());
+    }
+    apply_scenario_json(e.scenario, entry);
+    e.sweep = sweep_from_json(entry);
+    campaign.entries.push_back(std::move(e));
+  }
+  return campaign;
+}
+
+}  // namespace
+
+Campaign campaign_from_json(const std::string& text) {
+  return campaign_from_doc(JsonValue::parse(text));
+}
+
+Campaign campaign_from_file(const std::string& path) {
+  Campaign campaign = campaign_from_doc(JsonValue::parse_file(path));
+  if (campaign.name == "campaign") campaign.name = path;  // unnamed files report their path
+  return campaign;
+}
+
+Campaign catalog_campaign(int repetitions) {
+  FNE_REQUIRE(repetitions >= 1, "catalog campaign needs >= 1 repetition");
+  Campaign campaign;
+  campaign.name = "catalog";
+  for (Scenario s : scenario_catalog()) {
+    s.repetitions = repetitions;
+    campaign.entries.push_back({std::move(s), std::nullopt});
+  }
+  return campaign;
+}
+
+EngineStats CampaignReport::total_engine_stats() const {
+  EngineStats total;
+  for (const ScenarioReport& s : scenarios) total += s.engine;
+  return total;
+}
+
+std::string CampaignReport::to_json(bool include_timing) const {
+  JsonObject top;
+  top.put("name", name).put("kind", "campaign_report");
+  std::string entries = "[";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (i > 0) entries += ", ";
+    entries += scenario_report_json(scenarios[i], include_timing);
+  }
+  top.put_json("scenarios", entries + "]");
+  JsonObject engine;
+  put_engine_stats(engine, total_engine_stats());
+  top.put_json("engine_total", engine.dump());
+  if (include_timing) {
+    top.put("threads", threads).put("millis", millis);
+    JsonObject cache_obj;
+    cache_obj.put("leases", cache.leases)
+        .put("engine_hits", cache.engine_hits)
+        .put("engine_builds", cache.engine_builds)
+        .put("graph_hits", cache.graph_hits)
+        .put("graph_builds", cache.graph_builds);
+    top.put_json("cache", cache_obj.dump());
+  }
+  return top.dump();
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner
+// ---------------------------------------------------------------------------
+
+CampaignRunner::CampaignRunner(Campaign campaign) : campaign_(std::move(campaign)) {
+  FNE_REQUIRE(!campaign_.entries.empty(), "campaign needs >= 1 entry");
+  for (const CampaignEntry& e : campaign_.entries) {
+    // Validate names eagerly so a typo fails at construction, not after
+    // half the campaign ran.
+    (void)TopologyRegistry::instance().at(e.scenario.topology.name);
+    (void)FaultModelRegistry::instance().at(e.scenario.fault.name);
+    if (e.sweep.has_value()) {
+      FNE_REQUIRE(!e.sweep->values.empty(),
+                  "campaign entry '" + e.scenario.name + "': sweep needs values");
+    }
+  }
+}
+
+CampaignReport CampaignRunner::run(int threads) {
+  FNE_REQUIRE(threads >= 1, "campaign threads must be >= 1");
+  const EngineCacheStats cache_before = EngineCache::instance().stats();
+  Timer wall;
+
+  // Phase 1 — resolve every entry: graph build (cache-shared) and α/ε
+  // measurement, parallelized across entries.  Runner construction is a
+  // pure function of the Scenario, so placement cannot change a bit.
+  const std::size_t num_entries = campaign_.entries.size();
+  std::vector<std::unique_ptr<ScenarioRunner>> runners(num_entries);
+  ExecutorPool::run(num_entries, threads, [&](std::size_t e) {
+    runners[e] = std::make_unique<ScenarioRunner>(campaign_.entries[e].scenario);
+  });
+
+  // Phase 2 — flatten scenario×repetition / sweep jobs into one global
+  // list.  A monotone sweep chain is ONE serial job (its points are
+  // order-dependent); everything else is one job per run.
+  struct Job {
+    std::size_t entry;
+    int rep = 0;          // repetition id (independent runs)
+    int sweep_point = -1; // >= 0: independent sweep point index
+    bool monotone = false;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::vector<ScenarioRun>> results(num_entries);
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    const CampaignEntry& entry = campaign_.entries[e];
+    if (entry.sweep.has_value()) {
+      if (entry.sweep->mode == SweepMode::kMonotone) {
+        results[e].resize(0);
+        jobs.push_back({e, 0, -1, true});
+      } else {
+        results[e].resize(entry.sweep->values.size());
+        for (std::size_t j = 0; j < entry.sweep->values.size(); ++j) {
+          jobs.push_back({e, 0, static_cast<int>(j), false});
+        }
+      }
+    } else {
+      results[e].resize(static_cast<std::size_t>(entry.scenario.repetitions));
+      for (int r = 0; r < entry.scenario.repetitions; ++r) {
+        jobs.push_back({e, r, -1, false});
+      }
+    }
+  }
+
+  ExecutorPool::run(jobs.size(), threads, [&](std::size_t i) {
+    const Job& job = jobs[i];
+    const CampaignEntry& entry = campaign_.entries[job.entry];
+    ScenarioRunner& runner = *runners[job.entry];
+    if (job.monotone) {
+      results[job.entry] = runner.sweep_fault_param(
+          entry.sweep->param, entry.sweep->values, 1, SweepMode::kMonotone);
+    } else if (job.sweep_point >= 0) {
+      FaultSpec fault = entry.scenario.fault;
+      fault.params.set(entry.sweep->param,
+                       entry.sweep->values[static_cast<std::size_t>(job.sweep_point)]);
+      results[job.entry][static_cast<std::size_t>(job.sweep_point)] =
+          runner.run_isolated(fault, 0);
+    } else {
+      results[job.entry][static_cast<std::size_t>(job.rep)] =
+          runner.run_isolated(entry.scenario.fault, job.rep);
+    }
+  });
+
+  // Phase 3 — aggregate.
+  CampaignReport report;
+  report.name = campaign_.name;
+  report.threads = threads;
+  report.scenarios.reserve(num_entries);
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    ScenarioReport sr;
+    sr.scenario = runners[e]->scenario();
+    sr.sweep = campaign_.entries[e].sweep;
+    sr.alpha = runners[e]->alpha();
+    sr.epsilon = runners[e]->epsilon();
+    sr.n = runners[e]->graph().num_vertices();
+    sr.runs = std::move(results[e]);
+    sr.engine = runners[e]->total_engine_stats();
+    for (const ScenarioRun& r : sr.runs) sr.millis += r.millis;
+    report.scenarios.push_back(std::move(sr));
+  }
+  report.millis = wall.millis();
+  report.cache = EngineCache::instance().stats() - cache_before;
+  return report;
+}
+
+}  // namespace fne

@@ -1,0 +1,123 @@
+// fne::Campaign — a batch of Scenarios executed as one schedule over the
+// process-wide engine cache (DESIGN.md §8).
+//
+// The paper's experiments are CAMPAIGNS: the same prune/prune2 analysis
+// swept across many topologies, fault regimes and parameters.  A
+// Campaign names that whole study as a value — a list of entries, each a
+// Scenario plus an optional fault-parameter sweep — loadable from a JSON
+// file (campaign_from_file, parsed via util/json.hpp), assembled from
+// scenario_catalog() presets, or built ad hoc.
+//
+// CampaignRunner flattens every entry into scenario×repetition (or
+// sweep-point) jobs and runs ALL of them on one ExecutorPool: a campaign
+// with 40 one-rep scenarios parallelizes as well as one 40-rep scenario.
+// Jobs lease engines from the EngineCache, so entries sharing a topology
+// share graphs and warm buffer pools, and the whole run produces one
+// aggregated CampaignReport: per-entry ScenarioRuns plus folded
+// EngineStats and cache telemetry.
+//
+// Determinism: every job is a pure function of (scenario, rep) — seeds
+// per repetition, warm state dropped at engine lease — and monotone
+// sweep chains run as single serial jobs, so the report's DETERMINISTIC
+// PAYLOAD (to_json(/*include_timing=*/false)) is byte-identical for any
+// thread count and any cache-hit pattern.  Wall-clock fields and cache
+// hit/miss counters are placement-dependent by nature and only appear
+// when include_timing is true.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/runner.hpp"
+#include "api/scenario.hpp"
+
+namespace fne {
+
+/// One fault-parameter sweep attached to a campaign entry.
+struct SweepSpec {
+  std::string param;
+  std::vector<double> values;
+  SweepMode mode = SweepMode::kIndependent;
+};
+
+/// One campaign line: a Scenario, run either as scenario.repetitions
+/// independent repetitions or as a sweep over `sweep->values`.
+struct CampaignEntry {
+  Scenario scenario;
+  std::optional<SweepSpec> sweep;
+};
+
+struct Campaign {
+  std::string name = "campaign";
+  std::vector<CampaignEntry> entries;
+};
+
+/// Build a Campaign from a JSON document / file.  Schema (all scenario
+/// fields optional on top of the preset or the defaults; unknown keys
+/// are rejected with the offending key named):
+///
+///   {"name": "smoke",
+///    "scenarios": [
+///      {"preset": "mesh-random", "repetitions": 3, "seed": 7},
+///      {"name": "sweep-example",
+///       "topology": {"name": "mesh", "params": {"side": 16, "dims": 2}},
+///       "fault":    {"name": "random", "params": {"p": 0.1}},
+///       "prune":    {"kind": "edge", "alpha": 0.125, "epsilon": 0,
+///                    "fast": true, "max_iterations": 100000},
+///       "metrics":  {"fragmentation": true, "expansion": false,
+///                    "verify_trace": false, "bracket_exact_limit": 14},
+///       "sweep":    {"param": "p", "values": [0.05, 0.15, 0.25],
+///                    "mode": "monotone"}}]}
+[[nodiscard]] Campaign campaign_from_json(const std::string& text);
+[[nodiscard]] Campaign campaign_from_file(const std::string& path);
+
+/// The whole scenario_catalog() as a campaign (the CI smoke workload).
+[[nodiscard]] Campaign catalog_campaign(int repetitions = 1);
+
+/// One executed campaign entry.
+struct ScenarioReport {
+  Scenario scenario;           ///< as resolved (preset + overrides)
+  std::optional<SweepSpec> sweep;
+  double alpha = 0.0;
+  double epsilon = 0.0;
+  vid n = 0;
+  std::vector<ScenarioRun> runs;  ///< one per repetition / sweep point
+  EngineStats engine;          ///< work attributed to this entry (placement-independent)
+  double millis = 0.0;         ///< summed job wall-clock (timing payload only)
+};
+
+struct CampaignReport {
+  std::string name;
+  std::vector<ScenarioReport> scenarios;
+  int threads = 1;             ///< as requested (timing payload only)
+  double millis = 0.0;         ///< wall-clock of the whole run
+  EngineCacheStats cache;      ///< cache ops during the run (placement-dependent)
+
+  [[nodiscard]] EngineStats total_engine_stats() const;
+  /// Serialize.  include_timing=false yields the deterministic payload:
+  /// byte-identical across thread counts and cache-hit patterns (the
+  /// campaign determinism tests and bench_s4_campaign compare exactly
+  /// this string).
+  [[nodiscard]] std::string to_json(bool include_timing = true) const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(Campaign campaign);
+
+  [[nodiscard]] const Campaign& campaign() const noexcept { return campaign_; }
+
+  /// Execute every entry's jobs on `threads` ExecutorPool workers.
+  /// Entry construction (graph build, α measurement) is itself
+  /// parallelized across entries.  May be called repeatedly; each call
+  /// reports only its own work.
+  [[nodiscard]] CampaignReport run(int threads = 1);
+
+ private:
+  Campaign campaign_;
+};
+
+}  // namespace fne

@@ -1,0 +1,208 @@
+#include "api/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+
+// ---------------------------------------------------------------------------
+// EngineLease
+// ---------------------------------------------------------------------------
+
+EngineLease::EngineLease(EngineCache* cache, std::unique_ptr<Slot> slot) noexcept
+    : cache_(cache), slot_(std::move(slot)) {}
+
+EngineLease::EngineLease(EngineLease&& o) noexcept
+    : cache_(o.cache_), slot_(std::move(o.slot_)) {
+  o.cache_ = nullptr;
+}
+
+EngineLease& EngineLease::operator=(EngineLease&& o) noexcept {
+  if (this != &o) {
+    release();
+    cache_ = o.cache_;
+    slot_ = std::move(o.slot_);
+    o.cache_ = nullptr;
+  }
+  return *this;
+}
+
+EngineLease::~EngineLease() { release(); }
+
+PruneEngine& EngineLease::engine() const {
+  FNE_REQUIRE(slot_ != nullptr, "engine() on an empty EngineLease");
+  return slot_->engine;
+}
+
+const Graph& EngineLease::graph() const {
+  FNE_REQUIRE(slot_ != nullptr, "graph() on an empty EngineLease");
+  return *slot_->graph;
+}
+
+EngineStats EngineLease::stats_delta() const {
+  FNE_REQUIRE(slot_ != nullptr, "stats_delta() on an empty EngineLease");
+  return slot_->engine.stats() - slot_->at_lease;
+}
+
+void EngineLease::release() {
+  if (slot_ != nullptr && cache_ != nullptr) {
+    cache_->release(std::move(slot_));
+  }
+  slot_.reset();
+  cache_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// EngineCache
+// ---------------------------------------------------------------------------
+
+EngineCache& EngineCache::instance() {
+  static EngineCache cache;
+  return cache;
+}
+
+std::uint64_t EngineCache::normalized_seed(const std::string& topology,
+                                           std::uint64_t build_seed) const {
+  // Unseeded families build the same graph for every seed; folding the
+  // key to 0 lets scenarios that differ only in their (fault) seed share
+  // one graph and one engine pool.
+  return TopologyRegistry::instance().at(topology).seeded ? build_seed : 0;
+}
+
+std::shared_ptr<const Graph> EngineCache::graph(const std::string& topology,
+                                                const Params& params,
+                                                std::uint64_t build_seed) {
+  const std::uint64_t seed = normalized_seed(topology, build_seed);
+  const GraphKey key{topology, params.to_string(), seed};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = graphs_.find(key);
+    if (it != graphs_.end()) {
+      ++stats_.graph_hits;
+      return it->second;
+    }
+  }
+  // Build OUTSIDE the lock: topology factories can be expensive and the
+  // campaign construction phase builds many distinct graphs in parallel.
+  // A concurrent duplicate build is harmless — factories are pure, and
+  // the loser's copy is discarded below.
+  auto built = std::make_shared<const Graph>(
+      TopologyRegistry::instance().build(topology, params, seed));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = graphs_.emplace(key, std::move(built));
+  if (inserted) {
+    ++stats_.graph_builds;
+  } else {
+    ++stats_.graph_hits;
+  }
+  return it->second;
+}
+
+EngineLease EngineCache::lease(const std::string& topology, const Params& params,
+                               std::uint64_t build_seed, ExpansionKind kind) {
+  const std::uint64_t seed = normalized_seed(topology, build_seed);
+  const EngineKey key{topology, params.to_string(), seed, static_cast<int>(kind)};
+  std::unique_ptr<EngineLease::Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    const auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      slot = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.engine_hits;
+    }
+  }
+  if (slot == nullptr) {
+    std::shared_ptr<const Graph> g = graph(topology, params, build_seed);
+    slot = std::make_unique<EngineLease::Slot>(key, std::move(g), kind);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.engine_builds;
+  }
+  // The one cross-lease channel is the workspace's warm Fiedler cache;
+  // dropping it here makes a cache hit indistinguishable from a fresh
+  // engine — the whole bit-identity story of the campaign layer.
+  slot->engine.drop_warm_state();
+  slot->at_lease = slot->engine.stats();
+  return EngineLease(this, std::move(slot));
+}
+
+void EngineCache::release(std::unique_ptr<EngineLease::Slot> slot) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Bound the idle pool per key: an engine owns full workspace buffers
+  // (Krylov basis, BFS queues, sub-CSR pool), and a burst of wide
+  // campaigns must not pin them all forever.  kMaxIdlePerKey matches the
+  // widest pool a single host realistically runs; excess engines are
+  // simply destroyed (the next lease rebuilds one — correctness is
+  // lease-local either way).
+  auto& pool = idle_[slot->key];
+  if (pool.size() < kMaxIdlePerKey) pool.push_back(std::move(slot));
+}
+
+EngineCacheStats EngineCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t EngineCache::idle_engines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, pool] : idle_) total += pool.size();
+  return total;
+}
+
+std::size_t EngineCache::cached_graphs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+void EngineCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  idle_.clear();
+  graphs_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorPool
+// ---------------------------------------------------------------------------
+
+void ExecutorPool::run(std::size_t jobs, int threads,
+                       const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  threads = std::clamp<int>(threads, 1, static_cast<int>(std::min<std::size_t>(
+                                            jobs, static_cast<std::size_t>(1) << 10)));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          // Keep claiming: the remaining jobs are independent, and the
+          // caller sees the first error either way.
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fne

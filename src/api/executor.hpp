@@ -1,0 +1,173 @@
+// The executor layer under the scenario/campaign APIs (DESIGN.md §8):
+// a process-wide engine cache plus a small deterministic job pool.
+//
+// PR 3 gave each ScenarioRunner worker its own throwaway PruneEngine;
+// every cross-scenario study (a campaign over the catalog, a parameter
+// grid, the benches' family loops) therefore rebuilt graphs and engine
+// workspaces from scratch per scenario.  This layer hoists that state one
+// level up:
+//
+//   EngineCache — process-wide singleton mapping
+//       (topology name, topology params, build seed, expansion kind)
+//     to built Graphs (shared) and idle PruneEngines (pooled).  Engines
+//     are LEASED per job: lease() pops an idle engine (or builds one),
+//     calls PruneEngine::drop_warm_state() and snapshots its stats.
+//     Dropping the warm state on every lease is what keeps results
+//     bit-identical for any thread count and any cache-hit pattern — a
+//     leased engine behaves exactly like a freshly constructed one, it
+//     just skips the graph build and the workspace allocations.  Unseeded
+//     topologies (mesh, hypercube, ...) normalize their build seed to 0
+//     in the key, so scenarios that differ only in their fault seed share
+//     one graph and one engine pool.
+//
+//   EngineLease — movable RAII handle returned by lease(); exposes the
+//     engine, the shared graph, and stats_delta() (work accrued since the
+//     lease — the placement-independent number campaign reports fold).
+//     The destructor returns the engine to the idle pool.
+//
+//   ExecutorPool — runs fn(i) for i in [0, jobs) on a worker pool, jobs
+//     claimed off an atomic counter.  Safe for any fn whose result is a
+//     pure function of i (the scenario layer's determinism contract);
+//     the first exception is rethrown on the caller after all workers
+//     drain, so one bad job cannot strand the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/params.hpp"
+#include "core/graph.hpp"
+#include "prune/engine.hpp"
+
+namespace fne {
+
+/// Cache-op telemetry.  These counters describe *placement* (who hit, who
+/// built), so they are wall-clock-class data: campaign reports keep them
+/// out of the deterministic payload.
+struct EngineCacheStats {
+  std::uint64_t leases = 0;
+  std::uint64_t engine_hits = 0;    ///< leases served from the idle pool
+  std::uint64_t engine_builds = 0;  ///< leases that constructed an engine
+  std::uint64_t graph_hits = 0;
+  std::uint64_t graph_builds = 0;
+
+  [[nodiscard]] friend EngineCacheStats operator-(const EngineCacheStats& after,
+                                                  const EngineCacheStats& before) {
+    return {after.leases - before.leases, after.engine_hits - before.engine_hits,
+            after.engine_builds - before.engine_builds, after.graph_hits - before.graph_hits,
+            after.graph_builds - before.graph_builds};
+  }
+};
+
+class EngineCache;
+
+/// Movable RAII handle over one cached engine.  Default-constructed
+/// leases are empty; engine()/graph() REQUIRE a held lease.
+class EngineLease {
+ public:
+  EngineLease() = default;
+  EngineLease(EngineLease&& o) noexcept;
+  EngineLease& operator=(EngineLease&& o) noexcept;
+  EngineLease(const EngineLease&) = delete;
+  EngineLease& operator=(const EngineLease&) = delete;
+  ~EngineLease();
+
+  [[nodiscard]] explicit operator bool() const noexcept { return slot_ != nullptr; }
+  [[nodiscard]] PruneEngine& engine() const;
+  [[nodiscard]] const Graph& graph() const;
+  /// Engine work accrued since this lease was taken.  A pure function of
+  /// the jobs run on the lease — placement- and cache-history-independent.
+  [[nodiscard]] EngineStats stats_delta() const;
+  /// Return the engine to the cache now (also done by the destructor).
+  void release();
+
+ private:
+  friend class EngineCache;
+  struct Slot;
+  EngineLease(EngineCache* cache, std::unique_ptr<Slot> slot) noexcept;
+
+  EngineCache* cache_ = nullptr;
+  std::unique_ptr<Slot> slot_;
+};
+
+class EngineCache {
+ public:
+  /// The process-wide cache (one per process, like the registries).
+  [[nodiscard]] static EngineCache& instance();
+
+  /// The graph `TopologyRegistry::build(topology, params, build_seed)`
+  /// produces, built at most once per distinct key and shared.  Unseeded
+  /// topologies ignore `build_seed` (normalized to 0 in the key).
+  [[nodiscard]] std::shared_ptr<const Graph> graph(const std::string& topology,
+                                                   const Params& params,
+                                                   std::uint64_t build_seed);
+
+  /// Lease an engine for (topology, params, build_seed, kind).  Pops an
+  /// idle engine or builds one; ALWAYS drops the warm state, so the jobs
+  /// run on the lease are pure functions of their inputs regardless of
+  /// the engine's history.
+  [[nodiscard]] EngineLease lease(const std::string& topology, const Params& params,
+                                  std::uint64_t build_seed, ExpansionKind kind);
+
+  [[nodiscard]] EngineCacheStats stats() const;
+  [[nodiscard]] std::size_t idle_engines() const;
+  [[nodiscard]] std::size_t cached_graphs() const;
+
+  /// Drop every idle engine and cached graph (stats counters survive).
+  /// Outstanding leases are unaffected; their engines return to the
+  /// (now empty) pool as usual.  Graphs are retained until clear() by
+  /// design — cross-campaign reuse is the point of the cache — so a
+  /// process cycling through unboundedly many DISTINCT topology keys
+  /// should clear() between studies; idle engines are additionally
+  /// capped per key (kMaxIdlePerKey), so engine memory is bounded by
+  /// the number of distinct keys, not by past pool widths.
+  void clear();
+
+  /// Ceiling on pooled idle engines per key; releases beyond it destroy
+  /// the engine instead of pooling it.
+  static constexpr std::size_t kMaxIdlePerKey = 16;
+
+ private:
+  friend class EngineLease;
+  using GraphKey = std::tuple<std::string, std::string, std::uint64_t>;
+  using EngineKey = std::tuple<std::string, std::string, std::uint64_t, int>;
+
+  EngineCache() = default;
+  void release(std::unique_ptr<EngineLease::Slot> slot);
+  [[nodiscard]] std::uint64_t normalized_seed(const std::string& topology,
+                                              std::uint64_t build_seed) const;
+
+  mutable std::mutex mutex_;
+  std::map<GraphKey, std::shared_ptr<const Graph>> graphs_;
+  std::map<EngineKey, std::vector<std::unique_ptr<EngineLease::Slot>>> idle_;
+  EngineCacheStats stats_;
+};
+
+/// One engine bound to one shared graph, plus the bookkeeping the lease
+/// needs to re-pool it and attribute its work.
+struct EngineLease::Slot {
+  EngineCache::EngineKey key;
+  std::shared_ptr<const Graph> graph;
+  PruneEngine engine;
+  EngineStats at_lease;  ///< stats snapshot when the lease was taken
+
+  Slot(EngineCache::EngineKey k, std::shared_ptr<const Graph> g, ExpansionKind kind)
+      : key(std::move(k)), graph(std::move(g)), engine(*graph, kind) {}
+};
+
+class ExecutorPool {
+ public:
+  /// Run fn(i) for every i in [0, jobs).  `threads` is clamped to
+  /// [1, jobs]; 1 runs inline on the caller.  Workers claim indices off a
+  /// shared atomic counter — dynamic placement is safe exactly when fn(i)
+  /// is a pure function of i.  If jobs throw, the remaining jobs still
+  /// run and the FIRST exception is rethrown after the pool joins.
+  static void run(std::size_t jobs, int threads, const std::function<void(std::size_t)>& fn);
+};
+
+}  // namespace fne

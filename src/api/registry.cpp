@@ -137,6 +137,21 @@ vid TopologyRegistry::expected_n(const std::string& name, const Params& params) 
   return entry.expected_n(params);
 }
 
+Params TopologyRegistry::structure(const std::string& name, const Params& params) const {
+  const TopologyEntry& entry = at(name);
+  check_declared("topology", entry, params);
+  return entry.structure ? entry.structure(params) : Params{};
+}
+
+Mesh mesh_for(const std::string& name, const Params& params) {
+  const Params s = TopologyRegistry::instance().structure(name, params);
+  FNE_REQUIRE(s.has("side") && s.has("dims"),
+              "topology '" + name + "' declares no mesh structure (side/dims)");
+  const auto side = static_cast<vid>(s.get_int("side", 0));
+  const auto dims = static_cast<vid>(s.get_int("dims", 0));
+  return Mesh::cube(side, dims, s.get_bool("wrap", false));
+}
+
 Graph TopologyRegistry::build(const std::string& name, const Params& params,
                               std::uint64_t seed) const {
   const TopologyEntry& entry = at(name);
@@ -153,6 +168,16 @@ TopologyRegistry::TopologyRegistry() {
   // Deterministic families.  Contracts mirror the header docs: the
   // 2^dims-vertex families (hypercube/debruijn/shuffle_exchange) and the
   // side^dims meshes make the previously implicit size explicit.
+  // Mesh-family structure: the facts Mesh(sides, wrap) needs, so
+  // mesh_for() can rebuild the coordinate object from a Scenario.
+  const auto mesh_structure = [](const char* who, bool wrap) {
+    return [who = std::string(who), wrap](const Params& p) {
+      return Params{}
+          .set("side", static_cast<std::int64_t>(require_vid(who, p, "side", 24, 1, 1 << 20)))
+          .set("dims", static_cast<std::int64_t>(require_vid(who, p, "dims", 2, 1, 10)))
+          .set("wrap", std::string(wrap ? "1" : "0"));
+    };
+  };
   add({"mesh",
        "d-dimensional mesh, side^dims vertices (topology/mesh.hpp)",
        {{"side", "24", "vertices per dimension"}, {"dims", "2", "dimensions"}},
@@ -165,7 +190,8 @@ TopologyRegistry::TopologyRegistry() {
          return Mesh::cube(require_vid("topology 'mesh'", p, "side", 24, 1, 1 << 20),
                            require_vid("topology 'mesh'", p, "dims", 2, 1, 10))
              .graph();
-       }});
+       },
+       /*seeded=*/false, mesh_structure("topology 'mesh'", false)});
   add({"torus",
        "d-dimensional torus (periodic mesh), side^dims vertices",
        {{"side", "24", "vertices per dimension"}, {"dims", "2", "dimensions"}},
@@ -179,7 +205,8 @@ TopologyRegistry::TopologyRegistry() {
                            require_vid("topology 'torus'", p, "dims", 2, 1, 10),
                            /*wrap=*/true)
              .graph();
-       }});
+       },
+       /*seeded=*/false, mesh_structure("topology 'torus'", true)});
   add({"hypercube",
        "d-dimensional hypercube Q_d, 2^dims vertices",
        {{"dims", "8", "dimension d"}},
@@ -188,6 +215,11 @@ TopologyRegistry::TopologyRegistry() {
        },
        [](const Params& p, std::uint64_t) {
          return hypercube(require_vid("topology 'hypercube'", p, "dims", 8, 1, 26));
+       },
+       /*seeded=*/false,
+       [](const Params& p) {
+         const vid d = require_vid("topology 'hypercube'", p, "dims", 8, 1, 26);
+         return Params{}.set("dims", static_cast<std::int64_t>(d));
        }});
   add({"debruijn",
        "binary de Bruijn network DB(d), 2^dims vertices",
@@ -197,6 +229,11 @@ TopologyRegistry::TopologyRegistry() {
        },
        [](const Params& p, std::uint64_t) {
          return debruijn(require_vid("topology 'debruijn'", p, "dims", 10, 2, 26));
+       },
+       /*seeded=*/false,
+       [](const Params& p) {
+         const vid d = require_vid("topology 'debruijn'", p, "dims", 10, 2, 26);
+         return Params{}.set("dims", static_cast<std::int64_t>(d));
        }});
   add({"shuffle_exchange",
        "shuffle-exchange network SE(d), 2^dims vertices",
@@ -206,6 +243,11 @@ TopologyRegistry::TopologyRegistry() {
        },
        [](const Params& p, std::uint64_t) {
          return shuffle_exchange(require_vid("topology 'shuffle_exchange'", p, "dims", 10, 2, 26));
+       },
+       /*seeded=*/false,
+       [](const Params& p) {
+         const vid d = require_vid("topology 'shuffle_exchange'", p, "dims", 10, 2, 26);
+         return Params{}.set("dims", static_cast<std::int64_t>(d));
        }});
   add({"butterfly",
        "butterfly BF(d): (dims+1)*2^dims vertices unwrapped, dims*2^dims wrapped",
@@ -219,6 +261,16 @@ TopologyRegistry::TopologyRegistry() {
          return butterfly(require_vid("topology 'butterfly'", p, "dims", 6, 1, 22),
                           p.get_bool("wrapped", false))
              .graph;
+       },
+       /*seeded=*/false,
+       [](const Params& p) {
+         const vid d = require_vid("topology 'butterfly'", p, "dims", 6, 1, 22);
+         const bool wrapped = p.get_bool("wrapped", false);
+         return Params{}
+             .set("dims", static_cast<std::int64_t>(d))
+             .set("levels", static_cast<std::int64_t>(wrapped ? d : d + 1))
+             .set("rows", static_cast<std::int64_t>(vid{1} << d))
+             .set("wrapped", std::string(wrapped ? "1" : "0"));
        }});
   add({"multibutterfly",
        "multibutterfly with random splitters, (dims+1)*2^dims vertices (seeded)",
@@ -233,6 +285,14 @@ TopologyRegistry::TopologyRegistry() {
                     require_vid("topology 'multibutterfly'", p, "splitter_degree", 2, 1, 64),
                     seed)
              .graph;
+       },
+       /*seeded=*/true,
+       [](const Params& p) {
+         const vid d = require_vid("topology 'multibutterfly'", p, "dims", 6, 1, 16);
+         return Params{}
+             .set("dims", static_cast<std::int64_t>(d))
+             .set("levels", static_cast<std::int64_t>(d + 1))
+             .set("rows", static_cast<std::int64_t>(vid{1} << d));
        }});
   add({"random_regular",
        "random d-regular simple graph (permutation model, seeded)",
@@ -246,7 +306,8 @@ TopologyRegistry::TopologyRegistry() {
          FNE_REQUIRE((static_cast<std::uint64_t>(n) * d) % 2 == 0 && d < n,
                      "topology 'random_regular': need n*degree even and degree < n");
          return random_regular(n, d, seed);
-       }});
+       },
+       /*seeded=*/true, /*structure=*/{}});
   add({"erdos_renyi",
        "Erdős–Rényi G(n, p) (seeded)",
        {{"n", "256", "vertices"}, {"p", "0.02", "edge probability"}},
@@ -256,7 +317,8 @@ TopologyRegistry::TopologyRegistry() {
        [](const Params& p, std::uint64_t seed) {
          return erdos_renyi(require_vid("topology 'erdos_renyi'", p, "n", 256, 1, 1 << 26),
                             require_prob("topology 'erdos_renyi'", p, "p", 0.02), seed);
-       }});
+       },
+       /*seeded=*/true, /*structure=*/{}});
   add({"can",
        "CAN overlay zone-adjacency graph, `peers` vertices (seeded)",
        {{"peers", "256", "number of peers/zones"},
@@ -270,7 +332,8 @@ TopologyRegistry::TopologyRegistry() {
                             require_vid("topology 'can'", p, "dims", 2, 1, 10), seed,
                             require_vid("topology 'can'", p, "max_depth", 20, 1, 30))
              .graph;
-       }});
+       },
+       /*seeded=*/true, /*structure=*/{}});
   add({"chain_expander",
        "H(G, k): every edge of a random base expander replaced by a k-chain "
        "(seeded); base_n + k * (base_n*base_degree/2) vertices",
@@ -292,35 +355,40 @@ TopologyRegistry::TopologyRegistry() {
          const vid bd = require_vid("topology 'chain_expander'", p, "base_degree", 4, 1, 64);
          const vid k = require_vid("topology 'chain_expander'", p, "k", 4, 2, 1 << 12);
          return chain_replace(random_regular(bn, bd, seed), k).graph;
-       }});
+       },
+       /*seeded=*/true, /*structure=*/{}});
   add({"complete",
        "complete graph K_n",
        {{"n", "64", "vertices"}},
        [](const Params& p) { return require_vid("topology 'complete'", p, "n", 64, 1, 4096); },
        [](const Params& p, std::uint64_t) {
          return complete_graph(require_vid("topology 'complete'", p, "n", 64, 1, 4096));
-       }});
+       },
+       /*seeded=*/false, /*structure=*/{}});
   add({"cycle",
        "cycle C_n",
        {{"n", "64", "vertices"}},
        [](const Params& p) { return require_vid("topology 'cycle'", p, "n", 64, 3, 1 << 26); },
        [](const Params& p, std::uint64_t) {
          return cycle_graph(require_vid("topology 'cycle'", p, "n", 64, 3, 1 << 26));
-       }});
+       },
+       /*seeded=*/false, /*structure=*/{}});
   add({"path",
        "path P_n",
        {{"n", "64", "vertices"}},
        [](const Params& p) { return require_vid("topology 'path'", p, "n", 64, 1, 1 << 26); },
        [](const Params& p, std::uint64_t) {
          return path_graph(require_vid("topology 'path'", p, "n", 64, 1, 1 << 26));
-       }});
+       },
+       /*seeded=*/false, /*structure=*/{}});
   add({"star",
        "star S_n (vertex 0 is the hub)",
        {{"n", "64", "vertices"}},
        [](const Params& p) { return require_vid("topology 'star'", p, "n", 64, 2, 1 << 26); },
        [](const Params& p, std::uint64_t) {
          return star_graph(require_vid("topology 'star'", p, "n", 64, 2, 1 << 26));
-       }});
+       },
+       /*seeded=*/false, /*structure=*/{}});
   add({"barbell",
        "two K_half cliques joined by one edge, 2*half vertices (paper §1.3)",
        {{"half", "16", "clique size"}},
@@ -329,7 +397,8 @@ TopologyRegistry::TopologyRegistry() {
        },
        [](const Params& p, std::uint64_t) {
          return barbell_graph(require_vid("topology 'barbell'", p, "half", 16, 2, 2048));
-       }});
+       },
+       /*seeded=*/false, /*structure=*/{}});
 }
 
 // ---------------------------------------------------------------------------
@@ -388,20 +457,25 @@ FaultModelRegistry::FaultModelRegistry() {
        {},
        [](const Graph& g, const Params&, std::uint64_t) {
          return VertexSet::full(g.num_vertices());
-       }});
+       },
+       /*monotone_params=*/{}});
   add({"random",
        "each node fails independently with probability p (paper §3)",
        {{"p", "0.1", "per-node fault probability"}},
        [](const Graph& g, const Params& p, std::uint64_t seed) {
          return random_node_faults(g, require_prob("fault model 'random'", p, "p", 0.1), seed);
-       }});
+       },
+       // One uniform per vertex compared against p: under a fixed seed,
+       // raising p only ADDS faults, so alive(p_hi) ⊆ alive(p_lo).
+       /*monotone_params=*/{"p"}});
   add({"random_exact",
        "exactly `budget` (or frac*n) uniform random node faults",
        kBudgetParams,
        [](const Graph& g, const Params& p, std::uint64_t seed) {
          return random_exact_node_faults(g, resolve_budget("fault model 'random_exact'", g, p),
                                          seed);
-       }});
+       },
+       /*monotone_params=*/{}});
   add({"high_degree",
        "adversary fails the `budget` highest-degree vertices (hub attack)",
        kBudgetParams,
@@ -409,7 +483,11 @@ FaultModelRegistry::FaultModelRegistry() {
          const AttackResult a =
              high_degree_attack(g, resolve_budget("fault model 'high_degree'", g, p));
          return VertexSet::full(g.num_vertices()) - a.faults;
-       }});
+       },
+       // A prefix of one stable degree order: a larger budget fails a
+       // SUPERSET of the vertices, so the alive masks nest.  (random_exact
+       // is NOT declared: Floyd's sampling reshuffles with the budget.)
+       /*monotone_params=*/{"budget", "frac"}});
   add({"sweep_cut",
        "adversary fails node boundaries of low-expansion sweep cuts within budget",
        [] {
@@ -425,7 +503,8 @@ FaultModelRegistry::FaultModelRegistry() {
          const AttackResult a =
              sweep_cut_attack(g, resolve_budget("fault model 'sweep_cut'", g, p), copts);
          return VertexSet::full(g.num_vertices()) - a.faults;
-       }});
+       },
+       /*monotone_params=*/{}});
   add({"separator",
        "Menger adversary: exact minimum s-t vertex separators within budget",
        kBudgetParams,
@@ -433,7 +512,8 @@ FaultModelRegistry::FaultModelRegistry() {
          const AttackResult a =
              separator_attack(g, resolve_budget("fault model 'separator'", g, p), seed);
          return VertexSet::full(g.num_vertices()) - a.faults;
-       }});
+       },
+       /*monotone_params=*/{}});
   add({"bisection",
        "Theorem 2.5 adversary: recursive bisection until pieces < epsilon*n",
        {{"epsilon", "0.05", "stop when all pieces are below epsilon*n"},
@@ -446,7 +526,8 @@ FaultModelRegistry::FaultModelRegistry() {
          opts.cut_options.seed = seed;
          const AttackResult a = bisection_attack(g, opts);
          return VertexSet::full(g.num_vertices()) - a.faults;
-       }});
+       },
+       /*monotone_params=*/{}});
 }
 
 }  // namespace fne

@@ -50,6 +50,18 @@ struct TopologyEntry {
   /// Vertex count implied by the params, computable without building.
   std::function<vid(const Params&)> expected_n;
   std::function<Graph(const Params&, std::uint64_t seed)> build;
+  /// Whether the factory actually reads the seed.  Deterministic families
+  /// (mesh, hypercube, ...) set false; the EngineCache then folds every
+  /// build seed to one key so scenarios differing only in their fault
+  /// seed share a graph and an engine pool.
+  bool seeded = true;
+  /// Resolved structural metadata (DESIGN.md §8): the coordinate facts a
+  /// geometric analysis needs, as flat key/value pairs computed from the
+  /// params WITHOUT building — e.g. mesh side/dims/wrap, butterfly
+  /// levels/rows, de Bruijn dims.  Empty function = no structure beyond
+  /// the vertex count.  This is what lets mesh-span/embedding analyses
+  /// run from a Scenario instead of a bespoke constructor (mesh_for()).
+  std::function<Params(const Params&)> structure;
 };
 
 class TopologyRegistry {
@@ -68,11 +80,23 @@ class TopologyRegistry {
                             std::uint64_t seed) const;
   /// The vertex count `build` would produce, without building.
   [[nodiscard]] vid expected_n(const std::string& name, const Params& params) const;
+  /// The entry's resolved structural metadata for these params (validated
+  /// against the declaration); empty Params when the entry declares none.
+  [[nodiscard]] Params structure(const std::string& name, const Params& params) const;
 
  private:
   TopologyRegistry();
   std::map<std::string, TopologyEntry> entries_;
 };
+
+class Mesh;  // topology/mesh.hpp
+
+/// Rebuild the Mesh VALUE (coordinates, strides, wrap) described by a
+/// "mesh"/"torus" topology spec through the registry's structure
+/// metadata, so coordinate-dependent analyses (span/mesh_span.hpp,
+/// analysis/embedding.hpp) can run from a Scenario.  REQUIREs the entry
+/// to declare mesh structure (side/dims/wrap keys).
+[[nodiscard]] Mesh mesh_for(const std::string& name, const Params& params);
 
 struct FaultModelEntry {
   std::string name;
@@ -81,6 +105,15 @@ struct FaultModelEntry {
   /// Returns the *alive* set (survivors), matching faults/fault_model.hpp
   /// conventions: params always describe the fault process, not survival.
   std::function<VertexSet(const Graph&, const Params&, std::uint64_t seed)> build;
+  /// Params declared MONOTONE: under a fixed seed, a larger value makes
+  /// the alive mask shrink as a SUBSET (a coupling, not just a count
+  /// bound) — e.g. 'random' draws one uniform per vertex and compares it
+  /// to p, 'high_degree' takes a prefix of one fixed degree order.  This
+  /// is the gate for SweepMode::kMonotone's chained fault sweeps
+  /// (DESIGN.md §8); models whose selection changes shape with the
+  /// budget (sweep_cut, separator, bisection, random_exact's Floyd
+  /// sampling) must NOT be declared.
+  std::vector<std::string> monotone_params;
 };
 
 class FaultModelRegistry {

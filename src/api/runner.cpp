@@ -1,10 +1,7 @@
 #include "api/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <utility>
 
 #include "api/registry.hpp"
 #include "util/require.hpp"
@@ -35,10 +32,8 @@ double ChurnRunTrace::total_prune_millis() const {
 
 ScenarioRunner::ScenarioRunner(Scenario scenario)
     : scenario_(std::move(scenario)),
-      graph_(TopologyRegistry::instance().build(scenario_.topology.name,
-                                                scenario_.topology.params,
-                                                derive_seed(scenario_.seed, 0, 0))),
-      engine_(graph_, scenario_.prune.kind) {
+      graph_(EngineCache::instance().graph(scenario_.topology.name, scenario_.topology.params,
+                                           derive_seed(scenario_.seed, 0, 0))) {
   FNE_REQUIRE(scenario_.repetitions >= 1, "scenario needs >= 1 repetition");
 
   alpha_ = scenario_.prune.alpha;
@@ -48,7 +43,7 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
     BracketOptions bopts;
     bopts.exact_limit = scenario_.metrics.bracket_exact_limit;
     bopts.seed = derive_seed(scenario_.seed, 1, 0);
-    alpha_ = expansion_bracket(graph_, scenario_.prune.kind, bopts).upper;
+    alpha_ = expansion_bracket(*graph_, scenario_.prune.kind, bopts).upper;
     FNE_REQUIRE(alpha_ > 0.0, "scenario '" + scenario_.name +
                                   "': measured alpha is 0 (disconnected topology?); "
                                   "set prune.alpha explicitly");
@@ -56,9 +51,25 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
   epsilon_ = scenario_.prune.epsilon;
   if (epsilon_ <= 0.0) {
     epsilon_ = scenario_.prune.kind == ExpansionKind::Edge
-                   ? 1.0 / (2.0 * static_cast<double>(graph_.max_degree()))
+                   ? 1.0 / (2.0 * static_cast<double>(graph_->max_degree()))
                    : 0.5;
   }
+}
+
+EngineLease ScenarioRunner::lease_engine() const {
+  return EngineCache::instance().lease(scenario_.topology.name, scenario_.topology.params,
+                                       derive_seed(scenario_.seed, 0, 0),
+                                       scenario_.prune.kind);
+}
+
+PruneEngine& ScenarioRunner::primary_engine() {
+  if (!primary_) primary_ = lease_engine();
+  return primary_.engine();
+}
+
+void ScenarioRunner::fold_pool_stats(const EngineStats& delta) {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  pool_stats_ += delta;
 }
 
 PruneEngineOptions ScenarioRunner::engine_options(std::uint64_t finder_seed) const {
@@ -78,28 +89,33 @@ PruneEngineOptions ScenarioRunner::engine_options(std::uint64_t finder_seed) con
 
 void ScenarioRunner::measure(ScenarioRun& run) const {
   if (scenario_.metrics.fragmentation) {
-    run.fragmentation = fragmentation_profile(graph_, run.prune.survivors);
+    run.fragmentation = fragmentation_profile(*graph_, run.prune.survivors);
   }
   if (scenario_.metrics.expansion && run.prune.survivors.count() >= 2) {
     BracketOptions bopts;
     bopts.exact_limit = scenario_.metrics.bracket_exact_limit;
     bopts.seed = derive_seed(scenario_.seed, 2, static_cast<std::uint64_t>(run.repetition));
-    run.expansion = expansion_bracket(graph_, run.prune.survivors, scenario_.prune.kind, bopts);
+    run.expansion =
+        expansion_bracket(*graph_, run.prune.survivors, scenario_.prune.kind, bopts);
   }
   if (scenario_.metrics.verify_trace) {
-    run.trace = verify_prune_trace(graph_, run.alive, run.prune, scenario_.prune.kind,
+    run.trace = verify_prune_trace(*graph_, run.alive, run.prune, scenario_.prune.kind,
                                    run.threshold);
   }
 }
 
-ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& fault,
-                                      int rep) const {
+ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& fault, int rep,
+                                      const VertexSet* chain_start) const {
   ScenarioRun run;
   run.repetition = rep;
   run.fault_seed = derive_seed(scenario_.seed, 3, static_cast<std::uint64_t>(rep));
-  run.alive = FaultModelRegistry::instance().build(fault.name, graph_, fault.params,
-                                                   run.fault_seed);
-  run.faults = graph_.num_vertices() - run.alive.count();
+  VertexSet model = FaultModelRegistry::instance().build(fault.name, *graph_, fault.params,
+                                                         run.fault_seed);
+  run.faults = graph_->num_vertices() - model.count();
+  // Chained (monotone-sweep) starts prune the previous point's survivors
+  // restricted to this point's mask; run.alive records the actual engine
+  // input so verify_prune_trace certifies the run as usual.
+  run.alive = chain_start == nullptr ? std::move(model) : (*chain_start & model);
   run.threshold = alpha_ * epsilon_;
   run.finder_seed = derive_seed(scenario_.seed, 4, static_cast<std::uint64_t>(rep));
 
@@ -111,7 +127,14 @@ ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& faul
 }
 
 ScenarioRun ScenarioRunner::run_once(int rep) {
-  return run_point(engine_, scenario_.fault, rep);
+  return run_point(primary_engine(), scenario_.fault, rep);
+}
+
+ScenarioRun ScenarioRunner::run_isolated(const FaultSpec& fault, int rep) {
+  EngineLease lease = lease_engine();
+  ScenarioRun run = run_point(lease.engine(), fault, rep);
+  fold_pool_stats(lease.stats_delta());
+  return run;
 }
 
 void ScenarioRunner::run_pooled(std::span<const FaultSpec> faults, std::span<const int> reps,
@@ -121,45 +144,20 @@ void ScenarioRunner::run_pooled(std::span<const FaultSpec> faults, std::span<con
   threads = std::clamp<int>(threads, 1, static_cast<int>(std::max<std::size_t>(jobs, 1)));
 
   // Whatever executes job i, its result depends only on (scenario,
-  // faults[i], reps[i]): drop_warm_state() severs the one cross-run
-  // channel (the cached Fiedler ordering), so placement and claim order
-  // cannot leak into the outputs.
+  // faults[i], reps[i]): every job runs on an engine whose warm state was
+  // dropped (the one cross-run channel, the cached Fiedler ordering), so
+  // placement, claim order and cache-hit pattern cannot leak into the
+  // outputs.
   if (threads == 1) {
+    PruneEngine& engine = primary_engine();
     for (std::size_t i = 0; i < jobs; ++i) {
-      engine_.drop_warm_state();
-      out[i] = run_point(engine_, faults[i], reps[i]);
+      engine.drop_warm_state();
+      out[i] = run_point(engine, faults[i], reps[i]);
     }
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<EngineStats> worker_stats(static_cast<std::size_t>(threads));
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      // One persistent engine + workspace per worker: buffers amortize
-      // over every repetition this worker claims.
-      PruneEngine engine(graph_, scenario_.prune.kind);
-      try {
-        for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
-          engine.drop_warm_state();
-          out[i] = run_point(engine, faults[i], reps[i]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Other workers drain the remaining jobs; partial output is
-        // discarded by the rethrow below.
-      }
-      worker_stats[static_cast<std::size_t>(w)] = engine.stats();
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  for (const EngineStats& st : worker_stats) pool_stats_ += st;
-  if (first_error) std::rethrow_exception(first_error);
+  ExecutorPool::run(jobs, threads,
+                    [&](std::size_t i) { out[i] = run_isolated(faults[i], reps[i]); });
 }
 
 std::vector<ScenarioRun> ScenarioRunner::run_all(int threads) {
@@ -180,7 +178,9 @@ void ScenarioRunner::set_fault(FaultSpec fault) {
 
 std::vector<ScenarioRun> ScenarioRunner::sweep_fault_param(const std::string& key,
                                                            std::span<const double> values,
-                                                           int threads) {
+                                                           int threads, SweepMode mode) {
+  if (mode == SweepMode::kMonotone) return sweep_monotone(key, values);
+
   // Each point runs a COPY of the fault spec with the swept key set, so
   // the runner's own spec is never touched: a bad key/value surfaces as a
   // registry PreconditionError from run_pooled without poisoning later
@@ -193,8 +193,45 @@ std::vector<ScenarioRun> ScenarioRunner::sweep_fault_param(const std::string& ke
   return runs;
 }
 
+std::vector<ScenarioRun> ScenarioRunner::sweep_monotone(const std::string& key,
+                                                        std::span<const double> values) {
+  // Gate on the registry's declaration: chaining is only sound when the
+  // fault model's alive mask at value[j] is a SUBSET of the mask at
+  // value[j-1] under the same seed (the coupling random/high_degree
+  // provide).  Ascending values then make the masks nest.
+  const FaultModelEntry& entry = FaultModelRegistry::instance().at(scenario_.fault.name);
+  const bool declared = std::any_of(entry.monotone_params.begin(), entry.monotone_params.end(),
+                                    [&](const std::string& p) { return p == key; });
+  FNE_REQUIRE(declared, "fault model '" + scenario_.fault.name + "' does not declare param '" +
+                            key + "' monotone; use SweepMode::kIndependent");
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    FNE_REQUIRE(values[i - 1] < values[i],
+                "monotone sweep values must be strictly ascending");
+  }
+
+  // The whole chain is ONE serial job on ONE lease: point j depends on
+  // point j-1, and running it as a unit keeps campaign placement and
+  // thread counts out of the result.  Every point runs at rep 0's seeds
+  // — exactly like the independent sweep, so both modes see the same
+  // fault masks and the parity checks are meaningful.
+  EngineLease lease = lease_engine();
+  std::vector<ScenarioRun> runs;
+  runs.reserve(values.size());
+  VertexSet prev_survivors;
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    FaultSpec fault = scenario_.fault;
+    fault.params.set(key, values[j]);
+    runs.push_back(
+        run_point(lease.engine(), fault, 0, j == 0 ? nullptr : &prev_survivors));
+    prev_survivors = runs.back().prune.survivors;
+  }
+  fold_pool_stats(lease.stats_delta());
+  return runs;
+}
+
 ChurnRunTrace ScenarioRunner::run_churn(const ChurnOptions& options) {
-  ChurnProcess process(graph_, options);
+  PruneEngine& engine = primary_engine();
+  ChurnProcess process(*graph_, options);
   ChurnRunTrace trace;
   trace.rounds.reserve(static_cast<std::size_t>(options.steps));
   for (int t = 0; t < options.steps; ++t) {
@@ -203,7 +240,7 @@ ChurnRunTrace ScenarioRunner::run_churn(const ChurnOptions& options) {
     round.finder_seed = derive_seed(scenario_.seed, 5, static_cast<std::uint64_t>(t));
     Timer timer;
     const PruneResult pruned =
-        engine_.run(process.alive(), alpha_, epsilon_, engine_options(round.finder_seed));
+        engine.run(process.alive(), alpha_, epsilon_, engine_options(round.finder_seed));
     round.prune_millis = timer.millis();
     round.survivors = pruned.survivors.count();
     round.culled = pruned.total_culled;
@@ -227,7 +264,7 @@ Table ScenarioRunner::metrics_table(std::span<const ScenarioRun> runs,
   if (scenario_.metrics.verify_trace) headers.push_back("trace");
 
   Table table(std::move(headers));
-  const vid n = graph_.num_vertices();
+  const vid n = graph_->num_vertices();
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const ScenarioRun& r = runs[i];
     table.row()

@@ -1,35 +1,49 @@
-// fne::ScenarioRunner — executes Scenarios (DESIGN.md §6).
+// fne::ScenarioRunner — executes Scenarios (DESIGN.md §6, §8).
 //
-// A runner is bound to one Scenario: it builds the topology once, resolves
-// α/ε once, and owns ONE PruneEngine for the graph, whose workspace
-// (Krylov basis, BFS queues, degree tables, cached Fiedler vector)
-// survives across repetitions, fault-parameter sweeps, and churn rounds.
-// That closes ROADMAP's "reuse component state across *rounds*" item: the
-// per-round deltas of a churn process are tiny, and bench_s2_churn_engine
-// shows the persistent engine beating per-round stateless pruning.
+// A runner is bound to one Scenario: it resolves α/ε once and reads its
+// graph and engines from the process-wide EngineCache (api/executor.hpp).
+// The runner owns one PRIMARY engine lease for the single-shot surfaces
+// (run_once, run_churn) whose workspace — Krylov basis, BFS queues,
+// degree tables, cached Fiedler vector — survives across calls; batch
+// surfaces (run_all, sweeps, campaign jobs) lease one engine per job so
+// the buffers amortize across every scenario in the process that shares
+// the topology.
 //
 // Determinism contract: a ScenarioRunner is a pure function of its
 // Scenario.  Repetition r derives its fault seed from (scenario.seed, r)
 // via splitmix64 and its finder seed likewise, so the same Scenario run
 // twice — or on two runners — produces bit-identical ScenarioRuns.
 //
-// Parallel execution (DESIGN.md §7): run_all(threads) and
-// sweep_fault_param(..., threads) shard repetitions / sweep points across
-// a pool of workers, each owning ONE persistent engine + workspace that
-// survives all the repetitions that worker claims.  Seeds are derived per
-// REPETITION, never per thread, and every repetition starts from a cold
-// cross-run cache (PruneEngine::drop_warm_state), so each ScenarioRun is a
-// pure function of (scenario, rep): outputs are bit-identical for ANY
-// thread count and any work-stealing order.  Single-rep warm-engine use
-// (run_once, run_churn) keeps the cross-run Fiedler cache — churn rounds
-// are serially dependent anyway and profit most from it.
+// Parallel execution (DESIGN.md §7/§8): run_all(threads) and
+// sweep_fault_param(..., threads) shard repetitions / sweep points over
+// ExecutorPool.  Seeds are derived per REPETITION, never per thread, and
+// every job runs on an engine whose warm state was dropped at lease time
+// (EngineCache contract), so each ScenarioRun is a pure function of
+// (scenario, rep): outputs are bit-identical for ANY thread count and
+// any cache-hit pattern.  Single-rep warm-engine use (run_once,
+// run_churn) keeps the cross-run Fiedler cache on the primary lease —
+// churn rounds are serially dependent anyway and profit most from it.
+//
+// Monotone sweeps (DESIGN.md §8): for fault models whose registry entry
+// declares the swept param monotone (same seed, larger value -> alive
+// mask shrinks as a SUBSET), SweepMode::Monotone chains the sweep: point
+// j starts the cull loop from survivors(j-1) ∩ alive(j) instead of
+// alive(j).  The chain is one serial job on one lease, so campaign
+// placement cannot reorder it.  Every culled set still satisfies its
+// cull condition at cull time (verify_prune_trace certifies a monotone
+// run like any other); in the paper's subcritical sweep regimes the
+// chained survivors are additionally bit-identical to the independent
+// points — tests and bench_s4_campaign parity-check that in
+// deterministic mode.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "analysis/fragmentation.hpp"
+#include "api/executor.hpp"
 #include "api/scenario.hpp"
 #include "expansion/bracket.hpp"
 #include "faults/churn.hpp"
@@ -44,8 +58,9 @@ struct ScenarioRun {
   int repetition = 0;
   std::uint64_t fault_seed = 0;
   std::uint64_t finder_seed = 0;  ///< cut-finder seed used; replays via prune()/prune2()
-  vid faults = 0;          ///< n - |alive|
-  VertexSet alive;         ///< post-fault, pre-prune survivors
+  vid faults = 0;          ///< n - |fault-model survivors|
+  VertexSet alive;         ///< pre-prune engine input (== fault-model survivors,
+                           ///< except monotone sweep points: chained start mask)
   PruneResult prune;
   double threshold = 0.0;  ///< α·ε actually used
   FragmentationProfile fragmentation;           ///< of prune.survivors (if requested)
@@ -56,6 +71,12 @@ struct ScenarioRun {
   [[nodiscard]] double survivor_fraction(vid n) const {
     return n == 0 ? 0.0 : static_cast<double>(prune.survivors.count()) / n;
   }
+};
+
+/// How sweep_fault_param walks its values (see header comment).
+enum class SweepMode {
+  kIndependent,  ///< every point prunes the full fault-model mask
+  kMonotone,     ///< chained: point j starts from survivors(j-1) ∩ alive(j)
 };
 
 /// One churn round executed through the runner's persistent engine.
@@ -80,31 +101,44 @@ class ScenarioRunner {
   explicit ScenarioRunner(Scenario scenario);
 
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
-  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
-  [[nodiscard]] const EngineStats& engine_stats() const noexcept { return engine_.stats(); }
 
-  /// Cumulative telemetry across the runner's own engine AND every retired
-  /// worker engine of past parallel run_all/sweep calls — the number to
-  /// report when attributing total work regardless of thread count.
+  /// Work accrued on the runner's PRIMARY engine lease (run_once,
+  /// run_churn, single-threaded batch runs).  Deltas since the lease was
+  /// taken, so a cache-served engine's prior history never shows up.
+  [[nodiscard]] EngineStats engine_stats() const {
+    return primary_ ? primary_.stats_delta() : EngineStats{};
+  }
+
+  /// Cumulative telemetry across the primary engine AND every per-job
+  /// lease of past batch runs — the number to report when attributing
+  /// total work regardless of thread count or cache-hit pattern.
   [[nodiscard]] EngineStats total_engine_stats() const {
-    EngineStats total = engine_.stats();
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    EngineStats total = engine_stats();
     total += pool_stats_;
     return total;
   }
 
-  /// Execute repetition `rep`: inject faults, prune through the persistent
+  /// Execute repetition `rep`: inject faults, prune through the primary
   /// engine, measure the requested metrics.  Keeps the engine's cross-run
   /// warm cache (legacy single-shot semantics).
   [[nodiscard]] ScenarioRun run_once(int rep = 0);
 
-  /// All scenario.repetitions, sharded over `threads` workers (clamped to
-  /// [1, repetitions]).  threads == 1 runs on the runner's own engine;
-  /// more spin up one persistent PruneEngine per worker, repetitions
-  /// claimed dynamically.  Every repetition is cache-isolated, so the
-  /// returned runs are bit-identical for any thread count (see the
-  /// determinism contract above).
+  /// Execute repetition `rep` on a freshly leased cache engine (warm
+  /// state dropped at lease): a pure function of (scenario, fault, rep),
+  /// safe to call concurrently from any number of threads.  This is the
+  /// unit of work a CampaignRunner schedules.
+  [[nodiscard]] ScenarioRun run_isolated(const FaultSpec& fault, int rep);
+
+  /// All scenario.repetitions, sharded over `threads` ExecutorPool
+  /// workers (clamped to [1, repetitions]).  threads == 1 runs on the
+  /// primary engine (warm state dropped per repetition); more lease one
+  /// engine per job from the cache.  Either way every repetition is
+  /// cache-isolated, so the returned runs are bit-identical for any
+  /// thread count (see the determinism contract above).
   [[nodiscard]] std::vector<ScenarioRun> run_all(int threads = 1);
 
   /// Swap the fault process (topology, α/ε and engine state are kept —
@@ -115,12 +149,15 @@ class ScenarioRunner {
   /// repetition 0's seed, sharded over `threads` workers like run_all.
   /// The runner's own fault spec is never mutated (each point runs a
   /// copy), so a bad key/value cannot poison later runs.
-  [[nodiscard]] std::vector<ScenarioRun> sweep_fault_param(const std::string& key,
-                                                           std::span<const double> values,
-                                                           int threads = 1);
+  /// SweepMode::kMonotone REQUIREs the fault model to declare `key`
+  /// monotone (FaultModelRegistry) and `values` to be strictly
+  /// ascending; the chain then runs as ONE serial job (threads ignored).
+  [[nodiscard]] std::vector<ScenarioRun> sweep_fault_param(
+      const std::string& key, std::span<const double> values, int threads = 1,
+      SweepMode mode = SweepMode::kIndependent);
 
   /// Drive a churn process and re-prune EVERY round through the
-  /// persistent engine.  The fault stream is bit-identical to
+  /// primary engine.  The fault stream is bit-identical to
   /// simulate_churn(graph(), options) — the scenario's fault spec is not
   /// used here.
   [[nodiscard]] ChurnRunTrace run_churn(const ChurnOptions& options);
@@ -132,23 +169,31 @@ class ScenarioRunner {
 
  private:
   [[nodiscard]] PruneEngineOptions engine_options(std::uint64_t finder_seed) const;
+  [[nodiscard]] PruneEngine& primary_engine();
+  [[nodiscard]] EngineLease lease_engine() const;
   /// One repetition on an explicit engine and fault spec — the unit of
-  /// work a pool worker executes.  Pure given (scenario, fault, rep) when
-  /// the engine's warm state was dropped.
-  [[nodiscard]] ScenarioRun run_point(PruneEngine& engine, const FaultSpec& fault,
-                                      int rep) const;
-  /// Shard `jobs` indices over `threads` engine-pool workers; jobs[i]
-  /// fills out[i].  Worker exceptions are rethrown on the caller.
+  /// work every surface reduces to.  Pure given (scenario, fault, rep)
+  /// when the engine's warm state was dropped.  `chain_start` non-null
+  /// intersects the fault-model mask with it before pruning (the
+  /// monotone-sweep chaining hook); run.faults always counts the
+  /// fault-model mask.
+  [[nodiscard]] ScenarioRun run_point(PruneEngine& engine, const FaultSpec& fault, int rep,
+                                      const VertexSet* chain_start = nullptr) const;
+  /// jobs[i] = (faults[i], reps[i]) -> out[i], over ExecutorPool.
   void run_pooled(std::span<const FaultSpec> faults, std::span<const int> reps,
                   std::span<ScenarioRun> out, int threads);
+  [[nodiscard]] std::vector<ScenarioRun> sweep_monotone(const std::string& key,
+                                                        std::span<const double> values);
+  void fold_pool_stats(const EngineStats& delta);
   void measure(ScenarioRun& run) const;
 
   Scenario scenario_;
-  Graph graph_;
+  std::shared_ptr<const Graph> graph_;
   double alpha_ = 0.0;
   double epsilon_ = 0.0;
-  PruneEngine engine_;
-  EngineStats pool_stats_;  ///< telemetry folded in from retired worker engines
+  EngineLease primary_;     ///< leased lazily; held for the runner's lifetime
+  EngineStats pool_stats_;  ///< telemetry folded in from per-job leases
+  mutable std::mutex stats_mutex_;
 };
 
 }  // namespace fne

@@ -1,0 +1,30 @@
+// Scenario construction from command-line flags — the override logic the
+// scenario_runner CLI, campaign overrides and flag-driven drivers share
+// (previously hand-rolled per binary).
+//
+// Flag conventions (all optional; overrides apply on top of `base`):
+//   --scenario=NAME        start from the named catalog preset
+//   --topology=NAME        topology registry key (params reset on change)
+//   --topo-params=K=V,...  merged into the topology params
+//   --fault=NAME           fault model registry key (params reset on change)
+//   --fault-params=K=V,... merged into the fault params
+//   --kind=node|edge       Prune vs Prune2
+//   --alpha=A --eps=E      <= 0: measured / canonical (PruneSpec docs)
+//   --fast --verify --expansion
+//   --reps=N --seed=S
+#pragma once
+
+#include "api/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace fne {
+
+/// Apply the shared scenario flags on top of `base` (typically a catalog
+/// preset named by --scenario, or a default-constructed Scenario).
+[[nodiscard]] Scenario scenario_overrides_from_cli(Scenario base, const Cli& cli);
+
+/// Resolve --scenario (preset lookup, REQUIREs it exists) and apply the
+/// overrides; without --scenario starts from an "ad-hoc" blank Scenario.
+[[nodiscard]] Scenario scenario_from_cli(const Cli& cli);
+
+}  // namespace fne

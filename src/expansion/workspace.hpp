@@ -66,7 +66,10 @@ class ExpansionWorkspace {
   // --- cross-iteration caches (owned by PruneEngine when one is driving) ---
   /// Most recent Fiedler vector, per original vertex id.  Valid entries
   /// cover the alive mask of the solve that produced it; culled vertices
-  /// simply stop being referenced.
+  /// simply stop being referenced.  This is the ONE channel through which
+  /// an engine's history can reach a later run's results (fast mode only)
+  /// — exactly what PruneEngine::drop_warm_state() severs when the
+  /// EngineCache leases the engine to a new job (DESIGN.md §8).
   std::vector<double> fiedler_vec;
   bool fiedler_valid = false;
 

@@ -1,7 +1,11 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <thread>
+
+#include "util/require.hpp"
 
 namespace fne {
 
@@ -34,6 +38,45 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Cli::get_threads(int fallback) const {
+  auto threads = static_cast<int>(get_int("threads", fallback));
+  if (threads == 0) {
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  FNE_REQUIRE(threads >= 1, "--threads must be >= 1");
+  return threads;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& key,
+                                         const std::string& fallback_spec) const {
+  return parse_double_list(get(key, fallback_spec));
+}
+
+std::vector<double> parse_double_list(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      FNE_REQUIRE(end != nullptr && *end == '\0' && end != token.c_str(),
+                  "bad number '" + token + "' in list '" + spec + "'");
+      out.push_back(v);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string json_flag_path(const Cli& cli, const std::string& fallback) {
+  const std::string path = cli.get("json", fallback);
+  return path == "1" ? fallback : path;
 }
 
 }  // namespace fne

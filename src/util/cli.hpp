@@ -1,12 +1,16 @@
 // Minimal command-line flag parsing for examples and bench binaries.
 //
 // Supports --key=value and --flag forms.  Unknown keys are kept so that
-// google-benchmark's own flags can pass through untouched.
+// google-benchmark's own flags can pass through untouched.  The shared
+// conventions every driver used to hand-roll live here once: --seed,
+// --threads (0/absent = hardware), comma-separated value lists, and the
+// --json[=path] resolution (bare flag -> caller's default filename).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace fne {
 
@@ -21,9 +25,24 @@ class Cli {
   [[nodiscard]] std::uint64_t get_seed(std::uint64_t fallback = 42) const {
     return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
   }
+  /// --threads=N resolved to a worker count: REQUIREs N >= 1; absent (or
+  /// explicit 0) falls back to `fallback`, itself 0 meaning "hardware
+  /// concurrency" (at least 1).
+  [[nodiscard]] int get_threads(int fallback = 0) const;
+  /// Comma-separated doubles ("0.05,0.1,0.2"); absent key parses
+  /// `fallback_spec` instead.  REQUIREs every token to parse.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key,
+                                                    const std::string& fallback_spec) const;
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Parse a comma-separated double list (the wire format of sweep values).
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& spec);
+
+/// Resolve --json[=path]: bare `--json` parses as the value "1" and means
+/// "use the caller's default filename"; --json=path wins.
+[[nodiscard]] std::string json_flag_path(const Cli& cli, const std::string& fallback);
 
 }  // namespace fne

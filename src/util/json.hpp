@@ -1,16 +1,22 @@
-// Minimal JSON emission for machine-readable results.
+// Minimal JSON for machine-readable results and campaign files.
 //
-// Bench binaries (--json=out.json) and the scenario_runner CLI emit flat
-// report files — top-level scalars (workload, millis, speedup, thread
-// count) plus named arrays of flat records — so a perf trajectory is a
-// diffable artifact, not a scrollback screenshot.  Emission only: nothing
-// in the library parses JSON, so no third-party dependency is warranted.
+// Emission: bench binaries (--json=out.json), the scenario_runner CLI and
+// CampaignReport emit report files — top-level scalars (workload, millis,
+// speedup, thread count) plus named arrays of records — so a perf
+// trajectory is a diffable artifact, not a scrollback screenshot.
+//
+// Parsing: JsonValue::parse is a small recursive-descent reader covering
+// the whole of JSON (RFC 8259 minus \u surrogate pairs), added for
+// campaign files (api/campaign.hpp): a campaign is declarative data, and
+// flags stop scaling at "a list of scenarios".  Both directions live here
+// so no third-party dependency is warranted.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -44,6 +50,23 @@ class JsonObject {
   }
   JsonObject& put(const std::string& key, int value) {
     return put(key, static_cast<std::int64_t>(value));
+  }
+  /// Splice an ALREADY-ENCODED JSON value (an object/array dump) under
+  /// `key` — the nesting hook CampaignReport uses to compose sub-objects.
+  JsonObject& put_json(const std::string& key, std::string encoded) {
+    return raw(key, std::move(encoded));
+  }
+  /// Splice `values` as a JSON array of numbers.
+  JsonObject& put_numbers(const std::string& key, const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      std::ostringstream os;
+      os.precision(12);
+      os << values[i];
+      out += os.str();
+    }
+    return raw(key, out + "]");
   }
 
   [[nodiscard]] std::string dump() const {
@@ -129,6 +152,50 @@ class JsonReport {
  private:
   JsonObject top_;
   std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
+/// A parsed JSON document node.  Object members keep their source order;
+/// lookups REQUIRE-fail with the offending key/kind in the message, so a
+/// malformed campaign file names its problem instead of defaulting.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  /// Parse a complete document (REQUIREs valid JSON and no trailing
+  /// garbage; the error names the byte offset).
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+  /// Parse the file at `path` (REQUIREs it to exist and parse).
+  [[nodiscard]] static JsonValue parse_file(const std::string& path);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; REQUIRE the matching kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< REQUIREs an integral number
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;   ///< array elements
+  [[nodiscard]] const std::vector<Member>& members() const;    ///< object members
+
+  // Object conveniences.
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;  ///< nullptr if absent
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;    ///< REQUIREs presence
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
 };
 
 }  // namespace fne

@@ -106,6 +106,70 @@ TEST(FaultModelRegistry, RejectsUnknownNamesKeysAndBadValues) {
                PreconditionError);
 }
 
+TEST(TopologyRegistry, StructureMetadataDescribesTheCoordinateFamilies) {
+  TopologyRegistry& reg = TopologyRegistry::instance();
+
+  const Params mesh = reg.structure("mesh", Params{{"side", "8"}, {"dims", "3"}});
+  EXPECT_EQ(mesh.get_int("side", 0), 8);
+  EXPECT_EQ(mesh.get_int("dims", 0), 3);
+  EXPECT_FALSE(mesh.get_bool("wrap", true));
+  EXPECT_TRUE(reg.structure("torus", Params{{"side", "6"}}).get_bool("wrap", false));
+
+  const Params bf = reg.structure("butterfly", Params{{"dims", "5"}});
+  EXPECT_EQ(bf.get_int("levels", 0), 6);
+  EXPECT_EQ(bf.get_int("rows", 0), 32);
+  const Params bfw = reg.structure("butterfly", Params{{"dims", "5"}, {"wrapped", "1"}});
+  EXPECT_EQ(bfw.get_int("levels", 0), 5);
+
+  EXPECT_EQ(reg.structure("debruijn", Params{{"dims", "7"}}).get_int("dims", 0), 7);
+  EXPECT_EQ(reg.structure("hypercube", Params{}).get_int("dims", 0), 8);
+  // Families without declared structure report none (and still validate
+  // their params).
+  EXPECT_TRUE(reg.structure("random_regular", Params{}).empty());
+  EXPECT_THROW((void)reg.structure("mesh", Params{{"sides", "8"}}), PreconditionError);
+}
+
+TEST(TopologyRegistry, MeshForRebuildsTheCoordinateObjectFromAScenarioSpec) {
+  // The satellite use case: a coordinate-dependent analysis (mesh span,
+  // embedding) gets its Mesh VALUE from the registry instead of a
+  // bespoke constructor.
+  const Params params = Params{{"side", "7"}, {"dims", "2"}};
+  const Mesh mesh = mesh_for("mesh", params);
+  EXPECT_EQ(mesh.dims(), 2u);
+  EXPECT_EQ(mesh.sides(), (std::vector<vid>{7, 7}));
+  EXPECT_FALSE(mesh.wraps());
+  // Bit-for-bit the graph the registry itself builds.
+  const Graph via_registry = TopologyRegistry::instance().build("mesh", params, 99);
+  EXPECT_EQ(mesh.graph().num_vertices(), via_registry.num_vertices());
+  EXPECT_EQ(mesh.graph().num_edges(), via_registry.num_edges());
+
+  EXPECT_TRUE(mesh_for("torus", Params{{"side", "5"}}).wraps());
+  EXPECT_THROW((void)mesh_for("hypercube", Params{}), PreconditionError);
+}
+
+TEST(TopologyRegistry, SeededFlagsSeparateDeterministicFromRandomFamilies) {
+  TopologyRegistry& reg = TopologyRegistry::instance();
+  for (const char* name : {"mesh", "torus", "hypercube", "debruijn", "shuffle_exchange",
+                           "butterfly", "complete", "cycle", "path", "star", "barbell"}) {
+    EXPECT_FALSE(reg.at(name).seeded) << name;
+  }
+  for (const char* name :
+       {"random_regular", "erdos_renyi", "can", "chain_expander", "multibutterfly"}) {
+    EXPECT_TRUE(reg.at(name).seeded) << name;
+  }
+}
+
+TEST(FaultModelRegistry, MonotoneDeclarationsNameTheCoupledParams) {
+  FaultModelRegistry& reg = FaultModelRegistry::instance();
+  EXPECT_EQ(reg.at("random").monotone_params, std::vector<std::string>{"p"});
+  EXPECT_EQ(reg.at("high_degree").monotone_params,
+            (std::vector<std::string>{"budget", "frac"}));
+  // Floyd's sampling reshuffles with the budget — must stay undeclared.
+  EXPECT_TRUE(reg.at("random_exact").monotone_params.empty());
+  EXPECT_TRUE(reg.at("sweep_cut").monotone_params.empty());
+  EXPECT_TRUE(reg.at("bisection").monotone_params.empty());
+}
+
 TEST(Params, ParseRoundTripAndTypedGetters) {
   const Params p = Params::parse("side=24,dims=2,wrap");
   EXPECT_EQ(p.get_int("side", 0), 24);
