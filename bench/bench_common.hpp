@@ -90,6 +90,19 @@ inline std::string json_path(const Cli& cli, const std::string& fallback) {
 /// concurrency (never less than 1), explicit values are validated.
 inline int threads_flag(const Cli& cli) { return cli.get_threads(0); }
 
+/// Write an already-encoded JSON document (e.g. CampaignReport::to_json)
+/// to `path`, with the same stderr status convention as JsonReport::write.
+inline bool write_json_text(const std::string& path, const std::string& encoded) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write json report to " << path << "\n";
+    return false;
+  }
+  out << encoded << "\n";
+  std::cerr << "(json written to " << path << ")\n";
+  return true;
+}
+
 /// Machine-readable bench results (see util/json.hpp): top-level scalars
 /// (workload, millis, speedup, threads, pass/fail) plus named arrays of
 /// per-row records, written to the --json=path file.

@@ -1,95 +1,115 @@
 // E6 — Theorem 3.6 + Lemma 3.7: the d-dimensional mesh has span 2.
 //
-// Three measurements:
+// Three measurements, all produced by the campaign pipeline (this bench
+// is the dogfooding port of DESIGN.md §9 — every mesh goes through
+// TopologyRegistry/mesh_for() and the 'mesh_span' MetricsRegistry entry;
+// no hand-built coordinate objects):
 //  (a) exact span of small meshes (exhaustive compact sets + exact Steiner);
 //  (b) the constructive virtual-edge tree on sampled compact sets of larger
 //      meshes: ratio <= 2 always (this is the theorem's own construction);
 //  (c) Lemma 3.7 connectivity of (B, Ev) on every sampled set.
+//
+// Flags: --samples=N (default 40, sampled sets per big mesh), --seed=S,
+// --threads=N, --json=out.json (the aggregated campaign report).
 #include "bench_common.hpp"
 
-#include <algorithm>
+#include "api/campaign.hpp"
+#include "api/scenario.hpp"
 
-#include "span/compact_sets.hpp"
-#include "span/mesh_span.hpp"
-#include "span/span.hpp"
-#include "topology/mesh.hpp"
-#include "util/rng.hpp"
+namespace fne {
+namespace {
+
+/// One campaign entry probing Theorem 3.6 on a side^dims mesh.
+[[nodiscard]] CampaignEntry mesh_entry(const std::string& name, vid side, vid dims,
+                                       int samples, std::uint64_t seed) {
+  Scenario s;
+  s.name = name;
+  s.topology = {"mesh", Params{}
+                            .set("side", static_cast<std::int64_t>(side))
+                            .set("dims", static_cast<std::int64_t>(dims))};
+  s.fault = {"random", Params{{"p", "0"}}};  // the theorem is about the fault-free mesh
+  s.prune.kind = ExpansionKind::Edge;
+  s.prune.alpha = 2.0 / static_cast<double>(side);
+  s.metrics.fragmentation = false;
+  s.metrics.requests = {
+      {"mesh_span", Params{}.set("samples", static_cast<std::int64_t>(samples))}};
+  s.seed = seed;
+  return {std::move(s), std::nullopt};
+}
+
+}  // namespace
+}  // namespace fne
 
 int main(int argc, char** argv) {
   using namespace fne;
   const Cli cli(argc, argv);
   const std::uint64_t seed = cli.get_seed();
   const int samples = static_cast<int>(cli.get_int("samples", 40));
+  const int threads = bench::threads_flag(cli);
 
   bench::print_header("E6", "Theorem 3.6 — the d-dimensional mesh has span 2 "
                             "(Lemma 3.7: virtual boundary graphs are connected)");
 
-  // (a) exact span of small meshes.
+  // Small meshes get the exhaustive exact span (the metric turns it on
+  // automatically at n <= 24); big meshes get the sampled constructive
+  // tree.  Everything is one campaign over the engine cache.
+  Campaign campaign;
+  campaign.name = "e6_mesh_span";
+  struct Case {
+    const char* name;
+    vid side, dims;
+    bool big;
+  };
+  const Case cases[] = {
+      {"1D path-8", 8, 1, false},  {"2D 3x3", 3, 2, false},      {"2D 4x4", 4, 2, false},
+      {"3D 2x2x2", 2, 3, false},   {"2D 16x16", 16, 2, true},    {"3D 6x6x6", 6, 3, true},
+      {"4D 4x4x4x4", 4, 4, true},
+  };
+  for (const Case& c : cases) {
+    campaign.entries.push_back(mesh_entry(c.name, c.side, c.dims, c.big ? samples : 8, seed));
+  }
+
+  CampaignRunner runner(std::move(campaign));
+  const CampaignReport report = runner.run(threads);
+
   Table exact_table({"mesh", "n", "compact sets", "exact span", "paper bound", "ok"});
-  struct SmallCase {
-    std::string name;
-    Mesh mesh;
-  };
-  const SmallCase small_cases[] = {
-      {"1D path-8", Mesh({8})},        {"2D 3x3", Mesh({3, 3})},
-      {"2D 4x4", Mesh({4, 4})},        {"2D 3x5", Mesh({3, 5})},
-      {"3D 2x2x2", Mesh::cube(2, 3)},  {"3D 3x3x2", Mesh({3, 3, 2})},
-  };
-  for (const SmallCase& c : small_cases) {
-    const SpanResult r = exact_span(c.mesh.graph());
-    exact_table.row()
-        .cell(c.name)
-        .cell(std::size_t{c.mesh.num_vertices()})
-        .cell(r.sets_examined)
-        .cell(r.span, 4)
-        .cell(2.0, 2)
-        .cell(bench::yesno(r.span <= 2.0 + 1e-9));
+  Table big_table({"mesh", "n", "sampled sets", "lemma 3.7 ok", "max tree ratio",
+                   "paper bound", "max |B|"});
+  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+    const ScenarioReport& sr = report.scenarios[i];
+    const JsonValue payload = JsonValue::parse(sr.runs.at(0).metrics.at(0).payload);
+    if (!cases[i].big) {
+      exact_table.row()
+          .cell(sr.scenario.name)
+          .cell(std::size_t{sr.n})
+          .cell(static_cast<std::uint64_t>(payload.at("exact_sets").as_int()))
+          .cell(payload.at("exact_span").as_number(), 4)
+          .cell(2.0, 2)
+          .cell(bench::yesno(payload.at("exact_bound_ok").as_bool()));
+    } else {
+      const auto produced = payload.at("sampled_sets").as_int();
+      big_table.row()
+          .cell(sr.scenario.name)
+          .cell(std::size_t{sr.n})
+          .cell(static_cast<long long>(produced))
+          .cell(std::to_string(payload.at("lemma37_ok").as_int()) + "/" +
+                std::to_string(produced))
+          .cell(payload.at("max_tree_ratio").as_number(), 4)
+          .cell(2.0, 2)
+          .cell(static_cast<std::uint64_t>(payload.at("max_boundary").as_int()));
+    }
   }
   bench::print_table(exact_table,
                      "paper prediction: exact span <= 2 for every d >= 2 mesh "
                      "(1D meshes have span 1: compact sets are prefixes).");
-
-  // (b)+(c) constructive tree + Lemma 3.7 on larger meshes.
-  Table big_table({"mesh", "n", "sampled sets", "lemma 3.7 ok", "max tree ratio",
-                   "paper bound", "max |B|"});
-  struct BigCase {
-    std::string name;
-    Mesh mesh;
-  };
-  const BigCase big_cases[] = {
-      {"2D 16x16", Mesh::cube(16, 2)},
-      {"3D 6x6x6", Mesh::cube(6, 3)},
-      {"4D 4x4x4x4", Mesh::cube(4, 4)},
-  };
-  Rng rng(seed);
-  for (const BigCase& c : big_cases) {
-    const vid n = c.mesh.num_vertices();
-    int produced = 0;
-    int lemma_ok = 0;
-    double max_ratio = 0.0;
-    vid max_boundary = 0;
-    for (int s = 0; s < samples; ++s) {
-      const vid target = 2 + static_cast<vid>(rng.uniform(n / 3));
-      const VertexSet u = sample_compact_set(c.mesh.graph(), target, rng.next());
-      if (u.empty()) continue;
-      ++produced;
-      if (virtual_boundary_connected(c.mesh, u)) ++lemma_ok;
-      const ConstructiveSpanTree tree = mesh_boundary_span_tree(c.mesh, u);
-      max_ratio = std::max(max_ratio, tree.ratio);
-      max_boundary = std::max(max_boundary, tree.boundary_size);
-    }
-    big_table.row()
-        .cell(c.name)
-        .cell(std::size_t{n})
-        .cell(static_cast<long long>(produced))
-        .cell(std::to_string(lemma_ok) + "/" + std::to_string(produced))
-        .cell(max_ratio, 4)
-        .cell(2.0, 2)
-        .cell(std::size_t{max_boundary});
-  }
   bench::print_table(big_table,
                      "paper prediction: Lemma 3.7 holds for every compact set (connected count =\n"
                      "sample count) and the constructive tree never exceeds 2|B| - 1 nodes\n"
                      "(max tree ratio < 2).");
+
+  if (cli.has("json")) {
+    bench::write_json_text(bench::json_path(cli, "bench_e6_mesh_span.json"),
+                           report.to_json());
+  }
   return 0;
 }

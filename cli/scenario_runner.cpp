@@ -14,6 +14,9 @@
 //       --fault=high_degree --fault-params=frac=0.1 \
 //       --kind=node --reps=3 --verify --expansion
 //       run an ad-hoc scenario
+//   scenario_runner --scenario=mesh-random --metrics=mesh_span,embedding_quality
+//       additionally compute registered metrics (api/metrics.hpp) at
+//       their default params; see --list for names
 //   scenario_runner --scenario=mesh-random --sweep=p \
 //       --sweep-values=0.05,0.15,0.25 [--sweep-mode=monotone]
 //       sweep one fault param (monotone mode chains survivors downward —
@@ -37,6 +40,7 @@
 #include <iostream>
 
 #include "api/campaign.hpp"
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
@@ -87,6 +91,20 @@ void list_registries() {
   }
   faults.print(std::cout);
 
+  std::cout << "\nmetrics:\n";
+  Table metrics({"name", "params", "description"});
+  for (const std::string& name : MetricsRegistry::instance().names()) {
+    const MetricEntry& e = MetricsRegistry::instance().at(name);
+    std::string params;
+    for (const ParamSpec& p : e.params) {
+      if (!params.empty()) params += ", ";
+      params += p.key;
+      if (!p.default_value.empty()) params += "=" + p.default_value;
+    }
+    metrics.row().cell(name).cell(params.empty() ? "-" : params).cell(e.doc);
+  }
+  metrics.print(std::cout);
+
   std::cout << "\nnamed scenarios:\n";
   Table named({"name", "topology", "fault", "prune"});
   for (const Scenario& s : scenario_catalog()) {
@@ -107,8 +125,8 @@ int run_campaign(const Cli& cli) {
   // the scenario fields) — reject them loudly rather than silently
   // returning results the flags did not influence.
   for (const char* flag : {"scenario", "topology", "topo-params", "fault", "fault-params",
-                           "kind", "alpha", "eps", "fast", "verify", "expansion", "seed",
-                           "sweep", "sweep-values", "sweep-mode", "churn-steps"}) {
+                           "kind", "alpha", "eps", "fast", "verify", "expansion", "metrics",
+                           "seed", "sweep", "sweep-values", "sweep-mode", "churn-steps"}) {
     FNE_REQUIRE(!cli.has(flag), std::string("--") + flag +
                                     " does not apply to --campaign; set it in the campaign "
                                     "file (or run a single scenario)");
@@ -271,6 +289,11 @@ int run(const Cli& cli) {
           .put("culled", std::size_t{r.prune.total_culled})
           .put("iterations", r.prune.iterations)
           .put("millis", r.millis);
+      if (!r.metrics.empty()) {
+        JsonObject metrics_obj;
+        for (const MetricRecord& m : r.metrics) metrics_obj.put_json(m.name, m.payload);
+        record.put_json("metrics", metrics_obj.dump());
+      }
     }
     if (json_to_stdout) {
       std::cout << report.dump() << "\n";

@@ -4,6 +4,7 @@
 #include <initializer_list>
 #include <utility>
 
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
@@ -111,12 +112,37 @@ void apply_scenario_json(Scenario& s, const JsonValue& obj) {
   }
   if (const JsonValue* v = obj.find("metrics")) {
     check_keys(*v, "metrics",
-               {"fragmentation", "expansion", "verify_trace", "bracket_exact_limit"});
+               {"fragmentation", "expansion", "verify_trace", "bracket_exact_limit",
+                "requests"});
     if (const JsonValue* f = v->find("fragmentation")) s.metrics.fragmentation = f->as_bool();
     if (const JsonValue* e = v->find("expansion")) s.metrics.expansion = e->as_bool();
     if (const JsonValue* t = v->find("verify_trace")) s.metrics.verify_trace = t->as_bool();
     if (const JsonValue* b = v->find("bracket_exact_limit")) {
       s.metrics.bracket_exact_limit = static_cast<vid>(b->as_int());
+    }
+    if (const JsonValue* r = v->find("requests")) {
+      // Registered-metric requests replace the preset's list wholesale
+      // (like a topology name change: a partial merge of two metric
+      // lists has no sensible semantics).  Unknown metric names and
+      // undeclared params fail here, at parse time, with the registered
+      // alternatives listed — same hygiene as every other unknown key.
+      s.metrics.requests.clear();
+      for (const JsonValue& item : r->items()) {
+        check_keys(item, "metrics.requests entry", {"name", "params"});
+        MetricRequest request;
+        request.name = item.at("name").as_string();
+        if (const JsonValue* p = item.find("params")) {
+          request.params =
+              params_from_json(*p, "metrics.requests." + request.name + ".params");
+        }
+        MetricsRegistry::instance().check(request.name, request.params);
+        for (const MetricRequest& prev : s.metrics.requests) {
+          FNE_REQUIRE(prev.name != request.name,
+                      "campaign: metrics.requests lists '" + request.name +
+                          "' twice (records are keyed by name)");
+        }
+        s.metrics.requests.push_back(std::move(request));
+      }
     }
   }
 }
@@ -192,6 +218,13 @@ void put_engine_stats(JsonObject& obj, const EngineStats& st) {
         .put("expansion_upper", run.expansion->upper);
   }
   if (run.trace.has_value()) obj.put("trace_valid", run.trace->valid);
+  if (!run.metrics.empty()) {
+    // Registered-metric payloads are deterministic by the MetricsRegistry
+    // contract, so they belong to the thread-count-independent payload.
+    JsonObject metrics_obj;
+    for (const MetricRecord& m : run.metrics) metrics_obj.put_json(m.name, m.payload);
+    obj.put_json("metrics", metrics_obj.dump());
+  }
   if (include_timing) obj.put("millis", run.millis);
   return obj.dump();
 }
@@ -212,6 +245,15 @@ void put_engine_stats(JsonObject& obj, const EngineStats& st) {
       .put("epsilon", report.epsilon)
       .put("seed", s.seed)
       .put("repetitions", s.repetitions);
+  if (!s.metrics.requests.empty()) {
+    std::string requested;
+    for (const MetricRequest& r : s.metrics.requests) {
+      if (!requested.empty()) requested += ";";
+      requested += r.name;
+      if (!r.params.empty()) requested += "[" + r.params.to_string() + "]";
+    }
+    obj.put("metrics_requested", requested);
+  }
   if (report.sweep.has_value()) {
     obj.put("sweep_param", report.sweep->param)
         .put("sweep_mode",
@@ -318,6 +360,15 @@ CampaignRunner::CampaignRunner(Campaign campaign) : campaign_(std::move(campaign
     // half the campaign ran.
     (void)TopologyRegistry::instance().at(e.scenario.topology.name);
     (void)FaultModelRegistry::instance().at(e.scenario.fault.name);
+    const auto& requests = e.scenario.metrics.requests;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      MetricsRegistry::instance().check(requests[i].name, requests[i].params);
+      for (std::size_t j = 0; j < i; ++j) {
+        FNE_REQUIRE(requests[j].name != requests[i].name,
+                    "campaign entry '" + e.scenario.name + "': metric '" + requests[i].name +
+                        "' requested twice (records are keyed by name)");
+      }
+    }
     if (e.sweep.has_value()) {
       FNE_REQUIRE(!e.sweep->values.empty(),
                   "campaign entry '" + e.scenario.name + "': sweep needs values");

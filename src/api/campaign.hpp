@@ -68,7 +68,9 @@ struct Campaign {
 ///       "prune":    {"kind": "edge", "alpha": 0.125, "epsilon": 0,
 ///                    "fast": true, "max_iterations": 100000},
 ///       "metrics":  {"fragmentation": true, "expansion": false,
-///                    "verify_trace": false, "bracket_exact_limit": 14},
+///                    "verify_trace": false, "bracket_exact_limit": 14,
+///                    "requests": [{"name": "mesh_span",
+///                                  "params": {"samples": 16}}]},
 ///       "sweep":    {"param": "p", "values": [0.05, 0.15, 0.25],
 ///                    "mode": "monotone"}}]}
 [[nodiscard]] Campaign campaign_from_json(const std::string& text);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
@@ -35,6 +36,19 @@ ScenarioRunner::ScenarioRunner(Scenario scenario)
       graph_(EngineCache::instance().graph(scenario_.topology.name, scenario_.topology.params,
                                            derive_seed(scenario_.seed, 0, 0))) {
   FNE_REQUIRE(scenario_.repetitions >= 1, "scenario needs >= 1 repetition");
+  // Validate metric requests eagerly (names and declared params) so a
+  // typo fails at construction, not after the prune work ran.  Names
+  // must be unique: records are keyed by name in report payloads, and a
+  // duplicate would silently emit duplicate JSON keys.
+  for (std::size_t i = 0; i < scenario_.metrics.requests.size(); ++i) {
+    const MetricRequest& request = scenario_.metrics.requests[i];
+    MetricsRegistry::instance().check(request.name, request.params);
+    for (std::size_t j = 0; j < i; ++j) {
+      FNE_REQUIRE(scenario_.metrics.requests[j].name != request.name,
+                  "scenario '" + scenario_.name + "': metric '" + request.name +
+                      "' requested twice (records are keyed by name)");
+    }
+  }
 
   alpha_ = scenario_.prune.alpha;
   if (alpha_ <= 0.0) {
@@ -101,6 +115,19 @@ void ScenarioRunner::measure(ScenarioRun& run) const {
   if (scenario_.metrics.verify_trace) {
     run.trace = verify_prune_trace(*graph_, run.alive, run.prune, scenario_.prune.kind,
                                    run.threshold);
+  }
+  // Registered metrics, in request order.  Each request gets its own
+  // decorrelated seed stream per repetition (domains 0-5 are taken by the
+  // runner itself), so metric sampling never aliases fault or finder
+  // seeds and the records are pure functions of (scenario, request, rep).
+  const auto& requests = scenario_.metrics.requests;
+  run.metrics.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const MetricContext ctx{*graph_,  scenario_, run, alpha_, epsilon_,
+                            derive_seed(scenario_.seed, 6 + i,
+                                        static_cast<std::uint64_t>(run.repetition))};
+    run.metrics.push_back(
+        MetricsRegistry::instance().compute(requests[i].name, ctx, requests[i].params));
   }
 }
 
@@ -262,6 +289,9 @@ Table ScenarioRunner::metrics_table(std::span<const ScenarioRun> runs,
   }
   if (scenario_.metrics.expansion) headers.push_back("exp(H) [lo,up]");
   if (scenario_.metrics.verify_trace) headers.push_back("trace");
+  for (const MetricRequest& request : scenario_.metrics.requests) {
+    headers.push_back(request.name);
+  }
 
   Table table(std::move(headers));
   const vid n = graph_->num_vertices();
@@ -290,6 +320,9 @@ Table ScenarioRunner::metrics_table(std::span<const ScenarioRun> runs,
     }
     if (scenario_.metrics.verify_trace) {
       table.cell(r.trace.has_value() ? (r.trace->valid ? "valid" : "INVALID") : "-");
+    }
+    for (std::size_t m = 0; m < scenario_.metrics.requests.size(); ++m) {
+      table.cell(m < r.metrics.size() ? r.metrics[m].brief : "-");
     }
   }
   return table;

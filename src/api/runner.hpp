@@ -66,6 +66,11 @@ struct ScenarioRun {
   FragmentationProfile fragmentation;           ///< of prune.survivors (if requested)
   std::optional<ExpansionBracket> expansion;    ///< of prune.survivors (if requested)
   std::optional<TraceVerification> trace;       ///< replay certificate (if requested)
+  /// Registered-metric results, one per MetricsSpec request in request
+  /// order (api/metrics.hpp).  Payloads are deterministic — computed from
+  /// the run and a per-(request, repetition) derived seed — so campaign
+  /// reports splice them into the thread-count-independent payload.
+  std::vector<MetricRecord> metrics;
   double millis = 0.0;     ///< prune time only (topology/fault excluded)
 
   [[nodiscard]] double survivor_fraction(vid n) const {

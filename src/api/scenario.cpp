@@ -64,6 +64,32 @@ std::vector<Scenario> scenario_catalog() {
     s.prune.kind = ExpansionKind::Edge;
     catalog.push_back(s);
   }
+  {
+    // E6 regime (Theorem 3.6 / Lemma 3.7): constructive span trees on a
+    // 2-D mesh plus the emulation quality of the pruned survivor — both
+    // as registered metrics, so the whole analysis is campaign data.
+    Scenario s;
+    s.name = "mesh-span";
+    s.topology = {"mesh", Params{{"side", "16"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.05"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.prune.alpha = 2.0 / 16.0;
+    s.metrics.requests = {{"mesh_span", Params{{"samples", "16"}}},
+                          {"embedding_quality", Params{}}};
+    catalog.push_back(s);
+  }
+  {
+    // E8 regime (§4 conjecture): sampled span estimate of a conjectured
+    // O(1)-span family, with the expander certificate of the survivor.
+    Scenario s;
+    s.name = "span-conjecture";
+    s.topology = {"debruijn", Params{{"dims", "7"}}};
+    s.fault = {"random", Params{{"p", "0.05"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.metrics.requests = {{"span_estimate", Params{{"samples", "4"}}},
+                          {"expander_certificate", Params{}}};
+    catalog.push_back(s);
+  }
 
   return catalog;
 }

@@ -51,6 +51,23 @@ struct PruneSpec {
   int max_iterations = 100000;
 };
 
+/// One registered-metric request: a MetricsRegistry key (api/metrics.hpp)
+/// plus its params.  Resolved and computed per repetition by the runner.
+struct MetricRequest {
+  std::string name;
+  Params params;
+  friend bool operator==(const MetricRequest&, const MetricRequest&) = default;
+};
+
+/// One computed metric: the registry key, a deterministic flat JSON
+/// payload (byte-identical for any thread count — the campaign report
+/// splices it verbatim), and a short human summary for tables.
+struct MetricRecord {
+  std::string name;
+  std::string payload;
+  std::string brief;
+};
+
 struct MetricsSpec {
   /// Fragmentation profile of the survivor set (components, gamma).
   bool fragmentation = true;
@@ -59,6 +76,11 @@ struct MetricsSpec {
   /// Replay-verify the prune trace (prune/verify.hpp certification).
   bool verify_trace = false;
   vid bracket_exact_limit = 14;  ///< exact enumeration cap for brackets
+  /// Registered metrics to compute per repetition, in order (the three
+  /// legacy bools above are also reachable by name through the registry;
+  /// they stay as switches because every existing consumer reads their
+  /// typed ScenarioRun fields).
+  std::vector<MetricRequest> requests;
 };
 
 struct Scenario {

@@ -1,7 +1,9 @@
 #include "api/scenario_cli.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "api/metrics.hpp"
 #include "util/require.hpp"
 
 namespace fne {
@@ -32,6 +34,20 @@ Scenario scenario_overrides_from_cli(Scenario base, const Cli& cli) {
   base.prune.fast = cli.has("fast") || base.prune.fast;
   base.metrics.verify_trace = cli.has("verify") || base.metrics.verify_trace;
   base.metrics.expansion = cli.has("expansion") || base.metrics.expansion;
+  if (cli.has("metrics")) {
+    // --metrics=mesh_span,embedding_quality: registered metrics at their
+    // default params (campaign files carry per-request params).  The list
+    // replaces the preset's requests, like a topology name change.
+    base.metrics.requests.clear();
+    std::stringstream list(cli.get("metrics", ""));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (name.empty()) continue;
+      MetricsRegistry::instance().check(name, Params{});
+      base.metrics.requests.push_back({name, Params{}});
+    }
+    FNE_REQUIRE(!base.metrics.requests.empty(), "--metrics needs at least one metric name");
+  }
   base.repetitions = static_cast<int>(cli.get_int("reps", base.repetitions));
   base.seed = cli.get_seed(base.seed);
   return base;

@@ -91,6 +91,13 @@ void orthogonalize(const std::vector<std::vector<double>>& basis, std::size_t co
   }
 }
 
+/// DGKS criterion: after one full Gram–Schmidt pass, re-orthogonalize
+/// again only when the pass removed a large fraction of the vector (norm
+/// dropped below 1/√2 of the pre-pass norm), i.e. when cancellation may
+/// have left O(ε·‖before‖) residue in the basis span.  The decision is a
+/// pure function of the computed norms, so determinism is unaffected.
+constexpr double kDgks = 0.70710678118654752;
+
 }  // namespace
 
 LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
@@ -155,14 +162,6 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
 
   std::vector<double>& w = scratch.w;
   w.resize(n);
-  // DGKS criterion: after one full Gram–Schmidt pass, re-orthogonalize
-  // again only when the pass removed a large fraction of w (norm dropped
-  // below 1/√2 of the pre-pass norm), i.e. when cancellation may have
-  // left O(ε·‖w_before‖) residue in the basis span.  The decision is a
-  // pure function of the computed norms, so determinism is unaffected; in
-  // the common well-conditioned iteration it halves the dominant
-  // reorthogonalization FLOPs.
-  constexpr double kDgks = 0.70710678118654752;
   for (int j = 0; j < max_iter; ++j) {
     op(basis[basis_count - 1], w);
     const double a = dot(basis[basis_count - 1], w);
@@ -219,6 +218,199 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
   }
 
   // max_iter loop exited without returning (shouldn't happen); mark failure.
+  result.converged = false;
+  return result;
+}
+
+LanczosResult lanczos_smallest_block(const LinearOperator& op, std::size_t n,
+                                     const std::vector<std::vector<double>>& deflation,
+                                     const BlockLanczosOptions& options) {
+  FNE_REQUIRE(n >= 1, "empty operator");
+  FNE_REQUIRE(options.num_eigenpairs >= 1, "need at least one eigenpair");
+  FNE_REQUIRE(options.max_basis >= options.num_eigenpairs,
+              "max_basis must cover the wanted eigenpairs");
+  LanczosResult result;
+
+  std::vector<std::vector<double>> defl = deflation;
+  for (auto& b : defl) {
+    const double nb = norm(b);
+    FNE_REQUIRE(nb > 0.0, "zero deflation vector");
+    for (auto& x : b) x /= nb;
+  }
+  const std::size_t usable = n > defl.size() ? n - defl.size() : 0;
+  if (usable == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const std::size_t max_basis =
+      std::min<std::size_t>(usable, static_cast<std::size_t>(options.max_basis));
+  const std::size_t block = std::min<std::size_t>(
+      max_basis,
+      static_cast<std::size_t>(options.block_size > 0
+                                   ? options.block_size
+                                   : std::min(options.num_eigenpairs, 2)));
+
+  LanczosScratch local_scratch;
+  LanczosScratch& scratch = options.scratch != nullptr ? *options.scratch : local_scratch;
+  std::vector<std::vector<double>>& basis = scratch.basis;
+  std::vector<double>& coeff = scratch.coeff;
+  std::size_t basis_count = 0;
+  auto push_basis = [&](const std::vector<double>& v) {
+    if (basis.size() <= basis_count) basis.emplace_back();
+    basis[basis_count] = v;
+    ++basis_count;
+  };
+
+  // Projected matrix T = Qᵀ A Q, stored dense row-major with leading
+  // dimension max_basis.  Column j is filled from the FIRST CGS pass of
+  // column j's reorthogonalization (coeff = Qᵀ(A q_j) before any
+  // subtraction), so Rayleigh–Ritz costs no extra dots; the β coupling to
+  // the remainder vector is patched in at append time.  Full
+  // reorthogonalization makes rows i >= m of T the COMPLETE outside-span
+  // coupling of the first m columns, which is what the residual bound
+  // below reads.  (The DGKS second pass subtracts O(ε)-level corrections
+  // that are not folded back into T — standard, and far below tolerance.)
+  std::vector<double> tmat(max_basis * max_basis, 0.0);
+
+  Rng rng(options.seed);
+  std::vector<double>& q = scratch.q;
+  q.resize(n);
+
+  // Seed one deflation- and basis-orthonormal random vector; a few
+  // redraws tolerate unlucky draws, then the orthogonal complement is
+  // treated as numerically exhausted.
+  const auto seed_vector = [&]() -> bool {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      for (auto& x : q) x = rng.uniform01() - 0.5;
+      orthogonalize(defl, defl.size(), q, coeff);
+      const double before = norm(q);
+      orthogonalize(basis, basis_count, q, coeff);
+      if (norm(q) < kDgks * before) orthogonalize(basis, basis_count, q, coeff);
+      orthogonalize(defl, defl.size(), q, coeff);
+      const double nq = norm(q);  // post-sweep: the stale norm would
+                                  // normalize deflation noise into the basis
+      if (nq > 1e-10) {
+        for (auto& x : q) x /= nq;
+        push_basis(q);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < block; ++i) {
+    if (!seed_vector()) break;
+  }
+  FNE_REQUIRE(basis_count > 0, "degenerate start block");
+
+  std::vector<double>& w = scratch.w;
+  w.resize(n);
+  std::vector<double> tcol;
+  std::vector<double> ritz_values;
+  std::vector<double> ritz_vectors;
+  std::vector<double> projected;
+  // Remainder norms of columns whose orthogonalized remainder was NOT
+  // appended (basis cap reached).  Their coupling is invisible to the
+  // stored T rows, so the residual bound must re-add it — without this a
+  // capped solve would read empty coupling rows as "exactly converged".
+  std::vector<double> dropped(max_basis, 0.0);
+
+  // Rayleigh–Ritz cadence: first after one block, then geometrically
+  // (~1.5x), so the dense O(m³) Householder+QL solves stay subdominant
+  // to the O(m²·n) reorthogonalization stream.
+  std::size_t processed = 0;
+  std::size_t next_check = block;
+
+  while (processed < basis_count) {
+    const std::size_t j = processed;
+    op(basis[j], w);
+    orthogonalize(defl, defl.size(), w, coeff);
+    const double before = norm(w);
+    orthogonalize(basis, basis_count, w, coeff);
+    tcol.assign(coeff.begin(), coeff.begin() + static_cast<std::ptrdiff_t>(basis_count));
+    if (norm(w) < kDgks * before) orthogonalize(basis, basis_count, w, coeff);
+    // Final deflation sweep, then the norm is measured POST-sweep: the
+    // basis passes leave an O(ε) deflation residue, and near exhaustion
+    // that residue can dominate the true remainder — normalizing by a
+    // pre-sweep norm would push a near-zero vector into the basis, which
+    // surfaces as ghost copies of the deflated eigenvalues.
+    orthogonalize(defl, defl.size(), w, coeff);
+    const double bnorm = norm(w);
+    for (std::size_t i = 0; i < basis_count; ++i) {
+      tmat[i * max_basis + j] = tcol[i];
+      tmat[j * max_basis + i] = tcol[i];
+    }
+    ++processed;
+    if (bnorm > 1e-13 && basis_count < max_basis) {
+      for (auto& x : w) x /= bnorm;
+      tmat[basis_count * max_basis + j] = bnorm;
+      tmat[j * max_basis + basis_count] = bnorm;
+      push_basis(w);
+    } else {
+      // This Krylov direction is exhausted (bnorm ~ 0) or the cap is
+      // reached; the band narrows and the loop drains the remaining
+      // columns.  The un-appended remainder still couples A Q_m out of
+      // the basis — charge it to the residual bound below.
+      dropped[j] = bnorm;
+    }
+
+    const bool no_more = processed == basis_count;
+    if (processed < next_check && !no_more) continue;
+    next_check = processed + std::max(block, processed / 2);
+
+    const std::size_t m = processed;
+    const int want = std::min<int>(options.num_eigenpairs, static_cast<int>(m));
+    projected.assign(m * m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) projected[r * m + c] = tmat[r * max_basis + c];
+    }
+    sym_eigen(projected, m, ritz_values, &ritz_vectors);
+
+    // Residual of Ritz pair (θ_e, y_e): A Q_m y - θ Q_m y lies in
+    // span{q_m..q_{basis_count-1}} ∪ {un-appended remainders} (full
+    // reorthogonalization leaves nothing else).  The basis part has
+    // coefficient (T[i][0..m) · y_e) on q_i — stored above; the dropped
+    // remainders are bounded by the triangle inequality.  When the
+    // deflated space itself is exhausted both parts vanish and the Ritz
+    // values are exact, so the zero residual is the truth.
+    bool all_converged = true;
+    for (int e = 0; e < want && all_converged; ++e) {
+      double r2 = 0.0;
+      for (std::size_t i = m; i < basis_count; ++i) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < m; ++c) {
+          s += tmat[i * max_basis + c] * ritz_vectors[c * m + static_cast<std::size_t>(e)];
+        }
+        r2 += s * s;
+      }
+      double resid = std::sqrt(r2);
+      for (std::size_t c = 0; c < m; ++c) {
+        if (dropped[c] > 0.0) {
+          resid += dropped[c] * std::fabs(ritz_vectors[c * m + static_cast<std::size_t>(e)]);
+        }
+      }
+      if (resid > options.tolerance) all_converged = false;
+    }
+    if (!all_converged && !no_more) continue;
+
+    result.iterations = static_cast<int>(m);
+    result.converged = all_converged;
+    result.values.assign(ritz_values.begin(), ritz_values.begin() + want);
+    result.vectors.assign(static_cast<std::size_t>(want), std::vector<double>(n, 0.0));
+    for (int e = 0; e < want; ++e) {
+      auto& vec = result.vectors[static_cast<std::size_t>(e)];
+      for (std::size_t i = 0; i < m; ++i) {
+        axpy(ritz_vectors[i * m + static_cast<std::size_t>(e)], basis[i], vec);
+      }
+      const double nv = norm(vec);
+      if (nv > 0.0) {
+        for (auto& x : vec) x /= nv;
+      }
+    }
+    return result;
+  }
+
+  // Unreachable: the drain loop always returns at no_more.
   result.converged = false;
   return result;
 }

@@ -61,4 +61,40 @@ using LinearOperator = std::function<void(const std::vector<double>&, std::vecto
                                              const std::vector<std::vector<double>>& deflation,
                                              const LanczosOptions& options = {});
 
+/// Blocked (multi-vector) variant for the k >= 2 eigenpair consumers
+/// (embedding spectral coordinates, expander certificates, DESIGN.md §9).
+///
+/// One block-Krylov basis serves every wanted pair: `block_size` start
+/// vectors are expanded one operator apply at a time, every new vector is
+/// CGS2+DGKS-reorthogonalized against the WHOLE basis (the same fused
+/// rank-m update as the k = 1 path, so the dominant FLOPs stay streamed
+/// and OpenMP-parallel above kSpectralParallelDim), and Rayleigh–Ritz on
+/// the projected matrix extracts the k smallest pairs.  Against k
+/// repeated deflated rank-1 solves this shares the bottom of the spectrum
+/// instead of re-converging through it per pair, and — unlike a single
+/// Krylov chain — resolves eigenvalue multiplicities (mesh Laplacians are
+/// full of them) without deflation tricks.
+///
+/// Determinism contract: identical to lanczos_smallest — every reduction
+/// is chunk-ordered, the dense Rayleigh–Ritz solve is sequential, and the
+/// start block is a pure function of `seed`, so a solve is bit-identical
+/// for ANY OMP thread count.
+struct BlockLanczosOptions {
+  int num_eigenpairs = 2;   ///< k smallest pairs to extract
+  /// Start-block width; <= 0 means min(2, num_eigenpairs).  Width 2 is
+  /// the measured sweet spot: wide enough that the degenerate pairs mesh
+  /// Laplacians produce converge together, narrow enough that the
+  /// per-direction polynomial degree (basis / block) stays high — a
+  /// width-k block quadruples the basis a k = 4 solve needs.
+  int block_size = 0;
+  int max_basis = 300;      ///< total Krylov vectors cap (memory: max_basis x n)
+  double tolerance = 1e-9;  ///< residual bound per wanted pair
+  std::uint64_t seed = 7;
+  LanczosScratch* scratch = nullptr;  ///< optional buffer pool
+};
+
+[[nodiscard]] LanczosResult lanczos_smallest_block(
+    const LinearOperator& op, std::size_t n,
+    const std::vector<std::vector<double>>& deflation, const BlockLanczosOptions& options = {});
+
 }  // namespace fne

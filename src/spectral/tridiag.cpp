@@ -13,7 +13,8 @@ double hypot2(double a, double b) { return std::sqrt(a * a + b * b); }
 }  // namespace
 
 void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
-                   std::vector<double>& values, std::vector<double>* vectors) {
+                   std::vector<double>& values, std::vector<double>* vectors,
+                   const std::vector<double>* init) {
   const std::size_t n = diag.size();
   FNE_REQUIRE(n >= 1, "empty tridiagonal system");
   FNE_REQUIRE(off.size() + 1 == n, "off-diagonal must have size n-1");
@@ -24,8 +25,13 @@ void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
 
   std::vector<double> z;  // row-major eigenvector accumulator
   if (vectors != nullptr) {
-    z.assign(n * n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) z[i * n + i] = 1.0;
+    if (init != nullptr) {
+      FNE_REQUIRE(init->size() == n * n, "tridiag_eigen: init must be k x k");
+      z = *init;
+    } else {
+      z.assign(n * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) z[i * n + i] = 1.0;
+    }
   }
 
   for (std::size_t l = 0; l < n; ++l) {
@@ -89,6 +95,97 @@ void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
       for (std::size_t j = 0; j < n; ++j) (*vectors)[i * n + j] = z[i * n + order[j]];
     }
   }
+}
+
+void sym_eigen(std::vector<double> a, std::size_t k, std::vector<double>& values,
+               std::vector<double>* vectors) {
+  FNE_REQUIRE(k >= 1 && a.size() == k * k, "sym_eigen: matrix must be k x k");
+  const std::size_t n = k;
+  std::vector<double>& v = a;  // reduced in place; becomes the transform Q
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+
+  // Householder reduction to tridiagonal form (EISPACK tred2 lineage):
+  // on exit v holds the orthogonal Q with A = Q T Qᵀ, d the diagonal and
+  // e[1..n-1] the subdiagonal of T.
+  for (std::size_t j = 0; j < n; ++j) d[j] = v[(n - 1) * n + j];
+  for (std::size_t i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (std::size_t kk = 0; kk < i; ++kk) scale += std::fabs(d[kk]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (std::size_t j = 0; j < i; ++j) {
+        d[j] = v[(i - 1) * n + j];
+        v[i * n + j] = 0.0;
+        v[j * n + i] = 0.0;
+      }
+    } else {
+      for (std::size_t kk = 0; kk < i; ++kk) {
+        d[kk] /= scale;
+        h += d[kk] * d[kk];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0.0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (std::size_t j = 0; j < i; ++j) e[j] = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        f = d[j];
+        v[j * n + i] = f;
+        g = e[j] + v[j * n + j] * f;
+        for (std::size_t kk = j + 1; kk < i; ++kk) {
+          g += v[kk * n + j] * d[kk];
+          e[kk] += v[kk * n + j] * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (std::size_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (std::size_t j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (std::size_t kk = j; kk < i; ++kk) v[kk * n + j] -= f * e[kk] + g * d[kk];
+        d[j] = v[(i - 1) * n + j];
+        v[i * n + j] = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+  // Accumulate the Householder transformations into v.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    v[(n - 1) * n + i] = v[i * n + i];
+    v[i * n + i] = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (std::size_t kk = 0; kk <= i; ++kk) d[kk] = v[kk * n + (i + 1)] / h;
+      for (std::size_t j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (std::size_t kk = 0; kk <= i; ++kk) g += v[kk * n + (i + 1)] * v[kk * n + j];
+        for (std::size_t kk = 0; kk <= i; ++kk) v[kk * n + j] -= g * d[kk];
+      }
+    }
+    for (std::size_t kk = 0; kk <= i; ++kk) v[kk * n + (i + 1)] = 0.0;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    d[j] = v[(n - 1) * n + j];
+    v[(n - 1) * n + j] = 0.0;
+  }
+  v[(n - 1) * n + (n - 1)] = 1.0;
+
+  // QL on (d, e[1..]), back-transforming through Q so the returned
+  // columns are eigenvectors of the ORIGINAL dense matrix.
+  std::vector<double> off(n > 1 ? n - 1 : 0, 0.0);
+  for (std::size_t i = 1; i < n; ++i) off[i - 1] = e[i];
+  tridiag_eigen(std::move(d), std::move(off), values, vectors,
+                vectors != nullptr ? &v : nullptr);
 }
 
 }  // namespace fne

@@ -11,7 +11,22 @@ namespace fne {
 /// i+1).  On return, eigenvalues are ascending in `values` and, if
 /// `vectors` is non-null, column j of the k×k row-major matrix holds the
 /// j-th eigenvector: (*vectors)[i * k + j].
+///
+/// `init` (optional, row-major k×k) seeds the rotation accumulator with
+/// an orthogonal matrix Q instead of the identity: the returned columns
+/// are then Q·z_j — eigenvectors expressed in the basis Q reduces FROM.
+/// This is the back-transform hook sym_eigen uses after its Householder
+/// reduction (blocked Lanczos Rayleigh–Ritz, DESIGN.md §9).
 void tridiag_eigen(std::vector<double> diag, std::vector<double> off,
-                   std::vector<double>& values, std::vector<double>* vectors);
+                   std::vector<double>& values, std::vector<double>* vectors,
+                   const std::vector<double>* init = nullptr);
+
+/// Eigen-decomposition of a dense symmetric k×k row-major matrix `a`:
+/// Householder reduction to tridiagonal form (EISPACK tred2 lineage)
+/// followed by the QL solve above.  Same output convention as
+/// tridiag_eigen; ~an order of magnitude cheaper than the cyclic Jacobi
+/// oracle (spectral/jacobi.hpp) at the basis sizes Rayleigh–Ritz meets.
+void sym_eigen(std::vector<double> a, std::size_t k, std::vector<double>& values,
+               std::vector<double>* vectors);
 
 }  // namespace fne

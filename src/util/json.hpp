@@ -28,7 +28,12 @@ namespace fne {
 class JsonObject {
  public:
   JsonObject& put(const std::string& key, const std::string& value) {
-    return raw(key, "\"" + escape(value) + "\"");
+    // Append form: the operator+ chain trips GCC 12's bogus -Wrestrict
+    // diagnostic (PR 105329) at some inline sites.
+    std::string encoded = "\"";
+    encoded += escape(value);
+    encoded += "\"";
+    return raw(key, std::move(encoded));
   }
   JsonObject& put(const std::string& key, const char* value) {
     return put(key, std::string(value));
@@ -73,7 +78,10 @@ class JsonObject {
     std::string out = "{";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ", ";
-      out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+      out += '"';
+      out += escape(fields_[i].first);
+      out += "\": ";
+      out += fields_[i].second;
     }
     return out + "}";
   }
