@@ -14,6 +14,7 @@
 #include "prune/prune2.hpp"
 #include "span/steiner.hpp"
 #include "spectral/fiedler.hpp"
+#include "spectral/kernels.hpp"
 #include "spectral/operator.hpp"
 #include "topology/mesh.hpp"
 #include "topology/random_graphs.hpp"
@@ -99,6 +100,38 @@ void BM_SubCsrBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m.num_vertices());
 }
 BENCHMARK(BM_SubCsrBuild)->Arg(32)->Arg(64);
+
+// The SIMD-annotated chunked reduction (spectral/kernels.hpp): lane-tree
+// dot inside fixed 1024-element chunks.  The argument straddles
+// kSpectralParallelDim (8192), so both the serial and the OMP chunk path
+// are measured — the vectorization win is tracked here, not assumed.
+void BM_SpectralDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 1.0 + 1e-6 * static_cast<double>(i % 997);
+    b[i] = 2.0 - 1e-6 * static_cast<double>(i % 991);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral_dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK(BM_SpectralDot)->Arg(4096)->Arg(16384)->Arg(262144);
+
+void BM_SpectralAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n), y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 + 1e-6 * static_cast<double>(i % 997);
+  for (auto _ : state) {
+    spectral_axpy(1e-9, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(3 * n * sizeof(double)));
+}
+BENCHMARK(BM_SpectralAxpy)->Arg(4096)->Arg(16384)->Arg(262144);
 
 void BM_FiedlerVector(benchmark::State& state) {
   const Mesh m = Mesh::cube(static_cast<vid>(state.range(0)), 2);

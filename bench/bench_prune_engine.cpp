@@ -21,7 +21,10 @@
 //
 // Flags: --side=N (default 64), --faults=P (default 0.3), --trials=N
 // (default 1), --alpha=A (default 0.5), --eps=E (default 0.5), --seed=S,
-// --json=out.json (machine-readable results).
+// --json=out.json (machine-readable results), --blocked-side=N (default
+// 64), --filtered-side=N (default 96), and the gate thresholds
+// --min-spectral-speedup / --min-blocked-speedup (1.5) /
+// --min-filtered-speedup (3.0, the PR-6 tentpole acceptance).
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -149,10 +152,16 @@ LanczosResult lanczos_smallest(const LinearOperator& op, std::size_t n,
 
 /// Blocked rank-k solve vs k sequential deflated rank-1 solves — the two
 /// ways a consumer gets k eigenpairs out of this library (DESIGN.md §9).
-/// Returns whether the blocked solve cleared `min_speedup` AND reproduced
-/// the sequential eigenvalues to tolerance (a speedup that changes the
-/// answers is a bug, not a win).
-bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
+/// Both sides run shift-invert (PR 6): at the side-64 default the plain
+/// solvers need tens of seconds to converge (the old side-48 retreat),
+/// and Chebyshev filtering erases exactly the per-pair re-convergence
+/// waste the shared basis amortizes, leaving shift-invert as the mode
+/// where the blocked win is both real and cheap to measure (outer
+/// iterations are priced in whole CG solves, so fewer outers == less
+/// work).  Returns whether the blocked solve cleared `min_speedup` AND
+/// reproduced the sequential eigenvalues to tolerance (a speedup that
+/// changes the answers is a bug, not a win).
+bool blocked_lanczos_section(const SubCsrLaplacian& lap, const SubCsr& sub, std::uint64_t seed,
                              double min_speedup, bench::JsonReport* json) {
   const std::size_t dim = lap.dim();
   const std::vector<std::vector<double>> ones{std::vector<double>(dim, 1.0)};
@@ -164,6 +173,9 @@ bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
   // the comparison is matched-accuracy, not matched-budget (a capped
   // unconverged race rewards whoever gives the worse answer).
   constexpr double kTol = 1e-5;
+  SpectralAccel accel;
+  accel.mode = SpectralMode::kShiftInvert;
+  accel.op_upper_bound = gershgorin_upper_bound(sub);
   Timer timer;
 
   // Sequential baseline: k rank-1 solves, each deflating every eigenvector
@@ -180,6 +192,7 @@ bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
       opts.tolerance = kTol;
       opts.max_iterations = 600;
       opts.seed = seed + static_cast<std::uint64_t>(e);
+      opts.accel = accel;
       const LanczosResult res = lanczos_smallest(apply, dim, defl, opts);
       seq_converged = seq_converged && res.converged;
       seq_values.push_back(res.values.at(0));
@@ -197,6 +210,7 @@ bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
     opts.tolerance = kTol;
     opts.max_basis = 900;
     opts.seed = seed;
+    opts.accel = accel;
     timer.reset();
     blocked = lanczos_smallest_block(apply, dim, ones, opts);
     blocked_ms = timer.millis();
@@ -222,8 +236,9 @@ bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
       .cell(bench::yesno(pass));
   bench::print_table(table,
                      "4x rank-1 = lanczos_smallest with progressive deflation (the pre-blocked\n"
-                     "consumer shape); blocked = one lanczos_smallest_block basis.  Acceptance:\n"
-                     "speedup >= threshold AND both sides converged AND eigenvalue parity to 1e-4.");
+                     "consumer shape); blocked = one lanczos_smallest_block basis; both sides\n"
+                     "shift-invert at matched tolerance.  Acceptance: speedup >= threshold\n"
+                     "AND both sides converged AND eigenvalue parity to 1e-4.");
   if (json != nullptr) {
     json->record("kernel")
         .put("workload", "blocked_k4")
@@ -232,6 +247,106 @@ bool blocked_lanczos_section(const SubCsrLaplacian& lap, std::uint64_t seed,
         .put("speedup", speedup)
         .put("max_eigenvalue_dev", max_dev)
         .put("parity", parity);
+  }
+  return pass;
+}
+
+/// The PR-6 tentpole gate: Chebyshev-filtered blocked solve vs the plain
+/// blocked solve at matched tolerance on the largest surviving component
+/// of a large faulty mesh, whose clustered bottom spectrum is exactly the
+/// regime the filter exists for.  The plain side gets a basis cap large
+/// enough to actually converge — the ratio measures work-to-answer at the
+/// SAME accuracy, not who hit a cap first.  A shift-invert row rides along
+/// as information (its CG inner solves price it differently; it is the
+/// near-singular fallback, not the default accelerator).
+bool filtered_lanczos_section(const SubCsrLaplacian& lap, const SubCsr& sub, std::uint64_t seed,
+                              double min_speedup, bench::JsonReport* json) {
+  const std::size_t dim = lap.dim();
+  const std::vector<std::vector<double>> ones{std::vector<double>(dim, 1.0)};
+  const auto apply = [&lap](const std::vector<double>& x, std::vector<double>& y) {
+    lap.apply(x, y);
+  };
+  constexpr int kPairs = 4;
+  constexpr double kTol = 1e-5;
+  Timer timer;
+
+  BlockLanczosOptions opts;
+  opts.num_eigenpairs = kPairs;
+  opts.tolerance = kTol;
+  opts.max_basis = 2600;  // generous: the plain side must reach convergence
+  opts.seed = seed;
+  timer.reset();
+  const LanczosResult plain = lanczos_smallest_block(apply, dim, ones, opts);
+  const double plain_ms = timer.millis();
+
+  BlockLanczosOptions fopts = opts;
+  fopts.accel.mode = SpectralMode::kFiltered;
+  fopts.accel.op_upper_bound = gershgorin_upper_bound(sub);
+  timer.reset();
+  const LanczosResult filtered = lanczos_smallest_block(apply, dim, ones, fopts);
+  const double filtered_ms = timer.millis();
+
+  BlockLanczosOptions sopts = opts;
+  sopts.accel.mode = SpectralMode::kShiftInvert;
+  timer.reset();
+  const LanczosResult si = lanczos_smallest_block(apply, dim, ones, sopts);
+  const double si_ms = timer.millis();
+
+  double max_dev = 0.0;
+  double si_dev = 0.0;
+  for (int e = 0; e < kPairs; ++e) {
+    const auto idx = static_cast<std::size_t>(e);
+    max_dev = std::max(max_dev, std::fabs(plain.values.at(idx) - filtered.values.at(idx)));
+    si_dev = std::max(si_dev, std::fabs(plain.values.at(idx) - si.values.at(idx)));
+  }
+  const bool parity = max_dev <= 1e-4 && plain.converged && filtered.converged;
+  const double speedup = filtered_ms > 0.0 ? plain_ms / filtered_ms : 0.0;
+  const double si_speedup = si_ms > 0.0 ? plain_ms / si_ms : 0.0;
+  const bool pass = parity && speedup >= min_speedup;
+
+  Table table({"mode", "ms", "basis", "speedup", "max |dλ|", "pass"});
+  table.row()
+      .cell("plain (dim " + std::to_string(dim) + ")")
+      .cell(plain_ms, 2)
+      .cell(plain.iterations)
+      .cell(1.0, 2)
+      .cell(0.0, 8)
+      .cell(plain.converged ? "(baseline)" : "UNCONVERGED");
+  table.row()
+      .cell("filtered")
+      .cell(filtered_ms, 2)
+      .cell(filtered.iterations)
+      .cell(speedup, 2)
+      .cell(max_dev, 8)
+      .cell(bench::yesno(pass));
+  table.row()
+      .cell("shift_invert")
+      .cell(si_ms, 2)
+      .cell(si.iterations)
+      .cell(si_speedup, 2)
+      .cell(si_dev, 8)
+      .cell(si.converged ? "(info)" : "(info, unconverged)");
+  bench::print_table(
+      table,
+      "blocked k=4 on the largest component at matched tolerance 1e-5; basis =\n"
+      "Krylov vectors consumed (the filtered count includes the 16-iteration plain\n"
+      "probe that places the cut).  Acceptance: filtered speedup >= threshold AND\n"
+      "both sides converged AND eigenvalue parity to 1e-4.");
+  if (json != nullptr) {
+    json->record("kernel")
+        .put("workload", "filtered_k4")
+        .put("seed_ms", plain_ms)
+        .put("sub_csr_ms", filtered_ms)
+        .put("speedup", speedup)
+        .put("max_eigenvalue_dev", max_dev)
+        .put("parity", parity);
+    json->record("kernel")
+        .put("workload", "shift_invert_k4")
+        .put("seed_ms", plain_ms)
+        .put("sub_csr_ms", si_ms)
+        .put("speedup", si_speedup)
+        .put("max_eigenvalue_dev", si_dev)
+        .put("parity", si.converged);
   }
   return pass;
 }
@@ -486,12 +601,12 @@ int main(int argc, char** argv) {
   // surviving component of a faulty mesh (the subgraph every engine
   // eigensolve actually runs on — the full mask has a high-multiplicity
   // zero eigenvalue that no bottom-spectrum solve should be pointed at),
-  // probed at its own side: --blocked-side (default 48) is the size where
-  // both sides converge at the matched tolerance within sane caps, so the
-  // ratio measures work-to-answer, not who hit a cap first.
+  // probed at its own side: --blocked-side (default 64, raised from 48 now
+  // that both sides run Chebyshev-filtered and converge there within sane
+  // caps), so the ratio measures work-to-answer, not who hit a cap first.
   // --min-blocked-speedup relaxes the gate on noise-bound CI boxes.
   const double min_blocked = cli.get_double("min-blocked-speedup", 1.5);
-  const auto blocked_side = static_cast<vid>(cli.get_int("blocked-side", 48));
+  const auto blocked_side = static_cast<vid>(cli.get_int("blocked-side", 64));
   const Mesh blocked_mesh = Mesh::cube(blocked_side, 2);
   const VertexSet blocked_alive =
       largest_component(blocked_mesh.graph(),
@@ -499,7 +614,24 @@ int main(int argc, char** argv) {
   SubCsr blocked_sub;
   blocked_sub.build(blocked_mesh.graph(), blocked_alive);
   const SubCsrLaplacian blocked_lap(blocked_sub);
-  const bool blocked_pass = blocked_lanczos_section(blocked_lap, seed, min_blocked, &json);
+  const bool blocked_pass =
+      blocked_lanczos_section(blocked_lap, blocked_sub, seed, min_blocked, &json);
+
+  // PR-6 tentpole acceptance: filtered vs plain blocked solve on the
+  // largest component of a --filtered-side mesh (default 96 — above
+  // kFilteredAutoDim, where kAuto itself would pick the filter).
+  // --min-filtered-speedup relaxes the 3x default on reduced-size CI runs.
+  const double min_filtered = cli.get_double("min-filtered-speedup", 3.0);
+  const auto filtered_side = static_cast<vid>(cli.get_int("filtered-side", 96));
+  const Mesh filtered_mesh = Mesh::cube(filtered_side, 2);
+  const VertexSet filtered_alive =
+      largest_component(filtered_mesh.graph(),
+                        random_node_faults(filtered_mesh.graph(), fault_p, seed));
+  SubCsr filtered_sub;
+  filtered_sub.build(filtered_mesh.graph(), filtered_alive);
+  const SubCsrLaplacian filtered_lap(filtered_sub);
+  const bool filtered_pass =
+      filtered_lanczos_section(filtered_lap, filtered_sub, seed, min_filtered, &json);
 
   const double speedup = total_fast > 0.0 ? total_ref / total_fast : 0.0;
   json.top()
@@ -509,7 +641,8 @@ int main(int argc, char** argv) {
       .put("det_identical", all_identical)
       .put("traces_valid", all_valid)
       .put("kernel_pass", kernel_pass)
-      .put("blocked_pass", blocked_pass);
+      .put("blocked_pass", blocked_pass)
+      .put("filtered_pass", filtered_pass);
   if (cli.has("json")) json.write(bench::json_path(cli, "bench_prune_engine.json"));
 
   std::cout << "\noverall fast-mode speedup: " << speedup << "x ("
@@ -518,6 +651,10 @@ int main(int argc, char** argv) {
             << ", fast traces certified: " << (all_valid ? "PASS" : "FAIL")
             << ", spectral kernel >= 1.5x: " << (kernel_pass ? "PASS" : "FAIL")
             << ", blocked k=4 >= " << min_blocked << "x: " << (blocked_pass ? "PASS" : "FAIL")
+            << ", filtered k=4 >= " << min_filtered << "x: " << (filtered_pass ? "PASS" : "FAIL")
             << "\n";
-  return (speedup >= 3.0 && all_identical && all_valid && kernel_pass && blocked_pass) ? 0 : 1;
+  return (speedup >= 3.0 && all_identical && all_valid && kernel_pass && blocked_pass &&
+          filtered_pass)
+             ? 0
+             : 1;
 }

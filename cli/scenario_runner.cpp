@@ -30,6 +30,9 @@
 //       the runner's persistent engine
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
+// --spectral-mode=plain|filtered|shift_invert|auto --filter-degree=D
+// (eigensolver acceleration for the prune engine's spectral stage and
+// for any requested metric that declares the knob; see DESIGN.md §10),
 // --threads=N (shard jobs across the engine pool; results are
 // bit-identical for any N — see DESIGN.md §7/§8), --csv (emit CSV
 // instead of the aligned table), --json[=path] (machine-readable runs:
@@ -126,7 +129,8 @@ int run_campaign(const Cli& cli) {
   // returning results the flags did not influence.
   for (const char* flag : {"scenario", "topology", "topo-params", "fault", "fault-params",
                            "kind", "alpha", "eps", "fast", "verify", "expansion", "metrics",
-                           "seed", "sweep", "sweep-values", "sweep-mode", "churn-steps"}) {
+                           "spectral-mode", "filter-degree", "seed", "sweep", "sweep-values",
+                           "sweep-mode", "churn-steps"}) {
     FNE_REQUIRE(!cli.has(flag), std::string("--") + flag +
                                     " does not apply to --campaign; set it in the campaign "
                                     "file (or run a single scenario)");

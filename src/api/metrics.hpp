@@ -55,6 +55,10 @@ struct MetricEntry {
   std::string doc;
   std::vector<ParamSpec> params;
   std::function<MetricRecord(const MetricContext&, const Params&)> compute;
+  /// Optional value-level validation (beyond the declared-keys check),
+  /// run by check() and compute().  Lets a campaign file with e.g.
+  /// spectral_mode=typo fail at parse time, not mid-batch.
+  std::function<void(const Params&)> validate;
 };
 
 class MetricsRegistry {

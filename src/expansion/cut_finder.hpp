@@ -8,6 +8,7 @@
 
 #include "expansion/types.hpp"
 #include "expansion/workspace.hpp"
+#include "spectral/lanczos.hpp"
 
 namespace fne {
 
@@ -19,6 +20,13 @@ struct CutFinderOptions {
   bool use_spectral = true;
   bool use_balls = true;
   bool use_exact = true;
+  /// Eigensolve acceleration for the spectral stage (DESIGN.md §10).
+  /// kAuto keeps every sub-kFilteredAutoDim solve on the plain path —
+  /// bit-identical to the pre-PR-6 portfolio — and switches the large
+  /// components a scaled-up scenario produces to the Chebyshev filter.
+  SpectralMode spectral_mode = SpectralMode::kAuto;
+  /// Chebyshev degree for filtered solves; <= 0 = auto from the probe.
+  int filter_degree = 0;
 
   // Fast-mode switches (honored only when a workspace is supplied; see
   // DESIGN.md §5).  All default off: the default configuration is

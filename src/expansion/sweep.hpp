@@ -9,6 +9,7 @@
 
 #include "expansion/types.hpp"
 #include "expansion/workspace.hpp"
+#include "spectral/lanczos.hpp"
 
 namespace fne {
 
@@ -52,6 +53,8 @@ struct FiedlerSweepOptions {
   /// Buffer pool and Fiedler-vector cache.  When non-null the solve's
   /// resulting vector is stored back into it (fiedler_valid set).
   ExpansionWorkspace* ws = nullptr;
+  /// Eigensolve acceleration, forwarded to FiedlerOptions (DESIGN.md §10).
+  SpectralAccel accel = SpectralAccel{SpectralMode::kAuto};
 };
 
 /// Sweep over the Fiedler-vector ordering of the alive subgraph.

@@ -12,6 +12,7 @@
 
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
+#include "spectral/lanczos.hpp"
 
 namespace fne {
 
@@ -26,8 +27,19 @@ struct ExpanderCertificate {
   bool converged = false;
 };
 
+struct ExpanderCertOptions {
+  std::uint64_t seed = 7;
+  /// Acceleration for both ends of the spectrum (DESIGN.md §10).  The
+  /// bottom solve uses it as given; the top solve (on -L) re-derives its
+  /// upper bound (0) and, for shift-invert, a shift that keeps -L - σI
+  /// positive definite.
+  SpectralAccel accel = SpectralAccel{SpectralMode::kAuto};
+};
+
 /// Certify the subgraph induced by `alive`, which must be connected and
 /// d-regular within the mask.
+[[nodiscard]] ExpanderCertificate certify_expander(const Graph& g, const VertexSet& alive,
+                                                   const ExpanderCertOptions& options);
 [[nodiscard]] ExpanderCertificate certify_expander(const Graph& g, const VertexSet& alive,
                                                    std::uint64_t seed = 7);
 

@@ -1,0 +1,97 @@
+#include "spectral/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spectral/operator.hpp"  // kSpectralParallelDim
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+
+namespace {
+
+/// One chunk's partial sum with the fixed 8-lane tree.  Lane l accumulates
+/// elements lo+l, lo+l+8, ... strictly in index order; lanes fold in lane
+/// order; the sub-lane tail adds sequentially.  A pure function of
+/// (a, b, lo, hi) — threads and vector ISA cannot change a bit.
+[[nodiscard]] double chunk_dot(const double* a, const double* b, std::size_t lo, std::size_t hi) {
+  double lane[kSimdLanes] = {0.0};
+  std::size_t i = lo;
+  const std::size_t vec_end = lo + ((hi - lo) / kSimdLanes) * kSimdLanes;
+  for (; i < vec_end; i += kSimdLanes) {
+    FNE_PRAGMA_SIMD
+    for (std::size_t l = 0; l < kSimdLanes; ++l) lane[l] += a[i + l] * b[i + l];
+  }
+  double s = 0.0;
+  for (std::size_t l = 0; l < kSimdLanes; ++l) s += lane[l];
+  for (; i < hi; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+double spectral_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  const std::size_t chunks = (n + kDotChunk - 1) / kDotChunk;
+#ifdef _OPENMP
+  if (n >= kSpectralParallelDim) {
+    // One shared partials buffer per call (NOT thread_local: inside the
+    // parallel region that would resolve to each worker's own instance).
+    std::vector<double> partials(chunks, 0.0);
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < chunks; ++c) {
+      partials[c] = chunk_dot(a.data(), b.data(), c * kDotChunk, std::min(n, (c + 1) * kDotChunk));
+    }
+    double total = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) total += partials[c];
+    return total;
+  }
+#endif
+  double total = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    total += chunk_dot(a.data(), b.data(), c * kDotChunk, std::min(n, (c + 1) * kDotChunk));
+  }
+  return total;
+}
+
+double spectral_norm(const std::vector<double>& a) { return std::sqrt(spectral_dot(a, a)); }
+
+void spectral_axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  const std::size_t n = x.size();
+  const double* xp = x.data();
+  double* yp = y.data();
+#ifdef _OPENMP
+#pragma omp parallel for simd schedule(static) if (n >= kSpectralParallelDim)
+#else
+  FNE_PRAGMA_SIMD
+#endif
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void spectral_orthogonalize(const std::vector<std::vector<double>>& basis, std::size_t count,
+                            std::vector<double>& x, std::vector<double>& coeff) {
+  if (count == 0) return;
+  coeff.resize(count);
+  for (std::size_t i = 0; i < count; ++i) coeff[i] = spectral_dot(basis[i], x);
+  const std::size_t n = x.size();
+  const std::size_t blocks = (n + kDotChunk - 1) / kDotChunk;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (n >= kSpectralParallelDim)
+#endif
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t lo = blk * kDotChunk;
+    const std::size_t hi = std::min(n, lo + kDotChunk);
+    double* xp = x.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      const double c = coeff[i];
+      const double* bi = basis[i].data();
+      FNE_PRAGMA_SIMD
+      for (std::size_t e = lo; e < hi; ++e) xp[e] -= c * bi[e];
+    }
+  }
+}
+
+}  // namespace fne

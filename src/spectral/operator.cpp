@@ -1,5 +1,7 @@
 #include "spectral/operator.hpp"
 
+#include <algorithm>
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -94,10 +96,34 @@ void SubCsrLaplacian::apply(const std::vector<double>& x, std::vector<double>& y
 #pragma omp parallel for schedule(static) if (k >= kSpectralParallelDim)
 #endif
   for (std::size_t i = 0; i < k; ++i) {
+    // Gather with the shared kSimdLanes fold (kernels.hpp): lane blocks
+    // first, then the sub-lane tail sequentially.  Rows shorter than
+    // kSimdLanes — every row of a 2D mesh — take the pure tail path, so
+    // the fold only reassociates rows long enough to profit from it.
+    // MaskedLaplacian::apply mirrors the exact same tree to preserve
+    // bit-parity on every mask.
+    const std::size_t begin = offsets[i];
+    const std::size_t end = offsets[i + 1];
+    const std::size_t vec_end = begin + ((end - begin) / kSimdLanes) * kSimdLanes;
+    double lane[kSimdLanes] = {0.0};
+    std::size_t a = begin;
+    for (; a < vec_end; a += kSimdLanes) {
+      FNE_PRAGMA_SIMD
+      for (std::size_t l = 0; l < kSimdLanes; ++l) lane[l] += xp[adj[a + l]];
+    }
     double acc = 0.0;
-    for (std::size_t a = offsets[i]; a < offsets[i + 1]; ++a) acc += xp[adj[a]];
+    for (std::size_t l = 0; l < kSimdLanes; ++l) acc += lane[l];
+    for (; a < end; ++a) acc += xp[adj[a]];
     yp[i] = deg[i] * xp[i] - acc;
   }
+}
+
+double gershgorin_upper_bound(const SubCsr& s) {
+  // Laplacian row i has diagonal deg[i] and off-diagonal radius deg[i]
+  // (all entries are -1), so every Gershgorin disc is [0, 2·deg[i]].
+  double max_deg = 0.0;
+  for (const double d : s.deg) max_deg = std::max(max_deg, d);
+  return 2.0 * max_deg;
 }
 
 }  // namespace fne

@@ -22,7 +22,10 @@
 //
 // Both produce bit-identical y for the same (graph, mask, x): they
 // enumerate alive vertices ascending and alive neighbors in the same
-// (ascending) order, and deg accumulates the same way.
+// (ascending) order, deg accumulates the same way, and both fold each
+// row's neighbor sum through the same fixed kSimdLanes tree
+// (spectral/kernels.hpp) — the SubCsr row kernel vectorizes, and the
+// reference mirrors its summation order exactly.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +33,7 @@
 
 #include "core/graph.hpp"
 #include "core/vertex_set.hpp"
+#include "spectral/kernels.hpp"
 #include "util/require.hpp"
 
 namespace fne {
@@ -107,19 +111,43 @@ class MaskedLaplacian {
   [[nodiscard]] std::size_t dim() const noexcept { return verts_.size(); }
   [[nodiscard]] const std::vector<vid>& vertices() const noexcept { return verts_; }
 
-  /// y = (D - A) x over the induced subgraph.
+  /// y = (D - A) x over the induced subgraph.  The neighbor sum streams
+  /// through the same fixed kSimdLanes tree as the SubCsr row kernel —
+  /// lane blocks of 8 alive neighbors, folded in lane order, then the
+  /// sub-lane tail sequentially — so the two implementations stay
+  /// bit-identical on every mask, including high-degree rows.
   void apply(const std::vector<double>& x, std::vector<double>& y) const {
     FNE_REQUIRE(x.size() == dim() && y.size() == dim(), "operator dimension mismatch");
     for (std::size_t i = 0; i < verts_.size(); ++i) {
       const vid v = verts_[i];
-      double acc = 0.0;
+      // Pass 1: alive degree (how many full lane blocks the row has).
       double deg = 0.0;
+      std::size_t alive_count = 0;
+      for (vid w : graph_->neighbors(v)) {
+        if (to_sub_[w] == kInvalidVertex) continue;
+        deg += 1.0;
+        ++alive_count;
+      }
+      // Pass 2: lane-assign by position among the alive neighbors.  Tail
+      // elements are buffered (< kSimdLanes of them) and appended after
+      // the lane fold, exactly as the contiguous kernel does.
+      const std::size_t vec_end = (alive_count / kSimdLanes) * kSimdLanes;
+      double lane[kSimdLanes] = {0.0};
+      double tail[kSimdLanes] = {0.0};
+      std::size_t pos = 0;
       for (vid w : graph_->neighbors(v)) {
         const vid j = to_sub_[w];
         if (j == kInvalidVertex) continue;  // dead neighbor
-        deg += 1.0;
-        acc += x[j];
+        if (pos < vec_end) {
+          lane[pos % kSimdLanes] += x[j];
+        } else {
+          tail[pos - vec_end] = x[j];
+        }
+        ++pos;
       }
+      double acc = 0.0;
+      for (std::size_t l = 0; l < kSimdLanes; ++l) acc += lane[l];
+      for (std::size_t t = 0; t < alive_count - vec_end; ++t) acc += tail[t];
       y[i] = deg * x[i] - acc;
     }
   }
@@ -129,5 +157,11 @@ class MaskedLaplacian {
   std::vector<vid> to_sub_;
   std::vector<vid> verts_;
 };
+
+/// Gershgorin upper bound on the spectrum of the SubCsr Laplacian:
+/// max_i 2·deg[i] (row i's disc is [0, 2·deg[i]]).  One pass over the
+/// stored degrees — cheap, deterministic, and tight enough for the
+/// Chebyshev filter's damping interval (DESIGN.md §10).
+[[nodiscard]] double gershgorin_upper_bound(const SubCsr& s);
 
 }  // namespace fne

@@ -101,6 +101,48 @@ TEST(MetricsRegistry, CampaignJsonRejectsUnknownMetricsAndParams) {
                PreconditionError);
 }
 
+TEST(MetricsRegistry, SpectralModeParamsValidatedAtCheckTime) {
+  // Declared on both spectral metrics, value-checked by the entry's
+  // validate hook — so a typo'd mode fails in check(), i.e. at campaign
+  // parse time, not mid-batch in compute().
+  for (const char* metric : {"embedding_quality", "expander_certificate"}) {
+    MetricsRegistry::instance().check(metric, Params{{"spectral_mode", "filtered"}});
+    MetricsRegistry::instance().check(
+        metric, Params{{"spectral_mode", "shift_invert"}, {"filter_degree", "8"}});
+    try {
+      MetricsRegistry::instance().check(metric, Params{{"spectral_mode", "cheby"}});
+      FAIL() << "expected PreconditionError";
+    } catch (const PreconditionError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("cheby"), std::string::npos) << what;
+      EXPECT_NE(what.find("shift_invert"), std::string::npos) << "must list valid modes";
+    }
+    EXPECT_THROW(
+        MetricsRegistry::instance().check(metric, Params{{"filter_degree", "-2"}}),
+        PreconditionError);
+  }
+  // Campaign JSON inherits the rejection through the same check() call.
+  EXPECT_THROW((void)campaign_from_json(R"({"scenarios": [
+      {"metrics": {"requests": [{"name": "embedding_quality",
+                                 "params": {"spectral_mode": "cheby"}}]}}]})"),
+               PreconditionError);
+}
+
+TEST(MetricsRegistry, CampaignJsonParsesPruneSpectralMode) {
+  const Campaign c = campaign_from_json(R"({"scenarios": [
+      {"topology": {"name": "mesh", "params": {"side": 8, "dims": 2}},
+       "prune": {"alpha": 0.25, "spectral_mode": "filtered", "filter_degree": 10}}]})");
+  ASSERT_EQ(c.entries.size(), 1u);
+  EXPECT_EQ(c.entries[0].scenario.prune.finder.spectral_mode, SpectralMode::kFiltered);
+  EXPECT_EQ(c.entries[0].scenario.prune.finder.filter_degree, 10);
+  EXPECT_THROW((void)campaign_from_json(R"({"scenarios": [
+      {"prune": {"spectral_mode": "sideways"}}]})"),
+               PreconditionError);
+  EXPECT_THROW((void)campaign_from_json(R"({"scenarios": [
+      {"prune": {"filter_degree": -1}}]})"),
+               PreconditionError);
+}
+
 TEST(MetricsRegistry, RunnerValidatesRequestsEagerly) {
   Scenario s;
   s.topology = {"mesh", Params{{"side", "8"}}};

@@ -1,0 +1,335 @@
+// Spectral acceleration modes (DESIGN.md §10): Chebyshev-filtered and
+// shift-invert solves must agree with the plain solver at matched
+// tolerance (eigenvalues come from Rayleigh quotients against the
+// original operator in every mode), kAuto must resolve purely from
+// (dimension, bound availability), the Gershgorin bound must dominate
+// the spectrum, and every mode must stay bit-identical for any OMP
+// thread count on both sides of kSpectralParallelDim.  The Slow suite
+// adds the clustered-spectrum regression the filter exists for: the
+// side-96 mesh, where the plain blocked solver cannot converge within
+// a 250-vector basis and the filtered solver must.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/traversal.hpp"
+#include "faults/fault_model.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/jacobi.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/operator.hpp"
+#include "topology/mesh.hpp"
+#include "topology/random_graphs.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fne {
+namespace {
+
+[[nodiscard]] LinearOperator as_operator(const SubCsrLaplacian& lap) {
+  return [&lap](const std::vector<double>& x, std::vector<double>& y) { lap.apply(x, y); };
+}
+
+[[nodiscard]] std::vector<std::vector<double>> ones_deflation(std::size_t dim) {
+  return {std::vector<double>(dim, 1.0)};
+}
+
+[[nodiscard]] std::vector<double> dense_laplacian(const SubCsrLaplacian& lap) {
+  const std::size_t n = lap.dim();
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> x(n, 0.0);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    x.assign(n, 0.0);
+    x[j] = 1.0;
+    lap.apply(x, y);
+    for (std::size_t i = 0; i < n; ++i) a[i * n + j] = y[i];
+  }
+  return a;
+}
+
+[[nodiscard]] SpectralAccel accel_for(SpectralMode mode, const SubCsr& sub) {
+  SpectralAccel accel;
+  accel.mode = mode;
+  accel.op_upper_bound = gershgorin_upper_bound(sub);
+  return accel;
+}
+
+/// Path-graph eigenvalue 2 − 2cos(πk/side); mesh eigenvalues are
+/// pairwise sums of these.
+[[nodiscard]] double path_mu(int k, int side) {
+  return 2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) / static_cast<double>(side));
+}
+
+TEST(SpectralModes, ModeStringsRoundTripAndReject) {
+  for (const SpectralMode mode : {SpectralMode::kPlain, SpectralMode::kFiltered,
+                                  SpectralMode::kShiftInvert, SpectralMode::kAuto}) {
+    EXPECT_EQ(spectral_mode_from_string(spectral_mode_name(mode)), mode);
+  }
+  EXPECT_THROW((void)spectral_mode_from_string("chebyshev"), PreconditionError);
+  EXPECT_THROW((void)spectral_mode_from_string(""), PreconditionError);
+}
+
+TEST(SpectralModes, AutoResolvesBySizeAndBound) {
+  SpectralAccel accel;
+  accel.mode = SpectralMode::kAuto;
+  accel.op_upper_bound = 8.0;
+  EXPECT_EQ(resolve_spectral_mode(accel, kFilteredAutoDim - 1), SpectralMode::kPlain);
+  EXPECT_EQ(resolve_spectral_mode(accel, kFilteredAutoDim), SpectralMode::kFiltered);
+  accel.op_upper_bound = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(resolve_spectral_mode(accel, kFilteredAutoDim), SpectralMode::kPlain)
+      << "auto must not pick filtered without a usable upper bound";
+  // Explicit modes resolve to themselves regardless of size.
+  accel.mode = SpectralMode::kShiftInvert;
+  EXPECT_EQ(resolve_spectral_mode(accel, 10), SpectralMode::kShiftInvert);
+  accel.mode = SpectralMode::kFiltered;
+  EXPECT_EQ(resolve_spectral_mode(accel, 10), SpectralMode::kFiltered);
+}
+
+TEST(SpectralModes, GershgorinBoundDominatesTheSpectrum) {
+  for (const auto& g :
+       {Mesh::cube(6, 2).graph(), random_regular(80, 4, 3)}) {
+    SubCsr sub;
+    sub.build(g, VertexSet::full(g.num_vertices()));
+    const SubCsrLaplacian lap(sub);
+    std::vector<double> values;
+    jacobi_eigen(dense_laplacian(lap), lap.dim(), values, nullptr);
+    const double bound = gershgorin_upper_bound(sub);
+    EXPECT_LE(values.back(), bound + 1e-12);
+    EXPECT_GT(bound, 0.0);
+  }
+}
+
+TEST(SpectralModes, FilteredMatchesPlainOnMesh) {
+  const Mesh mesh = Mesh::cube(20, 2);
+  SubCsr sub;
+  sub.build(mesh.graph(), VertexSet::full(mesh.num_vertices()));
+  const SubCsrLaplacian lap(sub);
+  const double mu = path_mu(1, 20);
+
+  // Rank-1: λ₂ from the filtered solve matches the closed form and the
+  // plain solve at matched tolerance.
+  LanczosOptions opts;
+  opts.num_eigenpairs = 1;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 400;
+  const LanczosResult plain =
+      lanczos_smallest(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  opts.accel = accel_for(SpectralMode::kFiltered, sub);
+  const LanczosResult filtered =
+      lanczos_smallest(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(filtered.converged);
+  EXPECT_NEAR(filtered.values[0], mu, 1e-6);
+  EXPECT_NEAR(filtered.values[0], plain.values[0], 1e-6);
+
+  // Blocked k = 4: values match the plain blocked solve pairwise.
+  BlockLanczosOptions bopts;
+  bopts.num_eigenpairs = 4;
+  bopts.tolerance = 1e-8;
+  bopts.max_basis = 500;
+  const LanczosResult bplain =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), bopts);
+  bopts.accel = accel_for(SpectralMode::kFiltered, sub);
+  const LanczosResult bfilt =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), bopts);
+  ASSERT_TRUE(bplain.converged);
+  ASSERT_TRUE(bfilt.converged);
+  ASSERT_EQ(bplain.values.size(), bfilt.values.size());
+  for (std::size_t e = 0; e < bplain.values.size(); ++e) {
+    EXPECT_NEAR(bfilt.values[e], bplain.values[e], 1e-6) << "pair " << e;
+  }
+}
+
+TEST(SpectralModes, ShiftInvertMatchesPlainOnMesh) {
+  const Mesh mesh = Mesh::cube(20, 2);
+  SubCsr sub;
+  sub.build(mesh.graph(), VertexSet::full(mesh.num_vertices()));
+  const SubCsrLaplacian lap(sub);
+
+  LanczosOptions opts;
+  opts.num_eigenpairs = 1;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 400;
+  const LanczosResult plain =
+      lanczos_smallest(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  opts.accel.mode = SpectralMode::kShiftInvert;  // σ = 0: kernel is deflated
+  const LanczosResult si =
+      lanczos_smallest(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(si.converged);
+  EXPECT_NEAR(si.values[0], plain.values[0], 1e-6);
+  EXPECT_LT(si.iterations, plain.iterations)
+      << "shift-invert exists to converge in far fewer (outer) iterations";
+
+  BlockLanczosOptions bopts;
+  bopts.num_eigenpairs = 4;
+  bopts.tolerance = 1e-8;
+  bopts.max_basis = 500;
+  const LanczosResult bplain =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), bopts);
+  bopts.accel.mode = SpectralMode::kShiftInvert;
+  const LanczosResult bsi =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), bopts);
+  ASSERT_TRUE(bplain.converged);
+  ASSERT_TRUE(bsi.converged);
+  ASSERT_EQ(bplain.values.size(), bsi.values.size());
+  for (std::size_t e = 0; e < bplain.values.size(); ++e) {
+    EXPECT_NEAR(bsi.values[e], bplain.values[e], 1e-6) << "pair " << e;
+  }
+}
+
+TEST(SpectralModes, FilteredMatchesPlainOnRandomRegular) {
+  const Graph g = random_regular(600, 4, 17);
+  SubCsr sub;
+  sub.build(g, VertexSet::full(g.num_vertices()));
+  const SubCsrLaplacian lap(sub);
+
+  BlockLanczosOptions opts;
+  opts.num_eigenpairs = 4;
+  opts.tolerance = 1e-8;
+  opts.max_basis = 400;
+  const LanczosResult plain =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  opts.accel = accel_for(SpectralMode::kFiltered, sub);
+  const LanczosResult filtered =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(filtered.converged);
+  ASSERT_EQ(plain.values.size(), filtered.values.size());
+  for (std::size_t e = 0; e < plain.values.size(); ++e) {
+    EXPECT_NEAR(filtered.values[e], plain.values[e], 1e-6) << "pair " << e;
+  }
+}
+
+TEST(SpectralModes, FilteredParityOnCullSequence) {
+  // The engine pairs accelerated solves with an incrementally shrunk
+  // SubCsr; filtered results over the shrunk operator must match plain
+  // results for the same mask at every step of a cull sequence.
+  const Mesh mesh = Mesh::cube(14, 2);
+  const Graph& g = mesh.graph();
+  VertexSet alive = random_node_faults(g, 0.15, 5);
+  alive = largest_component(g, alive);
+
+  SubCsr incremental;
+  incremental.build(g, alive);
+  Rng rng(123);
+  for (int round = 0; round < 3; ++round) {
+    VertexSet culled(g.num_vertices());
+    int budget = 6;
+    alive.for_each([&](vid v) {
+      if (budget > 0 && rng.uniform(4) == 0) {
+        culled.set(v);
+        --budget;
+      }
+    });
+    if (culled.count() == 0) continue;
+    culled.for_each([&](vid v) { alive.reset(v); });
+    incremental.remove(culled);
+    const VertexSet comp = largest_component(g, alive);
+    if (comp.count() != alive.count()) break;  // solver needs connectivity
+
+    const SubCsrLaplacian lap(incremental);
+    BlockLanczosOptions opts;
+    opts.num_eigenpairs = 2;
+    opts.tolerance = 1e-7;
+    opts.max_basis = 300;
+    const LanczosResult plain =
+        lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+    opts.accel = accel_for(SpectralMode::kFiltered, incremental);
+    const LanczosResult filtered =
+        lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+    SCOPED_TRACE(round);
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(filtered.converged);
+    for (std::size_t e = 0; e < plain.values.size(); ++e) {
+      EXPECT_NEAR(filtered.values[e], plain.values[e], 1e-5) << "pair " << e;
+    }
+  }
+}
+
+TEST(SpectralModesSlow, BitIdenticalAcrossThreadsEveryMode) {
+  // The PR-6 acceptance bar: every mode — including the CG inner solve
+  // and the Chebyshev recurrence — is a pure function of its inputs for
+  // ANY OMP thread count, on both sides of kSpectralParallelDim.
+  // Convergence is NOT required for determinism, so iteration caps keep
+  // the large plain solves cheap.
+  for (const int side : {64, 96}) {
+    const Mesh mesh = Mesh::cube(side, 2);
+    SubCsr sub;
+    sub.build(mesh.graph(), VertexSet::full(mesh.num_vertices()));
+    const SubCsrLaplacian lap(sub);
+    for (const SpectralMode mode :
+         {SpectralMode::kPlain, SpectralMode::kFiltered, SpectralMode::kShiftInvert}) {
+      LanczosOptions opts;
+      opts.num_eigenpairs = 2;
+      opts.tolerance = 1e-8;
+      opts.max_iterations = 40;
+      opts.seed = 11;
+      opts.accel = accel_for(mode, sub);
+      const auto solve = [&] {
+        return lanczos_smallest(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+      };
+      const LanczosResult first = solve();
+      SCOPED_TRACE(spectral_mode_name(mode));
+      SCOPED_TRACE(side);
+#ifdef _OPENMP
+      const int saved = omp_get_max_threads();
+      for (const int threads : {1, 2, 4}) {
+        omp_set_num_threads(threads);
+        const LanczosResult again = solve();
+        SCOPED_TRACE(threads);
+        ASSERT_EQ(first.iterations, again.iterations);
+        ASSERT_EQ(first.values, again.values);
+        ASSERT_EQ(first.vectors, again.vectors);
+      }
+      omp_set_num_threads(saved);
+#else
+      const LanczosResult again = solve();
+      ASSERT_EQ(first.values, again.values);
+      ASSERT_EQ(first.vectors, again.vectors);
+#endif
+    }
+  }
+}
+
+TEST(SpectralModesSlow, ClusteredSpectrumRegressionSide96) {
+  // The case the filter exists for: the side-96 mesh's bottom cluster
+  // (μ₁, μ₁, 2μ₁, μ₂ ≈ 0.001–0.004) sits under a spectrum reaching 8,
+  // and a plain blocked solve cannot separate it within a 250-vector
+  // basis at tol 1e-5.  The Chebyshev filter must converge in the same
+  // budget AND reproduce the closed-form eigenvalues — fast but wrong
+  // is caught here.
+  const Mesh mesh = Mesh::cube(96, 2);
+  SubCsr sub;
+  sub.build(mesh.graph(), VertexSet::full(mesh.num_vertices()));
+  const SubCsrLaplacian lap(sub);
+
+  BlockLanczosOptions opts;
+  opts.num_eigenpairs = 4;
+  opts.tolerance = 1e-5;
+  opts.max_basis = 250;
+  const LanczosResult plain =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  EXPECT_FALSE(plain.converged)
+      << "plain converged inside the cap — the regression no longer bites; tighten it";
+
+  opts.accel = accel_for(SpectralMode::kFiltered, sub);
+  const LanczosResult filtered =
+      lanczos_smallest_block(as_operator(lap), lap.dim(), ones_deflation(lap.dim()), opts);
+  ASSERT_TRUE(filtered.converged);
+  ASSERT_EQ(filtered.values.size(), 4u);
+  const double mu1 = path_mu(1, 96);
+  const double mu2 = path_mu(2, 96);
+  EXPECT_NEAR(filtered.values[0], mu1, 2e-4);
+  EXPECT_NEAR(filtered.values[1], mu1, 2e-4) << "λ₂ is degenerate on the square mesh";
+  EXPECT_NEAR(filtered.values[2], 2.0 * mu1, 2e-4);
+  EXPECT_NEAR(filtered.values[3], mu2, 2e-4);
+}
+
+}  // namespace
+}  // namespace fne
