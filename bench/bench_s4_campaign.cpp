@@ -23,10 +23,12 @@
 // --seed=S, --json=out.json.
 #include "bench_common.hpp"
 
+#include <filesystem>
 #include <thread>
 
 #include "api/campaign.hpp"
 #include "api/runner.hpp"
+#include "store/result_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace fne;
@@ -170,13 +172,60 @@ int main(int argc, char** argv) {
       "(engine iterations) must drop >= " + std::to_string(min_cullwork).substr(0, 4) +
           "x while deterministic-mode survivors stay bit-identical.");
 
+  // -------------------------------------------------------------------------
+  // 3. Result store: cold commit vs warm replay (DESIGN.md §11).
+  // -------------------------------------------------------------------------
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "fne_bench_s4_store").string();
+  std::filesystem::remove_all(store_dir);
+  ResultStore store(store_dir);
+  EngineCache::instance().clear();
+  timer.reset();
+  const CampaignReport cold_report = campaign_runner.run(threads, &store);
+  const double cold_ms = timer.millis();
+  timer.reset();
+  const CampaignReport warm_report = campaign_runner.run(threads, &store);
+  const double warm_ms = timer.millis();
+  const bool store_identical =
+      cold_report.to_json(false) == payload && warm_report.to_json(false) == payload;
+  const bool warm_all_hits = warm_report.store.misses == 0 &&
+                             warm_report.store.hits == cold_report.store.misses;
+  const double replay_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  Table store_table({"pass", "hits", "misses", "committed KB", "ms", "payload identical"});
+  store_table.row()
+      .cell("cold")
+      .cell(cold_report.store.hits)
+      .cell(cold_report.store.misses)
+      .cell(static_cast<double>(cold_report.store.bytes_committed) / 1024.0, 1)
+      .cell(cold_ms, 1)
+      .cell(bench::yesno(cold_report.to_json(false) == payload));
+  store_table.row()
+      .cell("warm")
+      .cell(warm_report.store.hits)
+      .cell(warm_report.store.misses)
+      .cell(static_cast<double>(warm_report.store.bytes_committed) / 1024.0, 1)
+      .cell(warm_ms, 1)
+      .cell(bench::yesno(warm_report.to_json(false) == payload));
+  bench::print_table(store_table,
+                     "cold run computes every cell and commits it; the warm run must serve\n"
+                     "every cell from the store (misses = 0) and reproduce the payload.");
+  json.record("store").put("pass", "cold").put("millis", cold_ms).put(
+      "misses", cold_report.store.misses);
+  json.record("store").put("pass", "warm").put("millis", warm_ms).put(
+      "hits", warm_report.store.hits).put("replay_speedup", replay_speedup);
+  std::filesystem::remove_all(store_dir);
+
   const bool pass = payload_identical && parity && best_speedup >= min_speedup &&
-                    cullwork_ratio >= min_cullwork;
+                    cullwork_ratio >= min_cullwork && store_identical && warm_all_hits;
   json.top()
       .put("best_speedup", best_speedup)
       .put("payload_identical", payload_identical)
       .put("monotone_parity", parity)
       .put("cullwork_ratio", cullwork_ratio)
+      .put("store_payload_identical", store_identical)
+      .put("store_warm_all_hits", warm_all_hits)
+      .put("store_replay_speedup", replay_speedup)
       .put("pass", pass);
   if (cli.has("json")) json.write(bench::json_path(cli, "bench_s4_campaign.json"));
 

@@ -25,6 +25,15 @@
 //       run every scenario of a campaign file; one aggregated report
 //   scenario_runner --campaign=catalog [--reps=2]
 //       the built-in scenario catalog as a campaign (CI smoke)
+//   scenario_runner --campaign=FILE --store=DIR [--store-stats]
+//       run the campaign through a persistent ResultStore (DESIGN.md
+//       §11): cells already in DIR are served from disk bit-identically,
+//       misses are computed and committed.  --resume is --store with the
+//       default directory .fne-store — rerun a killed campaign and only
+//       the missing cells recompute.  --store-stats prints the hit/miss
+//       split afterwards.  --payload=FILE writes the DETERMINISTIC
+//       report payload (to_json(false)) for golden comparisons
+//       (reproduce/validate.sh).  All four are campaign-only flags.
 //   scenario_runner --scenario=can-churn --churn-steps=40
 //       additionally drive ongoing churn, re-pruning every round through
 //       the runner's persistent engine
@@ -40,7 +49,9 @@
 // --json=path keeps the tables and writes the file), --stats (engine
 // telemetry after the runs; table form only).
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "api/campaign.hpp"
 #include "api/metrics.hpp"
@@ -48,6 +59,7 @@
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
 #include "api/scenario_cli.hpp"
+#include "store/result_store.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
@@ -145,8 +157,23 @@ int run_campaign(const Cli& cli) {
   const std::string json_path = cli.get("json", "");
   const bool json_to_stdout = json_path == "1";
 
+  // --store=DIR / --resume: route the run through a ResultStore.
+  // --resume is the convenience spelling with a conventional directory,
+  // so "my campaign died, run it again" needs no bookkeeping.
+  std::string store_dir = cli.get("store", "");
+  FNE_REQUIRE(!cli.has("store") || (!store_dir.empty() && store_dir != "1"),
+              "--store needs a directory: --store=DIR");
+  if (cli.has("resume") && store_dir.empty()) store_dir = ".fne-store";
+  FNE_REQUIRE(!cli.has("store-stats") || !store_dir.empty(),
+              "--store-stats needs --store=DIR (or --resume)");
+  const std::string payload_path = cli.get("payload", "");
+  FNE_REQUIRE(!cli.has("payload") || (!payload_path.empty() && payload_path != "1"),
+              "--payload needs a path: --payload=FILE");
+  std::unique_ptr<ResultStore> store;
+  if (!store_dir.empty()) store = std::make_unique<ResultStore>(store_dir);
+
   CampaignRunner runner(std::move(campaign));
-  const CampaignReport report = runner.run(threads);
+  const CampaignReport report = runner.run(threads, store.get());
 
   if (!json_to_stdout) {
     std::cout << "campaign: " << report.name << " — " << report.scenarios.size()
@@ -189,6 +216,20 @@ int run_campaign(const Cli& cli) {
                 << " graph_builds=" << report.cache.graph_builds << "\n";
     }
   }
+  if (cli.has("store-stats")) {
+    // Keep a --json stdout stream pure JSON; the stats go to stderr there.
+    std::ostream& out = json_to_stdout ? std::cerr : std::cout;
+    out << "store: hits=" << report.store.hits << " misses=" << report.store.misses
+        << " loaded_bytes=" << report.store.bytes_loaded
+        << " committed_bytes=" << report.store.bytes_committed
+        << " records=" << store->stats().records << "\n";
+  }
+  if (!payload_path.empty()) {
+    std::ofstream out(payload_path);
+    FNE_REQUIRE(static_cast<bool>(out), "cannot write payload to " + payload_path);
+    out << report.to_json(/*include_timing=*/false) << "\n";
+    std::cerr << "(payload written to " << payload_path << ")\n";
+  }
   if (json_to_stdout) {
     std::cout << report.to_json() << "\n";
   } else if (!json_path.empty()) {
@@ -205,6 +246,14 @@ int run_campaign(const Cli& cli) {
 
 int run(const Cli& cli) {
   if (cli.has("campaign")) return run_campaign(cli);
+
+  // The result store keys CAMPAIGN cells; a single-scenario run has no
+  // store semantics, so reject the flags loudly rather than silently
+  // running without them.
+  for (const char* flag : {"store", "resume", "store-stats", "payload"}) {
+    FNE_REQUIRE(!cli.has(flag),
+                std::string("--") + flag + " only applies to --campaign runs");
+  }
 
   Scenario scenario = scenario_from_cli(cli);
   const int threads = cli.get_threads(1);

@@ -1,0 +1,39 @@
+# Shared plumbing for the reproduce/ scripts. Sourced, not executed.
+#
+# Environment knobs (all optional):
+#   RUNNER     path to the scenario_runner binary   (default: <repo>/build/scenario_runner)
+#   STORE_DIR  content-addressable result store dir (default: <repo>/reproduce-store)
+#   OUT_DIR    where payloads and logs are written  (default: <repo>/reproduce-out)
+#   THREADS    campaign worker threads              (default: 4)
+#
+# Payloads are produced with CampaignReport::to_json(false), which is
+# deterministic: byte-identical across thread counts and across cold/warm
+# store states. That is what makes golden diffing meaningful.
+
+set -euo pipefail
+
+REPRO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_DIR="$(dirname "$REPRO_DIR")"
+
+RUNNER="${RUNNER:-$REPO_DIR/build/scenario_runner}"
+STORE_DIR="${STORE_DIR:-$REPO_DIR/reproduce-store}"
+OUT_DIR="${OUT_DIR:-$REPO_DIR/reproduce-out}"
+THREADS="${THREADS:-4}"
+
+# run_campaign_experiment NAME CAMPAIGN_FILE
+#
+# Runs one campaign through the result store and leaves behind:
+#   $OUT_DIR/NAME/payload.json   deterministic payload (golden-diffable)
+#   $OUT_DIR/NAME/run.log        full runner output incl. "store: ..." stats
+run_campaign_experiment() {
+  local name="$1" campaign="$2"
+  if [ ! -x "$RUNNER" ]; then
+    echo "error: runner '$RUNNER' not found or not executable." >&2
+    echo "build it first:  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+  mkdir -p "$OUT_DIR/$name"
+  "$RUNNER" --campaign="$REPO_DIR/$campaign" --threads="$THREADS" \
+    --store="$STORE_DIR" --store-stats \
+    --payload="$OUT_DIR/$name/payload.json" | tee "$OUT_DIR/$name/run.log"
+}

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E10: certified pruned subgraphs on constant-degree networks (de Bruijn, shuffle-exchange) with verify traces and expansion brackets.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e10_subgraph_count campaigns/e10_subgraph_count.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E11: butterfly vs multibutterfly resilience under monotone hub attacks at matched fault fractions.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e11_multibutterfly campaigns/e11_multibutterfly.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E12: mesh emulation quality after random edge faults, measured with embedding_quality at two mesh sizes.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e12_emulation campaigns/e12_emulation.json

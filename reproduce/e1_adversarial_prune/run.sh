@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E1 (Thm 2.1): adversarial worst-case faults -- sweep-cut and separator attacks on a random regular graph, hub attack on a hypercube. The pruned survivor set must retain expansion despite targeted damage.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e1_adversarial_prune campaigns/e1_adversarial_prune.json

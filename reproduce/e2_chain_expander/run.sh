@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E2 (Thm 2.3): chain-of-expanders topology under monotone high-degree hub attacks; growing fault fraction must shear off whole links while the surviving prefix stays an expander.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e2_chain_expander campaigns/e2_chain_expander.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E3 (Thm 2.5): bisection faults at near-zero alpha shatter the mesh uniformly; fragmentation of the survivor set is the observable.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e3_uniform_shatter campaigns/e3_uniform_shatter.json

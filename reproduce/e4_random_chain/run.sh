@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E4 (Thm 3.1): random faults on chain expanders across sub/supercritical rates; repeated trials with fixed seeds.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e4_random_chain campaigns/e4_random_chain.json

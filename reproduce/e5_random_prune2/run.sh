@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E5 (Thm 3.4): random edge faults on meshes, monotone p-sweep with verified prune traces.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e5_random_prune2 campaigns/e5_random_prune2.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E6: mesh span under faults (span/mesh_span metrics); mirrors the mesh-span preset campaign.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e6_mesh_span campaigns/e6_mesh_span.json

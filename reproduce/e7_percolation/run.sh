@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E7: percolation thresholds -- survivor fraction gamma as a function of monotone random fault rate p at vanishing alpha, on mesh / de Bruijn / hypercube.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e7_percolation campaigns/e7_percolation.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E8: span conjecture sweep (span_estimate fractions across topologies).
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e8_span_conjecture campaigns/e8_span_conjecture.json

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# E9: diameter stretch of the pruned survivor graph via the embedding_quality metric on 2-D and 3-D meshes.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment e9_diameter_stretch campaigns/e9_diameter_stretch.json

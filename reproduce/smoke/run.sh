@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Smoke: the small mixed campaign used by CI; exercises every job kind (reps, monotone chain, independent sweep).
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+run_campaign_experiment smoke campaigns/smoke.json

@@ -7,6 +7,10 @@
 #include "api/metrics.hpp"
 #include "api/registry.hpp"
 #include "spectral/lanczos.hpp"
+#include "store/key.hpp"
+#include "store/record.hpp"
+#include "store/result_store.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
@@ -184,22 +188,6 @@ void apply_scenario_json(Scenario& s, const JsonValue& obj) {
 // Report serialization
 // ---------------------------------------------------------------------------
 
-/// Order-sensitive 64-bit FNV-1a over the survivor words: a strong,
-/// cheap identity for "same set, bit for bit" comparisons across report
-/// payloads.
-[[nodiscard]] std::uint64_t mask_hash(const VertexSet& s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t word) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (word >> (8 * b)) & 0xFF;
-      h *= 0x100000001b3ULL;
-    }
-  };
-  mix(s.universe_size());
-  for (std::size_t w = 0; w < s.num_words(); ++w) mix(s.word(w));
-  return h;
-}
-
 void put_engine_stats(JsonObject& obj, const EngineStats& st) {
   obj.put("runs", st.runs)
       .put("iterations", st.iterations)
@@ -359,6 +347,16 @@ std::string CampaignReport::to_json(bool include_timing) const {
         .put("graph_hits", cache.graph_hits)
         .put("graph_builds", cache.graph_builds);
     top.put_json("cache", cache_obj.dump());
+    if (store_enabled) {
+      // The hit/miss split depends on store state, not on the campaign —
+      // timing payload only, like the cache counters above.
+      JsonObject store_obj;
+      store_obj.put("hits", store.hits)
+          .put("misses", store.misses)
+          .put("bytes_loaded", store.bytes_loaded)
+          .put("bytes_committed", store.bytes_committed);
+      top.put_json("store", store_obj.dump());
+    }
   }
   return top.dump();
 }
@@ -390,7 +388,9 @@ CampaignRunner::CampaignRunner(Campaign campaign) : campaign_(std::move(campaign
   }
 }
 
-CampaignReport CampaignRunner::run(int threads) {
+CampaignReport CampaignRunner::run(int threads) { return run(threads, nullptr); }
+
+CampaignReport CampaignRunner::run(int threads, ResultStore* store) {
   FNE_REQUIRE(threads >= 1, "campaign threads must be >= 1");
   const EngineCacheStats cache_before = EngineCache::instance().stats();
   Timer wall;
@@ -406,12 +406,14 @@ CampaignReport CampaignRunner::run(int threads) {
 
   // Phase 2 — flatten scenario×repetition / sweep jobs into one global
   // list.  A monotone sweep chain is ONE serial job (its points are
-  // order-dependent); everything else is one job per run.
+  // order-dependent); everything else is one job per run.  A job is also
+  // the unit of STORAGE: one job, one content key, one record.
   struct Job {
     std::size_t entry;
     int rep = 0;          // repetition id (independent runs)
     int sweep_point = -1; // >= 0: independent sweep point index
     bool monotone = false;
+    std::string key;      // content key (store mode only)
   };
   std::vector<Job> jobs;
   std::vector<std::vector<ScenarioRun>> results(num_entries);
@@ -420,23 +422,75 @@ CampaignReport CampaignRunner::run(int threads) {
     if (entry.sweep.has_value()) {
       if (entry.sweep->mode == SweepMode::kMonotone) {
         results[e].resize(0);
-        jobs.push_back({e, 0, -1, true});
+        jobs.push_back({e, 0, -1, true, {}});
       } else {
         results[e].resize(entry.sweep->values.size());
         for (std::size_t j = 0; j < entry.sweep->values.size(); ++j) {
-          jobs.push_back({e, 0, static_cast<int>(j), false});
+          jobs.push_back({e, 0, static_cast<int>(j), false, {}});
         }
       }
     } else {
       results[e].resize(static_cast<std::size_t>(entry.scenario.repetitions));
       for (int r = 0; r < entry.scenario.repetitions; ++r) {
-        jobs.push_back({e, r, -1, false});
+        jobs.push_back({e, r, -1, false, {}});
       }
     }
   }
 
-  ExecutorPool::run(jobs.size(), threads, [&](std::size_t i) {
-    const Job& job = jobs[i];
+  // Store partition: serve every already-committed job from disk and
+  // keep only the misses for the pool.  A record that fails to decode or
+  // has the wrong run count degrades to a miss — recompute, never crash.
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  std::uint64_t hits = 0;
+  StoreStats store_before;
+  if (store != nullptr) {
+    store->refresh();  // pick up cells committed by other processes
+    store_before = store->stats();
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& job = jobs[i];
+    if (store == nullptr) {
+      pending.push_back(i);
+      continue;
+    }
+    const CampaignEntry& entry = campaign_.entries[job.entry];
+    if (job.sweep_point >= 0) {
+      FaultSpec fault = entry.scenario.fault;
+      fault.params.set(entry.sweep->param,
+                       entry.sweep->values[static_cast<std::size_t>(job.sweep_point)]);
+      job.key = store_cell_key(entry.scenario, fault, 0);
+    } else {
+      job.key = store_cell_key(entry.scenario, entry.scenario.fault, job.rep,
+                               job.monotone ? &*entry.sweep : nullptr);
+    }
+    bool hit = false;
+    if (const std::optional<std::string> payload = store->load(job.key)) {
+      if (std::optional<std::vector<ScenarioRun>> runs = decode_runs(*payload)) {
+        const std::size_t expected = job.monotone ? entry.sweep->values.size() : 1;
+        if (runs->size() == expected) {
+          if (job.monotone) {
+            results[job.entry] = std::move(*runs);
+          } else if (job.sweep_point >= 0) {
+            results[job.entry][static_cast<std::size_t>(job.sweep_point)] =
+                std::move(runs->front());
+          } else {
+            results[job.entry][static_cast<std::size_t>(job.rep)] =
+                std::move(runs->front());
+          }
+          hit = true;
+        }
+      }
+    }
+    if (hit) {
+      ++hits;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  ExecutorPool::run(pending.size(), threads, [&](std::size_t p) {
+    const Job& job = jobs[pending[p]];
     const CampaignEntry& entry = campaign_.entries[job.entry];
     ScenarioRunner& runner = *runners[job.entry];
     if (job.monotone) {
@@ -452,9 +506,26 @@ CampaignReport CampaignRunner::run(int threads) {
       results[job.entry][static_cast<std::size_t>(job.rep)] =
           runner.run_isolated(entry.scenario.fault, job.rep);
     }
+    if (store != nullptr) {
+      // Commit as soon as the cell is done (the store is internally
+      // synchronized), so a killed campaign keeps every finished cell.
+      const std::vector<ScenarioRun>& entry_runs = results[job.entry];
+      if (job.monotone) {
+        store->put(job.key, encode_runs(entry_runs));
+      } else {
+        const std::size_t idx = job.sweep_point >= 0
+                                    ? static_cast<std::size_t>(job.sweep_point)
+                                    : static_cast<std::size_t>(job.rep);
+        store->put(job.key, encode_runs({&entry_runs[idx], 1}));
+      }
+    }
   });
 
-  // Phase 3 — aggregate.
+  // Phase 3 — aggregate.  Per-entry engine stats fold from the runs
+  // themselves (run.engine is the delta around each engine.run call):
+  // placement-independent like runner totals, but ALSO reproducible from
+  // stored records — a fully store-served entry reports the same stats
+  // as a computed one, keeping the deterministic payload byte-identical.
   CampaignReport report;
   report.name = campaign_.name;
   report.threads = threads;
@@ -467,12 +538,23 @@ CampaignReport CampaignRunner::run(int threads) {
     sr.epsilon = runners[e]->epsilon();
     sr.n = runners[e]->graph().num_vertices();
     sr.runs = std::move(results[e]);
-    sr.engine = runners[e]->total_engine_stats();
-    for (const ScenarioRun& r : sr.runs) sr.millis += r.millis;
+    for (const ScenarioRun& r : sr.runs) {
+      sr.engine += r.engine;
+      sr.millis += r.millis;
+    }
     report.scenarios.push_back(std::move(sr));
   }
   report.millis = wall.millis();
   report.cache = EngineCache::instance().stats() - cache_before;
+  if (store != nullptr) {
+    const StoreStats store_after = store->stats();
+    report.store_enabled = true;
+    report.store.hits = hits;
+    report.store.misses = pending.size();
+    report.store.bytes_loaded = store_after.bytes_loaded - store_before.bytes_loaded;
+    report.store.bytes_committed =
+        store_after.bytes_committed - store_before.bytes_committed;
+  }
   return report;
 }
 

@@ -36,6 +36,8 @@
 
 namespace fne {
 
+class ResultStore;
+
 /// One fault-parameter sweep attached to a campaign entry.
 struct SweepSpec {
   std::string param;
@@ -91,12 +93,24 @@ struct ScenarioReport {
   double millis = 0.0;         ///< summed job wall-clock (timing payload only)
 };
 
+/// How the run split between the result store and fresh compute.  Like
+/// cache telemetry this depends on store STATE, not on the campaign, so
+/// it only appears in the timing payload.
+struct CampaignStoreStats {
+  std::uint64_t hits = 0;             ///< jobs served from the store
+  std::uint64_t misses = 0;           ///< jobs computed (and committed)
+  std::uint64_t bytes_loaded = 0;
+  std::uint64_t bytes_committed = 0;
+};
+
 struct CampaignReport {
   std::string name;
   std::vector<ScenarioReport> scenarios;
   int threads = 1;             ///< as requested (timing payload only)
   double millis = 0.0;         ///< wall-clock of the whole run
   EngineCacheStats cache;      ///< cache ops during the run (placement-dependent)
+  bool store_enabled = false;  ///< run went through a ResultStore
+  CampaignStoreStats store;    ///< hit/miss split (timing payload only)
 
   [[nodiscard]] EngineStats total_engine_stats() const;
   /// Serialize.  include_timing=false yields the deterministic payload:
@@ -117,6 +131,15 @@ class CampaignRunner {
   /// parallelized across entries.  May be called repeatedly; each call
   /// reports only its own work.
   [[nodiscard]] CampaignReport run(int threads = 1);
+
+  /// Store-backed execution (DESIGN.md §11).  Every job is keyed
+  /// (store/key.hpp); a key already in `store` is served from disk —
+  /// bit-identical to fresh compute by the determinism contract — and a
+  /// miss is computed then committed, so a killed campaign resumed on
+  /// the same store recomputes only the missing cells.  The DETERMINISTIC
+  /// payload (to_json(false)) is byte-identical for any hit/miss split,
+  /// any thread count, and store == nullptr (which is exactly run(threads)).
+  [[nodiscard]] CampaignReport run(int threads, ResultStore* store);
 
  private:
   Campaign campaign_;

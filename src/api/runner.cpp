@@ -25,6 +25,10 @@ namespace {
 
 }  // namespace
 
+std::uint64_t scenario_build_seed(const Scenario& scenario) {
+  return derive_seed(scenario.seed, 0, 0);
+}
+
 double ChurnRunTrace::total_prune_millis() const {
   double total = 0.0;
   for (const ChurnRoundRun& r : rounds) total += r.prune_millis;
@@ -146,9 +150,14 @@ ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& faul
   run.threshold = alpha_ * epsilon_;
   run.finder_seed = derive_seed(scenario_.seed, 4, static_cast<std::uint64_t>(rep));
 
+  // Snapshot the engine's counters around the run: run.engine is the
+  // work THIS prune performed, regardless of which surface (primary
+  // lease, per-job lease, monotone chain point) drove it.
+  const EngineStats before = engine.stats();
   Timer timer;
   run.prune = engine.run(run.alive, alpha_, epsilon_, engine_options(run.finder_seed));
   run.millis = timer.millis();
+  run.engine = engine.stats() - before;
   measure(run);
   return run;
 }

@@ -71,6 +71,12 @@ struct ScenarioRun {
   /// the run and a per-(request, repetition) derived seed — so campaign
   /// reports splice them into the thread-count-independent payload.
   std::vector<MetricRecord> metrics;
+  /// Engine work this run's prune performed (stats delta around the
+  /// engine.run call).  Placement- and cache-history-independent, so the
+  /// campaign layer folds per-entry stats as Σ runs.engine — which is
+  /// what lets a store-served run (store/result_store.hpp) reproduce the
+  /// deterministic report payload without re-running the engine.
+  EngineStats engine;
   double millis = 0.0;     ///< prune time only (topology/fault excluded)
 
   [[nodiscard]] double survivor_fraction(vid n) const {
@@ -100,6 +106,11 @@ struct ChurnRunTrace {
   VertexSet final_survivors;   ///< prune survivors of the last round
   [[nodiscard]] double total_prune_millis() const;
 };
+
+/// The graph-build seed a ScenarioRunner derives from scenario.seed
+/// (domain-0 splitmix64 stream).  Exposed for the result store's content
+/// keys (store/key.hpp), which name the build seed explicitly.
+[[nodiscard]] std::uint64_t scenario_build_seed(const Scenario& scenario);
 
 class ScenarioRunner {
  public:

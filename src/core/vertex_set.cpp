@@ -12,6 +12,20 @@ VertexSet VertexSet::full(vid universe) {
   return s;
 }
 
+VertexSet VertexSet::from_words(vid universe, std::vector<std::uint64_t> words) {
+  FNE_REQUIRE(words.size() == (static_cast<std::size_t>(universe) + 63) / 64,
+              "from_words: word count does not match the universe");
+  const vid tail = universe & 63;
+  if (tail != 0) {
+    FNE_REQUIRE((words.back() & ~((std::uint64_t{1} << tail) - 1)) == 0,
+                "from_words: padding bits past the universe must be zero");
+  }
+  VertexSet s;
+  s.n_ = universe;
+  s.words_ = std::move(words);
+  return s;
+}
+
 VertexSet VertexSet::of(vid universe, const std::vector<vid>& members) {
   VertexSet s(universe);
   for (vid v : members) {

@@ -23,6 +23,11 @@ class VertexSet {
   [[nodiscard]] static VertexSet full(vid universe);
   /// A set from an explicit list of members.
   [[nodiscard]] static VertexSet of(vid universe, const std::vector<vid>& members);
+  /// A set from its packed-word representation (the result-store decode
+  /// path).  REQUIREs words.size() to match the universe and the padding
+  /// bits past `universe` to be zero — a corrupted record must fail
+  /// loudly here, not surface as a set with phantom members.
+  [[nodiscard]] static VertexSet from_words(vid universe, std::vector<std::uint64_t> words);
 
   [[nodiscard]] vid universe_size() const noexcept { return n_; }
   [[nodiscard]] bool empty() const noexcept { return count() == 0; }

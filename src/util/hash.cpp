@@ -1,0 +1,28 @@
+#include "util/hash.hpp"
+
+namespace fne {
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) byte(p[i]);
+  return *this;
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept { return Fnv1a{}.text(s).value(); }
+
+std::uint64_t mask_hash(const VertexSet& s) noexcept {
+  Fnv1a h;
+  h.word(s.universe_size());
+  for (std::size_t w = 0; w < s.num_words(); ++w) h.word(s.word(w));
+  return h.value();
+}
+
+Hash128 fnv1a_128(std::string_view s) noexcept {
+  // The second stream runs the same FNV-1a recurrence from a different
+  // basis (the canonical basis with its halves swapped), so the two words
+  // never agree by construction on non-trivial input.
+  constexpr std::uint64_t kAltBasis = 0x84222325cbf29ce4ULL;
+  return {Fnv1a{kFnvOffsetBasis}.text(s).value(), Fnv1a{kAltBasis}.text(s).value()};
+}
+
+}  // namespace fne

@@ -1,0 +1,457 @@
+// Result-store contracts (DESIGN.md §11): record codec round-trips and
+// total decode, content-key shape, log persistence and first-write-wins,
+// every corruption path degrading to recompute (torn tail, checksum
+// flip, foreign file, unknown schema version), cross-process dedup via
+// tail rescans, and the campaign-level story — the deterministic payload
+// is byte-identical for disabled / cold / warm / mixed store state at
+// any thread count, and a killed-then-resumed campaign recomputes only
+// the missing cells.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "api/campaign.hpp"
+#include "api/runner.hpp"
+#include "store/key.hpp"
+#include "store/record.hpp"
+#include "store/result_store.hpp"
+
+namespace fne {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh, empty directory under the test tmpdir.
+[[nodiscard]] std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("fne_store_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+[[nodiscard]] fs::path log_of(const std::string& dir) {
+  return fs::path(dir) / "cells.log";
+}
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] Scenario small_scenario() {
+  Scenario s;
+  s.name = "store-unit";
+  s.topology = {"mesh", Params{{"side", "10"}, {"dims", "2"}}};
+  s.fault = {"random", Params{{"p", "0.2"}}};
+  s.prune.kind = ExpansionKind::Edge;
+  s.prune.alpha = 0.2;
+  s.metrics.verify_trace = true;
+  s.metrics.expansion = true;
+  s.seed = 404;
+  return s;
+}
+
+TEST(CellRecord, RoundTripsAComputedRunFieldForField) {
+  ScenarioRunner runner(small_scenario());
+  const ScenarioRun run = runner.run_isolated(runner.scenario().fault, 0);
+  const std::string payload = encode_runs({&run, 1});
+  const auto decoded = decode_runs(payload);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  const ScenarioRun& d = decoded->front();
+  EXPECT_EQ(d.repetition, run.repetition);
+  EXPECT_EQ(d.fault_seed, run.fault_seed);
+  EXPECT_EQ(d.finder_seed, run.finder_seed);
+  EXPECT_EQ(d.faults, run.faults);
+  EXPECT_TRUE(d.alive == run.alive);
+  EXPECT_TRUE(d.prune.survivors == run.prune.survivors);
+  EXPECT_EQ(d.prune.total_culled, run.prune.total_culled);
+  EXPECT_EQ(d.prune.iterations, run.prune.iterations);
+  // Doubles round-trip by bit pattern, not by formatting.
+  EXPECT_EQ(d.threshold, run.threshold);
+  EXPECT_EQ(d.millis, run.millis);
+  EXPECT_EQ(d.fragmentation.largest, run.fragmentation.largest);
+  EXPECT_EQ(d.fragmentation.gamma, run.fragmentation.gamma);
+  EXPECT_EQ(d.fragmentation.sizes_desc, run.fragmentation.sizes_desc);
+  ASSERT_EQ(d.expansion.has_value(), run.expansion.has_value());
+  if (run.expansion.has_value()) {
+    EXPECT_EQ(d.expansion->lower, run.expansion->lower);
+    EXPECT_EQ(d.expansion->upper, run.expansion->upper);
+    EXPECT_EQ(d.expansion->exact, run.expansion->exact);
+  }
+  ASSERT_TRUE(d.trace.has_value());
+  EXPECT_EQ(d.trace->valid, run.trace->valid);
+  EXPECT_EQ(d.engine.runs, run.engine.runs);
+  EXPECT_EQ(d.engine.iterations, run.engine.iterations);
+  EXPECT_EQ(d.engine.eigensolves, run.engine.eigensolves);
+}
+
+TEST(CellRecord, DecodeIsTotalOnMalformedInput) {
+  ScenarioRunner runner(small_scenario());
+  const ScenarioRun run = runner.run_isolated(runner.scenario().fault, 0);
+  const std::string payload = encode_runs({&run, 1});
+
+  EXPECT_FALSE(decode_runs("").has_value());
+  EXPECT_FALSE(decode_runs("garbage").has_value());
+  // Every strict prefix is a short read somewhere, never a crash.
+  for (std::size_t cut : {std::size_t{1}, std::size_t{7}, payload.size() / 2,
+                          payload.size() - 1}) {
+    EXPECT_FALSE(decode_runs(std::string_view(payload).substr(0, cut)).has_value())
+        << "prefix of " << cut << " bytes must fail to decode";
+  }
+  // Trailing garbage is rejected too (the frame length said otherwise).
+  EXPECT_FALSE(decode_runs(payload + "x").has_value());
+  // Unknown format word.
+  std::string wrong_format = payload;
+  wrong_format[0] = static_cast<char>(0x7F);
+  EXPECT_FALSE(decode_runs(wrong_format).has_value());
+}
+
+TEST(CellKey, NamesEveryInputAndSeparatesCells) {
+  const Scenario s = small_scenario();
+  const std::string key = store_cell_key(s, s.fault, 0);
+  EXPECT_EQ(key.find("fne-cell|schema=1|"), 0u);
+  EXPECT_NE(key.find("|topo=mesh|"), std::string::npos);
+  EXPECT_NE(key.find("|fault=random|"), std::string::npos);
+  EXPECT_NE(key.find("|rep=0"), std::string::npos);
+
+  EXPECT_NE(key, store_cell_key(s, s.fault, 1)) << "rep is part of the cell identity";
+  Scenario other_seed = s;
+  other_seed.seed = 405;
+  EXPECT_NE(key, store_cell_key(other_seed, other_seed.fault, 0));
+  Scenario other_metrics = s;
+  other_metrics.metrics.expansion = false;
+  EXPECT_NE(key, store_cell_key(other_metrics, other_metrics.fault, 0));
+  FaultSpec heavier = s.fault;
+  heavier.params.set("p", 0.3);
+  EXPECT_NE(key, store_cell_key(s, heavier, 0));
+
+  const SweepSpec sweep{"p", {0.1, 0.2}, SweepMode::kMonotone};
+  const std::string chain_key = store_cell_key(s, s.fault, 0, &sweep);
+  EXPECT_NE(chain_key, key);
+  EXPECT_NE(chain_key.find("|sweep=p:monotone:"), std::string::npos);
+  EXPECT_EQ(chain_key, store_cell_key(s, s.fault, 0, &sweep)) << "keys are deterministic";
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore file behavior
+// ---------------------------------------------------------------------------
+
+TEST(ResultStore, RoundTripsAndPersistsAcrossReopen) {
+  const std::string dir = fresh_dir("roundtrip");
+  {
+    ResultStore store(dir);
+    EXPECT_FALSE(store.load("k1").has_value());
+    store.put("k1", "payload-one");
+    store.put("k2", std::string("\x00\xff binary \n ok", 15));
+    EXPECT_EQ(store.load("k1").value_or(""), "payload-one");
+    const StoreStats st = store.stats();
+    EXPECT_EQ(st.records, 2u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.bytes_committed, 11u + 15u);
+  }
+  ResultStore reopened(dir);
+  EXPECT_EQ(reopened.stats().records, 2u);
+  EXPECT_EQ(reopened.load("k1").value_or(""), "payload-one");
+  EXPECT_EQ(reopened.load("k2").value_or(""), std::string("\x00\xff binary \n ok", 15));
+  EXPECT_EQ(reopened.stats().truncated_bytes, 0u);
+  EXPECT_EQ(reopened.stats().corrupt_records, 0u);
+}
+
+TEST(ResultStore, FirstWriteWinsOnDuplicateKeys) {
+  const std::string dir = fresh_dir("dupes");
+  ResultStore store(dir);
+  store.put("k", "first");
+  const std::uint64_t committed = store.stats().bytes_committed;
+  store.put("k", "second");
+  EXPECT_EQ(store.stats().bytes_committed, committed) << "duplicate put must not append";
+  EXPECT_EQ(store.load("k").value_or(""), "first");
+}
+
+TEST(ResultStore, TruncatedTailIsDroppedAndTheCellRecomputable) {
+  const std::string dir = fresh_dir("torn");
+  {
+    ResultStore store(dir);
+    store.put("k1", "intact-payload");
+    store.put("k2", "doomed-payload");
+  }
+  // Simulate a process killed mid-append: cut into k2's frame.
+  const std::string bytes = read_file(log_of(dir));
+  write_file(log_of(dir), bytes.substr(0, bytes.size() - 5));
+
+  ResultStore store(dir);
+  EXPECT_EQ(store.stats().records, 1u);
+  EXPECT_GT(store.stats().truncated_bytes, 0u);
+  EXPECT_EQ(store.load("k1").value_or(""), "intact-payload");
+  EXPECT_FALSE(store.load("k2").has_value()) << "torn cell degrades to a miss";
+  // The miss is recommittable, and the log is clean again afterwards.
+  store.put("k2", "doomed-payload");
+  EXPECT_EQ(store.load("k2").value_or(""), "doomed-payload");
+  ResultStore again(dir);
+  EXPECT_EQ(again.stats().records, 2u);
+  EXPECT_EQ(again.stats().truncated_bytes, 0u);
+}
+
+TEST(ResultStore, ChecksumMismatchSkipsOnlyTheCorruptRecord) {
+  const std::string dir = fresh_dir("checksum");
+  std::uint64_t before_k2 = 0;
+  {
+    ResultStore store(dir);
+    store.put("k1", "aaaa");
+    before_k2 = fs::file_size(log_of(dir));
+    store.put("k2", "bbbb");
+    store.put("k3", "cccc");
+  }
+  // Flip one byte inside k2's payload (its frame starts at before_k2;
+  // the payload's last byte is the last byte of the frame).
+  std::string bytes = read_file(log_of(dir));
+  const std::size_t flip = static_cast<std::size_t>(before_k2) + 24 + 2 + 4 - 1;
+  bytes[flip] = static_cast<char>(bytes[flip] ^ 0x5A);
+  write_file(log_of(dir), bytes);
+
+  ResultStore store(dir);
+  EXPECT_EQ(store.stats().records, 2u);
+  EXPECT_EQ(store.stats().corrupt_records, 1u);
+  EXPECT_EQ(store.stats().truncated_bytes, 0u) << "framing intact: nothing to truncate";
+  EXPECT_EQ(store.load("k1").value_or(""), "aaaa");
+  EXPECT_FALSE(store.load("k2").has_value());
+  EXPECT_EQ(store.load("k3").value_or(""), "cccc") << "records after the bad one survive";
+  store.put("k2", "bbbb");
+  EXPECT_EQ(store.load("k2").value_or(""), "bbbb");
+}
+
+TEST(ResultStore, UnknownSchemaVersionRotatesAsideAndStartsFresh) {
+  const std::string dir = fresh_dir("schema");
+  {
+    ResultStore store(dir);
+    store.put("k", "old-world");
+  }
+  // Bump the on-disk version to something this build does not read.
+  std::string bytes = read_file(log_of(dir));
+  bytes[8] = 99;
+  write_file(log_of(dir), bytes);
+
+  ResultStore store(dir);
+  EXPECT_EQ(store.stats().records, 0u) << "unknown schema degrades to recompute";
+  EXPECT_FALSE(store.load("k").has_value());
+  store.put("k", "new-world");
+  EXPECT_EQ(store.load("k").value_or(""), "new-world");
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "cells.log.v99"))
+      << "the unreadable log is preserved, not destroyed";
+}
+
+TEST(ResultStore, ForeignFileRotatesToBadAndStartsFresh) {
+  const std::string dir = fresh_dir("foreign");
+  fs::create_directories(dir);
+  write_file(log_of(dir), "this is not a store log at all");
+  ResultStore store(dir);
+  EXPECT_EQ(store.stats().records, 0u);
+  store.put("k", "v");
+  EXPECT_EQ(store.load("k").value_or(""), "v");
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "cells.log.bad"));
+}
+
+TEST(ResultStore, TwoStoresOnOneDirectoryDedupViaRefresh) {
+  const std::string dir = fresh_dir("two-writers");
+  ResultStore a(dir);
+  ResultStore b(dir);
+  a.put("ka", "from-a");
+  EXPECT_FALSE(b.load("ka").has_value()) << "b has not rescanned yet";
+  b.refresh();
+  EXPECT_EQ(b.load("ka").value_or(""), "from-a");
+  // b appends while a holds an older tail position; a's next put rescans
+  // and picks b's record up without rewriting it.
+  b.put("kb", "from-b");
+  a.put("kc", "from-a-too");
+  EXPECT_EQ(a.load("kb").value_or(""), "from-b");
+  // Both race the same key: two frames may land, first wins everywhere.
+  a.put("shared", "identical-bytes");
+  b.put("shared", "identical-bytes");
+  a.refresh();
+  b.refresh();
+  EXPECT_EQ(a.load("shared").value_or(""), "identical-bytes");
+  EXPECT_EQ(b.load("shared").value_or(""), "identical-bytes");
+  ResultStore fresh(dir);
+  EXPECT_EQ(fresh.stats().records, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign through the store
+// ---------------------------------------------------------------------------
+
+/// Small campaign covering all three job kinds: independent repetitions,
+/// a monotone chain (one cell), and independent sweep points.  6 jobs.
+[[nodiscard]] Campaign store_campaign() {
+  Campaign campaign;
+  campaign.name = "store-determinism";
+  {
+    Scenario s;
+    s.name = "reps";
+    s.topology = {"mesh", Params{{"side", "12"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.25"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.prune.fast = true;
+    s.repetitions = 3;
+    s.seed = 81;
+    campaign.entries.push_back({s, std::nullopt});
+  }
+  {
+    Scenario s;
+    s.name = "chain";
+    s.topology = {"mesh", Params{{"side", "16"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.1"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.prune.alpha = 0.125;
+    s.metrics.verify_trace = true;
+    s.seed = 82;
+    campaign.entries.push_back({s, SweepSpec{"p", {0.1, 0.2, 0.3}, SweepMode::kMonotone}});
+  }
+  {
+    Scenario s;
+    s.name = "points";
+    s.topology = {"hypercube", Params{{"dims", "6"}}};
+    s.fault = {"high_degree", Params{{"frac", "0.1"}}};
+    s.prune.kind = ExpansionKind::Node;
+    s.seed = 83;
+    campaign.entries.push_back(
+        {s, SweepSpec{"frac", {0.05, 0.15}, SweepMode::kIndependent}});
+  }
+  return campaign;
+}
+
+constexpr std::uint64_t kStoreCampaignJobs = 6;  // 3 reps + 1 chain + 2 points
+
+TEST(CampaignStore, PayloadIsByteIdenticalDisabledColdWarmAtAnyThreadCount) {
+  const std::string dir = fresh_dir("campaign-payload");
+  CampaignRunner runner(store_campaign());
+  const std::string reference = runner.run(2).to_json(/*include_timing=*/false);
+
+  ResultStore store(dir);
+  const CampaignReport cold = runner.run(2, &store);
+  EXPECT_TRUE(cold.store_enabled);
+  EXPECT_EQ(cold.store.hits, 0u);
+  EXPECT_EQ(cold.store.misses, kStoreCampaignJobs);
+  EXPECT_GT(cold.store.bytes_committed, 0u);
+  EXPECT_EQ(cold.to_json(false), reference)
+      << "store commits must not perturb the deterministic payload";
+
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE(threads);
+    const CampaignReport warm = runner.run(threads, &store);
+    EXPECT_EQ(warm.store.hits, kStoreCampaignJobs);
+    EXPECT_EQ(warm.store.misses, 0u);
+    EXPECT_EQ(warm.to_json(false), reference)
+        << "a fully store-served run must reproduce the payload byte for byte";
+  }
+  // Hit/miss telemetry lives in the timing payload only.
+  EXPECT_EQ(cold.to_json(false).find("\"store\""), std::string::npos);
+  EXPECT_NE(cold.to_json(true).find("\"store\""), std::string::npos);
+}
+
+TEST(CampaignStore, WarmRunPersistsAcrossProcessReopen) {
+  const std::string dir = fresh_dir("campaign-reopen");
+  CampaignRunner runner(store_campaign());
+  std::string cold_payload;
+  {
+    ResultStore store(dir);
+    cold_payload = runner.run(2, &store).to_json(false);
+  }
+  ResultStore reopened(dir);
+  const CampaignReport warm = runner.run(2, &reopened);
+  EXPECT_EQ(warm.store.hits, kStoreCampaignJobs);
+  EXPECT_EQ(warm.store.misses, 0u);
+  EXPECT_EQ(warm.to_json(false), cold_payload);
+}
+
+TEST(CampaignStore, MixedHitMissSplitStillReproducesThePayload) {
+  const std::string dir = fresh_dir("campaign-mixed");
+  Campaign full = store_campaign();
+  Campaign first_only;
+  first_only.name = full.name;
+  first_only.entries.push_back(full.entries[0]);
+
+  ResultStore store(dir);
+  // Pre-commit only entry 0's cells (3 rep jobs)...
+  (void)CampaignRunner(first_only).run(1, &store);
+  // ...then the full campaign: those 3 hit, the other 3 compute.
+  CampaignRunner runner(full);
+  const CampaignReport mixed = runner.run(4, &store);
+  EXPECT_EQ(mixed.store.hits, 3u);
+  EXPECT_EQ(mixed.store.misses, kStoreCampaignJobs - 3u);
+  EXPECT_EQ(mixed.to_json(false), runner.run(4).to_json(false));
+}
+
+TEST(CampaignStore, KilledCampaignResumesRecomputingOnlyMissingCells) {
+  const std::string dir = fresh_dir("campaign-resume");
+  CampaignRunner runner(store_campaign());
+  std::string payload;
+  {
+    ResultStore store(dir);
+    payload = runner.run(1, &store).to_json(false);
+  }
+  // Simulate a kill during the last commit: tear the final frame.
+  const std::string bytes = read_file(log_of(dir));
+  write_file(log_of(dir), bytes.substr(0, bytes.size() - 7));
+
+  ResultStore store(dir);
+  EXPECT_EQ(store.stats().records, kStoreCampaignJobs - 1u);
+  const CampaignReport resumed = runner.run(2, &store);
+  EXPECT_EQ(resumed.store.hits, kStoreCampaignJobs - 1u)
+      << "every previously committed cell must be served from the store";
+  EXPECT_EQ(resumed.store.misses, 1u) << "only the torn cell recomputes";
+  EXPECT_EQ(resumed.to_json(false), payload);
+  // The store is whole again: a third run is all hits.
+  const CampaignReport healed = runner.run(2, &store);
+  EXPECT_EQ(healed.store.misses, 0u);
+}
+
+TEST(CampaignStore, CorruptRecordDegradesToRecomputeNotCrash) {
+  const std::string dir = fresh_dir("campaign-corrupt");
+  CampaignRunner runner(store_campaign());
+  std::string payload;
+  {
+    ResultStore store(dir);
+    payload = runner.run(1, &store).to_json(false);
+  }
+  // Flip a byte in the middle of the log: ONE record's checksum breaks.
+  std::string bytes = read_file(log_of(dir));
+  const std::size_t flip = bytes.size() / 2;
+  bytes[flip] = static_cast<char>(bytes[flip] ^ 0x5A);
+  write_file(log_of(dir), bytes);
+
+  ResultStore store(dir);
+  const CampaignReport report = runner.run(2, &store);
+  EXPECT_EQ(report.store.misses, 1u);
+  EXPECT_EQ(report.store.hits, kStoreCampaignJobs - 1u);
+  EXPECT_EQ(report.to_json(false), payload);
+}
+
+TEST(CampaignStore, TwoRunnersOnOneStoreDirDedup) {
+  // Two campaign runs sharing one directory through separate store
+  // objects (the two-process picture): the second store picks the first
+  // run's cells up at refresh() and computes nothing.
+  const std::string dir = fresh_dir("campaign-dedup");
+  CampaignRunner runner(store_campaign());
+  ResultStore a(dir);
+  ResultStore b(dir);  // opened before a committed anything
+  const std::string payload = runner.run(2, &a).to_json(false);
+  const CampaignReport via_b = runner.run(2, &b);
+  EXPECT_EQ(via_b.store.hits, kStoreCampaignJobs);
+  EXPECT_EQ(via_b.store.misses, 0u);
+  EXPECT_EQ(via_b.to_json(false), payload);
+}
+
+}  // namespace
+}  // namespace fne
