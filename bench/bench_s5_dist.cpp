@@ -1,0 +1,172 @@
+// S5 — fault-tolerant distributed campaign execution (DESIGN.md §12).
+//
+// Acceptance claims:
+//
+//   1. Correctness under distribution: the coordinator + W pull workers
+//      produce a deterministic payload BYTE-identical to the local
+//      CampaignRunner — verified on every mode below.
+//
+//   2. Correctness under chaos: the same holds with every worker behind
+//      a seeded FaultyTransport (drops + corruption + disconnects);
+//      faults cost retries, never results.
+//
+//   3. Graceful degradation: a coordinator with ZERO workers completes
+//      via its local executor within --max-overhead of the plain local
+//      runner (default 2.0; the gap is scheduler polling, not compute).
+//
+// Flags: --reps=N (catalog repetitions, default 1), --threads=N
+// (coordinator local width, default: hardware), --workers=W (default 2),
+// --max-overhead=X, --seed=S, --json=out.json.
+#include "bench_common.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/campaign.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
+
+namespace {
+
+struct DistResult {
+  std::string payload;
+  double millis = 0.0;
+  fne::DistStats stats;
+};
+
+[[nodiscard]] DistResult run_dist(const fne::Campaign& campaign, int local_threads, int workers,
+                                  const fne::FaultSchedule& faults) {
+  using namespace fne;
+  DistOptions opts;
+  opts.local_threads = local_threads;
+  opts.job_timeout_ms = 2000;
+  opts.heartbeat_ms = 100;
+  opts.retry_budget = 3;
+  opts.backoff_base_ms = 10;
+  opts.backoff_max_ms = 200;
+  opts.idle_grace_ms = 100;
+  opts.poll_ms = 10;
+
+  EngineCache::instance().clear();
+  Timer timer;
+  DistCoordinator coordinator(campaign, opts);
+  std::vector<std::unique_ptr<DistWorker>> pool;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < workers; ++i) {
+    WorkerOptions w;
+    w.port = coordinator.port();
+    w.name = "bench-" + std::to_string(i);
+    w.recv_timeout_ms = 25;
+    w.idle_timeout_ms = 1000;
+    w.faults = faults;
+    w.faults.seed += static_cast<std::uint64_t>(i) * 7919;
+    pool.push_back(std::make_unique<DistWorker>(campaign, w));
+    threads.emplace_back([p = pool.back().get()] { (void)p->run(); });
+  }
+  const CampaignReport report = coordinator.run();
+  DistResult out;
+  out.millis = timer.millis();
+  for (const auto& w : pool) w->stop();
+  for (std::thread& th : threads) th.join();
+  out.payload = report.to_json(/*include_timing=*/false);
+  out.stats = coordinator.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fne;
+  const Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed();
+  const int reps = static_cast<int>(cli.get_int("reps", 1));
+  const int threads = bench::threads_flag(cli);
+  const int workers = static_cast<int>(cli.get_int("workers", 2));
+  const double max_overhead = cli.get_double("max-overhead", 2.0);
+
+  bench::print_header("S5-DIST",
+                      "Distributed campaign execution: coordinator + pull workers over TCP "
+                      "loopback; payload byte-identical to local under clean, chaotic and "
+                      "zero-worker conditions; zero-worker degradation within the overhead "
+                      "budget");
+
+  bench::JsonReport json("bench_s5_dist");
+  json.top().put("reps", reps).put("threads", threads).put("workers", workers);
+
+  Campaign campaign = catalog_campaign(reps);
+  for (CampaignEntry& e : campaign.entries) e.scenario.seed += seed;
+  std::cout << "campaign: " << campaign.entries.size() << " scenarios x " << reps
+            << " repetitions, " << workers << " workers, " << threads
+            << " coordinator threads\n\n";
+
+  // Local reference.
+  EngineCache::instance().clear();
+  Timer timer;
+  CampaignRunner runner(campaign);
+  const std::string reference = runner.run(threads).to_json(/*include_timing=*/false);
+  const double local_ms = timer.millis();
+
+  // Clean distributed run.
+  const DistResult clean = run_dist(campaign, threads, workers, FaultSchedule{});
+
+  // Chaotic distributed run: every worker drops, corrupts and
+  // disconnects on a seeded schedule.
+  FaultSchedule chaos;
+  chaos.seed = seed + 101;
+  chaos.drop = 0.1;
+  chaos.corrupt = 0.05;
+  chaos.disconnect = 0.05;
+  const DistResult faulty = run_dist(campaign, threads, workers, chaos);
+
+  // Zero-worker degradation.
+  const DistResult fallback = run_dist(campaign, threads, 0, FaultSchedule{});
+  const double overhead = local_ms > 0.0 ? fallback.millis / local_ms : 0.0;
+
+  Table table({"mode", "workers", "ms", "remote", "local", "requeues", "rejected",
+               "payload identical"});
+  table.row().cell("local runner").cell("-").cell(local_ms, 4).cell("-").cell("-").cell("-")
+      .cell("-").cell("-");
+  const auto add = [&](const char* mode, int w, const DistResult& r) {
+    const bool same = r.payload == reference;
+    table.row()
+        .cell(mode)
+        .cell(w)
+        .cell(r.millis, 4)
+        .cell(r.stats.remote_cells + r.stats.remote_metrics)
+        .cell(r.stats.local_cells + r.stats.local_metrics)
+        .cell(r.stats.requeues)
+        .cell(r.stats.rejected_corrupt + r.stats.rejected_wrong_key +
+              r.stats.rejected_bad_payload)
+        .cell(bench::yesno(same));
+    json.record("modes")
+        .put("mode", mode)
+        .put("workers", w)
+        .put("millis", r.millis)
+        .put("requeues", static_cast<std::int64_t>(r.stats.requeues))
+        .put("payload_identical", same);
+    return same;
+  };
+  const bool clean_same = add("dist clean", workers, clean);
+  const bool chaos_same = add("dist chaos", workers, faulty);
+  const bool fallback_same = add("dist no workers", 0, fallback);
+  bench::print_table(table,
+                     "every mode must reproduce the local runner's deterministic payload\n"
+                     "byte for byte; chaos buys requeues/rejections, never different bits.");
+
+  const bool overhead_ok = overhead <= max_overhead;
+  const bool pass = clean_same && chaos_same && fallback_same && overhead_ok;
+  json.top()
+      .put("local_millis", local_ms)
+      .put("fallback_overhead", overhead)
+      .put("max_overhead", max_overhead)
+      .put("pass", pass);
+  if (cli.has("json")) json.write(bench::json_path(cli, "bench_s5_dist.json"));
+
+  std::cout << "\npayload identical (clean / chaos / no-workers): "
+            << (clean_same ? "PASS" : "FAIL") << " / " << (chaos_same ? "PASS" : "FAIL")
+            << " / " << (fallback_same ? "PASS" : "FAIL")
+            << "\nzero-worker overhead vs local: " << overhead << "x (threshold "
+            << max_overhead << "x: " << (overhead_ok ? "PASS" : "FAIL") << ")\n";
+  return pass ? 0 : 1;
+}

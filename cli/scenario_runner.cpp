@@ -37,6 +37,25 @@
 //   scenario_runner --scenario=can-churn --churn-steps=40
 //       additionally drive ongoing churn, re-pruning every round through
 //       the runner's persistent engine
+//   scenario_runner --campaign=FILE --serve[=PORT] [--workers=N]
+//       distributed execution (DESIGN.md §12): serve the campaign's jobs
+//       to TCP workers (bare --serve picks an ephemeral port, printed to
+//       stderr).  --workers=N additionally spawns N in-process workers —
+//       the one-command spelling of a distributed run.  --threads sets
+//       the coordinator's LOCAL fallback width; with zero connected
+//       workers the run degrades to exactly the local runner.  Knobs:
+//       --bind=HOST --job-timeout-ms --retry-budget --backoff-base-ms
+//       --backoff-max-ms --heartbeat-ms --idle-grace-ms.  Combines with
+//       --store/--payload/--store-stats; the deterministic payload is
+//       byte-identical to a local run for any worker count or fault
+//       pattern.  A "dist:" telemetry line is printed after the run.
+//   scenario_runner --campaign=FILE --connect=HOST:PORT [--worker-name=X]
+//       worker mode: pull jobs from a coordinator serving the SAME
+//       campaign file (checked via plan fingerprint at handshake),
+//       compute them on this process's engine cache, stream results
+//       back.  Exit 0 after the coordinator reports the campaign done
+//       (or is gone), 1 if it was never reachable, 2 on campaign
+//       mismatch.  Workers may be killed and restarted at any time.
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
 // --spectral-mode=plain|filtered|shift_invert|auto --filter-degree=D
@@ -52,6 +71,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
 
 #include "api/campaign.hpp"
 #include "api/metrics.hpp"
@@ -59,6 +81,8 @@
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
 #include "api/scenario_cli.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "store/result_store.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -134,6 +158,56 @@ void list_registries() {
   named.print(std::cout);
 }
 
+[[nodiscard]] int parse_port(const std::string& text, const std::string& flag) {
+  int port = 0;
+  for (const char c : text) {
+    FNE_REQUIRE(c >= '0' && c <= '9', flag + ": bad port '" + text + "'");
+    port = port * 10 + (c - '0');
+    FNE_REQUIRE(port < 65536, flag + ": bad port '" + text + "'");
+  }
+  FNE_REQUIRE(!text.empty(), flag + ": bad port '" + text + "'");
+  return port;
+}
+
+/// --connect: serve as a pull worker for a coordinator running the same
+/// campaign.  The worker has no report of its own beyond a summary line;
+/// all result-shaping flags belong on the coordinator.
+int run_worker(const Cli& cli, Campaign campaign) {
+  for (const char* flag : {"serve", "workers", "store", "resume", "store-stats", "payload",
+                           "json", "csv", "stats"}) {
+    FNE_REQUIRE(!cli.has(flag),
+                std::string("--") + flag + " does not apply to --connect (worker mode)");
+  }
+  const std::string target = cli.get("connect", "");
+  FNE_REQUIRE(!target.empty() && target != "1", "--connect needs HOST:PORT (or PORT)");
+  WorkerOptions opts;
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    opts.port = parse_port(target, "--connect");
+  } else {
+    opts.host = target.substr(0, colon);
+    opts.port = parse_port(target.substr(colon + 1), "--connect");
+  }
+  opts.name = cli.get("worker-name", opts.name);
+  opts.plan_threads = cli.get_threads(1);
+  opts.connect_attempts = static_cast<int>(cli.get_int("connect-attempts", opts.connect_attempts));
+
+  DistWorker worker(std::move(campaign), opts);
+  const WorkerReport report = worker.run();
+  std::cout << "worker '" << opts.name << "': cells=" << report.cells
+            << " metrics=" << report.metrics << " reconnects=" << report.reconnects
+            << (report.saw_done ? " (campaign done)" : " (coordinator gone)") << "\n";
+  if (report.fatal_mismatch) {
+    std::cerr << "error: coordinator refused the handshake: different campaign or protocol\n";
+    return 2;
+  }
+  if (!report.ever_connected) {
+    std::cerr << "error: no coordinator reachable at " << target << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run_campaign(const Cli& cli) {
   const std::string spec = cli.get("campaign", "");
   // Scenario-level flags have no campaign meaning (the file/preset owns
@@ -153,6 +227,8 @@ int run_campaign(const Cli& cli) {
   Campaign campaign = spec == "catalog"
                           ? catalog_campaign(static_cast<int>(cli.get_int("reps", 1)))
                           : campaign_from_file(spec);
+  if (cli.has("connect")) return run_worker(cli, std::move(campaign));
+  FNE_REQUIRE(!cli.has("workers") || cli.has("serve"), "--workers needs --serve");
   const int threads = cli.get_threads(1);
   const std::string json_path = cli.get("json", "");
   const bool json_to_stdout = json_path == "1";
@@ -172,8 +248,44 @@ int run_campaign(const Cli& cli) {
   std::unique_ptr<ResultStore> store;
   if (!store_dir.empty()) store = std::make_unique<ResultStore>(store_dir);
 
-  CampaignRunner runner(std::move(campaign));
-  const CampaignReport report = runner.run(threads, store.get());
+  std::optional<DistStats> dist_stats;
+  const CampaignReport report = [&] {
+    if (!cli.has("serve")) {
+      CampaignRunner runner(std::move(campaign));
+      return runner.run(threads, store.get());
+    }
+    DistOptions dopts;
+    const std::string serve = cli.get("serve", "");
+    if (serve != "1") dopts.port = parse_port(serve, "--serve");
+    dopts.bind = cli.get("bind", dopts.bind);
+    dopts.local_threads = threads;
+    dopts.job_timeout_ms = cli.get_double("job-timeout-ms", dopts.job_timeout_ms);
+    dopts.lease_cap_ms = std::max(dopts.lease_cap_ms, dopts.job_timeout_ms);
+    dopts.retry_budget = static_cast<int>(cli.get_int("retry-budget", dopts.retry_budget));
+    dopts.backoff_base_ms = cli.get_double("backoff-base-ms", dopts.backoff_base_ms);
+    dopts.backoff_max_ms = cli.get_double("backoff-max-ms", dopts.backoff_max_ms);
+    dopts.heartbeat_ms = cli.get_double("heartbeat-ms", dopts.heartbeat_ms);
+    dopts.idle_grace_ms = cli.get_double("idle-grace-ms", dopts.idle_grace_ms);
+    const int in_process = static_cast<int>(cli.get_int("workers", 0));
+
+    const Campaign worker_campaign = campaign;  // copied before the move
+    DistCoordinator coordinator(std::move(campaign), dopts, store.get());
+    std::cerr << "serving campaign on " << dopts.bind << ":" << coordinator.port() << "\n";
+    std::vector<std::unique_ptr<DistWorker>> workers;
+    std::vector<std::thread> worker_threads;
+    for (int i = 0; i < in_process; ++i) {
+      WorkerOptions wopts;
+      wopts.port = coordinator.port();
+      wopts.name = "local-" + std::to_string(i);
+      workers.push_back(std::make_unique<DistWorker>(worker_campaign, wopts));
+      worker_threads.emplace_back([w = workers.back().get()] { (void)w->run(); });
+    }
+    CampaignReport rep = coordinator.run();
+    for (const auto& w : workers) w->stop();
+    for (std::thread& th : worker_threads) th.join();
+    dist_stats = coordinator.stats();
+    return rep;
+  }();
 
   if (!json_to_stdout) {
     std::cout << "campaign: " << report.name << " — " << report.scenarios.size()
@@ -216,13 +328,30 @@ int run_campaign(const Cli& cli) {
                 << " graph_builds=" << report.cache.graph_builds << "\n";
     }
   }
+  if (dist_stats) {
+    std::ostream& out = json_to_stdout ? std::cerr : std::cout;
+    out << "dist: sessions=" << dist_stats->sessions << " disconnects=" << dist_stats->disconnects
+        << " assignments=" << dist_stats->assignments << " timeouts=" << dist_stats->timeouts
+        << " requeues=" << dist_stats->requeues << " remote="
+        << (dist_stats->remote_cells + dist_stats->remote_metrics) << " local="
+        << (dist_stats->local_cells + dist_stats->local_metrics)
+        << " duplicates=" << dist_stats->duplicates << " rejected="
+        << (dist_stats->rejected_corrupt + dist_stats->rejected_wrong_key +
+            dist_stats->rejected_bad_payload)
+        << " fallback=" << dist_stats->fallback_jobs << "\n";
+  }
   if (cli.has("store-stats")) {
     // Keep a --json stdout stream pure JSON; the stats go to stderr there.
+    // The "store: hits=... misses=..." prefix is load-bearing: the
+    // reproduce harness greps it to assert warm replays (validate.sh).
     std::ostream& out = json_to_stdout ? std::cerr : std::cout;
     out << "store: hits=" << report.store.hits << " misses=" << report.store.misses
         << " loaded_bytes=" << report.store.bytes_loaded
         << " committed_bytes=" << report.store.bytes_committed
-        << " records=" << store->stats().records << "\n";
+        << " records=" << store->stats().records
+        << " corrupt_records=" << report.store.corrupt_records
+        << " truncated_bytes=" << report.store.truncated_bytes
+        << " rotated_files=" << report.store.rotated_files << "\n";
   }
   if (!payload_path.empty()) {
     std::ofstream out(payload_path);
@@ -250,7 +379,8 @@ int run(const Cli& cli) {
   // The result store keys CAMPAIGN cells; a single-scenario run has no
   // store semantics, so reject the flags loudly rather than silently
   // running without them.
-  for (const char* flag : {"store", "resume", "store-stats", "payload"}) {
+  for (const char* flag : {"store", "resume", "store-stats", "payload", "serve", "connect",
+                           "workers"}) {
     FNE_REQUIRE(!cli.has(flag),
                 std::string("--") + flag + " only applies to --campaign runs");
   }

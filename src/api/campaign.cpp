@@ -354,11 +354,326 @@ std::string CampaignReport::to_json(bool include_timing) const {
       store_obj.put("hits", store.hits)
           .put("misses", store.misses)
           .put("bytes_loaded", store.bytes_loaded)
-          .put("bytes_committed", store.bytes_committed);
+          .put("bytes_committed", store.bytes_committed)
+          .put("corrupt_records", store.corrupt_records)
+          .put("truncated_bytes", store.truncated_bytes)
+          .put("rotated_files", store.rotated_files);
       top.put_json("store", store_obj.dump());
     }
   }
   return top.dump();
+}
+
+// ---------------------------------------------------------------------------
+// CampaignPlan
+// ---------------------------------------------------------------------------
+
+CampaignPlan::CampaignPlan(const Campaign& campaign, int threads) : campaign_(campaign) {
+  FNE_REQUIRE(!campaign_.entries.empty(), "campaign needs >= 1 entry");
+  FNE_REQUIRE(threads >= 1, "campaign threads must be >= 1");
+
+  // Resolve every entry: graph build (cache-shared) and α/ε measurement,
+  // parallelized across entries.  Runner construction is a pure function
+  // of the Scenario, so placement cannot change a bit.
+  const std::size_t num_entries = campaign_.entries.size();
+  runners_.resize(num_entries);
+  ExecutorPool::run(num_entries, threads, [&](std::size_t e) {
+    runners_[e] = std::make_unique<ScenarioRunner>(campaign_.entries[e].scenario);
+  });
+
+  // Flatten the schedule.  A monotone sweep chain is ONE serial cell (its
+  // points are order-dependent); everything else is one cell per run.
+  // Non-chain cells whose entry requests split-declared metrics get one
+  // kMetric child per such request, scheduled right after their parent.
+  // Keys are computed unconditionally: the store wants them, and the dist
+  // protocol names every job by its cell key on the wire.
+  results_.resize(num_entries);
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    const CampaignEntry& entry = campaign_.entries[e];
+    std::vector<std::size_t> split_requests;
+    for (std::size_t i = 0; i < entry.scenario.metrics.requests.size(); ++i) {
+      if (MetricsRegistry::instance().at(entry.scenario.metrics.requests[i].name).split_job) {
+        split_requests.push_back(i);
+      }
+    }
+    const auto push_cell = [&](CampaignJob job) {
+      const std::size_t cell = jobs_.size();
+      jobs_.push_back(std::move(job));
+      children_.emplace_back();
+      ++num_cells_;
+      if (jobs_[cell].kind == CampaignJob::Kind::kChain) return;
+      for (const std::size_t r : split_requests) {
+        CampaignJob m;
+        m.kind = CampaignJob::Kind::kMetric;
+        m.entry = e;
+        m.rep = jobs_[cell].rep;
+        m.sweep_point = jobs_[cell].sweep_point;
+        m.request = r;
+        m.parent = cell;
+        m.key = jobs_[cell].key;
+        children_[cell].push_back(jobs_.size());
+        jobs_.push_back(std::move(m));
+        children_.emplace_back();
+      }
+    };
+    if (entry.sweep.has_value() && entry.sweep->mode == SweepMode::kMonotone) {
+      results_[e].resize(0);
+      CampaignJob job;
+      job.kind = CampaignJob::Kind::kChain;
+      job.entry = e;
+      job.key = store_cell_key(entry.scenario, entry.scenario.fault, 0, &*entry.sweep);
+      push_cell(std::move(job));
+    } else if (entry.sweep.has_value()) {
+      results_[e].resize(entry.sweep->values.size());
+      for (std::size_t j = 0; j < entry.sweep->values.size(); ++j) {
+        CampaignJob job;
+        job.kind = CampaignJob::Kind::kSweepPoint;
+        job.entry = e;
+        job.sweep_point = static_cast<int>(j);
+        FaultSpec fault = entry.scenario.fault;
+        fault.params.set(entry.sweep->param, entry.sweep->values[j]);
+        job.key = store_cell_key(entry.scenario, fault, 0);
+        push_cell(std::move(job));
+      }
+    } else {
+      results_[e].resize(static_cast<std::size_t>(entry.scenario.repetitions));
+      for (int r = 0; r < entry.scenario.repetitions; ++r) {
+        CampaignJob job;
+        job.kind = CampaignJob::Kind::kRep;
+        job.entry = e;
+        job.rep = r;
+        job.key = store_cell_key(entry.scenario, entry.scenario.fault, r);
+        push_cell(std::move(job));
+      }
+    }
+  }
+
+  job_done_.assign(jobs_.size(), 0);
+  served_.assign(jobs_.size(), 0);
+  missing_metrics_.assign(jobs_.size(), 0);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    missing_metrics_[i] = children_[i].size();
+  }
+  remaining_ = jobs_.size();
+
+  Fnv1a h;
+  h.text(campaign_.name);
+  for (const CampaignJob& job : jobs_) {
+    h.word(static_cast<std::uint64_t>(job.kind));
+    h.word(job.entry);
+    h.word(static_cast<std::uint64_t>(job.rep));
+    h.word(static_cast<std::uint64_t>(static_cast<std::int64_t>(job.sweep_point)));
+    h.word(job.request);
+    h.word(job.parent);
+    h.text(job.key);
+  }
+  fingerprint_ = h.value();
+}
+
+const CampaignJob& CampaignPlan::job(std::size_t i) const {
+  FNE_REQUIRE(i < jobs_.size(), "campaign plan: job index out of range");
+  return jobs_[i];
+}
+
+std::size_t CampaignPlan::cell_slot(const CampaignJob& job) const {
+  return job.sweep_point >= 0 ? static_cast<std::size_t>(job.sweep_point)
+                              : static_cast<std::size_t>(job.rep);
+}
+
+std::size_t CampaignPlan::expected_runs(std::size_t i) const {
+  const CampaignJob& job = this->job(i);
+  FNE_REQUIRE(job.kind != CampaignJob::Kind::kMetric,
+              "campaign plan: expected_runs on a metric job");
+  return job.kind == CampaignJob::Kind::kChain
+             ? campaign_.entries[job.entry].sweep->values.size()
+             : 1;
+}
+
+std::vector<ScenarioRun> CampaignPlan::compute_cell(std::size_t i) const {
+  const CampaignJob& job = this->job(i);
+  const CampaignEntry& entry = campaign_.entries[job.entry];
+  ScenarioRunner& runner = *runners_[job.entry];
+  switch (job.kind) {
+    case CampaignJob::Kind::kChain:
+      return runner.sweep_fault_param(entry.sweep->param, entry.sweep->values, 1,
+                                      SweepMode::kMonotone);
+    case CampaignJob::Kind::kSweepPoint: {
+      FaultSpec fault = entry.scenario.fault;
+      fault.params.set(entry.sweep->param,
+                       entry.sweep->values[static_cast<std::size_t>(job.sweep_point)]);
+      return {children_[i].empty() ? runner.run_isolated(fault, 0)
+                                   : runner.run_isolated_deferred(fault, 0)};
+    }
+    case CampaignJob::Kind::kRep:
+      return {children_[i].empty() ? runner.run_isolated(entry.scenario.fault, job.rep)
+                                   : runner.run_isolated_deferred(entry.scenario.fault,
+                                                                  job.rep)};
+    case CampaignJob::Kind::kMetric:
+      break;
+  }
+  FNE_REQUIRE(false, "campaign plan: compute_cell on a metric job");
+  return {};
+}
+
+MetricRecord CampaignPlan::compute_metric(std::size_t i,
+                                          const ScenarioRun& parent_run) const {
+  const CampaignJob& job = this->job(i);
+  FNE_REQUIRE(job.kind == CampaignJob::Kind::kMetric,
+              "campaign plan: compute_metric on a cell job");
+  return runners_[job.entry]->compute_metric_request(parent_run, job.request);
+}
+
+ScenarioRun CampaignPlan::parent_run(std::size_t metric_job) const {
+  const CampaignJob& job = this->job(metric_job);
+  FNE_REQUIRE(job.kind == CampaignJob::Kind::kMetric,
+              "campaign plan: parent_run on a cell job");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FNE_REQUIRE(job_done_[job.parent] != 0,
+              "campaign plan: parent cell not done for metric job");
+  return results_[job.entry][cell_slot(job)];
+}
+
+void CampaignPlan::commit_locked(std::size_t cell) {
+  // Commit a COMPLETE cell (all split metrics merged) so a killed run
+  // resumed from the store never serves half-measured records.  Served
+  // cells came from the store and are never re-written (first write wins
+  // there anyway).
+  if (store_ == nullptr || served_[cell] != 0) return;
+  const CampaignJob& job = jobs_[cell];
+  const std::vector<ScenarioRun>& entry_runs = results_[job.entry];
+  if (job.kind == CampaignJob::Kind::kChain) {
+    store_->put(job.key, encode_runs(entry_runs));
+  } else {
+    store_->put(job.key, encode_runs({&entry_runs[cell_slot(job)], 1}));
+  }
+}
+
+bool CampaignPlan::accept_cell(std::size_t i, std::vector<ScenarioRun> runs) {
+  const CampaignJob& job = this->job(i);
+  FNE_REQUIRE(job.kind != CampaignJob::Kind::kMetric,
+              "campaign plan: accept_cell on a metric job");
+  if (runs.size() != expected_runs(i)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (job_done_[i] != 0) return false;  // duplicate completion: first write won
+  if (job.kind == CampaignJob::Kind::kChain) {
+    results_[job.entry] = std::move(runs);
+  } else {
+    results_[job.entry][cell_slot(job)] = std::move(runs.front());
+  }
+  job_done_[i] = 1;
+  --remaining_;
+  if (missing_metrics_[i] == 0) commit_locked(i);
+  return true;
+}
+
+bool CampaignPlan::accept_metric(std::size_t i, MetricRecord record) {
+  const CampaignJob& job = this->job(i);
+  if (job.kind != CampaignJob::Kind::kMetric) return false;
+  const std::string& expected_name =
+      campaign_.entries[job.entry].scenario.metrics.requests[job.request].name;
+  if (record.name != expected_name) return false;  // wrong/forged record
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (job_done_[job.parent] == 0) return false;  // parent not merged yet
+  if (job_done_[i] != 0) return false;           // duplicate completion
+  results_[job.entry][cell_slot(job)].metrics[job.request] = std::move(record);
+  job_done_[i] = 1;
+  --remaining_;
+  if (--missing_metrics_[job.parent] == 0) commit_locked(job.parent);
+  return true;
+}
+
+bool CampaignPlan::done(std::size_t i) const {
+  (void)this->job(i);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return job_done_[i] != 0;
+}
+
+bool CampaignPlan::all_done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return remaining_ == 0;
+}
+
+std::uint64_t CampaignPlan::attach_store(ResultStore& store) {
+  store.refresh();  // pick up cells committed by other processes
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FNE_REQUIRE(store_ == nullptr, "campaign plan: store already attached");
+  store_ = &store;
+  store_before_ = store.stats();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const CampaignJob& job = jobs_[i];
+    if (job.kind == CampaignJob::Kind::kMetric || job_done_[i] != 0) continue;
+    const std::optional<std::string> payload = store.load(job.key);
+    if (!payload.has_value()) continue;
+    std::optional<std::vector<ScenarioRun>> runs = decode_runs(*payload);
+    // Undecodable or wrong-shape records degrade to a miss — recompute,
+    // never crash.  Committed cells are always complete, so their metric
+    // children complete with them.
+    if (!runs.has_value() || runs->size() != expected_runs(i)) continue;
+    if (job.kind == CampaignJob::Kind::kChain) {
+      results_[job.entry] = std::move(*runs);
+    } else {
+      results_[job.entry][cell_slot(job)] = std::move(runs->front());
+    }
+    job_done_[i] = 1;
+    served_[i] = 1;
+    --remaining_;
+    ++served_cells_;
+    for (const std::size_t child : children_[i]) {
+      job_done_[child] = 1;
+      --remaining_;
+      --missing_metrics_[i];
+    }
+  }
+  return served_cells_;
+}
+
+std::uint64_t CampaignPlan::cells_served() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return served_cells_;
+}
+
+CampaignReport CampaignPlan::finish(int threads, double millis,
+                                    const EngineCacheStats& cache_delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FNE_REQUIRE(remaining_ == 0, "campaign plan: finish() before all jobs merged");
+  // Per-entry engine stats fold from the runs themselves (run.engine is
+  // the delta around each engine.run call): placement-independent like
+  // runner totals, but ALSO reproducible from stored records — a fully
+  // store-served entry reports the same stats as a computed one, keeping
+  // the deterministic payload byte-identical.
+  CampaignReport report;
+  report.name = campaign_.name;
+  report.threads = threads;
+  report.scenarios.reserve(campaign_.entries.size());
+  for (std::size_t e = 0; e < campaign_.entries.size(); ++e) {
+    ScenarioReport sr;
+    sr.scenario = runners_[e]->scenario();
+    sr.sweep = campaign_.entries[e].sweep;
+    sr.alpha = runners_[e]->alpha();
+    sr.epsilon = runners_[e]->epsilon();
+    sr.n = runners_[e]->graph().num_vertices();
+    sr.runs = std::move(results_[e]);
+    for (const ScenarioRun& r : sr.runs) {
+      sr.engine += r.engine;
+      sr.millis += r.millis;
+    }
+    report.scenarios.push_back(std::move(sr));
+  }
+  report.millis = millis;
+  report.cache = cache_delta;
+  if (store_ != nullptr) {
+    const StoreStats store_after = store_->stats();
+    report.store_enabled = true;
+    report.store.hits = served_cells_;
+    report.store.misses = num_cells_ - served_cells_;
+    report.store.bytes_loaded = store_after.bytes_loaded - store_before_.bytes_loaded;
+    report.store.bytes_committed =
+        store_after.bytes_committed - store_before_.bytes_committed;
+    report.store.corrupt_records = store_after.corrupt_records;
+    report.store.truncated_bytes = store_after.truncated_bytes;
+    report.store.rotated_files = store_after.rotated_files;
+  }
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -395,167 +710,31 @@ CampaignReport CampaignRunner::run(int threads, ResultStore* store) {
   const EngineCacheStats cache_before = EngineCache::instance().stats();
   Timer wall;
 
-  // Phase 1 — resolve every entry: graph build (cache-shared) and α/ε
-  // measurement, parallelized across entries.  Runner construction is a
-  // pure function of the Scenario, so placement cannot change a bit.
-  const std::size_t num_entries = campaign_.entries.size();
-  std::vector<std::unique_ptr<ScenarioRunner>> runners(num_entries);
-  ExecutorPool::run(num_entries, threads, [&](std::size_t e) {
-    runners[e] = std::make_unique<ScenarioRunner>(campaign_.entries[e].scenario);
+  CampaignPlan plan(campaign_, threads);
+  if (store != nullptr) (void)plan.attach_store(*store);
+
+  // Pass A — pending cells on one pool; pass B — pending metric jobs.
+  // The barrier between the passes is what a local runner wants (every
+  // parent is done before any metric job starts); the dist coordinator
+  // schedules the same plan with per-job readiness instead.
+  std::vector<std::size_t> cells;
+  std::vector<std::size_t> metric_jobs;
+  for (std::size_t i = 0; i < plan.num_jobs(); ++i) {
+    if (plan.done(i)) continue;
+    (plan.job(i).kind == CampaignJob::Kind::kMetric ? metric_jobs : cells).push_back(i);
+  }
+  ExecutorPool::run(cells.size(), threads, [&](std::size_t p) {
+    const std::size_t i = cells[p];
+    FNE_REQUIRE(plan.accept_cell(i, plan.compute_cell(i)),
+                "campaign: local cell result rejected (duplicate or wrong shape)");
+  });
+  ExecutorPool::run(metric_jobs.size(), threads, [&](std::size_t p) {
+    const std::size_t i = metric_jobs[p];
+    FNE_REQUIRE(plan.accept_metric(i, plan.compute_metric(i, plan.parent_run(i))),
+                "campaign: local metric result rejected (duplicate or mismatched)");
   });
 
-  // Phase 2 — flatten scenario×repetition / sweep jobs into one global
-  // list.  A monotone sweep chain is ONE serial job (its points are
-  // order-dependent); everything else is one job per run.  A job is also
-  // the unit of STORAGE: one job, one content key, one record.
-  struct Job {
-    std::size_t entry;
-    int rep = 0;          // repetition id (independent runs)
-    int sweep_point = -1; // >= 0: independent sweep point index
-    bool monotone = false;
-    std::string key;      // content key (store mode only)
-  };
-  std::vector<Job> jobs;
-  std::vector<std::vector<ScenarioRun>> results(num_entries);
-  for (std::size_t e = 0; e < num_entries; ++e) {
-    const CampaignEntry& entry = campaign_.entries[e];
-    if (entry.sweep.has_value()) {
-      if (entry.sweep->mode == SweepMode::kMonotone) {
-        results[e].resize(0);
-        jobs.push_back({e, 0, -1, true, {}});
-      } else {
-        results[e].resize(entry.sweep->values.size());
-        for (std::size_t j = 0; j < entry.sweep->values.size(); ++j) {
-          jobs.push_back({e, 0, static_cast<int>(j), false, {}});
-        }
-      }
-    } else {
-      results[e].resize(static_cast<std::size_t>(entry.scenario.repetitions));
-      for (int r = 0; r < entry.scenario.repetitions; ++r) {
-        jobs.push_back({e, r, -1, false, {}});
-      }
-    }
-  }
-
-  // Store partition: serve every already-committed job from disk and
-  // keep only the misses for the pool.  A record that fails to decode or
-  // has the wrong run count degrades to a miss — recompute, never crash.
-  std::vector<std::size_t> pending;
-  pending.reserve(jobs.size());
-  std::uint64_t hits = 0;
-  StoreStats store_before;
-  if (store != nullptr) {
-    store->refresh();  // pick up cells committed by other processes
-    store_before = store->stats();
-  }
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    Job& job = jobs[i];
-    if (store == nullptr) {
-      pending.push_back(i);
-      continue;
-    }
-    const CampaignEntry& entry = campaign_.entries[job.entry];
-    if (job.sweep_point >= 0) {
-      FaultSpec fault = entry.scenario.fault;
-      fault.params.set(entry.sweep->param,
-                       entry.sweep->values[static_cast<std::size_t>(job.sweep_point)]);
-      job.key = store_cell_key(entry.scenario, fault, 0);
-    } else {
-      job.key = store_cell_key(entry.scenario, entry.scenario.fault, job.rep,
-                               job.monotone ? &*entry.sweep : nullptr);
-    }
-    bool hit = false;
-    if (const std::optional<std::string> payload = store->load(job.key)) {
-      if (std::optional<std::vector<ScenarioRun>> runs = decode_runs(*payload)) {
-        const std::size_t expected = job.monotone ? entry.sweep->values.size() : 1;
-        if (runs->size() == expected) {
-          if (job.monotone) {
-            results[job.entry] = std::move(*runs);
-          } else if (job.sweep_point >= 0) {
-            results[job.entry][static_cast<std::size_t>(job.sweep_point)] =
-                std::move(runs->front());
-          } else {
-            results[job.entry][static_cast<std::size_t>(job.rep)] =
-                std::move(runs->front());
-          }
-          hit = true;
-        }
-      }
-    }
-    if (hit) {
-      ++hits;
-    } else {
-      pending.push_back(i);
-    }
-  }
-
-  ExecutorPool::run(pending.size(), threads, [&](std::size_t p) {
-    const Job& job = jobs[pending[p]];
-    const CampaignEntry& entry = campaign_.entries[job.entry];
-    ScenarioRunner& runner = *runners[job.entry];
-    if (job.monotone) {
-      results[job.entry] = runner.sweep_fault_param(
-          entry.sweep->param, entry.sweep->values, 1, SweepMode::kMonotone);
-    } else if (job.sweep_point >= 0) {
-      FaultSpec fault = entry.scenario.fault;
-      fault.params.set(entry.sweep->param,
-                       entry.sweep->values[static_cast<std::size_t>(job.sweep_point)]);
-      results[job.entry][static_cast<std::size_t>(job.sweep_point)] =
-          runner.run_isolated(fault, 0);
-    } else {
-      results[job.entry][static_cast<std::size_t>(job.rep)] =
-          runner.run_isolated(entry.scenario.fault, job.rep);
-    }
-    if (store != nullptr) {
-      // Commit as soon as the cell is done (the store is internally
-      // synchronized), so a killed campaign keeps every finished cell.
-      const std::vector<ScenarioRun>& entry_runs = results[job.entry];
-      if (job.monotone) {
-        store->put(job.key, encode_runs(entry_runs));
-      } else {
-        const std::size_t idx = job.sweep_point >= 0
-                                    ? static_cast<std::size_t>(job.sweep_point)
-                                    : static_cast<std::size_t>(job.rep);
-        store->put(job.key, encode_runs({&entry_runs[idx], 1}));
-      }
-    }
-  });
-
-  // Phase 3 — aggregate.  Per-entry engine stats fold from the runs
-  // themselves (run.engine is the delta around each engine.run call):
-  // placement-independent like runner totals, but ALSO reproducible from
-  // stored records — a fully store-served entry reports the same stats
-  // as a computed one, keeping the deterministic payload byte-identical.
-  CampaignReport report;
-  report.name = campaign_.name;
-  report.threads = threads;
-  report.scenarios.reserve(num_entries);
-  for (std::size_t e = 0; e < num_entries; ++e) {
-    ScenarioReport sr;
-    sr.scenario = runners[e]->scenario();
-    sr.sweep = campaign_.entries[e].sweep;
-    sr.alpha = runners[e]->alpha();
-    sr.epsilon = runners[e]->epsilon();
-    sr.n = runners[e]->graph().num_vertices();
-    sr.runs = std::move(results[e]);
-    for (const ScenarioRun& r : sr.runs) {
-      sr.engine += r.engine;
-      sr.millis += r.millis;
-    }
-    report.scenarios.push_back(std::move(sr));
-  }
-  report.millis = wall.millis();
-  report.cache = EngineCache::instance().stats() - cache_before;
-  if (store != nullptr) {
-    const StoreStats store_after = store->stats();
-    report.store_enabled = true;
-    report.store.hits = hits;
-    report.store.misses = pending.size();
-    report.store.bytes_loaded = store_after.bytes_loaded - store_before.bytes_loaded;
-    report.store.bytes_committed =
-        store_after.bytes_committed - store_before.bytes_committed;
-  }
-  return report;
+  return plan.finish(threads, wall.millis(), EngineCache::instance().stats() - cache_before);
 }
 
 }  // namespace fne

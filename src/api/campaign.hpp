@@ -25,7 +25,9 @@
 // when include_timing is true.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,10 +35,9 @@
 #include "api/executor.hpp"
 #include "api/runner.hpp"
 #include "api/scenario.hpp"
+#include "store/result_store.hpp"
 
 namespace fne {
-
-class ResultStore;
 
 /// One fault-parameter sweep attached to a campaign entry.
 struct SweepSpec {
@@ -95,12 +96,18 @@ struct ScenarioReport {
 
 /// How the run split between the result store and fresh compute.  Like
 /// cache telemetry this depends on store STATE, not on the campaign, so
-/// it only appears in the timing payload.
+/// it only appears in the timing payload.  The corruption counters are
+/// ABSOLUTE store-health values (StoreStats), not per-run deltas: disk
+/// trouble heals silently into recompute, and this block is where it
+/// stays visible.
 struct CampaignStoreStats {
-  std::uint64_t hits = 0;             ///< jobs served from the store
-  std::uint64_t misses = 0;           ///< jobs computed (and committed)
+  std::uint64_t hits = 0;             ///< cells served from the store
+  std::uint64_t misses = 0;           ///< cells computed (and committed)
   std::uint64_t bytes_loaded = 0;
   std::uint64_t bytes_committed = 0;
+  std::uint64_t corrupt_records = 0;  ///< checksum-skipped frames (store lifetime)
+  std::uint64_t truncated_bytes = 0;  ///< torn-tail bytes dropped at open
+  std::uint64_t rotated_files = 0;    ///< foreign/versioned logs moved aside
 };
 
 struct CampaignReport {
@@ -118,6 +125,112 @@ struct CampaignReport {
   /// campaign determinism tests and bench_s4_campaign compare exactly
   /// this string).
   [[nodiscard]] std::string to_json(bool include_timing = true) const;
+};
+
+/// One schedulable unit of a campaign.  Cells (kRep / kSweepPoint /
+/// kChain) are also the unit of STORAGE: one cell, one content key
+/// (store/key.hpp), one record.  kMetric jobs compute one split-declared
+/// metric request (api/metrics.hpp MetricEntry::split_job) of a finished
+/// cell's run — they ride the same schedulers but merge INTO their
+/// parent cell, which is only committed to the store once complete.
+struct CampaignJob {
+  enum class Kind { kRep, kSweepPoint, kChain, kMetric };
+  Kind kind = Kind::kRep;
+  std::size_t entry = 0;
+  int rep = 0;            ///< kRep (and kMetric of a kRep parent)
+  int sweep_point = -1;   ///< >= 0: kSweepPoint (and kMetric of one)
+  std::size_t request = 0;  ///< kMetric: index into metrics.requests
+  std::size_t parent = 0;   ///< kMetric: job index of the parent cell
+  std::string key;          ///< cell content key (kMetric: the parent's)
+};
+
+/// The flattened, deterministic schedule of a campaign plus the merge
+/// state every executor shares.  Construction is a PURE function of the
+/// Campaign (entry resolution parallelizes over `threads` but cannot
+/// change a bit), so two plans of the same campaign — a coordinator and
+/// its workers, or two processes racing one store — agree on job
+/// indices, content keys and fingerprint().
+///
+/// Split of responsibilities:
+///   compute_cell / compute_metric  — pure, lock-free, any thread;
+///   accept_cell / accept_metric    — synchronized merge, idempotent
+///     (first write wins; a duplicate or late completion returns false
+///     and changes nothing), committing completed cells to the attached
+///     store;
+///   finish                         — assemble the CampaignReport (once).
+///
+/// Both CampaignRunner::run and the dist coordinator/workers (src/dist/)
+/// are thin schedulers over this class — which is what makes "the
+/// distributed payload is byte-identical to the local one" a structural
+/// property instead of a test-enforced coincidence.
+class CampaignPlan {
+ public:
+  CampaignPlan(const Campaign& campaign, int threads);
+
+  [[nodiscard]] const Campaign& campaign() const noexcept { return campaign_; }
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return jobs_.size(); }
+  [[nodiscard]] const CampaignJob& job(std::size_t i) const;
+  /// FNV-1a over the schedule (campaign name, every job's identity and
+  /// key).  The dist handshake compares fingerprints so a worker serving
+  /// a DIFFERENT campaign is turned away instead of poisoning results.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// Expected run count of a cell job (chain: all sweep values, else 1).
+  [[nodiscard]] std::size_t expected_runs(std::size_t i) const;
+  /// Execute a cell job (pure; any thread).  Split-declared metrics are
+  /// deferred iff the cell has kMetric children.
+  [[nodiscard]] std::vector<ScenarioRun> compute_cell(std::size_t i) const;
+  /// Execute a metric job against its parent's completed run.
+  [[nodiscard]] MetricRecord compute_metric(std::size_t i,
+                                            const ScenarioRun& parent_run) const;
+  /// Copy of the parent cell's run for a metric job; REQUIREs the parent
+  /// to be done (metric jobs are blocked until then).
+  [[nodiscard]] ScenarioRun parent_run(std::size_t metric_job) const;
+
+  /// Merge a completed cell.  Returns false (and changes nothing) when
+  /// the runs are the wrong shape or the cell is already done — the
+  /// duplicate-completion and garbage-rejection path.
+  bool accept_cell(std::size_t i, std::vector<ScenarioRun> runs);
+  /// Merge a completed metric record into its parent cell.  False when
+  /// the record mismatches the request, the parent is not done, or the
+  /// job already merged.
+  bool accept_metric(std::size_t i, MetricRecord record);
+  [[nodiscard]] bool done(std::size_t i) const;
+  [[nodiscard]] bool all_done() const;
+
+  /// Attach a store: serve every already-committed cell from disk (their
+  /// metric jobs complete with them) and commit cells as they complete
+  /// from here on.  Returns the number of cells served.  A record that
+  /// fails to decode or has the wrong run count degrades to a miss.
+  std::uint64_t attach_store(ResultStore& store);
+  [[nodiscard]] std::uint64_t cells_served() const;
+  [[nodiscard]] std::uint64_t num_cells() const noexcept { return num_cells_; }
+
+  /// Assemble the report (single use: moves the merged runs out).
+  /// REQUIREs all_done().
+  [[nodiscard]] CampaignReport finish(int threads, double millis,
+                                      const EngineCacheStats& cache_delta);
+
+ private:
+  [[nodiscard]] std::size_t cell_slot(const CampaignJob& job) const;
+  void commit_locked(std::size_t cell);
+
+  Campaign campaign_;
+  std::vector<std::unique_ptr<ScenarioRunner>> runners_;
+  std::vector<CampaignJob> jobs_;
+  std::vector<std::vector<std::size_t>> children_;  ///< cell -> metric jobs
+  std::vector<std::vector<ScenarioRun>> results_;   ///< per entry
+  std::uint64_t fingerprint_ = 0;
+  std::size_t num_cells_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<char> job_done_;
+  std::vector<std::size_t> missing_metrics_;  ///< per job (cells only)
+  std::vector<char> served_;                  ///< cell came from the store
+  std::size_t remaining_ = 0;
+  std::uint64_t served_cells_ = 0;
+  ResultStore* store_ = nullptr;
+  StoreStats store_before_;  ///< snapshot at attach (byte deltas for finish)
 };
 
 class CampaignRunner {

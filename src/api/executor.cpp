@@ -172,37 +172,76 @@ void EngineCache::clear() {
 // ExecutorPool
 // ---------------------------------------------------------------------------
 
+namespace {
+
+[[nodiscard]] std::string executor_error_message(std::size_t failed, std::size_t total,
+                                                 const std::string& first) {
+  return "executor pool: " + std::to_string(failed) + " of " + std::to_string(total) +
+         " jobs failed; first: " + first;
+}
+
+[[nodiscard]] std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "(non-standard exception)";
+  }
+}
+
+}  // namespace
+
+ExecutorError::ExecutorError(std::size_t failed, std::size_t total, std::string first_message)
+    : PreconditionError(executor_error_message(failed, total, first_message)),
+      failed_(failed),
+      total_(total),
+      first_(std::move(first_message)) {}
+
 void ExecutorPool::run(std::size_t jobs, int threads,
                        const std::function<void(std::size_t)>& fn) {
   if (jobs == 0) return;
   threads = std::clamp<int>(threads, 1, static_cast<int>(std::min<std::size_t>(
                                             jobs, static_cast<std::size_t>(1) << 10)));
-  if (threads == 1) {
-    for (std::size_t i = 0; i < jobs; ++i) fn(i);
-    return;
-  }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
+  // Failure policy (same for inline and pooled execution): every job runs
+  // even when earlier ones threw — they are independent by the pool's
+  // purity contract — and the caller gets ONE aggregated ExecutorError.
+  std::size_t failed = 0;
+  std::string first_message;
   std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          // Keep claiming: the remaining jobs are independent, and the
-          // caller sees the first error either way.
-        }
+  const auto record_failure = [&] {
+    const std::string what = describe_current_exception();
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (failed++ == 0) first_message = what;
+  };
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        record_failure();
       }
-    });
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
+          try {
+            fn(i);
+          } catch (...) {
+            record_failure();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
   }
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (failed > 0) throw ExecutorError(failed, jobs, std::move(first_message));
 }
 
 }  // namespace fne

@@ -43,6 +43,7 @@
 #include "api/params.hpp"
 #include "core/graph.hpp"
 #include "prune/engine.hpp"
+#include "util/require.hpp"
 
 namespace fne {
 
@@ -160,13 +161,34 @@ struct EngineLease::Slot {
       : key(std::move(k)), graph(std::move(g)), engine(*graph, kind) {}
 };
 
+/// Aggregated failure report thrown by ExecutorPool::run when any job
+/// threw.  Derives from PreconditionError so existing catch sites keep
+/// working, but carries the failure COUNT: a scheduler above the pool
+/// (the distributed coordinator, a retry loop) needs to distinguish "one
+/// flaky job" from "everything is failing" without parsing a message.
+class ExecutorError : public PreconditionError {
+ public:
+  ExecutorError(std::size_t failed, std::size_t total, std::string first_message);
+
+  [[nodiscard]] std::size_t failed_jobs() const noexcept { return failed_; }
+  [[nodiscard]] std::size_t total_jobs() const noexcept { return total_; }
+  [[nodiscard]] const std::string& first_message() const noexcept { return first_; }
+
+ private:
+  std::size_t failed_;
+  std::size_t total_;
+  std::string first_;
+};
+
 class ExecutorPool {
  public:
   /// Run fn(i) for every i in [0, jobs).  `threads` is clamped to
   /// [1, jobs]; 1 runs inline on the caller.  Workers claim indices off a
   /// shared atomic counter — dynamic placement is safe exactly when fn(i)
-  /// is a pure function of i.  If jobs throw, the remaining jobs still
-  /// run and the FIRST exception is rethrown after the pool joins.
+  /// is a pure function of i.  Jobs that throw never strand the rest:
+  /// every job runs regardless, failures are counted, and one
+  /// ExecutorError aggregating (failed, total, first message) is thrown
+  /// after the pool drains.
   static void run(std::size_t jobs, int threads, const std::function<void(std::size_t)>& fn);
 };
 

@@ -391,7 +391,8 @@ MetricsRegistry::MetricsRegistry() {
        "certified expansion bracket of the survivor set (costly: extra cut searches)",
        {{"exact_limit", "14", "exact enumeration cap"}},
        metric_expansion_bracket,
-       {}});
+       {},
+       /*split_job=*/true});
   add({"verify_trace",
        "replay-verify the prune trace (prune/verify.hpp certification)",
        {},
@@ -409,7 +410,8 @@ MetricsRegistry::MetricsRegistry() {
        {{"samples", "8", "samples per size fraction"},
         {"fractions", "0.05,0.1,0.2,0.35,0.5", "target sizes as fractions of n"}},
        metric_span_estimate,
-       {}});
+       {},
+       /*split_job=*/true});
   add({"embedding_quality",
        "load/congestion/dilation of embedding the fault-free guest into the largest "
        "surviving component, plus its blocked-Lanczos spectral profile",

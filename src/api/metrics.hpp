@@ -59,6 +59,12 @@ struct MetricEntry {
   /// run by check() and compute().  Lets a campaign file with e.g.
   /// spectral_mode=typo fail at parse time, not mid-batch.
   std::function<void(const Params&)> validate;
+  /// Expensive metrics declare split_job: the campaign/dist schedulers
+  /// compute them as their OWN jobs keyed (entry, rep, request) instead
+  /// of inline in the run's job, so stragglers shrink and a retry re-does
+  /// one metric, not the whole prune.  Purity requirement is unchanged —
+  /// the record is a function of (run, request, derived seed) only.
+  bool split_job = false;
 };
 
 class MetricsRegistry {

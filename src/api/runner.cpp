@@ -105,7 +105,7 @@ PruneEngineOptions ScenarioRunner::engine_options(std::uint64_t finder_seed) con
   return opts;
 }
 
-void ScenarioRunner::measure(ScenarioRun& run) const {
+void ScenarioRunner::measure(ScenarioRun& run, bool defer_split_metrics) const {
   if (scenario_.metrics.fragmentation) {
     run.fragmentation = fragmentation_profile(*graph_, run.prune.survivors);
   }
@@ -124,19 +124,35 @@ void ScenarioRunner::measure(ScenarioRun& run) const {
   // decorrelated seed stream per repetition (domains 0-5 are taken by the
   // runner itself), so metric sampling never aliases fault or finder
   // seeds and the records are pure functions of (scenario, request, rep).
+  // Seeds are POSITIONAL (request index, not the subset actually computed
+  // here), so a deferred split metric filled in later is bit-identical to
+  // the inline computation.
   const auto& requests = scenario_.metrics.requests;
   run.metrics.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const MetricContext ctx{*graph_,  scenario_, run, alpha_, epsilon_,
-                            derive_seed(scenario_.seed, 6 + i,
-                                        static_cast<std::uint64_t>(run.repetition))};
-    run.metrics.push_back(
-        MetricsRegistry::instance().compute(requests[i].name, ctx, requests[i].params));
+    if (defer_split_metrics && MetricsRegistry::instance().at(requests[i].name).split_job) {
+      run.metrics.push_back(MetricRecord{requests[i].name, {}, {}});
+      continue;
+    }
+    run.metrics.push_back(compute_metric_request(run, i));
   }
 }
 
+MetricRecord ScenarioRunner::compute_metric_request(const ScenarioRun& run,
+                                                    std::size_t request_index) const {
+  const auto& requests = scenario_.metrics.requests;
+  FNE_REQUIRE(request_index < requests.size(),
+              "scenario '" + scenario_.name + "': metric request index out of range");
+  const MetricRequest& request = requests[request_index];
+  const MetricContext ctx{*graph_,  scenario_, run, alpha_, epsilon_,
+                          derive_seed(scenario_.seed, 6 + request_index,
+                                      static_cast<std::uint64_t>(run.repetition))};
+  return MetricsRegistry::instance().compute(request.name, ctx, request.params);
+}
+
 ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& fault, int rep,
-                                      const VertexSet* chain_start) const {
+                                      const VertexSet* chain_start,
+                                      bool defer_split_metrics) const {
   ScenarioRun run;
   run.repetition = rep;
   run.fault_seed = derive_seed(scenario_.seed, 3, static_cast<std::uint64_t>(rep));
@@ -158,7 +174,7 @@ ScenarioRun ScenarioRunner::run_point(PruneEngine& engine, const FaultSpec& faul
   run.prune = engine.run(run.alive, alpha_, epsilon_, engine_options(run.finder_seed));
   run.millis = timer.millis();
   run.engine = engine.stats() - before;
-  measure(run);
+  measure(run, defer_split_metrics);
   return run;
 }
 
@@ -169,6 +185,14 @@ ScenarioRun ScenarioRunner::run_once(int rep) {
 ScenarioRun ScenarioRunner::run_isolated(const FaultSpec& fault, int rep) {
   EngineLease lease = lease_engine();
   ScenarioRun run = run_point(lease.engine(), fault, rep);
+  fold_pool_stats(lease.stats_delta());
+  return run;
+}
+
+ScenarioRun ScenarioRunner::run_isolated_deferred(const FaultSpec& fault, int rep) {
+  EngineLease lease = lease_engine();
+  ScenarioRun run = run_point(lease.engine(), fault, rep, nullptr,
+                              /*defer_split_metrics=*/true);
   fold_pool_stats(lease.stats_delta());
   return run;
 }

@@ -149,6 +149,21 @@ class ScenarioRunner {
   /// unit of work a CampaignRunner schedules.
   [[nodiscard]] ScenarioRun run_isolated(const FaultSpec& fault, int rep);
 
+  /// run_isolated, but metric requests whose registry entry declares
+  /// split_job are NOT computed: their run.metrics slot holds a
+  /// placeholder {name, "", ""} for a later compute_metric_request to
+  /// fill.  The campaign/dist schedulers use this to run expensive
+  /// metrics as separate (entry, rep, request) jobs; filling every
+  /// placeholder reproduces run_isolated's result field-for-field.
+  [[nodiscard]] ScenarioRun run_isolated_deferred(const FaultSpec& fault, int rep);
+
+  /// Compute metric request `request_index` for a completed run, with the
+  /// SAME derived seed the inline path uses — the record is bit-identical
+  /// whether it was computed inline, deferred locally, or on a remote
+  /// worker.  Pure and thread-safe.
+  [[nodiscard]] MetricRecord compute_metric_request(const ScenarioRun& run,
+                                                    std::size_t request_index) const;
+
   /// All scenario.repetitions, sharded over `threads` ExecutorPool
   /// workers (clamped to [1, repetitions]).  threads == 1 runs on the
   /// primary engine (warm state dropped per repetition); more lease one
@@ -194,14 +209,15 @@ class ScenarioRunner {
   /// monotone-sweep chaining hook); run.faults always counts the
   /// fault-model mask.
   [[nodiscard]] ScenarioRun run_point(PruneEngine& engine, const FaultSpec& fault, int rep,
-                                      const VertexSet* chain_start = nullptr) const;
+                                      const VertexSet* chain_start = nullptr,
+                                      bool defer_split_metrics = false) const;
   /// jobs[i] = (faults[i], reps[i]) -> out[i], over ExecutorPool.
   void run_pooled(std::span<const FaultSpec> faults, std::span<const int> reps,
                   std::span<ScenarioRun> out, int threads);
   [[nodiscard]] std::vector<ScenarioRun> sweep_monotone(const std::string& key,
                                                         std::span<const double> values);
   void fold_pool_stats(const EngineStats& delta);
-  void measure(ScenarioRun& run) const;
+  void measure(ScenarioRun& run, bool defer_split_metrics) const;
 
   Scenario scenario_;
   std::shared_ptr<const Graph> graph_;

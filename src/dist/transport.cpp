@@ -1,0 +1,179 @@
+#include "dist/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace fne {
+
+namespace {
+
+/// TCP endpoint over one connected fd.  shutdown() uses ::shutdown so a
+/// peer blocked in recv()/poll() wakes immediately; the fd itself is
+/// closed exactly once, by the destructor.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    // Latency matters more than throughput for job-sized frames.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TcpTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send(std::string_view bytes) override {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int recv(char* out, std::size_t max, int timeout_ms) override {
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return -1;
+    if (ready < 0) return errno == EINTR ? -1 : -2;
+    const ssize_t n = ::recv(fd_, out, max, 0);
+    if (n < 0) return errno == EINTR ? -1 : -2;
+    return static_cast<int>(n);
+  }
+
+  void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+[[nodiscard]] sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  FNE_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "dist: bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  FNE_REQUIRE(fd_ >= 0, "dist: cannot create listening socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  FNE_REQUIRE(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+              "dist: cannot bind " + host + ":" + std::to_string(port));
+  FNE_REQUIRE(::listen(fd_, 64) == 0, "dist: listen failed");
+  socklen_t len = sizeof(addr);
+  FNE_REQUIRE(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+              "dist: getsockname failed");
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Transport> TcpListener::accept(int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;
+  return std::make_unique<TcpTransport>(cfd);
+}
+
+void TcpListener::shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host, int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr = make_addr(host, port);
+  // Non-blocking connect with a poll deadline: a coordinator that is not
+  // up yet must cost the worker timeout_ms, not a 2-minute kernel default.
+  struct timeval tv {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport
+// ---------------------------------------------------------------------------
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner, FaultSchedule schedule)
+    : inner_(std::move(inner)), schedule_(schedule), rng_(schedule.seed) {}
+
+bool FaultyTransport::send(std::string_view bytes) {
+  const std::uint64_t op = sends_++;
+  if (op < static_cast<std::uint64_t>(schedule_.skip_sends)) return inner_->send(bytes);
+  // One decorrelated stream per send index: the fault pattern is a pure
+  // function of (seed, op), independent of timing or payload bytes.
+  Rng stream = rng_.fork(op);
+  if (stream.bernoulli(schedule_.drop)) {
+    return true;  // swallowed: the sender believes it went out
+  }
+  if (stream.bernoulli(schedule_.corrupt)) {
+    std::string mangled(bytes);
+    if (!mangled.empty()) {
+      const std::size_t at = static_cast<std::size_t>(stream.uniform(mangled.size()));
+      mangled[at] = static_cast<char>(mangled[at] ^
+                                      static_cast<char>(1u << stream.uniform(8)));
+    }
+    return inner_->send(mangled);
+  }
+  if (stream.bernoulli(schedule_.truncate)) {
+    const std::size_t keep = bytes.empty()
+                                 ? 0
+                                 : static_cast<std::size_t>(stream.uniform(bytes.size()));
+    if (keep > 0) (void)inner_->send(bytes.substr(0, keep));
+    inner_->shutdown();  // a half-frame then silence: the torn-tail case
+    return false;
+  }
+  if (stream.bernoulli(schedule_.disconnect)) {
+    inner_->shutdown();
+    return false;
+  }
+  if (stream.bernoulli(schedule_.delay)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(schedule_.delay_ms));
+  }
+  return inner_->send(bytes);
+}
+
+int FaultyTransport::recv(char* out, std::size_t max, int timeout_ms) {
+  return inner_->recv(out, max, timeout_ms);
+}
+
+void FaultyTransport::shutdown() { inner_->shutdown(); }
+
+}  // namespace fne

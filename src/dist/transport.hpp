@@ -1,0 +1,114 @@
+// Byte transports for the distributed campaign runtime (DESIGN.md §12).
+//
+// Transport is the minimal surface the protocol needs: send all-or-fail,
+// receive with a deadline, and a thread-safe shutdown() that wakes a
+// blocked peer.  TcpTransport implements it over a poll()-guarded socket
+// (loopback or LAN); FaultyTransport wraps any transport and injects a
+// DETERMINISTIC fault schedule on the send path — drop, corrupt,
+// truncate-then-disconnect, delay, disconnect — driven by a seeded Rng
+// per send index, so every chaos test names its failure mode as data and
+// replays it exactly.
+//
+// Fault injection lives on the SEND side of the wrapped endpoint: a
+// worker wrapped in FaultyTransport emits garbage/nothing toward the
+// coordinator, which is precisely the surface whose robustness the
+// design must prove (the coordinator never trusts, always verifies, and
+// re-runs what it cannot verify).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace fne {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send all of `bytes`.  False when the connection is gone (the caller
+  /// treats any failure as a dead peer; there are no partial sends at
+  /// this level — a short write becomes false after retrying).
+  virtual bool send(std::string_view bytes) = 0;
+
+  /// Receive up to `max` bytes within `timeout_ms`.
+  ///   > 0  bytes received
+  ///   0    clean EOF (peer closed)
+  ///   -1   timeout (no data; connection may still be fine)
+  ///   -2   error / connection reset
+  virtual int recv(char* out, std::size_t max, int timeout_ms) = 0;
+
+  /// Close the underlying descriptor.  Thread-safe; a peer blocked in
+  /// recv() on this transport wakes with an error.
+  virtual void shutdown() = 0;
+};
+
+/// Listening socket handle (RAII).  port() reports the bound port, which
+/// is the ephemeral one the kernel picked when opened with port 0 — the
+/// tests' way to run coordinator and workers in one process with no
+/// fixed-port collisions.
+class TcpListener {
+ public:
+  /// Bind + listen on host:port.  REQUIRE-fails on address errors (a
+  /// mis-typed bind address is a config bug, not a runtime fault).
+  TcpListener(const std::string& host, int port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  /// Accept one connection within timeout_ms; nullptr on timeout or
+  /// (post-shutdown) closure.
+  [[nodiscard]] std::unique_ptr<Transport> accept(int timeout_ms);
+  /// Thread-safe close; a blocked accept() returns nullptr.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connect to host:port within timeout_ms; nullptr on refusal/timeout
+/// (the worker's reconnect loop treats that as retryable, not fatal).
+[[nodiscard]] std::unique_ptr<Transport> tcp_connect(const std::string& host, int port,
+                                                     int timeout_ms);
+
+/// One seeded failure schedule.  Probabilities are per send(); at most
+/// one fault fires per send (checked in the order below).  skip_sends
+/// lets the handshake through so the faulty endpoint is registered
+/// before it starts misbehaving.
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  int skip_sends = 2;          ///< let the first N sends through untouched
+  double drop = 0.0;           ///< silently discard the frame
+  double corrupt = 0.0;        ///< flip one byte, then send
+  double truncate = 0.0;       ///< send a strict prefix, then shutdown
+  double disconnect = 0.0;     ///< shutdown instead of sending
+  double delay = 0.0;          ///< sleep delay_ms before sending
+  int delay_ms = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0 || corrupt > 0 || truncate > 0 || disconnect > 0 || delay > 0;
+  }
+};
+
+/// Deterministic fault injector around another transport (send side).
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, FaultSchedule schedule);
+
+  bool send(std::string_view bytes) override;
+  int recv(char* out, std::size_t max, int timeout_ms) override;
+  void shutdown() override;
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  FaultSchedule schedule_;
+  Rng rng_;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace fne

@@ -1,0 +1,143 @@
+// fne::ByteWriter / fne::ByteReader — the little-endian byte codec shared
+// by the cell record format (store/record.cpp) and the distributed wire
+// protocol (dist/message.cpp).
+//
+// Both consumers have the same requirements: fixed-width little-endian
+// integers, bit-pattern doubles (exactness survives the round trip), and
+// TOTAL decoding — a reader over hostile bytes never throws and never
+// reads out of bounds, it poisons itself and the caller checks ok() once.
+// Extracted from record.cpp (PR 7) so the wire messages inherit the same
+// discipline instead of reimplementing it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/vertex_set.hpp"
+
+namespace fne {
+
+/// Decode ceilings shared by every codec user: a buffer claiming more
+/// than these is corrupt, not big.  Universes are vid-sized; strings are
+/// metric payloads, trace reasons, or wire keys (KBs to low MBs at most).
+inline constexpr std::uint64_t kCodecMaxUniverse = std::uint64_t{1} << 32;
+inline constexpr std::uint32_t kCodecMaxString = 16u << 20;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) buf_.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+  }
+  void u64(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) buf_.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void mask(const VertexSet& s) {
+    u64(s.universe_size());
+    for (std::size_t w = 0; w < s.num_words(); ++w) u64(s.word(w));
+  }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked sequential reader.  Every accessor reports failure via
+/// ok(); reads past the end return zeros and poison the reader, so a
+/// caller can check once at the end of a fixed-shape section.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return ok_ && pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_ - 1]);
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ - 4 + b]))
+           << (8 * b);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ - 8 + b]))
+           << (8 * b);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (len > kCodecMaxString || !take(len)) {
+      ok_ = false;
+      return {};
+    }
+    return std::string(data_.substr(pos_ - len, len));
+  }
+  std::optional<VertexSet> mask() {
+    const std::uint64_t universe = u64();
+    if (!ok_ || universe > kCodecMaxUniverse) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    const std::size_t words = (static_cast<std::size_t>(universe) + 63) / 64;
+    std::vector<std::uint64_t> packed(words);
+    for (std::size_t w = 0; w < words; ++w) packed[w] = u64();
+    if (!ok_) return std::nullopt;
+    // from_words REQUIREs clean padding; a corrupt mask must come back as
+    // a decode failure, not an exception escaping the decoder.
+    const vid n = static_cast<vid>(universe);
+    const vid tail = n & 63;
+    if (tail != 0 && words > 0 &&
+        (packed.back() & ~((std::uint64_t{1} << tail) - 1)) != 0) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    return VertexSet::from_words(n, std::move(packed));
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fne

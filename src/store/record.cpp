@@ -1,134 +1,19 @@
 #include "store/record.hpp"
 
-#include <cstring>
 #include <limits>
+
+#include "store/codec.hpp"
 
 namespace fne {
 
 namespace {
 
-// Sanity ceilings for decode: a record claiming more than these is
-// corrupt, not big.  Universes are vid-sized; strings are metric payloads
-// and trace reasons (KBs at most).
-constexpr std::uint64_t kMaxUniverse = std::uint64_t{1} << 32;
-constexpr std::uint32_t kMaxString = 16u << 20;
+// Count ceilings for decode (size/length ceilings live in codec.hpp): a
+// record claiming more than these is corrupt, not big.
 constexpr std::uint32_t kMaxRuns = 1u << 20;
 constexpr std::uint32_t kMaxMetrics = 1u << 12;
 
-class Writer {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) {
-    for (int b = 0; b < 4; ++b) buf_.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
-  }
-  void u64(std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) buf_.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    buf_.append(s);
-  }
-  void mask(const VertexSet& s) {
-    u64(s.universe_size());
-    for (std::size_t w = 0; w < s.num_words(); ++w) u64(s.word(w));
-  }
-  [[nodiscard]] std::string take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked sequential reader.  Every accessor reports failure via
-/// ok(); reads past the end return zeros and poison the reader, so a
-/// caller can check once at the end of a fixed-shape section.
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  [[nodiscard]] bool ok() const noexcept { return ok_; }
-  [[nodiscard]] bool at_end() const noexcept { return ok_ && pos_ == data_.size(); }
-
-  std::uint8_t u8() {
-    if (!take(1)) return 0;
-    return static_cast<std::uint8_t>(data_[pos_ - 1]);
-  }
-  std::uint32_t u32() {
-    if (!take(4)) return 0;
-    std::uint32_t v = 0;
-    for (int b = 0; b < 4; ++b) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ - 4 + b]))
-           << (8 * b);
-    }
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!take(8)) return 0;
-    std::uint64_t v = 0;
-    for (int b = 0; b < 8; ++b) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ - 8 + b]))
-           << (8 * b);
-    }
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t len = u32();
-    if (len > kMaxString || !take(len)) {
-      ok_ = false;
-      return {};
-    }
-    return std::string(data_.substr(pos_ - len, len));
-  }
-  std::optional<VertexSet> mask() {
-    const std::uint64_t universe = u64();
-    if (!ok_ || universe > kMaxUniverse) {
-      ok_ = false;
-      return std::nullopt;
-    }
-    const std::size_t words = (static_cast<std::size_t>(universe) + 63) / 64;
-    std::vector<std::uint64_t> packed(words);
-    for (std::size_t w = 0; w < words; ++w) packed[w] = u64();
-    if (!ok_) return std::nullopt;
-    // from_words REQUIREs clean padding; a corrupt mask must come back as
-    // a decode failure, not an exception escaping the store.
-    const vid n = static_cast<vid>(universe);
-    const vid tail = n & 63;
-    if (tail != 0 && words > 0 &&
-        (packed.back() & ~((std::uint64_t{1} << tail) - 1)) != 0) {
-      ok_ = false;
-      return std::nullopt;
-    }
-    return VertexSet::from_words(n, std::move(packed));
-  }
-
- private:
-  bool take(std::size_t n) {
-    if (!ok_ || data_.size() - pos_ < n) {
-      ok_ = false;
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-  std::string_view data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-void encode_engine(Writer& w, const EngineStats& st) {
+void encode_engine(ByteWriter& w, const EngineStats& st) {
   w.u64(st.runs);
   w.u64(st.iterations);
   w.u64(st.eigensolves);
@@ -139,7 +24,7 @@ void encode_engine(Writer& w, const EngineStats& st) {
   w.u64(st.relabel_bfs_vertices);
 }
 
-EngineStats decode_engine(Reader& r) {
+EngineStats decode_engine(ByteReader& r) {
   EngineStats st;
   st.runs = r.u64();
   st.iterations = r.u64();
@@ -152,7 +37,7 @@ EngineStats decode_engine(Reader& r) {
   return st;
 }
 
-void encode_run(Writer& w, const ScenarioRun& run) {
+void encode_run(ByteWriter& w, const ScenarioRun& run) {
   w.i32(run.repetition);
   w.u64(run.fault_seed);
   w.u64(run.finder_seed);
@@ -189,7 +74,7 @@ void encode_run(Writer& w, const ScenarioRun& run) {
   encode_engine(w, run.engine);
 }
 
-[[nodiscard]] std::optional<ScenarioRun> decode_run(Reader& r) {
+[[nodiscard]] std::optional<ScenarioRun> decode_run(ByteReader& r) {
   ScenarioRun run;
   run.repetition = r.i32();
   run.fault_seed = r.u64();
@@ -208,7 +93,7 @@ void encode_run(Writer& w, const ScenarioRun& run) {
   run.fragmentation.gamma = r.f64();
   run.fragmentation.num_components = static_cast<std::size_t>(r.u64());
   const std::uint32_t sizes = r.u32();
-  if (!r.ok() || sizes > kMaxUniverse) return std::nullopt;
+  if (!r.ok() || sizes > kCodecMaxUniverse) return std::nullopt;
   run.fragmentation.sizes_desc.reserve(sizes);
   for (std::uint32_t i = 0; i < sizes; ++i) {
     run.fragmentation.sizes_desc.push_back(static_cast<vid>(r.u64()));
@@ -245,7 +130,7 @@ void encode_run(Writer& w, const ScenarioRun& run) {
 }  // namespace
 
 std::string encode_runs(std::span<const ScenarioRun> runs) {
-  Writer w;
+  ByteWriter w;
   w.u32(kCellRecordFormat);
   w.u32(static_cast<std::uint32_t>(runs.size()));
   for (const ScenarioRun& run : runs) encode_run(w, run);
@@ -253,7 +138,7 @@ std::string encode_runs(std::span<const ScenarioRun> runs) {
 }
 
 std::optional<std::vector<ScenarioRun>> decode_runs(std::string_view payload) {
-  Reader r(payload);
+  ByteReader r(payload);
   if (r.u32() != kCellRecordFormat) return std::nullopt;
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > kMaxRuns) return std::nullopt;

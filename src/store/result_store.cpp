@@ -138,6 +138,7 @@ void ResultStore::open_log() {
     std::error_code ec;
     fs::rename(log_path_, aside, ec);
     FNE_REQUIRE(!ec, "result store: cannot rotate " + log_path_ + " to " + aside);
+    ++stats_.rotated_files;
   }
   FNE_REQUIRE(false, "result store: could not establish a readable log at " + log_path_);
 }

@@ -46,7 +46,10 @@ inline constexpr std::uint32_t kStoreSchemaVersion = 1;
 
 /// Counters for --store-stats and the robustness tests.  hits/misses and
 /// byte counters accumulate over the store's lifetime; corrupt_records /
-/// truncated_bytes describe what open()/load() had to discard.
+/// truncated_bytes / rotated_files describe what open()/load() had to
+/// discard or move aside.  Every corruption path HEALS silently (miss ->
+/// recompute), so these counters are the only place disk trouble shows
+/// up — campaign reports surface them in the timing payload.
 struct StoreStats {
   std::uint64_t records = 0;          ///< distinct keys currently indexed
   std::uint64_t hits = 0;
@@ -55,6 +58,7 @@ struct StoreStats {
   std::uint64_t bytes_loaded = 0;     ///< payload bytes served from the log
   std::uint64_t corrupt_records = 0;  ///< checksum/key-verify failures skipped
   std::uint64_t truncated_bytes = 0;  ///< torn tail dropped at open
+  std::uint64_t rotated_files = 0;    ///< foreign/versioned logs moved aside at open
 };
 
 class ResultStore {

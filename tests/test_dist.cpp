@@ -1,0 +1,453 @@
+// Distributed campaign execution contracts (DESIGN.md §12).  The core
+// claim under test: for ANY worker count, ANY seeded fault schedule, and
+// ANY kill pattern, the coordinator's deterministic payload
+// (CampaignReport::to_json(false)) is byte-identical to a local
+// single-process CampaignRunner — faults move work around, they never
+// change results.  Plus the robustness mechanics one by one: zero-worker
+// degradation, fingerprint handshake, duplicate completions, wrong-key
+// rejection, garbage connections, zombie workers reaped by lease
+// deadline, and store commits from a distributed run replaying warm.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/campaign.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/message.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker.hpp"
+#include "store/record.hpp"
+#include "store/result_store.hpp"
+#include "util/timer.hpp"
+
+namespace fne {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small campaign exercising every job kind: independent reps with a
+/// SPLIT metric (kMetric jobs), a monotone chain (one serial cell), and
+/// independent sweep points.  2 cells + 2 metrics + 1 chain + 2 points
+/// = 7 jobs.
+[[nodiscard]] Campaign dist_campaign() {
+  Campaign campaign;
+  campaign.name = "dist-chaos";
+  {
+    Scenario s;
+    s.name = "reps-split";
+    s.topology = {"mesh", Params{{"side", "10"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.2"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.prune.fast = true;
+    s.repetitions = 2;
+    s.seed = 91;
+    s.metrics.requests.push_back({"expansion_bracket", Params{}});
+    campaign.entries.push_back({s, std::nullopt});
+  }
+  {
+    Scenario s;
+    s.name = "chain";
+    s.topology = {"mesh", Params{{"side", "12"}, {"dims", "2"}}};
+    s.fault = {"random", Params{{"p", "0.1"}}};
+    s.prune.kind = ExpansionKind::Edge;
+    s.prune.alpha = 0.125;
+    s.seed = 92;
+    campaign.entries.push_back({s, SweepSpec{"p", {0.1, 0.25, 0.4}, SweepMode::kMonotone}});
+  }
+  {
+    Scenario s;
+    s.name = "points";
+    s.topology = {"hypercube", Params{{"dims", "5"}}};
+    s.fault = {"high_degree", Params{{"frac", "0.1"}}};
+    s.prune.kind = ExpansionKind::Node;
+    s.seed = 93;
+    campaign.entries.push_back({s, SweepSpec{"frac", {0.05, 0.2}, SweepMode::kIndependent}});
+  }
+  return campaign;
+}
+
+/// A one-entry campaign for the cheap tier-1 tests.
+[[nodiscard]] Campaign tiny_campaign() {
+  Campaign campaign;
+  campaign.name = "dist-tiny";
+  Scenario s;
+  s.name = "tiny";
+  s.topology = {"mesh", Params{{"side", "8"}, {"dims", "2"}}};
+  s.fault = {"random", Params{{"p", "0.2"}}};
+  s.prune.kind = ExpansionKind::Edge;
+  s.prune.fast = true;
+  s.repetitions = 2;
+  s.seed = 17;
+  campaign.entries.push_back({s, std::nullopt});
+  return campaign;
+}
+
+/// Fast-converging coordinator knobs for tests: short leases, quick
+/// fallback, tight polling.
+[[nodiscard]] DistOptions test_options() {
+  DistOptions opts;
+  opts.local_threads = 2;
+  opts.job_timeout_ms = 400;
+  opts.lease_cap_ms = 2000;
+  opts.heartbeat_ms = 50;
+  opts.retry_budget = 2;
+  opts.backoff_base_ms = 10;
+  opts.backoff_max_ms = 100;
+  opts.idle_grace_ms = 100;
+  opts.poll_ms = 10;
+  return opts;
+}
+
+[[nodiscard]] WorkerOptions test_worker(int port, const std::string& name) {
+  WorkerOptions w;
+  w.port = port;
+  w.name = name;
+  w.recv_timeout_ms = 25;
+  w.idle_timeout_ms = 2000;
+  w.reconnect_backoff_ms = 10;
+  w.connect_attempts = 100;
+  return w;
+}
+
+struct DistRun {
+  std::string payload;
+  DistStats stats;
+  std::vector<WorkerReport> workers;
+};
+
+/// Run `campaign` through a coordinator plus in-process workers; returns
+/// the deterministic payload and the robustness telemetry.
+[[nodiscard]] DistRun run_dist(const Campaign& campaign, std::vector<WorkerOptions> workers,
+                               DistOptions opts = test_options(), ResultStore* store = nullptr) {
+  DistCoordinator coordinator(campaign, opts, store);
+  std::vector<std::unique_ptr<DistWorker>> pool;
+  std::vector<std::thread> threads;
+  std::vector<WorkerReport> reports(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    workers[i].port = coordinator.port();
+    pool.push_back(std::make_unique<DistWorker>(campaign, workers[i]));
+    threads.emplace_back(
+        [w = pool.back().get(), &report = reports[i]] { report = w->run(); });
+  }
+  const CampaignReport report = coordinator.run();
+  for (const auto& w : pool) w->stop();
+  for (std::thread& th : threads) th.join();
+  return {report.to_json(/*include_timing=*/false), coordinator.stats(), std::move(reports)};
+}
+
+[[nodiscard]] std::string local_payload(const Campaign& campaign) {
+  CampaignRunner runner(campaign);
+  return runner.run(1).to_json(/*include_timing=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Tier-1: degradation, handshake, hostile clients
+// ---------------------------------------------------------------------------
+
+TEST(Dist, ZeroWorkersDegradesToExactlyTheLocalRun) {
+  const Campaign campaign = tiny_campaign();
+  const std::string reference = local_payload(campaign);
+  const DistRun run = run_dist(campaign, {});
+  EXPECT_EQ(run.payload, reference);
+  EXPECT_EQ(run.stats.sessions, 0u);
+  EXPECT_EQ(run.stats.remote_cells + run.stats.remote_metrics, 0u);
+  EXPECT_GT(run.stats.local_cells, 0u);
+}
+
+TEST(Dist, SingleWorkerMatchesTheLocalReference) {
+  const Campaign campaign = tiny_campaign();
+  const std::string reference = local_payload(campaign);
+  DistRun run = run_dist(campaign, {test_worker(0, "w0")});
+  EXPECT_EQ(run.payload, reference);
+  EXPECT_EQ(run.stats.sessions, 1u);
+  ASSERT_EQ(run.workers.size(), 1u);
+  EXPECT_TRUE(run.workers[0].ever_connected);
+}
+
+TEST(Dist, WorkerServingADifferentCampaignIsRefused) {
+  const Campaign campaign = tiny_campaign();
+  Campaign other = tiny_campaign();
+  other.entries[0].scenario.seed = 9999;  // different plan, different fingerprint
+
+  DistOptions opts = test_options();
+  DistCoordinator coordinator(campaign, opts);
+  DistWorker imposter(other, test_worker(coordinator.port(), "imposter"));
+  WorkerReport imposter_report;
+  std::thread worker_thread([&] { imposter_report = imposter.run(); });
+  const CampaignReport report = coordinator.run();
+  imposter.stop();
+  worker_thread.join();
+
+  EXPECT_TRUE(imposter_report.fatal_mismatch);
+  EXPECT_EQ(imposter_report.cells + imposter_report.metrics, 0u);
+  // The refused worker never registered; the campaign completed locally.
+  EXPECT_EQ(report.to_json(false), local_payload(campaign));
+  EXPECT_EQ(coordinator.stats().remote_cells, 0u);
+}
+
+TEST(Dist, GarbageConnectionIsDroppedAndTheRunCompletes) {
+  const Campaign campaign = tiny_campaign();
+  const std::string reference = local_payload(campaign);
+  DistOptions opts = test_options();
+  DistCoordinator coordinator(campaign, opts);
+
+  std::thread noise([&] {
+    std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", coordinator.port(), 1000);
+    ASSERT_TRUE(t != nullptr);
+    (void)t->send("this is not an FNEM frame at all........");
+    char sink[256];
+    while (t->recv(sink, sizeof(sink), 50) > 0) {
+    }
+  });
+  const CampaignReport report = coordinator.run();
+  noise.join();
+  EXPECT_EQ(report.to_json(false), reference);
+  EXPECT_GE(coordinator.stats().rejected_corrupt, 1u);
+}
+
+// A hand-rolled protocol client: the tests' way of sending exactly the
+// bytes a buggy or malicious worker would.
+struct RawClient {
+  std::unique_ptr<Transport> transport;
+  FrameBuffer buf;
+
+  [[nodiscard]] bool send(MsgType type, std::string payload) {
+    return transport->send(encode_frame({type, std::move(payload)}));
+  }
+  [[nodiscard]] std::optional<Message> read(double deadline_ms = 5000) {
+    Message msg;
+    const Timer clock;
+    while (clock.millis() < deadline_ms) {
+      switch (read_message(*transport, buf, msg, 25)) {
+        case ReadStatus::kMessage:
+          return msg;
+        case ReadStatus::kTimeout:
+          continue;
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+[[nodiscard]] std::optional<JobPayload> handshake_and_pull(RawClient& client,
+                                                           std::uint64_t fingerprint) {
+  if (!client.send(MsgType::kHello, encode_hello({fingerprint, "raw"}))) return std::nullopt;
+  const auto welcome = client.read();
+  if (!welcome || welcome->type != MsgType::kWelcome) return std::nullopt;
+  for (int i = 0; i < 100; ++i) {
+    if (!client.send(MsgType::kPull, "")) return std::nullopt;
+    const auto reply = client.read();
+    if (!reply) return std::nullopt;
+    if (reply->type == MsgType::kJob) return decode_job(reply->payload);
+    if (reply->type != MsgType::kWait) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+TEST(Dist, DuplicateCompletionsResolveFirstWriteWins) {
+  const Campaign campaign = tiny_campaign();
+  const std::string reference = local_payload(campaign);
+  CampaignPlan plan(campaign, 1);
+
+  DistOptions opts = test_options();
+  opts.idle_grace_ms = 2000;  // hold local fallback off while we play
+  DistCoordinator coordinator(campaign, opts);
+  DistStats stats;
+  std::string payload;
+  std::thread driver([&] {
+    const CampaignReport report = coordinator.run();
+    payload = report.to_json(false);
+    stats = coordinator.stats();
+  });
+
+  {
+    RawClient client{tcp_connect("127.0.0.1", coordinator.port(), 1000), {}};
+    ASSERT_TRUE(client.transport != nullptr);
+    const auto job = handshake_and_pull(client, wire_fingerprint(plan.fingerprint()));
+    ASSERT_TRUE(job.has_value());
+    ASSERT_NE(job->kind, static_cast<std::uint32_t>(CampaignJob::Kind::kMetric));
+    // Compute the honest bytes once, submit them twice.
+    const std::string data =
+        encode_runs(plan.compute_cell(static_cast<std::size_t>(job->index)));
+    ResultPayload result{job->index, job->kind, job->key, data};
+    ASSERT_TRUE(client.send(MsgType::kResult, encode_result(result)));
+    ASSERT_TRUE(client.send(MsgType::kResult, encode_result(result)));
+    // Drain until the campaign finishes (the local fallback of the
+    // coordinator picks up everything we did not do).
+    while (true) {
+      const auto msg = client.read(10000);
+      if (!msg || msg->type == MsgType::kDone) break;
+      if (msg->type == MsgType::kWait) {
+        if (!client.send(MsgType::kPull, "")) break;
+      }
+    }
+  }
+  driver.join();
+  EXPECT_EQ(payload, reference);
+  EXPECT_GE(stats.duplicates, 1u) << "the second submission must be counted, not merged";
+  EXPECT_EQ(stats.remote_cells, 1u);
+}
+
+TEST(Dist, WrongKeyResultsAreRejectedAndRecomputed) {
+  const Campaign campaign = tiny_campaign();
+  const std::string reference = local_payload(campaign);
+  CampaignPlan plan(campaign, 1);
+
+  DistOptions opts = test_options();
+  opts.idle_grace_ms = 1000;
+  DistCoordinator coordinator(campaign, opts);
+  DistStats stats;
+  std::string payload;
+  std::thread driver([&] {
+    const CampaignReport report = coordinator.run();
+    payload = report.to_json(false);
+    stats = coordinator.stats();
+  });
+
+  {
+    RawClient client{tcp_connect("127.0.0.1", coordinator.port(), 1000), {}};
+    ASSERT_TRUE(client.transport != nullptr);
+    const auto job = handshake_and_pull(client, wire_fingerprint(plan.fingerprint()));
+    ASSERT_TRUE(job.has_value());
+    // Wrong key: checksummed, decodable, and a lie.
+    ResultPayload bogus{job->index, job->kind, "not|the|key", std::string("xx")};
+    ASSERT_TRUE(client.send(MsgType::kResult, encode_result(bogus)));
+    // Undecodable cell data behind a correct key: also rejected.
+    ResultPayload junk{job->index, job->kind, job->key, std::string("\x01\x02\x03", 3)};
+    ASSERT_TRUE(client.send(MsgType::kResult, encode_result(junk)));
+  }
+  driver.join();
+  EXPECT_EQ(payload, reference) << "rejected results must be recomputed, never merged";
+  EXPECT_GE(stats.rejected_wrong_key, 1u);
+  EXPECT_GE(stats.rejected_bad_payload, 1u);
+  EXPECT_EQ(stats.remote_cells + stats.remote_metrics, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Slow: chaos matrix, kills, store
+// ---------------------------------------------------------------------------
+
+/// The chaos matrix of ISSUE #8: seeded fault schedules × worker counts,
+/// every combination byte-identical to the local reference.
+TEST(DistChaosSlow, FaultScheduleMatrixIsByteIdenticalToLocal) {
+  const Campaign campaign = dist_campaign();
+  const std::string reference = local_payload(campaign);
+
+  struct NamedSchedule {
+    const char* name;
+    FaultSchedule schedule;
+  };
+  std::vector<NamedSchedule> schedules;
+  {
+    FaultSchedule s;
+    s.seed = 1001;
+    s.drop = 0.25;
+    schedules.push_back({"drop", s});
+  }
+  {
+    FaultSchedule s;
+    s.seed = 1002;
+    s.corrupt = 0.25;
+    schedules.push_back({"corrupt", s});
+  }
+  {
+    FaultSchedule s;
+    s.seed = 1003;
+    s.disconnect = 0.2;
+    schedules.push_back({"disconnect", s});
+  }
+  {
+    FaultSchedule s;
+    s.seed = 1004;
+    s.delay = 0.4;
+    s.delay_ms = 600;  // > job_timeout_ms: delayed past the lease deadline
+    schedules.push_back({"delay-past-deadline", s});
+  }
+
+  for (const NamedSchedule& named : schedules) {
+    for (const int workers : {1, 2, 4}) {
+      SCOPED_TRACE(std::string(named.name) + " x " + std::to_string(workers) + " workers");
+      std::vector<WorkerOptions> pool;
+      for (int i = 0; i < workers; ++i) {
+        WorkerOptions w = test_worker(0, std::string(named.name) + "-" + std::to_string(i));
+        w.faults = named.schedule;
+        w.faults.seed += static_cast<std::uint64_t>(i) * 7919;  // decorrelate workers
+        w.idle_timeout_ms = 500;  // swallowed PULLs recover quickly
+        pool.push_back(w);
+      }
+      const DistRun run = run_dist(campaign, std::move(pool));
+      EXPECT_EQ(run.payload, reference);
+    }
+  }
+}
+
+TEST(DistChaosSlow, TruncatedSendsNeverCorruptResults) {
+  const Campaign campaign = dist_campaign();
+  const std::string reference = local_payload(campaign);
+  std::vector<WorkerOptions> pool;
+  for (int i = 0; i < 2; ++i) {
+    WorkerOptions w = test_worker(0, "trunc-" + std::to_string(i));
+    w.faults.seed = 4242 + static_cast<std::uint64_t>(i);
+    w.faults.truncate = 0.25;  // half-frames then silence: the torn-tail case
+    w.idle_timeout_ms = 500;
+    pool.push_back(w);
+  }
+  const DistRun run = run_dist(campaign, std::move(pool));
+  EXPECT_EQ(run.payload, reference);
+}
+
+TEST(DistChaosSlow, WorkerKilledMidRunDoesNotChangeThePayload) {
+  const Campaign campaign = dist_campaign();
+  const std::string reference = local_payload(campaign);
+  // One worker dies abruptly after its first submission (no goodbye, the
+  // in-process stand-in for SIGKILL); one healthy worker carries on.
+  WorkerOptions victim = test_worker(0, "victim");
+  victim.kill_after_results = 1;
+  const DistRun run = run_dist(campaign, {victim, test_worker(0, "survivor")});
+  EXPECT_EQ(run.payload, reference);
+}
+
+TEST(DistChaosSlow, ZombieWorkerIsReapedByLeaseDeadline) {
+  const Campaign campaign = dist_campaign();
+  const std::string reference = local_payload(campaign);
+  // The zombie takes a job and goes silent WITHOUT closing its socket:
+  // no EOF ever arrives, so only the lease deadline can free the job.
+  WorkerOptions zombie = test_worker(0, "zombie");
+  zombie.kill_mid_job = true;
+  const DistRun run = run_dist(campaign, {zombie});
+  EXPECT_EQ(run.payload, reference);
+  EXPECT_GE(run.stats.timeouts, 1u) << "the abandoned lease must be reaped, not EOF'd";
+}
+
+TEST(DistChaosSlow, DistributedRunCommitsCellsTheLocalRunReplaysWarm) {
+  const Campaign campaign = dist_campaign();
+  const std::string reference = local_payload(campaign);
+  const fs::path dir = fs::path(::testing::TempDir()) / "fne_dist_store";
+  fs::remove_all(dir);
+
+  {
+    ResultStore store(dir.string());
+    const DistRun cold = run_dist(campaign, {test_worker(0, "w0"), test_worker(0, "w1")},
+                                  test_options(), &store);
+    EXPECT_EQ(cold.payload, reference);
+  }
+  {
+    // Same store, plain local runner: every cell replays from disk.
+    ResultStore store(dir.string());
+    CampaignRunner runner(campaign);
+    const CampaignReport warm = runner.run(2, &store);
+    EXPECT_EQ(warm.to_json(false), reference);
+    EXPECT_EQ(warm.store.misses, 0u) << "a distributed run must leave the store fully warm";
+    EXPECT_EQ(warm.store.hits, warm.store.hits + warm.store.misses);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fne
