@@ -56,6 +56,26 @@
 //       back.  Exit 0 after the coordinator reports the campaign done
 //       (or is gone), 1 if it was never reachable, 2 on campaign
 //       mismatch.  Workers may be killed and restarted at any time.
+//   scenario_runner --daemon[=PORT] [--bind=HOST] [--service-workers=N]
+//       [--queue-depth=D] [--queue-deadline-ms=MS] [--max-request-bytes=B]
+//       [--cache-budget=MB] [--port-file=PATH]
+//       scenario service (DESIGN.md §13): a resident daemon executing
+//       campaign requests from many clients over one warm EngineCache.
+//       Bare --daemon picks an ephemeral port (printed to stderr;
+//       --port-file additionally writes it for scripts).  --threads sets
+//       the executor width per request, --service-workers how many
+//       requests run concurrently, --queue-depth/--queue-deadline-ms/
+//       --max-request-bytes the admission policy (rejected requests
+//       carry retry_after_ms), --cache-budget the cache's byte budget in
+//       MiB.  SIGTERM/SIGINT shut down cleanly (drain, stats line,
+//       exit 0).
+//   scenario_runner --send=HOST:PORT --campaign=FILE [--payload=FILE]
+//       client mode: submit the campaign file to a running daemon and
+//       print (or --payload-write) the DETERMINISTIC report payload —
+//       byte-identical to a local --campaign --payload run.  --ping and
+//       --service-stats instead probe liveness / fetch service counters.
+//       Exit codes: 0 ok, 1 service-side error, 2 connection failure,
+//       3 rejected by admission control (backpressure; retry later).
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
 // --spectral-mode=plain|filtered|shift_invert|auto --filter-degree=D
@@ -66,12 +86,19 @@
 // instead of the aligned table), --json[=path] (machine-readable runs:
 // bare --json replaces ALL tables on stdout with one JSON document,
 // --json=path keeps the tables and writes the file), --stats (engine
-// telemetry after the runs; table form only).
+// telemetry after the runs; table form only), --cache-budget=MB (byte
+// budget for the process EngineCache; LRU-evicts idle entries, results
+// unchanged), --cache-stats (cache counters + residency after the run).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -83,6 +110,7 @@
 #include "api/scenario_cli.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/worker.hpp"
+#include "service/service.hpp"
 #include "store/result_store.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -206,6 +234,128 @@ int run_worker(const Cli& cli, Campaign campaign) {
     return 1;
   }
   return 0;
+}
+
+// SIGTERM/SIGINT flag for --daemon; sig_atomic_t is all a handler may
+// touch, and the main loop polls it.
+volatile std::sig_atomic_t g_shutdown = 0;
+extern "C" void daemon_signal_handler(int) { g_shutdown = 1; }
+
+/// --daemon: run the scenario service until SIGTERM/SIGINT.
+int run_daemon(const Cli& cli) {
+  ServiceOptions opts;
+  const std::string spec = cli.get("daemon", "");
+  if (spec != "1") opts.port = parse_port(spec, "--daemon");
+  opts.bind = cli.get("bind", opts.bind);
+  opts.workers = static_cast<int>(cli.get_int("service-workers", opts.workers));
+  opts.exec_threads = cli.get_threads(1);
+  opts.queue_depth = static_cast<std::size_t>(
+      cli.get_int("queue-depth", static_cast<std::int64_t>(opts.queue_depth)));
+  opts.queue_deadline_ms = static_cast<std::uint64_t>(cli.get_int("queue-deadline-ms", 0));
+  opts.max_request_bytes = static_cast<std::size_t>(
+      cli.get_int("max-request-bytes", static_cast<std::int64_t>(opts.max_request_bytes)));
+  opts.retry_after_ms = static_cast<std::uint64_t>(
+      cli.get_int("retry-after-ms", static_cast<std::int64_t>(opts.retry_after_ms)));
+  if (cli.has("cache-budget")) {
+    opts.cache_budget_bytes = static_cast<std::uint64_t>(cli.get_int("cache-budget", 0)) << 20;
+  }
+
+  ScenarioService service(opts);
+  service.start();
+  std::cerr << "fne-service listening on " << opts.bind << ":" << service.port() << "\n";
+  const std::string port_file = cli.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    FNE_REQUIRE(static_cast<bool>(out), "cannot write port file " + port_file);
+    out << service.port() << "\n";
+  }
+  std::signal(SIGTERM, daemon_signal_handler);
+  std::signal(SIGINT, daemon_signal_handler);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  service.stop();
+  const ServiceStats st = service.stats();
+  const EngineCacheStats cache = EngineCache::instance().stats();
+  std::cerr << "fne-service: connections=" << st.connections << " requests=" << st.requests
+            << " completed=" << st.completed << " errors=" << st.errors
+            << " cancelled=" << st.cancelled << " rejected="
+            << (st.rejected_queue_full + st.rejected_expired + st.rejected_oversized)
+            << " cache_bytes=" << cache.bytes_resident << " peak_bytes=" << cache.peak_bytes
+            << " evictions=" << cache.evictions << "\n";
+  if (!port_file.empty()) std::remove(port_file.c_str());
+  return 0;
+}
+
+/// --send: submit one request to a running daemon.  Exit codes 0 ok,
+/// 1 service error, 2 connection/transport failure, 3 rejected.
+int run_client(const Cli& cli) {
+  const std::string target = cli.get("send", "");
+  FNE_REQUIRE(!target.empty() && target != "1", "--send needs HOST:PORT");
+  const std::size_t colon = target.rfind(':');
+  std::string host = "127.0.0.1";
+  int port = 0;
+  if (colon == std::string::npos) {
+    port = parse_port(target, "--send");
+  } else {
+    host = target.substr(0, colon);
+    port = parse_port(target.substr(colon + 1), "--send");
+  }
+  const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 120000));
+
+  try {
+    ServiceClient client(host, port);
+    ServiceResponse resp;
+    if (cli.has("ping")) {
+      resp = client.ping(timeout_ms);
+    } else if (cli.has("service-stats")) {
+      resp = client.stats(timeout_ms);
+    } else {
+      const std::string path = cli.get("campaign", "");
+      FNE_REQUIRE(!path.empty() && path != "1",
+                  "--send needs --campaign=FILE (or --ping / --service-stats)");
+      std::ifstream in(path);
+      FNE_REQUIRE(static_cast<bool>(in), "cannot read campaign file " + path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      resp = client.campaign(text.str(), static_cast<int>(cli.get_int("threads", 0)), timeout_ms);
+    }
+    if (resp.rejected()) {
+      std::cerr << "rejected: " << resp.message << " (retry_after_ms=" << resp.retry_after_ms
+                << ")\n";
+      return 3;
+    }
+    if (!resp.ok()) {
+      std::cerr << "error: " << resp.message << "\n";
+      return 1;
+    }
+    const std::string payload_path = cli.get("payload", "");
+    if (!payload_path.empty() && payload_path != "1") {
+      std::ofstream out(payload_path);
+      FNE_REQUIRE(static_cast<bool>(out), "cannot write payload to " + payload_path);
+      out << resp.payload << "\n";
+      std::cerr << "(payload written to " << payload_path << ")\n";
+    } else if (!resp.payload.empty()) {
+      std::cout << resp.payload << "\n";
+    } else {
+      std::cout << "ok\n";
+    }
+    return 0;
+  } catch (const PreconditionError& e) {
+    // Everything the client REQUIREs — connect refusal, send failure,
+    // response timeout, corrupt stream — is a transport-class failure.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+void print_cache_stats(std::ostream& out) {
+  const EngineCacheStats cs = EngineCache::instance().stats();
+  out << "cache: leases=" << cs.leases << " engine_hits=" << cs.engine_hits
+      << " engine_builds=" << cs.engine_builds << " graph_hits=" << cs.graph_hits
+      << " graph_builds=" << cs.graph_builds << " evictions=" << cs.evictions
+      << " bytes_resident=" << cs.bytes_resident << " peak_bytes=" << cs.peak_bytes
+      << " budget_bytes=" << EngineCache::instance().budget_bytes() << "\n";
 }
 
 int run_campaign(const Cli& cli) {
@@ -353,6 +503,10 @@ int run_campaign(const Cli& cli) {
         << " truncated_bytes=" << report.store.truncated_bytes
         << " rotated_files=" << report.store.rotated_files << "\n";
   }
+  if (cli.has("cache-stats")) {
+    // Same stream policy as --store-stats: never corrupt a JSON stdout.
+    print_cache_stats(json_to_stdout ? std::cerr : std::cout);
+  }
   if (!payload_path.empty()) {
     std::ofstream out(payload_path);
     FNE_REQUIRE(static_cast<bool>(out), "cannot write payload to " + payload_path);
@@ -374,6 +528,13 @@ int run_campaign(const Cli& cli) {
 }
 
 int run(const Cli& cli) {
+  if (cli.has("daemon")) return run_daemon(cli);
+  if (cli.has("send")) return run_client(cli);
+  // Local runs honor the same budget flag as the daemon (MiB).
+  if (cli.has("cache-budget")) {
+    EngineCache::instance().set_budget_bytes(
+        static_cast<std::uint64_t>(cli.get_int("cache-budget", 0)) << 20);
+  }
   if (cli.has("campaign")) return run_campaign(cli);
 
   // The result store keys CAMPAIGN cells; a single-scenario run has no
@@ -533,6 +694,7 @@ int run(const Cli& cli) {
         .cell(st.relabel_bfs_vertices);
     stats.print(std::cout);
   }
+  if (cli.has("cache-stats")) print_cache_stats(json_to_stdout ? std::cerr : std::cout);
   return 0;
 }
 

@@ -345,7 +345,10 @@ std::string CampaignReport::to_json(bool include_timing) const {
         .put("engine_hits", cache.engine_hits)
         .put("engine_builds", cache.engine_builds)
         .put("graph_hits", cache.graph_hits)
-        .put("graph_builds", cache.graph_builds);
+        .put("graph_builds", cache.graph_builds)
+        .put("evictions", cache.evictions)
+        .put("bytes_resident", cache.bytes_resident)
+        .put("peak_bytes", cache.peak_bytes);
     top.put_json("cache", cache_obj.dump());
     if (store_enabled) {
       // The hit/miss split depends on store state, not on the campaign —
@@ -705,7 +708,7 @@ CampaignRunner::CampaignRunner(Campaign campaign) : campaign_(std::move(campaign
 
 CampaignReport CampaignRunner::run(int threads) { return run(threads, nullptr); }
 
-CampaignReport CampaignRunner::run(int threads, ResultStore* store) {
+CampaignReport CampaignRunner::run(int threads, ResultStore* store, const CancelToken* cancel) {
   FNE_REQUIRE(threads >= 1, "campaign threads must be >= 1");
   const EngineCacheStats cache_before = EngineCache::instance().stats();
   Timer wall;
@@ -723,16 +726,22 @@ CampaignReport CampaignRunner::run(int threads, ResultStore* store) {
     if (plan.done(i)) continue;
     (plan.job(i).kind == CampaignJob::Kind::kMetric ? metric_jobs : cells).push_back(i);
   }
-  ExecutorPool::run(cells.size(), threads, [&](std::size_t p) {
-    const std::size_t i = cells[p];
-    FNE_REQUIRE(plan.accept_cell(i, plan.compute_cell(i)),
-                "campaign: local cell result rejected (duplicate or wrong shape)");
-  });
-  ExecutorPool::run(metric_jobs.size(), threads, [&](std::size_t p) {
-    const std::size_t i = metric_jobs[p];
-    FNE_REQUIRE(plan.accept_metric(i, plan.compute_metric(i, plan.parent_run(i))),
-                "campaign: local metric result rejected (duplicate or mismatched)");
-  });
+  ExecutorPool::run(
+      cells.size(), threads,
+      [&](std::size_t p) {
+        const std::size_t i = cells[p];
+        FNE_REQUIRE(plan.accept_cell(i, plan.compute_cell(i)),
+                    "campaign: local cell result rejected (duplicate or wrong shape)");
+      },
+      cancel);
+  ExecutorPool::run(
+      metric_jobs.size(), threads,
+      [&](std::size_t p) {
+        const std::size_t i = metric_jobs[p];
+        FNE_REQUIRE(plan.accept_metric(i, plan.compute_metric(i, plan.parent_run(i))),
+                    "campaign: local metric result rejected (duplicate or mismatched)");
+      },
+      cancel);
 
   return plan.finish(threads, wall.millis(), EngineCache::instance().stats() - cache_before);
 }

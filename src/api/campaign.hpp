@@ -252,7 +252,14 @@ class CampaignRunner {
   /// the same store recomputes only the missing cells.  The DETERMINISTIC
   /// payload (to_json(false)) is byte-identical for any hit/miss split,
   /// any thread count, and store == nullptr (which is exactly run(threads)).
-  [[nodiscard]] CampaignReport run(int threads, ResultStore* store);
+  ///
+  /// `cancel` (optional) is the scenario service's abandonment hook
+  /// (DESIGN.md §13): polled between jobs by both executor passes.  A
+  /// cancelled run throws CancelledError; completed cells were still
+  /// committed to the store, so a resubmission resumes rather than
+  /// restarts.
+  [[nodiscard]] CampaignReport run(int threads, ResultStore* store,
+                                   const CancelToken* cancel = nullptr);
 
  private:
   Campaign campaign_;

@@ -85,7 +85,8 @@ std::shared_ptr<const Graph> EngineCache::graph(const std::string& topology,
     const auto it = graphs_.find(key);
     if (it != graphs_.end()) {
       ++stats_.graph_hits;
-      return it->second;
+      it->second.tick = ++tick_;
+      return it->second.graph;
     }
   }
   // Build OUTSIDE the lock: topology factories can be expensive and the
@@ -95,13 +96,22 @@ std::shared_ptr<const Graph> EngineCache::graph(const std::string& topology,
   auto built = std::make_shared<const Graph>(
       TopologyRegistry::instance().build(topology, params, seed));
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = graphs_.emplace(key, std::move(built));
-  if (inserted) {
-    ++stats_.graph_builds;
-  } else {
+  const auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
     ++stats_.graph_hits;
+    it->second.tick = ++tick_;
+    return it->second.graph;
   }
-  return it->second;
+  ++stats_.graph_builds;
+  GraphEntry entry;
+  entry.graph = std::move(built);
+  entry.bytes = entry.graph->memory_bytes();
+  entry.tick = ++tick_;
+  std::shared_ptr<const Graph> out = entry.graph;
+  add_resident_locked(entry.bytes);
+  graphs_.emplace(key, std::move(entry));
+  enforce_budget_locked();
+  return out;
 }
 
 EngineLease EngineCache::lease(const std::string& topology, const Params& params,
@@ -114,7 +124,11 @@ EngineLease EngineCache::lease(const std::string& topology, const Params& params
     ++stats_.leases;
     const auto it = idle_.find(key);
     if (it != idle_.end() && !it->second.empty()) {
-      slot = std::move(it->second.back());
+      // A leased engine leaves the cache's residency: it is owned by the
+      // lease until release() re-measures and re-charges it.
+      IdleEngine& entry = it->second.back();
+      slot = std::move(entry.slot);
+      stats_.bytes_resident -= std::min(stats_.bytes_resident, entry.bytes);
       it->second.pop_back();
       ++stats_.engine_hits;
     }
@@ -134,6 +148,9 @@ EngineLease EngineCache::lease(const std::string& topology, const Params& params
 }
 
 void EngineCache::release(std::unique_ptr<EngineLease::Slot> slot) {
+  // Measure OUTSIDE the lock: memory_bytes walks the workspace's buffer
+  // list, and the lease destructor runs on every worker thread.
+  const std::uint64_t bytes = slot->engine.memory_bytes();
   const std::lock_guard<std::mutex> lock(mutex_);
   // Bound the idle pool per key: an engine owns full workspace buffers
   // (Krylov basis, BFS queues, sub-CSR pool), and a burst of wide
@@ -142,7 +159,85 @@ void EngineCache::release(std::unique_ptr<EngineLease::Slot> slot) {
   // simply destroyed (the next lease rebuilds one — correctness is
   // lease-local either way).
   auto& pool = idle_[slot->key];
-  if (pool.size() < kMaxIdlePerKey) pool.push_back(std::move(slot));
+  if (pool.size() >= kMaxIdlePerKey) return;
+  IdleEngine entry;
+  entry.slot = std::move(slot);
+  entry.bytes = bytes;
+  entry.tick = ++tick_;
+  add_resident_locked(entry.bytes);
+  pool.push_back(std::move(entry));
+  enforce_budget_locked();
+}
+
+void EngineCache::add_resident_locked(std::uint64_t bytes) {
+  stats_.bytes_resident += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_resident);
+}
+
+void EngineCache::enforce_budget_locked() {
+  if (budget_bytes_ == 0) return;
+  while (stats_.bytes_resident > budget_bytes_) {
+    // Victim: the least-recently-used unleased entry, engines and graphs
+    // competing on one LRU clock.  Evicting a graph also drops its idle
+    // engines (their slots hold shared_ptrs to it, so the bytes would
+    // stay pinned otherwise); campaign-held references keep the Graph
+    // alive until they drop — the cache only stops pinning it.
+    const IdleEngine* engine_victim = nullptr;
+    auto engine_pool = idle_.end();
+    std::size_t engine_index = 0;
+    for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        if (engine_victim == nullptr || it->second[i].tick < engine_victim->tick) {
+          engine_victim = &it->second[i];
+          engine_pool = it;
+          engine_index = i;
+        }
+      }
+    }
+    auto graph_victim = graphs_.end();
+    for (auto it = graphs_.begin(); it != graphs_.end(); ++it) {
+      if (graph_victim == graphs_.end() || it->second.tick < graph_victim->second.tick) {
+        graph_victim = it;
+      }
+    }
+    if (engine_victim != nullptr &&
+        (graph_victim == graphs_.end() || engine_victim->tick < graph_victim->second.tick)) {
+      stats_.bytes_resident -= std::min<std::uint64_t>(stats_.bytes_resident, engine_victim->bytes);
+      ++stats_.evictions;
+      engine_pool->second.erase(engine_pool->second.begin() +
+                                static_cast<std::ptrdiff_t>(engine_index));
+      if (engine_pool->second.empty()) idle_.erase(engine_pool);
+    } else if (graph_victim != graphs_.end()) {
+      const Graph* graph = graph_victim->second.graph.get();
+      stats_.bytes_resident -=
+          std::min<std::uint64_t>(stats_.bytes_resident, graph_victim->second.bytes);
+      ++stats_.evictions;
+      graphs_.erase(graph_victim);
+      for (auto it = idle_.begin(); it != idle_.end();) {
+        auto& pool = it->second;
+        for (std::size_t i = pool.size(); i-- > 0;) {
+          if (pool[i].slot->graph.get() != graph) continue;
+          stats_.bytes_resident -= std::min<std::uint64_t>(stats_.bytes_resident, pool[i].bytes);
+          ++stats_.evictions;
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        it = pool.empty() ? idle_.erase(it) : std::next(it);
+      }
+    } else {
+      break;  // nothing evictable left (everything is leased out)
+    }
+  }
+}
+
+void EngineCache::set_budget_bytes(std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = bytes;
+  enforce_budget_locked();
+}
+
+std::uint64_t EngineCache::budget_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
 }
 
 EngineCacheStats EngineCache::stats() const {
@@ -166,6 +261,7 @@ void EngineCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   idle_.clear();
   graphs_.clear();
+  stats_.bytes_resident = 0;  // counters survive; the residency gauge resets
 }
 
 // ---------------------------------------------------------------------------
@@ -199,7 +295,7 @@ ExecutorError::ExecutorError(std::size_t failed, std::size_t total, std::string 
       first_(std::move(first_message)) {}
 
 void ExecutorPool::run(std::size_t jobs, int threads,
-                       const std::function<void(std::size_t)>& fn) {
+                       const std::function<void(std::size_t)>& fn, const CancelToken* cancel) {
   if (jobs == 0) return;
   threads = std::clamp<int>(threads, 1, static_cast<int>(std::min<std::size_t>(
                                             jobs, static_cast<std::size_t>(1) << 10)));
@@ -207,6 +303,9 @@ void ExecutorPool::run(std::size_t jobs, int threads,
   // Failure policy (same for inline and pooled execution): every job runs
   // even when earlier ones threw — they are independent by the pool's
   // purity contract — and the caller gets ONE aggregated ExecutorError.
+  // A cancellation token is the one exception: once it fires, workers
+  // stop CLAIMING (in-flight jobs still finish), and the skipped tail is
+  // reported as CancelledError after the drain.
   std::size_t failed = 0;
   std::string first_message;
   std::mutex error_mutex;
@@ -215,14 +314,18 @@ void ExecutorPool::run(std::size_t jobs, int threads,
     const std::lock_guard<std::mutex> lock(error_mutex);
     if (failed++ == 0) first_message = what;
   };
+  const auto cancelled = [&] { return cancel != nullptr && cancel->cancelled(); };
+  std::atomic<std::size_t> completed{0};
 
   if (threads == 1) {
     for (std::size_t i = 0; i < jobs; ++i) {
+      if (cancelled()) break;
       try {
         fn(i);
       } catch (...) {
         record_failure();
       }
+      completed.fetch_add(1);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -230,18 +333,25 @@ void ExecutorPool::run(std::size_t jobs, int threads,
     pool.reserve(static_cast<std::size_t>(threads));
     for (int w = 0; w < threads; ++w) {
       pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < jobs; i = next.fetch_add(1)) {
+        while (!cancelled()) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs) break;
           try {
             fn(i);
           } catch (...) {
             record_failure();
           }
+          completed.fetch_add(1);
         }
       });
     }
     for (std::thread& t : pool) t.join();
   }
   if (failed > 0) throw ExecutorError(failed, jobs, std::move(first_message));
+  if (completed.load() < jobs) {
+    throw CancelledError("executor pool: cancelled after " + std::to_string(completed.load()) +
+                         " of " + std::to_string(jobs) + " jobs");
+  }
 }
 
 }  // namespace fne

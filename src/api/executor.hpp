@@ -32,12 +32,14 @@
 //     drain, so one bad job cannot strand the rest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "api/params.hpp"
@@ -50,18 +52,31 @@ namespace fne {
 /// Cache-op telemetry.  These counters describe *placement* (who hit, who
 /// built), so they are wall-clock-class data: campaign reports keep them
 /// out of the deterministic payload.
+///
+/// The last three fields came with the byte budget (DESIGN.md §13):
+/// `evictions` is a counter like the rest; `bytes_resident` and
+/// `peak_bytes` are GAUGES — they describe the cache's current state, so
+/// a snapshot difference carries the later snapshot's value unchanged.
 struct EngineCacheStats {
   std::uint64_t leases = 0;
   std::uint64_t engine_hits = 0;    ///< leases served from the idle pool
   std::uint64_t engine_builds = 0;  ///< leases that constructed an engine
   std::uint64_t graph_hits = 0;
   std::uint64_t graph_builds = 0;
+  std::uint64_t evictions = 0;       ///< entries destroyed by the byte budget
+  std::uint64_t bytes_resident = 0;  ///< gauge: bytes the cache pins right now
+  std::uint64_t peak_bytes = 0;      ///< gauge: high-water mark of bytes_resident
 
   [[nodiscard]] friend EngineCacheStats operator-(const EngineCacheStats& after,
                                                   const EngineCacheStats& before) {
-    return {after.leases - before.leases, after.engine_hits - before.engine_hits,
-            after.engine_builds - before.engine_builds, after.graph_hits - before.graph_hits,
-            after.graph_builds - before.graph_builds};
+    return {after.leases - before.leases,
+            after.engine_hits - before.engine_hits,
+            after.engine_builds - before.engine_builds,
+            after.graph_hits - before.graph_hits,
+            after.graph_builds - before.graph_builds,
+            after.evictions - before.evictions,
+            after.bytes_resident,
+            after.peak_bytes};
   }
 };
 
@@ -119,14 +134,32 @@ class EngineCache {
   [[nodiscard]] std::size_t idle_engines() const;
   [[nodiscard]] std::size_t cached_graphs() const;
 
+  /// Byte budget for everything the cache pins — cached graphs plus idle
+  /// pooled engines, measured by their memory_bytes().  0 (the default)
+  /// means unbounded, the pre-§13 behavior.  When an insert or release
+  /// pushes the resident total past the budget, unleased entries are
+  /// evicted least-recently-used until it fits (or nothing evictable is
+  /// left).  Setting a budget below the current residency evicts
+  /// immediately.  Outstanding leases are NEVER evicted — they are owned
+  /// by their lease, not the cache — so a serving process's true ceiling
+  /// is budget + (concurrent leases × engine footprint).
+  ///
+  /// Eviction cannot change results: a leased engine always drops its
+  /// warm state, so an evicted entry is indistinguishable from a cold
+  /// start — the next lease just pays the rebuild (test-enforced
+  /// byte-identity in tests/test_cache_budget.cpp).
+  void set_budget_bytes(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t budget_bytes() const;
+
   /// Drop every idle engine and cached graph (stats counters survive).
   /// Outstanding leases are unaffected; their engines return to the
-  /// (now empty) pool as usual.  Graphs are retained until clear() by
-  /// design — cross-campaign reuse is the point of the cache — so a
-  /// process cycling through unboundedly many DISTINCT topology keys
-  /// should clear() between studies; idle engines are additionally
-  /// capped per key (kMaxIdlePerKey), so engine memory is bounded by
-  /// the number of distinct keys, not by past pool widths.
+  /// (now empty) pool as usual.  Graphs are retained until clear(),
+  /// eviction or budget pressure by design — cross-campaign reuse is the
+  /// point of the cache — so a process cycling through unboundedly many
+  /// DISTINCT topology keys should set a byte budget (or clear() between
+  /// studies); idle engines are additionally capped per key
+  /// (kMaxIdlePerKey), so engine memory is bounded by the number of
+  /// distinct keys, not by past pool widths.
   void clear();
 
   /// Ceiling on pooled idle engines per key; releases beyond it destroy
@@ -138,15 +171,31 @@ class EngineCache {
   using GraphKey = std::tuple<std::string, std::string, std::uint64_t>;
   using EngineKey = std::tuple<std::string, std::string, std::uint64_t, int>;
 
+  struct GraphEntry {
+    std::shared_ptr<const Graph> graph;
+    std::uint64_t bytes = 0;  ///< memory_bytes() at insert (graphs are immutable)
+    std::uint64_t tick = 0;   ///< LRU stamp: last hit or insert
+  };
+  struct IdleEngine {
+    std::unique_ptr<EngineLease::Slot> slot;
+    std::uint64_t bytes = 0;  ///< memory_bytes() at release (buffers grow in use)
+    std::uint64_t tick = 0;   ///< LRU stamp: release time
+  };
+
   EngineCache() = default;
   void release(std::unique_ptr<EngineLease::Slot> slot);
   [[nodiscard]] std::uint64_t normalized_seed(const std::string& topology,
                                               std::uint64_t build_seed) const;
+  void add_resident_locked(std::uint64_t bytes);
+  /// Evict LRU unleased entries until bytes_resident fits the budget.
+  void enforce_budget_locked();
 
   mutable std::mutex mutex_;
-  std::map<GraphKey, std::shared_ptr<const Graph>> graphs_;
-  std::map<EngineKey, std::vector<std::unique_ptr<EngineLease::Slot>>> idle_;
+  std::map<GraphKey, GraphEntry> graphs_;
+  std::map<EngineKey, std::vector<IdleEngine>> idle_;
   EngineCacheStats stats_;
+  std::uint64_t budget_bytes_ = 0;  ///< 0 = unbounded
+  std::uint64_t tick_ = 0;          ///< LRU clock (bumped per cache op)
 };
 
 /// One engine bound to one shared graph, plus the bookkeeping the lease
@@ -159,6 +208,37 @@ struct EngineLease::Slot {
 
   Slot(EngineCache::EngineKey k, std::shared_ptr<const Graph> g, ExpansionKind kind)
       : key(std::move(k)), graph(std::move(g)), engine(*graph, kind) {}
+};
+
+/// Cooperative cancellation handle (DESIGN.md §13).  A requester keeps
+/// one token per unit of work it may abandon (the scenario service keeps
+/// one per client request) and cancel()s it when the result is no longer
+/// wanted — a disconnected client, a shutdown.  Pools and runners poll
+/// cancelled() between jobs: cancellation is a scheduling fence, never an
+/// interrupt, so a job that already started runs to completion and the
+/// purity contract is untouched.  Copies share one flag; all operations
+/// are thread-safe.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const noexcept { state_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Thrown by ExecutorPool::run (and the campaign/scenario surfaces above
+/// it) when a cancellation token stopped the schedule before every job
+/// ran.  Derives from PreconditionError so generic catch sites treat it
+/// like any other aborted run; the service catches it specifically to
+/// count abandoned requests instead of reporting errors.
+class CancelledError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
 };
 
 /// Aggregated failure report thrown by ExecutorPool::run when any job
@@ -189,7 +269,14 @@ class ExecutorPool {
   /// every job runs regardless, failures are counted, and one
   /// ExecutorError aggregating (failed, total, first message) is thrown
   /// after the pool drains.
-  static void run(std::size_t jobs, int threads, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `cancel` (optional) is checked before every claim: once cancelled,
+  /// workers stop claiming, in-flight jobs finish, and — iff any job was
+  /// skipped — the pool throws CancelledError after draining (job errors
+  /// win over cancellation when both happened).  A token that fires after
+  /// the last claim changes nothing: the run completes normally.
+  static void run(std::size_t jobs, int threads, const std::function<void(std::size_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 };
 
 }  // namespace fne

@@ -85,4 +85,10 @@ std::string Graph::summary() const {
   return os.str();
 }
 
+std::size_t Graph::memory_bytes() const noexcept {
+  return sizeof(Graph) + offsets_.capacity() * sizeof(std::size_t) +
+         adj_.capacity() * sizeof(vid) + arc_edge_.capacity() * sizeof(eid) +
+         edges_.capacity() * sizeof(Edge);
+}
+
 }  // namespace fne

@@ -58,6 +58,11 @@ class Graph {
   /// Human-readable one-line summary ("n=64 m=128 deg=[4,4]").
   [[nodiscard]] std::string summary() const;
 
+  /// Resident heap footprint of the CSR arrays (capacities, not sizes).
+  /// The EngineCache charges cached graphs against its byte budget with
+  /// exactly this number (DESIGN.md §13).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
   vid n_ = 0;
   std::vector<std::size_t> offsets_;  // n+1

@@ -64,6 +64,12 @@ class VertexSet {
   /// Complement within the universe.
   [[nodiscard]] VertexSet complement() const;
 
+  /// Heap footprint of the packed words (capacity, so pooled sets report
+  /// what they actually pin).  Feeds the EngineCache byte accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
   [[nodiscard]] bool intersects(const VertexSet& o) const noexcept;
   [[nodiscard]] bool is_subset_of(const VertexSet& o) const noexcept;
   friend bool operator==(const VertexSet&, const VertexSet&) = default;

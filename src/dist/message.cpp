@@ -15,7 +15,7 @@ constexpr std::size_t kFrameHeaderSize = 20;       // magic + type + len + check
 // is orders of magnitude above any real cell and small enough that a
 // garbage length field cannot balloon the receive buffer.
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
-constexpr std::uint32_t kMaxKnownType = static_cast<std::uint32_t>(MsgType::kHeartbeat);
+constexpr std::uint32_t kMaxKnownType = static_cast<std::uint32_t>(MsgType::kResponse);
 
 [[nodiscard]] std::uint64_t frame_checksum(std::uint32_t type, std::string_view payload) {
   Fnv1a h;

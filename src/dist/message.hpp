@@ -55,6 +55,10 @@ enum class MsgType : std::uint32_t {
   kDone = 6,
   kResult = 7,
   kHeartbeat = 8,
+  // Scenario-service conversation (DESIGN.md §13) — same frames, JSON
+  // text payloads: client -> kRequest {json}, service -> kResponse {json}.
+  kRequest = 9,
+  kResponse = 10,
 };
 
 struct Message {

@@ -46,6 +46,15 @@ class ExpansionWorkspace {
 
   [[nodiscard]] vid universe_size() const noexcept { return universe_; }
 
+  /// Resident heap footprint of every pooled buffer (capacities).  This —
+  /// via PruneEngine::memory_bytes — is what the EngineCache charges an
+  /// idle engine against its byte budget (DESIGN.md §13).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return (order.capacity() + queue.capacity() + deg_alive.capacity()) * sizeof(vid) +
+           lanczos.memory_bytes() + fiedler_vec.capacity() * sizeof(double) +
+           subcsr.memory_bytes() + stamp.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Begin a new stamped visit pass; mark/seen work against the returned
   /// epoch.  Handles counter wrap by clearing the stamp array.
   std::uint32_t next_epoch() {

@@ -122,6 +122,16 @@ class PruneEngine {
   /// Cumulative counters since construction (never reset by run()).
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
+  /// Resident heap footprint: the pooled workspace plus the engine's own
+  /// incremental-label state.  Capacities, not sizes — this is what an
+  /// idle engine pins while it sits in the EngineCache, and what the
+  /// cache's byte budget evicts against (DESIGN.md §13).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sizeof(PruneEngine) + ws_.memory_bytes() + alive_.memory_bytes() +
+           comp_of_.capacity() * sizeof(std::uint32_t) + comps_.capacity() * sizeof(CompRecord) +
+           bfs_stack_.capacity() * sizeof(vid);
+  }
+
  private:
   struct CompRecord {
     vid size = 0;

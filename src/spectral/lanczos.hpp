@@ -100,6 +100,15 @@ struct LanczosScratch {
   std::vector<double> w;
   std::vector<double> q;
   std::vector<double> coeff;  ///< Gram–Schmidt coefficient buffer
+
+  /// Pooled heap footprint (capacities).  The Krylov basis dominates an
+  /// engine's resident memory, so the cache budget must see it.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t total = (w.capacity() + q.capacity() + coeff.capacity()) * sizeof(double) +
+                        basis.capacity() * sizeof(std::vector<double>);
+    for (const std::vector<double>& b : basis) total += b.capacity() * sizeof(double);
+    return total;
+  }
 };
 
 struct LanczosOptions {

@@ -78,6 +78,14 @@ struct SubCsr {
   /// tests.  Equivalent to build(g, alive - culled), bit for bit.
   void remove(const VertexSet& culled);
 
+  /// Pooled heap footprint (capacities — what a workspace-resident sub-CSR
+  /// actually pins between runs).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return (verts.capacity() + to_sub.capacity() + adj.capacity() + remap_.capacity()) *
+               sizeof(vid) +
+           offsets.capacity() * sizeof(std::size_t) + deg.capacity() * sizeof(double);
+  }
+
  private:
   std::vector<vid> remap_;  ///< scratch for remove(): old sub -> new sub
 };

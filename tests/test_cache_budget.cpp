@@ -1,0 +1,223 @@
+// EngineCache byte-budget contracts (DESIGN.md §13): memory accounting,
+// LRU eviction of unleased entries, the eviction counters/gauges, lease
+// safety (a leased engine is never evicted), and the property the whole
+// design leans on — eviction CANNOT change results.  The determinism
+// matrix at the bottom runs one campaign under {no budget, a budget so
+// tight every lease thrashes, a budget imposed mid-run} × threads
+// {1, 2, 4} and requires the deterministic payload byte-identical
+// throughout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/campaign.hpp"
+#include "api/executor.hpp"
+#include "core/graph.hpp"
+#include "core/vertex_set.hpp"
+#include "prune/engine.hpp"
+#include "topology/mesh.hpp"
+
+namespace fne {
+namespace {
+
+/// Every budget test owns the process cache: clear it, zero the budget,
+/// restore on exit so test order cannot leak state.
+class CacheBudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineCache::instance().set_budget_bytes(0);
+    EngineCache::instance().clear();
+  }
+  void TearDown() override {
+    EngineCache::instance().set_budget_bytes(0);
+    EngineCache::instance().clear();
+  }
+
+  static Params mesh_params(int side) {
+    return Params{{"side", std::to_string(side)}, {"dims", "2"}};
+  }
+};
+
+TEST_F(CacheBudgetTest, GraphMemoryBytesScalesWithSize) {
+  const Graph small = Mesh::cube(8, 2).graph();
+  const Graph large = Mesh::cube(32, 2).graph();
+  EXPECT_GT(small.memory_bytes(), sizeof(Graph));
+  EXPECT_GT(large.memory_bytes(), 10 * small.memory_bytes())
+      << "16x the vertices must dominate the fixed overhead";
+}
+
+TEST_F(CacheBudgetTest, EngineMemoryBytesGrowsWithUse) {
+  const Graph g = Mesh::cube(16, 2).graph();
+  PruneEngine engine(g, ExpansionKind::Node);
+  const std::size_t fresh = engine.memory_bytes();
+  const VertexSet alive = VertexSet::full(g.num_vertices());
+  (void)engine.run(alive, 0.25, 0.1);
+  EXPECT_GT(engine.memory_bytes(), fresh)
+      << "a run warms the workspace pools; the footprint must see them";
+}
+
+TEST_F(CacheBudgetTest, ResidencyTracksInsertsLeasesAndClear) {
+  EngineCache& cache = EngineCache::instance();
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+
+  const auto g = cache.graph("mesh", mesh_params(12), 0);
+  const std::uint64_t graph_bytes = cache.stats().bytes_resident;
+  EXPECT_EQ(graph_bytes, g->memory_bytes());
+
+  // A leased engine is the lease's, not the cache's: residency holds
+  // only the graph until the engine is returned.
+  {
+    EngineLease lease = cache.lease("mesh", mesh_params(12), 0, ExpansionKind::Node);
+    EXPECT_EQ(cache.stats().bytes_resident, graph_bytes);
+  }
+  EXPECT_GT(cache.stats().bytes_resident, graph_bytes) << "release re-pools the engine";
+  EXPECT_GE(cache.stats().peak_bytes, cache.stats().bytes_resident);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+  EXPECT_GT(cache.stats().peak_bytes, 0u) << "the high-water mark survives clear()";
+}
+
+TEST_F(CacheBudgetTest, ZeroBudgetMeansUnbounded) {
+  EngineCache& cache = EngineCache::instance();
+  const EngineCacheStats before = cache.stats();
+  for (int side = 8; side <= 20; side += 4) (void)cache.graph("mesh", mesh_params(side), 0);
+  EXPECT_EQ((cache.stats() - before).evictions, 0u);
+  EXPECT_EQ(cache.cached_graphs(), 4u);
+}
+
+TEST_F(CacheBudgetTest, BudgetEvictsLeastRecentlyUsedGraphFirst)
+{
+  EngineCache& cache = EngineCache::instance();
+  const EngineCacheStats start = cache.stats();
+  const auto a = cache.graph("mesh", mesh_params(10), 0);
+  const auto b = cache.graph("mesh", mesh_params(11), 0);
+  const auto c = cache.graph("mesh", mesh_params(12), 0);
+  // Touch a and c so b is the LRU entry.
+  (void)cache.graph("mesh", mesh_params(10), 0);
+  (void)cache.graph("mesh", mesh_params(12), 0);
+
+  const std::uint64_t resident = cache.stats().bytes_resident;
+  cache.set_budget_bytes(resident - 1);  // one eviction's worth of pressure
+  EXPECT_EQ((cache.stats() - start).evictions, 1u);
+  EXPECT_EQ(cache.cached_graphs(), 2u);
+  // b rebuilt => build counter moves; a and c still hit.
+  const EngineCacheStats before = cache.stats();
+  (void)cache.graph("mesh", mesh_params(10), 0);
+  (void)cache.graph("mesh", mesh_params(12), 0);
+  EXPECT_EQ((cache.stats() - before).graph_builds, 0u);
+  (void)cache.graph("mesh", mesh_params(11), 0);
+  EXPECT_EQ((cache.stats() - before).graph_builds, 1u) << "the LRU victim was b";
+}
+
+TEST_F(CacheBudgetTest, EvictingAGraphAlsoEvictsItsIdleEngines) {
+  EngineCache& cache = EngineCache::instance();
+  const EngineCacheStats before = cache.stats();
+  { EngineLease l = cache.lease("mesh", mesh_params(10), 0, ExpansionKind::Node); }
+  EXPECT_EQ(cache.idle_engines(), 1u);
+  cache.set_budget_bytes(1);  // nothing fits
+  EXPECT_EQ(cache.cached_graphs(), 0u);
+  EXPECT_EQ(cache.idle_engines(), 0u)
+      << "an idle engine pinning an evicted graph must go with it";
+  EXPECT_EQ((cache.stats() - before).evictions, 2u);
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+}
+
+TEST_F(CacheBudgetTest, LeasedEnginesSurviveAnyBudget) {
+  EngineCache& cache = EngineCache::instance();
+  EngineLease lease = cache.lease("mesh", mesh_params(10), 0, ExpansionKind::Node);
+  cache.set_budget_bytes(1);
+  // The graph entry was evicted, but the lease's shared_ptr keeps the
+  // graph alive and the engine is untouched: runs still work.
+  const VertexSet alive = VertexSet::full(lease.graph().num_vertices());
+  const PruneResult r = lease.engine().run(alive, 0.25, 0.1);
+  EXPECT_GT(r.survivors.count(), 0u);
+  lease.release();  // over-budget release: engine is measured, then evicted
+  EXPECT_EQ(cache.idle_engines(), 0u);
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+}
+
+TEST_F(CacheBudgetTest, ThrashingBudgetStillServesEveryLease) {
+  EngineCache& cache = EngineCache::instance();
+  cache.set_budget_bytes(1);
+  const EngineCacheStats before = cache.stats();
+  for (int i = 0; i < 3; ++i) {
+    EngineLease lease = cache.lease("mesh", mesh_params(10), 0, ExpansionKind::Node);
+    const VertexSet alive = VertexSet::full(lease.graph().num_vertices());
+    (void)lease.engine().run(alive, 0.25, 0.1);
+  }
+  const EngineCacheStats delta = cache.stats() - before;
+  EXPECT_EQ(delta.leases, 3u);
+  EXPECT_EQ(delta.engine_builds, 3u) << "every lease cold-builds under a 1-byte budget";
+  EXPECT_GE(delta.evictions, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction determinism (the satellite matrix): one campaign, identical
+// deterministic payload under every budget schedule and thread count.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] Campaign budget_probe_campaign() {
+  // Two topologies so eviction has real churn, sweeps + metrics so the
+  // payload exercises every report shape.
+  return campaign_from_json(R"({
+    "name": "budget-probe",
+    "scenarios": [
+      {"name": "m12", "topology": {"name": "mesh", "params": {"side": 12, "dims": 2}},
+       "fault": {"name": "random", "params": {"p": 0.12}},
+       "prune": {"kind": "node", "alpha": 0.25}, "repetitions": 3},
+      {"name": "m14-sweep", "topology": {"name": "mesh", "params": {"side": 14, "dims": 2}},
+       "fault": {"name": "random", "params": {"p": 0.1}},
+       "prune": {"kind": "edge", "alpha": 0.125},
+       "sweep": {"param": "p", "values": [0.05, 0.15], "mode": "monotone"}},
+      {"name": "hc8", "topology": {"name": "hypercube", "params": {"dims": 8}},
+       "fault": {"name": "random", "params": {"p": 0.1}},
+       "prune": {"kind": "node", "alpha": 0.25}, "repetitions": 2}
+    ]})");
+}
+
+TEST(CacheBudgetDeterminismSlow, PayloadByteIdenticalUnderEvictionSchedules) {
+  EngineCache& cache = EngineCache::instance();
+  cache.set_budget_bytes(0);
+  cache.clear();
+
+  // Reference: unbounded cache, single thread.
+  CampaignRunner ref_runner(budget_probe_campaign());
+  const std::string reference = ref_runner.run(1).to_json(/*include_timing=*/false);
+
+  for (const int threads : {1, 2, 4}) {
+    // (a) no budget, warm cache from the previous lap.
+    {
+      SCOPED_TRACE("no budget, threads=" + std::to_string(threads));
+      CampaignRunner runner(budget_probe_campaign());
+      EXPECT_EQ(runner.run(threads).to_json(false), reference);
+    }
+    // (b) a budget so tight every lease is a cold rebuild (thrash).
+    {
+      SCOPED_TRACE("thrash budget, threads=" + std::to_string(threads));
+      cache.set_budget_bytes(1);
+      const EngineCacheStats before = cache.stats();
+      CampaignRunner runner(budget_probe_campaign());
+      EXPECT_EQ(runner.run(threads).to_json(false), reference);
+      EXPECT_GT((cache.stats() - before).evictions, 0u) << "the budget must actually thrash";
+      cache.set_budget_bytes(0);
+    }
+    // (c) budget imposed mid-run: warm the cache, then clamp it while
+    // entries are resident, then run again.
+    {
+      SCOPED_TRACE("mid-run clamp, threads=" + std::to_string(threads));
+      CampaignRunner warm(budget_probe_campaign());
+      EXPECT_EQ(warm.run(threads).to_json(false), reference);
+      cache.set_budget_bytes(cache.stats().bytes_resident / 2);  // evicts ~half NOW
+      CampaignRunner runner(budget_probe_campaign());
+      EXPECT_EQ(runner.run(threads).to_json(false), reference);
+      cache.set_budget_bytes(0);
+    }
+  }
+  cache.set_budget_bytes(0);
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace fne
