@@ -76,6 +76,12 @@
 //       --service-stats instead probe liveness / fetch service counters.
 //       Exit codes: 0 ok, 1 service-side error, 2 connection failure,
 //       3 rejected by admission control (backpressure; retry later).
+//   scenario_runner --topology=file --topo-params=path=graph.csr ...
+//       run on a REAL graph: a binary CSR file produced by
+//       tools/edgelist2csr from a text edge list (DESIGN.md §14).  Real
+//       graphs are usually disconnected — set --alpha explicitly.  Works
+//       everywhere a synthetic topology does: sweeps, campaigns, the
+//       store, --serve/--connect workers and the daemon.
 //
 // Other flags: --alpha=A --eps=E (<= 0: measured / canonical), --fast,
 // --spectral-mode=plain|filtered|shift_invert|auto --filter-degree=D

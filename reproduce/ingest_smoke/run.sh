@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Ingestion smoke: re-convert the checked-in edge-list fixture with
+# edgelist2csr, prove the converter deterministic (byte-compare against
+# the committed .csr), then run a `file`-topology campaign on it through
+# the store.  Paths in campaigns/ingest_file.json are repo-relative, so
+# the campaign runs from $REPO_DIR.
+source "$(cd "$(dirname "$0")/.." && pwd)/common.sh"
+
+CONVERTER="${CONVERTER:-$REPO_DIR/build/edgelist2csr}"
+if [ ! -x "$CONVERTER" ]; then
+  echo "error: converter '$CONVERTER' not found or not executable." >&2
+  echo "build it first:  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR/ingest_smoke"
+"$CONVERTER" --in="$REPO_DIR/tests/data/mini_p2p.edges" \
+  --out="$OUT_DIR/ingest_smoke/mini_p2p.csr" | tee "$OUT_DIR/ingest_smoke/convert.log"
+if ! cmp "$OUT_DIR/ingest_smoke/mini_p2p.csr" "$REPO_DIR/tests/data/mini_p2p.csr"; then
+  echo "error: edgelist2csr output differs from the checked-in tests/data/mini_p2p.csr" >&2
+  exit 1
+fi
+
+cd "$REPO_DIR"
+run_campaign_experiment ingest_smoke campaigns/ingest_file.json

@@ -32,6 +32,7 @@ ALL_EXPERIMENTS=(
   e11_multibutterfly
   e12_emulation
   smoke
+  ingest_smoke
 )
 
 if [ "$#" -gt 0 ]; then

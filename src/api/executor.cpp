@@ -75,11 +75,26 @@ std::uint64_t EngineCache::normalized_seed(const std::string& topology,
   return TopologyRegistry::instance().at(topology).seeded ? build_seed : 0;
 }
 
+namespace {
+
+/// The params component of a cache key.  Entries whose build output
+/// depends on state beyond the params (the `file` topology's on-disk
+/// bytes) declare a cache_salt; appending it here means a rewritten file
+/// can never be served a stale cached graph or engine (DESIGN.md §14).
+[[nodiscard]] std::string keyed_params(const std::string& topology, const Params& params) {
+  std::string key = params.to_string();
+  const TopologyEntry& entry = TopologyRegistry::instance().at(topology);
+  if (entry.cache_salt) key += "|" + entry.cache_salt(params);
+  return key;
+}
+
+}  // namespace
+
 std::shared_ptr<const Graph> EngineCache::graph(const std::string& topology,
                                                 const Params& params,
                                                 std::uint64_t build_seed) {
   const std::uint64_t seed = normalized_seed(topology, build_seed);
-  const GraphKey key{topology, params.to_string(), seed};
+  const GraphKey key{topology, keyed_params(topology, params), seed};
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = graphs_.find(key);
@@ -117,7 +132,7 @@ std::shared_ptr<const Graph> EngineCache::graph(const std::string& topology,
 EngineLease EngineCache::lease(const std::string& topology, const Params& params,
                                std::uint64_t build_seed, ExpansionKind kind) {
   const std::uint64_t seed = normalized_seed(topology, build_seed);
-  const EngineKey key{topology, params.to_string(), seed, static_cast<int>(kind)};
+  const EngineKey key{topology, keyed_params(topology, params), seed, static_cast<int>(kind)};
   std::unique_ptr<EngineLease::Slot> slot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/csr_file.hpp"
 #include "faults/adversary.hpp"
 #include "faults/fault_model.hpp"
 #include "topology/butterfly.hpp"
@@ -62,6 +63,17 @@ void check_declared(const char* registry_kind, const Entry& entry, const Params&
   FNE_REQUIRE(n < (std::uint64_t{1} << 31),
               who + ": " + std::to_string(n) + " vertices exceed the 32-bit id space");
   return static_cast<vid>(n);
+}
+
+/// The `file` topology's required path param.  Commas are rejected
+/// because Params::to_string() — the cache/store key serialization — is
+/// comma-separated (DESIGN.md §14).
+[[nodiscard]] std::string file_topology_path(const Params& p) {
+  const std::string path = p.get_str("path", "");
+  FNE_REQUIRE(!path.empty(), "topology 'file': param 'path' is required");
+  FNE_REQUIRE(path.find(',') == std::string::npos,
+              "topology 'file': path may not contain ',' (reserved by the key codec)");
+  return path;
 }
 
 [[nodiscard]] vid pow_n(const std::string& who, vid base, vid exp) {
@@ -147,8 +159,13 @@ Mesh mesh_for(const std::string& name, const Params& params) {
   const Params s = TopologyRegistry::instance().structure(name, params);
   FNE_REQUIRE(s.has("side") && s.has("dims"),
               "topology '" + name + "' declares no mesh structure (side/dims)");
-  const auto side = static_cast<vid>(s.get_int("side", 0));
-  const auto dims = static_cast<vid>(s.get_int("dims", 0));
+  // Structure metadata is produced by entry code, but add()-registered
+  // entries are not audited: route through the same range check the
+  // factories use so a negative side/dims fails loudly instead of
+  // wrapping to a huge unsigned extent.
+  const std::string who = "topology '" + name + "' structure";
+  const vid side = require_vid(who, s, "side", 0, 1, 1 << 20);
+  const vid dims = require_vid(who, s, "dims", 0, 1, 10);
   return Mesh::cube(side, dims, s.get_bool("wrap", false));
 }
 
@@ -399,6 +416,29 @@ TopologyRegistry::TopologyRegistry() {
          return barbell_graph(require_vid("topology 'barbell'", p, "half", 16, 2, 2048));
        },
        /*seeded=*/false, /*structure=*/{}});
+  // Real graphs: a binary CSR file produced by tools/edgelist2csr
+  // (DESIGN.md §14).  Deterministic by definition (seeded=false), and the
+  // cache salt folds the file's content checksum into every EngineCache
+  // key so re-converting a dataset in place invalidates cached graphs.
+  add({"file",
+       "real graph from a binary CSR file (tools/edgelist2csr, DESIGN.md §14)",
+       {{"path", "", "path to the .csr file (required)"},
+        {"mmap", "1", "map the payload (0: buffered read; identical results)"}},
+       [](const Params& p) {
+         return checked_n("topology 'file'", CsrFile::read_header(file_topology_path(p)).n);
+       },
+       [](const Params& p, std::uint64_t) {
+         const CsrFile::Load mode =
+             p.get_bool("mmap", true) ? CsrFile::Load::kAuto : CsrFile::Load::kBuffer;
+         return CsrFile::open(file_topology_path(p), mode).to_graph();
+       },
+       /*seeded=*/false, /*structure=*/{},
+       /*cache_salt=*/
+       [](const Params& p) {
+         const std::string path = file_topology_path(p);
+         const CsrHeader h = CsrFile::read_header(path);
+         return path + "#" + std::to_string(h.checksum);
+       }});
 }
 
 // ---------------------------------------------------------------------------

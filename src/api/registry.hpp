@@ -62,6 +62,14 @@ struct TopologyEntry {
   /// the vertex count.  This is what lets mesh-span/embedding analyses
   /// run from a Scenario instead of a bespoke constructor (mesh_for()).
   std::function<Params(const Params&)> structure;
+  /// Extra cache-key material the params alone do not capture
+  /// (DESIGN.md §14).  The EngineCache appends this to its graph/engine
+  /// keys, so an entry whose build output depends on state outside the
+  /// params — the `file` topology's on-disk bytes — returns a content
+  /// fingerprint here (path + header checksum) and an edited file can
+  /// never be served a stale cached graph.  Empty function = params are
+  /// the whole identity (every synthetic family).
+  std::function<std::string(const Params&)> cache_salt;
 };
 
 class TopologyRegistry {

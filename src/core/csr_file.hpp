@@ -1,0 +1,126 @@
+// fne::CsrFile — the versioned, checksummed binary CSR on-disk graph
+// format behind the `file` topology (DESIGN.md §14).
+//
+// Real datasets (SNAP edge lists, interconnect traces) enter the system
+// through tools/edgelist2csr, which canonicalizes the messy text once and
+// emits this format; every later load is a header check, one checksum
+// pass, and a straight CSR walk — no parsing, no sorting, no dedup.
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   offset  size  field
+//        0     8  magic "FNECSR01"
+//        8     4  version (kCsrVersion)
+//       12     4  reserved (must be 0)
+//       16     8  n — vertex count (< 2^31, the vid contract)
+//       24     8  m — undirected edge count (< 2^31, the eid contract)
+//       32     8  checksum — FNV-1a over the n and m words (8 LE bytes
+//                 each) followed by the payload bytes
+//       40  (n+1)*8  offsets — arc offsets per vertex, offsets[n] == 2m
+//        +   2m*4    adj     — neighbor ids, per-vertex strictly ascending
+//
+// The payload is CANONICAL CSR: per-vertex neighbor lists sorted strictly
+// ascending (so no duplicate arcs), no self loops, and symmetric (every
+// arc has its reverse).  Canonical form makes the encoding of a Graph
+// unique — byte-identical files for equal graphs — which is what lets CI
+// diff converter output against a committed fixture.
+//
+// Decoding is TOTAL, the §11 store-codec / §12 FrameBuffer discipline:
+// any malformed input — truncation at any byte, a flipped bit anywhere,
+// oversized header counts, non-canonical or asymmetric adjacency — yields
+// a clean PreconditionError naming the defect, never UB, OOM or a crash.
+// `validate()` exposes the same checks as an error string for fuzz tests.
+//
+// Loading is zero-copy: open() mmaps the file (Load::kMmap / kAuto) and
+// the offsets/adj accessors are spans straight into the mapping; the
+// buffered mode (kBuffer, and the fallback where mmap is unavailable)
+// reads the file into one aligned allocation instead.  Both modes
+// validate identically and produce identical Graphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace fne {
+
+inline constexpr std::string_view kCsrMagic = "FNECSR01";  // 8 bytes
+inline constexpr std::uint32_t kCsrVersion = 1;
+inline constexpr std::size_t kCsrHeaderBytes = 40;
+/// Hard ceilings from the id types (types.hpp): vids and eids are 32-bit,
+/// and a header claiming more is corrupt, not big.
+inline constexpr std::uint64_t kCsrMaxVertices = std::uint64_t{1} << 31;
+inline constexpr std::uint64_t kCsrMaxEdges = std::uint64_t{1} << 31;
+
+/// The decoded fixed-size header of a CSR file.
+struct CsrHeader {
+  std::uint64_t n = 0;         ///< vertices
+  std::uint64_t m = 0;         ///< undirected edges
+  std::uint64_t checksum = 0;  ///< FNV-1a over n, m and the payload
+};
+
+class CsrFile {
+ public:
+  /// How open() maps the payload into memory.  kAuto prefers mmap and
+  /// falls back to a buffered read where mapping is unavailable; the two
+  /// modes are observationally identical (same validation, same Graph).
+  enum class Load { kAuto, kMmap, kBuffer };
+
+  CsrFile() = default;
+  CsrFile(CsrFile&&) noexcept;
+  CsrFile& operator=(CsrFile&&) noexcept;
+  CsrFile(const CsrFile&) = delete;
+  CsrFile& operator=(const CsrFile&) = delete;
+  ~CsrFile();
+
+  /// Open and FULLY validate a CSR file (header, checksum, structure).
+  /// Throws PreconditionError naming the path and the defect on any
+  /// malformation; a returned CsrFile is safe to walk without checks.
+  [[nodiscard]] static CsrFile open(const std::string& path, Load mode = Load::kAuto);
+
+  /// Read and validate only the 40-byte header — the cheap probe behind
+  /// the registry's expected_n contract and the cache's content salt.
+  [[nodiscard]] static CsrHeader read_header(const std::string& path);
+
+  /// Total validation of a complete in-memory image: nullopt when valid,
+  /// otherwise the error message open() would throw.  Never throws, never
+  /// reads out of bounds — the fuzz-test surface.
+  [[nodiscard]] static std::optional<std::string> validate(std::string_view bytes);
+
+  /// Canonical encoding of a graph (unique bytes per graph value).
+  [[nodiscard]] static std::string encode(const Graph& g);
+
+  /// encode() to `path` via a same-directory temp file + rename, so a
+  /// crashed writer never leaves a torn file behind.
+  static void write(const std::string& path, const Graph& g);
+
+  [[nodiscard]] const CsrHeader& header() const noexcept { return header_; }
+  [[nodiscard]] bool mmapped() const noexcept { return map_ != nullptr; }
+  /// Arc offsets per vertex (n+1 entries, offsets[n] == 2m); a view into
+  /// the mapping or the load buffer.
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept;
+  /// Neighbor ids (2m entries), aligned with offsets().
+  [[nodiscard]] std::span<const std::uint32_t> adj() const noexcept;
+
+  /// Materialize the Graph.  open() already proved the payload canonical,
+  /// so this is a straight rebuild; it still REQUIREs the rebuilt CSR to
+  /// match the stored bytes, closing the loop against any decoder bug.
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  void reset() noexcept;
+
+  CsrHeader header_;
+  std::vector<std::uint64_t> buffer_;  ///< buffered mode: 8-byte-aligned image
+  void* map_ = nullptr;                ///< mmap mode: mapping base
+  std::size_t map_len_ = 0;
+  const char* data_ = nullptr;  ///< whole validated image (either mode)
+  std::size_t size_ = 0;
+};
+
+}  // namespace fne

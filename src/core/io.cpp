@@ -1,15 +1,152 @@
 #include "core/io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "util/require.hpp"
 
 namespace fne {
 
+namespace {
+
+/// Reserve ceiling for header-declared edge counts.  The header is
+/// untrusted input: a corrupt "n m" line must not be able to request an
+/// unbounded allocation before a single edge is read.  Streams with more
+/// real edges than this just grow the vector normally.
+constexpr std::size_t kEdgeReserveCap = std::size_t{1} << 20;
+
+/// Vertex ids must fit the 32-bit vid space (types.hpp).
+constexpr std::uint64_t kMaxVertexCount = std::uint64_t{1} << 31;
+
+/// Parse a data line as exactly two nonnegative integers.  Returns false
+/// on any other shape (letters, one token, three tokens) — the caller
+/// turns that into a clean error naming the line.
+[[nodiscard]] bool parse_pair(const std::string& line, std::uint64_t& a, std::uint64_t& b) {
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  const auto read_int = [&](std::uint64_t& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    std::uint64_t v = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(line[pos] - '0');
+      if (v > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+      v = v * 10 + digit;
+      ++pos;
+    }
+    if (pos == start) return false;
+    out = v;
+    return true;
+  };
+  if (!read_int(a) || !read_int(b)) return false;
+  skip_ws();
+  return pos == line.size();
+}
+
+/// The pre-§14 reader, kept verbatim behind EdgeListOptions::strict for
+/// round-trip tests — except that the untrusted header count no longer
+/// drives an unbounded reserve.
+[[nodiscard]] Graph read_edge_list_strict(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  FNE_REQUIRE(static_cast<bool>(is >> n >> m), "edge list: missing header");
+  FNE_REQUIRE(static_cast<std::uint64_t>(n) < kMaxVertexCount,
+              "edge list: vertex count " + std::to_string(n) + " exceeds the 32-bit id space");
+  std::vector<Edge> edges;
+  edges.reserve(std::min(m, kEdgeReserveCap));
+  for (std::size_t i = 0; i < m; ++i) {
+    vid u = 0, v = 0;
+    FNE_REQUIRE(static_cast<bool>(is >> u >> v), "edge list: truncated");
+    edges.push_back({u, v});
+  }
+  return Graph::from_edges(static_cast<vid>(n), std::move(edges));
+}
+
+}  // namespace
+
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << g.num_vertices() << ' ' << g.num_edges() << '\n';
   for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) { return read_edge_list(is, {}, nullptr); }
+
+Graph read_edge_list(std::istream& is, const EdgeListOptions& opts, EdgeListStats* stats) {
+  if (opts.strict) return read_edge_list_strict(is);
+
+  EdgeListStats local;
+  EdgeListStats& st = stats != nullptr ? *stats : local;
+  st = {};
+
+  bool have_header = false;
+  std::uint64_t n = 0;
+  std::uint64_t max_id = 0;
+  bool saw_edge = false;
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      ++st.blank_lines;
+      continue;
+    }
+    if (line[first] == '#' || line[first] == '%') {
+      ++st.comment_lines;
+      continue;
+    }
+    std::uint64_t a = 0, b = 0;
+    FNE_REQUIRE(parse_pair(line, a, b),
+                "edge list: line " + std::to_string(line_no) + " is not two integers: '" +
+                    line.substr(first, 40) + "'");
+    if (opts.header && !have_header) {
+      have_header = true;
+      FNE_REQUIRE(a < kMaxVertexCount, "edge list: vertex count " + std::to_string(a) +
+                                           " exceeds the 32-bit id space");
+      n = a;
+      st.declared_n = a;
+      st.declared_m = b;
+      // The declared edge count is untrusted: clamp the reserve (a
+      // corrupt header must not buy an unbounded allocation) and treat
+      // it as a hint — the stream itself decides how many edges exist.
+      edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(b, static_cast<std::uint64_t>(kEdgeReserveCap))));
+      continue;
+    }
+    if (a == b) {
+      ++st.self_loops;  // dropped: the Graph substrate has no self loops
+      continue;
+    }
+    if (opts.header) {
+      FNE_REQUIRE(a < n && b < n, "edge list: line " + std::to_string(line_no) + " edge " +
+                                      std::to_string(a) + "-" + std::to_string(b) +
+                                      " outside declared [0, " + std::to_string(n) + ")");
+    } else {
+      FNE_REQUIRE(a < kMaxVertexCount && b < kMaxVertexCount,
+                  "edge list: line " + std::to_string(line_no) +
+                      " vertex id exceeds the 32-bit id space");
+      max_id = std::max({max_id, a, b});
+      saw_edge = true;
+    }
+    edges.push_back({static_cast<vid>(a), static_cast<vid>(b)});
+    ++st.parsed_edges;
+  }
+  FNE_REQUIRE(!opts.header || have_header, "edge list: missing header");
+  if (!opts.header) {
+    n = std::max<std::uint64_t>(saw_edge ? max_id + 1 : 0, opts.min_n);
+    FNE_REQUIRE(n < kMaxVertexCount, "edge list: vertex count " + std::to_string(n) +
+                                         " exceeds the 32-bit id space");
+  }
+  // Duplicate edges are the normal case in real dumps (each direction
+  // listed once); from_edges merges them.
+  return Graph::from_edges(static_cast<vid>(n), std::move(edges));
 }
 
 void write_dot(std::ostream& os, const Graph& g, const VertexSet* alive,
@@ -40,19 +177,6 @@ void write_dot(std::ostream& os, const Graph& g, const VertexSet* alive,
     os << ";\n";
   }
   os << "}\n";
-}
-
-Graph read_edge_list(std::istream& is) {
-  std::size_t n = 0, m = 0;
-  FNE_REQUIRE(static_cast<bool>(is >> n >> m), "edge list: missing header");
-  std::vector<Edge> edges;
-  edges.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    vid u = 0, v = 0;
-    FNE_REQUIRE(static_cast<bool>(is >> u >> v), "edge list: truncated");
-    edges.push_back({u, v});
-  }
-  return Graph::from_edges(static_cast<vid>(n), std::move(edges));
 }
 
 }  // namespace fne

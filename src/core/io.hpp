@@ -1,10 +1,24 @@
-// Simple textual graph I/O for examples and debugging.
+// Textual graph I/O: the "n m" edge-list format, a tolerant reader for
+// real-world datasets, and Graphviz export.
 //
-// Edge-list format: first line "n m", then m lines "u v".
+// Edge-list format: first line "n m", then m lines "u v".  Real datasets
+// (SNAP dumps and friends) bend the format — `#`/`%` comment headers,
+// blank lines, duplicate edges, self loops, sometimes no header at all —
+// so the reader is TOLERANT by default: comments and blanks are skipped
+// anywhere, self loops are dropped (counted in EdgeListStats), duplicates
+// are merged by Graph::from_edges, and a header edge count that
+// disagrees with the stream is recorded, not fatal.  The pre-§14 strict
+// contract (exact header, exactly m plain "u v" token pairs, self loops
+// fatal) stays available behind EdgeListOptions::strict for round-trip
+// tests.  Headerless files (the SNAP convention) set header=false and
+// infer n as max id + 1.
+//
 // Graphviz export renders fault/prune states: dead vertices dashed grey,
 // an optional highlight set (e.g. a culled region or cut witness) filled.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 
 #include "core/graph.hpp"
@@ -12,8 +26,36 @@
 
 namespace fne {
 
+struct EdgeListOptions {
+  /// Pre-§14 behavior: header required, exactly m whitespace-separated
+  /// "u v" pairs, no comment handling, self loops fatal (from_edges).
+  bool strict = false;
+  /// Expect a leading "n m" line.  false = headerless (SNAP style): every
+  /// data line is an edge and n is inferred as max id + 1.
+  bool header = true;
+  /// Floor for the inferred vertex count in headerless mode (isolated
+  /// tail vertices exist in real datasets); ignored with a header.
+  vid min_n = 0;
+};
+
+/// What the tolerant reader saw; the converter reports these so dropped
+/// input is visible, never silent.
+struct EdgeListStats {
+  std::size_t comment_lines = 0;  ///< '#'/'%' lines skipped
+  std::size_t blank_lines = 0;
+  std::size_t self_loops = 0;    ///< u == v pairs dropped
+  std::size_t parsed_edges = 0;  ///< pairs kept (before from_edges dedup)
+  std::uint64_t declared_n = 0;  ///< header n (0 when headerless)
+  std::uint64_t declared_m = 0;  ///< header m (0 when headerless)
+};
+
 void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Tolerant read with the default options (header expected).  Equivalent
+/// to read_edge_list(is, {}, nullptr).
 [[nodiscard]] Graph read_edge_list(std::istream& is);
+[[nodiscard]] Graph read_edge_list(std::istream& is, const EdgeListOptions& opts,
+                                   EdgeListStats* stats = nullptr);
 
 /// Graphviz "graph { ... }" output.  `alive` (optional) greys out dead
 /// vertices and their edges; `highlight` (optional) fills its members.

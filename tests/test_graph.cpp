@@ -100,9 +100,16 @@ TEST(GraphIo, RoundTrip) {
   for (const Edge& e : g.edges()) EXPECT_TRUE(h.has_edge(e.u, e.v));
 }
 
-TEST(GraphIo, TruncatedInputRejected) {
+TEST(GraphIo, TruncatedInputRejectedInStrictMode) {
+  // The tolerant default (§14) treats the header edge count as a hint;
+  // the strict round-trip contract still rejects a short stream.
+  EdgeListOptions strict;
+  strict.strict = true;
   std::stringstream ss("3 2\n0 1\n");
-  EXPECT_THROW((void)read_edge_list(ss), PreconditionError);
+  EXPECT_THROW((void)read_edge_list(ss, strict), PreconditionError);
+
+  std::stringstream tolerant("3 2\n0 1\n");
+  EXPECT_EQ(read_edge_list(tolerant).num_edges(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,352 @@
+// Real-graph ingestion (DESIGN.md §14): the tolerant edge-list reader,
+// the checked-in mini_p2p fixture with pinned reference statistics, the
+// `file` topology through the registry and EngineCache (content-salted
+// keys), and campaign payload byte-identity on a file-backed graph
+// across thread counts, store states and load modes.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/campaign.hpp"
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "api/runner.hpp"
+#include "core/csr_file.hpp"
+#include "core/graph.hpp"
+#include "core/io.hpp"
+#include "core/traversal.hpp"
+#include "core/vertex_set.hpp"
+#include "store/result_store.hpp"
+#include "topology/mesh.hpp"
+#include "util/require.hpp"
+
+namespace fne {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kFixtureEdges = std::string(FNE_REPO_DIR) + "/tests/data/mini_p2p.edges";
+const std::string kFixtureCsr = std::string(FNE_REPO_DIR) + "/tests/data/mini_p2p.csr";
+
+[[nodiscard]] std::string tmp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / ("fne_ingest_" + name)).string();
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (eid e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].u, b.edges()[e].u);
+    EXPECT_EQ(a.edges()[e].v, b.edges()[e].v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant reader
+// ---------------------------------------------------------------------------
+
+TEST(EdgeListTolerant, SkipsCommentsBlanksAndSelfLoopsMergesDuplicates) {
+  std::stringstream in(
+      "# SNAP-style comment\n"
+      "% matrix-market-style comment\n"
+      "5 4\n"
+      "\n"
+      "0 1\n"
+      "1 0\n"    // duplicate (reversed)
+      "2 2\n"    // self loop
+      "  1\t2\n"
+      "3 4\n");
+  EdgeListStats stats;
+  const Graph g = read_edge_list(in, {}, &stats);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(stats.comment_lines, 2u);
+  EXPECT_EQ(stats.blank_lines, 1u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.parsed_edges, 4u);  // before dedup
+  EXPECT_EQ(stats.declared_n, 5u);
+  EXPECT_EQ(stats.declared_m, 4u);
+}
+
+TEST(EdgeListTolerant, HeaderCountDisagreeingWithStreamIsNotFatal) {
+  // The declared m is a hint; the stream decides.
+  std::stringstream in("3 999\n0 1\n1 2\n");
+  EdgeListStats stats;
+  const Graph g = read_edge_list(in, {}, &stats);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(stats.declared_m, 999u);
+}
+
+TEST(EdgeListTolerant, HeaderlessInfersVertexCountFromMaxId) {
+  std::stringstream in("# no header\n7 3\n3 5\n");
+  EdgeListOptions opts;
+  opts.header = false;
+  const Graph g = read_edge_list(in, opts);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListTolerant, MinNFloorsTheInferredCount) {
+  std::stringstream in("0 1\n");
+  EdgeListOptions opts;
+  opts.header = false;
+  opts.min_n = 10;
+  EXPECT_EQ(read_edge_list(in, opts).num_vertices(), 10u);
+}
+
+TEST(EdgeListTolerant, RejectsMalformedLinesAndOutOfRangeIds) {
+  {
+    std::stringstream in("2 1\n0 one\n");
+    EXPECT_THROW((void)read_edge_list(in), PreconditionError);
+  }
+  {
+    std::stringstream in("2 1\n0 1 2\n");  // three tokens
+    EXPECT_THROW((void)read_edge_list(in), PreconditionError);
+  }
+  {
+    std::stringstream in("2 1\n0 5\n");  // id outside declared [0, n)
+    EXPECT_THROW((void)read_edge_list(in), PreconditionError);
+  }
+  {
+    std::stringstream in("# only comments\n");
+    EXPECT_THROW((void)read_edge_list(in), PreconditionError);  // missing header
+  }
+}
+
+TEST(EdgeListStrict, PreservesThePreIngestionContract) {
+  EdgeListOptions strict;
+  strict.strict = true;
+  {
+    // Round trip: write_edge_list output is exactly the strict format.
+    const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+    std::stringstream io;
+    write_edge_list(io, g);
+    expect_graphs_equal(read_edge_list(io, strict), g);
+  }
+  {
+    std::stringstream in("# comment\n2 1\n0 1\n");  // comments are NOT skipped
+    EXPECT_THROW((void)read_edge_list(in, strict), PreconditionError);
+  }
+  {
+    std::stringstream in("2 1\n1 1\n");  // self loops are fatal (from_edges)
+    EXPECT_THROW((void)read_edge_list(in, strict), PreconditionError);
+  }
+}
+
+TEST(EdgeListStrict, UntrustedHeaderCountCannotBuyAnUnboundedReserve) {
+  // A corrupt header declaring 2^40 edges over an empty stream must fail
+  // with a clean truncation error immediately — not attempt a 16 TiB
+  // reserve first (the pre-§14 bug at io.cpp's edges.reserve(m)).
+  EdgeListOptions strict;
+  strict.strict = true;
+  {
+    std::stringstream in("4 1099511627776\n0 1\n");
+    EXPECT_THROW((void)read_edge_list(in, strict), PreconditionError);
+  }
+  {
+    std::stringstream in("4 1099511627776\n0 1\n");
+    EXPECT_EQ(read_edge_list(in).num_edges(), 1u);  // tolerant: m is a hint
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in fixture, against pinned reference values
+// ---------------------------------------------------------------------------
+
+constexpr vid kFixtureN = 96;
+constexpr eid kFixtureM = 205;
+
+[[nodiscard]] Graph load_fixture_text(EdgeListStats* stats = nullptr) {
+  std::ifstream in(kFixtureEdges);
+  EXPECT_TRUE(in.good()) << kFixtureEdges;
+  EdgeListOptions opts;
+  opts.header = false;
+  opts.min_n = kFixtureN;
+  return read_edge_list(in, opts, stats);
+}
+
+TEST(MiniP2pFixture, TextParseMatchesPinnedShapeAndStats) {
+  EdgeListStats stats;
+  const Graph g = load_fixture_text(&stats);
+  EXPECT_EQ(g.num_vertices(), kFixtureN);
+  EXPECT_EQ(g.num_edges(), kFixtureM);
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(stats.blank_lines, 7u);
+  EXPECT_EQ(stats.self_loops, 5u);
+  EXPECT_EQ(stats.parsed_edges - g.num_edges(), 31u) << "duplicates merged";
+}
+
+TEST(MiniP2pFixture, DegreeHistogramIsPinned) {
+  const Graph g = load_fixture_text();
+  std::map<vid, int> hist;
+  for (vid v = 0; v < g.num_vertices(); ++v) ++hist[g.degree(v)];
+  const std::map<vid, int> expected = {{0, 2}, {1, 13}, {2, 9},  {3, 13}, {4, 16}, {5, 16},
+                                       {6, 10}, {7, 9},  {8, 3}, {9, 3},  {10, 1}, {12, 1}};
+  EXPECT_EQ(hist, expected);
+}
+
+TEST(MiniP2pFixture, ComponentsAndEccentricityArePinned) {
+  const Graph g = load_fixture_text();
+  const VertexSet all = VertexSet::full(g.num_vertices());
+  const Components comps = connected_components(g, all);
+  EXPECT_EQ(comps.count(), 6u);
+
+  const std::vector<std::uint32_t> dist = bfs_distances(g, all, 0);
+  std::uint32_t ecc = 0;
+  std::size_t reached = 0;
+  for (const std::uint32_t d : dist) {
+    if (d == kUnreached) continue;
+    ++reached;
+    ecc = std::max(ecc, d);
+  }
+  EXPECT_EQ(ecc, 6u);
+  EXPECT_EQ(reached, 80u) << "vertex 0's component";
+}
+
+TEST(MiniP2pFixture, CheckedInCsrMatchesTheTextSourceByteForByte) {
+  // The committed .csr IS the canonical encoding of the committed .edges:
+  // decoding it yields the parsed graph, and re-encoding the parsed
+  // graph reproduces the file bytes (what CI's cmp relies on).
+  const Graph parsed = load_fixture_text();
+  const CsrFile f = CsrFile::open(kFixtureCsr);
+  expect_graphs_equal(f.to_graph(), parsed);
+  EXPECT_EQ(CsrFile::encode(parsed), read_file(kFixtureCsr));
+}
+
+// ---------------------------------------------------------------------------
+// The `file` topology through the registry and the cache
+// ---------------------------------------------------------------------------
+
+TEST(FileTopology, RegisteredWithExpectedNAndBuildContract) {
+  TopologyRegistry& reg = TopologyRegistry::instance();
+  ASSERT_TRUE(reg.contains("file"));
+  EXPECT_FALSE(reg.at("file").seeded);
+
+  const Params p{{"path", kFixtureCsr}};
+  EXPECT_EQ(reg.expected_n("file", p), kFixtureN);
+  const Graph g = reg.build("file", p, /*seed=*/123);
+  EXPECT_EQ(g.num_vertices(), kFixtureN);
+  EXPECT_EQ(g.num_edges(), kFixtureM);
+
+  // Buffered load builds the identical graph.
+  expect_graphs_equal(reg.build("file", Params{{"path", kFixtureCsr}, {"mmap", "0"}}, 0), g);
+}
+
+TEST(FileTopology, RejectsMissingPathUndeclaredParamsAndCommas) {
+  TopologyRegistry& reg = TopologyRegistry::instance();
+  EXPECT_THROW((void)reg.expected_n("file", Params{}), PreconditionError);
+  EXPECT_THROW((void)reg.build("file", Params{}, 0), PreconditionError);
+  EXPECT_THROW((void)reg.build("file", Params{{"path", kFixtureCsr}, {"typo", "1"}}, 0),
+               PreconditionError);
+  EXPECT_THROW((void)reg.expected_n("file", Params{{"path", "a,b.csr"}}), PreconditionError);
+  EXPECT_THROW((void)reg.expected_n("file", Params{{"path", tmp_path("absent.csr")}}),
+               PreconditionError);
+}
+
+TEST(FileTopology, CacheSaltInvalidatesOnFileRewrite) {
+  // The EngineCache key folds in the file's content checksum: rewriting
+  // the file in place (same path, same params) must yield the NEW graph,
+  // never a stale cached one.
+  const std::string path = tmp_path("rewrite.csr");
+  CsrFile::write(path, Graph::from_edges(8, {{0, 1}, {1, 2}}));
+  const Params p{{"path", path}};
+  EngineCache& cache = EngineCache::instance();
+
+  const auto first = cache.graph("file", p, 0);
+  EXPECT_EQ(first->num_vertices(), 8u);
+  // Seed variation folds to one key (unseeded): same object.
+  EXPECT_EQ(cache.graph("file", p, 77).get(), first.get());
+
+  CsrFile::write(path, Graph::from_edges(12, {{0, 1}, {2, 3}, {10, 11}}));
+  const auto second = cache.graph("file", p, 0);
+  EXPECT_EQ(second->num_vertices(), 12u);
+  EXPECT_NE(second.get(), first.get());
+}
+
+TEST(FileTopology, MeshForRejectsTheFileTopologyCleanly) {
+  // mesh_for REQUIREs mesh structure; a structureless entry must fail
+  // loudly, not crash.
+  EXPECT_THROW((void)mesh_for("file", Params{{"path", kFixtureCsr}}), PreconditionError);
+}
+
+TEST(TopologyRegistry, MeshForRangeChecksSideAndDims) {
+  // Regression: mesh_for used to cast get_int straight to vid, so a
+  // negative side/dims wrapped to a huge unsigned value instead of
+  // failing the range check.
+  EXPECT_THROW((void)mesh_for("mesh", Params{{"side", "-3"}, {"dims", "2"}}),
+               PreconditionError);
+  EXPECT_THROW((void)mesh_for("mesh", Params{{"side", "8"}, {"dims", "-1"}}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns on a file topology
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] Campaign fixture_campaign(const std::string& csr_path, const char* mmap) {
+  Campaign campaign;
+  campaign.name = "ingest-determinism";
+  Scenario s;
+  s.name = "mini-p2p-random";
+  s.topology = {"file", Params{{"path", csr_path}, {"mmap", mmap}}};
+  s.fault = {"random", Params{{"p", "0.25"}}};
+  s.prune.kind = ExpansionKind::Edge;
+  s.prune.fast = true;
+  // The fixture is disconnected (6 components), so measured alpha would
+  // be 0: pin it, like any real-dataset campaign must.
+  s.prune.alpha = 0.125;
+  s.repetitions = 3;
+  s.seed = 1404;
+  campaign.entries.push_back({s, std::nullopt});
+  Scenario h = s;
+  h.name = "mini-p2p-high-degree";
+  h.fault = {"high_degree", Params{{"frac", "0.15"}}};
+  h.repetitions = 1;
+  campaign.entries.push_back({h, std::nullopt});
+  return campaign;
+}
+
+TEST(FileCampaignSlow, PayloadByteIdenticalAcrossThreadsStoreStateAndLoadMode) {
+  CampaignRunner runner(fixture_campaign(kFixtureCsr, "1"));
+  const std::string reference = runner.run(2).to_json(/*include_timing=*/false);
+
+  const std::string dir = tmp_path("campaign-store");
+  fs::remove_all(dir);
+  ResultStore store(dir);
+  const CampaignReport cold = runner.run(2, &store);
+  EXPECT_EQ(cold.store.hits, 0u);
+  EXPECT_EQ(cold.to_json(false), reference);
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE(threads);
+    const CampaignReport warm = runner.run(threads, &store);
+    EXPECT_EQ(warm.store.misses, 0u) << "warm store must serve every cell";
+    EXPECT_EQ(warm.to_json(false), reference);
+  }
+
+  // Buffered load: the payload differs only in the declared topo_params
+  // string ("mmap=0" vs "mmap=1") — every computed bit is identical.
+  CampaignRunner buffered(fixture_campaign(kFixtureCsr, "0"));
+  std::string buffered_payload = buffered.run(2).to_json(false);
+  std::size_t swaps = 0;
+  for (std::size_t at = buffered_payload.find("mmap=0"); at != std::string::npos;
+       at = buffered_payload.find("mmap=0", at + 1)) {
+    buffered_payload.replace(at, 6, "mmap=1");
+    ++swaps;
+  }
+  EXPECT_EQ(swaps, 2u) << "one topo_params string per campaign entry";
+  EXPECT_EQ(buffered_payload, reference);
+}
+
+}  // namespace
+}  // namespace fne
