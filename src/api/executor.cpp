@@ -83,8 +83,8 @@ namespace {
 /// can never be served a stale cached graph or engine (DESIGN.md §14).
 [[nodiscard]] std::string keyed_params(const std::string& topology, const Params& params) {
   std::string key = params.to_string();
-  const TopologyEntry& entry = TopologyRegistry::instance().at(topology);
-  if (entry.cache_salt) key += "|" + entry.cache_salt(params);
+  const std::string salt = topology_cache_salt(topology, params);
+  if (!salt.empty()) key += "|" + salt;
   return key;
 }
 

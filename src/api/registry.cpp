@@ -1,6 +1,9 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
 
 #include "core/csr_file.hpp"
 #include "faults/adversary.hpp"
@@ -75,6 +78,80 @@ void check_declared(const char* registry_kind, const Entry& entry, const Params&
               "topology 'file': path may not contain ',' (reserved by the key codec)");
   return path;
 }
+
+[[nodiscard]] CsrFile::Load file_topology_mode(const Params& p) {
+  return p.get_bool("mmap", true) ? CsrFile::Load::kAuto : CsrFile::Load::kBuffer;
+}
+
+/// One validated image per .csr path, serving the `file` topology's
+/// expected_n, cache_salt, AND build.  Deriving all three from the same
+/// bytes is what makes the content salt sound: with separate opens (a
+/// header read for the salt, a full open for the graph), a file replaced
+/// between the two gets its NEW graph cached under the OLD checksum —
+/// a salt that no longer fingerprints what it claims to.
+///
+/// refresh() is the only entry point that looks at the filesystem: it
+/// probes the 40-byte header and reopens the image only when the stored
+/// checksum disagrees, so a rewritten file is picked up at the next key
+/// computation.  build consumes pinned() verbatim — even if the file
+/// changes between key and build, the graph matches the key's salt, and
+/// the next refresh() serves the new content under its new salt.
+///
+/// Images stay pinned (one per distinct path; mmap-backed by default, so
+/// the pages are reclaimable file cache, not anonymous memory).
+class FileImageCache {
+ public:
+  static FileImageCache& instance() {
+    static FileImageCache cache;
+    return cache;
+  }
+
+  /// The pinned image for `path`, reopened first if the on-disk header
+  /// checksum no longer matches.  Throws CsrFile::open's clean error on
+  /// a missing or malformed file.
+  [[nodiscard]] std::shared_ptr<const CsrFile> refresh(const std::string& path,
+                                                       CsrFile::Load mode) {
+    // The probe is advisory — it only decides whether to reopen.  The
+    // salt callers read comes from the stored image itself, never from
+    // this header read, so a file swapped mid-probe costs one extra
+    // reopen, not a mismatched key.
+    std::optional<std::uint64_t> probe;
+    try {
+      probe = CsrFile::read_header(path).checksum;
+    } catch (const PreconditionError&) {
+      // Unreadable or malformed right now: fall through to the full
+      // open, which reports the authoritative error (or succeeds if the
+      // file was mid-replacement).
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(path);
+      if (it != entries_.end() && probe.has_value() &&
+          it->second->header().checksum == *probe) {
+        return it->second;
+      }
+    }
+    // Open and validate OUTSIDE the lock (validation walks the whole
+    // payload); on a concurrent refresh the last writer wins.
+    auto image = std::make_shared<const CsrFile>(CsrFile::open(path, mode));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[path] = image;
+    return image;
+  }
+
+  /// The image the most recent refresh() pinned, or nullptr.  No
+  /// filesystem access: the build path must decode exactly the bytes the
+  /// key's salt fingerprinted, not whatever the file holds by now.
+  [[nodiscard]] std::shared_ptr<const CsrFile> pinned(const std::string& path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(path);
+    return it != entries_.end() ? it->second : nullptr;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const CsrFile>> entries_;
+};
 
 [[nodiscard]] vid pow_n(const std::string& who, vid base, vid exp) {
   std::uint64_t n = 1;
@@ -167,6 +244,11 @@ Mesh mesh_for(const std::string& name, const Params& params) {
   const vid side = require_vid(who, s, "side", 0, 1, 1 << 20);
   const vid dims = require_vid(who, s, "dims", 0, 1, 10);
   return Mesh::cube(side, dims, s.get_bool("wrap", false));
+}
+
+std::string topology_cache_salt(const std::string& name, const Params& params) {
+  const TopologyEntry& entry = TopologyRegistry::instance().at(name);
+  return entry.cache_salt ? entry.cache_salt(params) : std::string();
 }
 
 Graph TopologyRegistry::build(const std::string& name, const Params& params,
@@ -425,19 +507,26 @@ TopologyRegistry::TopologyRegistry() {
        {{"path", "", "path to the .csr file (required)"},
         {"mmap", "1", "map the payload (0: buffered read; identical results)"}},
        [](const Params& p) {
-         return checked_n("topology 'file'", CsrFile::read_header(file_topology_path(p)).n);
+         const std::string path = file_topology_path(p);
+         const auto image = FileImageCache::instance().refresh(path, file_topology_mode(p));
+         return checked_n("topology 'file'", image->header().n);
        },
        [](const Params& p, std::uint64_t) {
-         const CsrFile::Load mode =
-             p.get_bool("mmap", true) ? CsrFile::Load::kAuto : CsrFile::Load::kBuffer;
-         return CsrFile::open(file_topology_path(p), mode).to_graph();
+         const std::string path = file_topology_path(p);
+         // Decode the image the most recent key computation fingerprinted
+         // (FileImageCache): salt and graph must come from the same
+         // bytes.  A direct build with no prior key opens fresh.
+         if (const auto image = FileImageCache::instance().pinned(path)) {
+           return image->to_graph();
+         }
+         return CsrFile::open(path, file_topology_mode(p)).to_graph();
        },
        /*seeded=*/false, /*structure=*/{},
        /*cache_salt=*/
        [](const Params& p) {
          const std::string path = file_topology_path(p);
-         const CsrHeader h = CsrFile::read_header(path);
-         return path + "#" + std::to_string(h.checksum);
+         const auto image = FileImageCache::instance().refresh(path, file_topology_mode(p));
+         return path + "#" + std::to_string(image->header().checksum);
        }});
 }
 

@@ -106,6 +106,14 @@ class Mesh;  // topology/mesh.hpp
 /// to declare mesh structure (side/dims/wrap keys).
 [[nodiscard]] Mesh mesh_for(const std::string& name, const Params& params);
 
+/// The entry's cache_salt output for these params, or "" when the entry
+/// declares none (every synthetic family).  This is THE way to fold a
+/// topology into a cache or store key: both the EngineCache keys and the
+/// persistent store_cell_key() append it, so state outside the params
+/// (the `file` topology's on-disk bytes) can never be served stale from
+/// either layer (DESIGN.md §14).
+[[nodiscard]] std::string topology_cache_salt(const std::string& name, const Params& params);
+
 struct FaultModelEntry {
   std::string name;
   std::string doc;

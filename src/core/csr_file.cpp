@@ -1,5 +1,6 @@
 #include "core/csr_file.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -218,7 +219,11 @@ CsrFile CsrFile::open(const std::string& path, Load mode) {
     std::ifstream in(path, std::ios::binary);
     FNE_REQUIRE(static_cast<bool>(in), "csr file " + path + ": cannot open");
     in.seekg(0, std::ios::end);
-    const auto len = static_cast<std::size_t>(in.tellg());
+    const std::streampos end = in.tellg();
+    // tellg() returns -1 on failure; casting that to size_t would ask
+    // resize() for ~2^64 bytes — fail with the clean contract error.
+    FNE_REQUIRE(end != std::streampos(-1), "csr file " + path + ": cannot determine size");
+    const auto len = static_cast<std::size_t>(end);
     in.seekg(0, std::ios::beg);
     f.buffer_.resize(len / 8 + 1, 0);
     in.read(reinterpret_cast<char*>(f.buffer_.data()), static_cast<std::streamsize>(len));
@@ -305,15 +310,31 @@ std::string CsrFile::encode(const Graph& g) {
 
 void CsrFile::write(const std::string& path, const Graph& g) {
   const std::string bytes = encode(g);
-  const std::string tmp = path + ".tmp";
+  // Unique same-directory temp name: with a fixed "path + .tmp", two
+  // concurrent writers interleave into the shared temp file and rename a
+  // torn image into place.  The pid separates processes, the counter
+  // separates threads; rename() keeps the final swap atomic either way.
+  static std::atomic<std::uint64_t> write_stamp{0};
+  std::uint64_t pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                          std::to_string(write_stamp.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     FNE_REQUIRE(static_cast<bool>(out), "csr file " + tmp + ": cannot write");
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    FNE_REQUIRE(static_cast<bool>(out), "csr file " + tmp + ": write failed");
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      FNE_REQUIRE(false, "csr file " + tmp + ": write failed");
+    }
   }
-  FNE_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-              "csr file " + path + ": rename from temp failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    FNE_REQUIRE(false, "csr file " + path + ": rename from temp failed");
+  }
 }
 
 void CsrFile::reset() noexcept {

@@ -120,10 +120,9 @@ Graph read_edge_list(std::istream& is, const EdgeListOptions& opts, EdgeListStat
           std::min<std::uint64_t>(b, static_cast<std::uint64_t>(kEdgeReserveCap))));
       continue;
     }
-    if (a == b) {
-      ++st.self_loops;  // dropped: the Graph substrate has no self loops
-      continue;
-    }
+    // Range checks come BEFORE the self-loop drop: an out-of-range id is
+    // malformed input whether or not the line happens to be a loop, and
+    // tolerant mode only forgives shapes real datasets produce.
     if (opts.header) {
       FNE_REQUIRE(a < n && b < n, "edge list: line " + std::to_string(line_no) + " edge " +
                                       std::to_string(a) + "-" + std::to_string(b) +
@@ -132,6 +131,12 @@ Graph read_edge_list(std::istream& is, const EdgeListOptions& opts, EdgeListStat
       FNE_REQUIRE(a < kMaxVertexCount && b < kMaxVertexCount,
                   "edge list: line " + std::to_string(line_no) +
                       " vertex id exceeds the 32-bit id space");
+    }
+    if (a == b) {
+      ++st.self_loops;  // dropped: the Graph substrate has no self loops
+      continue;
+    }
+    if (!opts.header) {
       max_id = std::max({max_id, a, b});
       saw_edge = true;
     }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "api/campaign.hpp"
+#include "api/registry.hpp"
 #include "api/runner.hpp"
 #include "expansion/types.hpp"
 #include "spectral/lanczos.hpp"
@@ -62,6 +63,14 @@ std::string store_cell_key(const Scenario& scenario, const FaultSpec& effective_
   std::string key = "fne-cell|schema=1";
   key += "|topo=" + scenario.topology.name;
   key += "|topo_params=" + scenario.topology.params.to_string();
+  // Entries whose build output depends on state beyond the params (the
+  // `file` topology's on-disk bytes) declare a cache_salt.  The store
+  // outlives the process, so folding the salt in matters even more here
+  // than in the EngineCache: without it, rewriting a .csr in place would
+  // resume a campaign from cells computed on the OLD graph.
+  const std::string topo_salt =
+      topology_cache_salt(scenario.topology.name, scenario.topology.params);
+  if (!topo_salt.empty()) key += "|topo_salt=" + topo_salt;
   key += "|build_seed=" + std::to_string(scenario_build_seed(scenario));
   key += "|fault=" + effective_fault.name;
   key += "|fault_params=" + effective_fault.params.to_string();

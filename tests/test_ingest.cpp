@@ -22,6 +22,7 @@
 #include "core/io.hpp"
 #include "core/traversal.hpp"
 #include "core/vertex_set.hpp"
+#include "store/key.hpp"
 #include "store/result_store.hpp"
 #include "topology/mesh.hpp"
 #include "util/require.hpp"
@@ -121,6 +122,24 @@ TEST(EdgeListTolerant, RejectsMalformedLinesAndOutOfRangeIds) {
   {
     std::stringstream in("# only comments\n");
     EXPECT_THROW((void)read_edge_list(in), PreconditionError);  // missing header
+  }
+}
+
+TEST(EdgeListTolerant, OutOfRangeIdsRejectedEvenOnSelfLoops) {
+  // Regression: the self-loop drop used to run before the range check,
+  // so "7 7" under a declared n=3 was silently skipped while "7 8" was
+  // a fatal error — inconsistent validation of the same malformed id.
+  {
+    std::stringstream in("3 2\n0 1\n7 7\n");
+    EXPECT_THROW((void)read_edge_list(in), PreconditionError);
+  }
+  {
+    // Headerless: a self-loop beyond the 32-bit id space is rejected
+    // like any other oversized id, not dropped.
+    std::stringstream in("0 1\n2147483648 2147483648\n");
+    EdgeListOptions opts;
+    opts.header = false;
+    EXPECT_THROW((void)read_edge_list(in, opts), PreconditionError);
   }
 }
 
@@ -272,6 +291,31 @@ TEST(FileTopology, CacheSaltInvalidatesOnFileRewrite) {
   const auto second = cache.graph("file", p, 0);
   EXPECT_EQ(second->num_vertices(), 12u);
   EXPECT_NE(second.get(), first.get());
+}
+
+TEST(FileTopology, StoreCellKeyFoldsInTheContentSalt) {
+  // The persistent store must obey the same staleness rule as the
+  // EngineCache: rewriting a .csr in place changes the cell key, so a
+  // resumed campaign never reuses cells computed on the old graph.
+  const std::string path = tmp_path("storekey.csr");
+  CsrFile::write(path, Graph::from_edges(8, {{0, 1}, {1, 2}}));
+  Scenario s;
+  s.name = "storekey";
+  s.topology = {"file", Params{{"path", path}}};
+  s.fault = {"random", Params{{"p", "0.2"}}};
+
+  const std::string key = store_cell_key(s, s.fault, 0);
+  EXPECT_NE(key.find("|topo_salt=" + path + "#"), std::string::npos);
+  EXPECT_EQ(key, store_cell_key(s, s.fault, 0)) << "keys are deterministic";
+
+  CsrFile::write(path, Graph::from_edges(8, {{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_NE(store_cell_key(s, s.fault, 0), key)
+      << "rewriting the file must change the cell identity";
+
+  // Synthetic topologies carry no salt component.
+  Scenario mesh = s;
+  mesh.topology = {"mesh", Params{{"side", "4"}, {"dims", "2"}}};
+  EXPECT_EQ(store_cell_key(mesh, mesh.fault, 0).find("|topo_salt="), std::string::npos);
 }
 
 TEST(FileTopology, MeshForRejectsTheFileTopologyCleanly) {
